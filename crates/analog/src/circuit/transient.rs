@@ -1,0 +1,416 @@
+//! Fixed-step transient analysis with per-step Newton iteration.
+
+use crate::circuit::elements::{CommitContext, StampContext};
+use crate::circuit::{Circuit, Node};
+use crate::error::SolverError;
+use crate::linalg::Matrix;
+
+/// Configuration of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientAnalysis {
+    /// Time-step size in seconds.
+    pub dt: f64,
+    /// End time in seconds (the run starts at `t = 0`).
+    pub t_end: f64,
+    /// Maximum Newton iterations per time step.
+    pub max_newton_iterations: usize,
+    /// Convergence tolerance on the solution update (per unknown, relative
+    /// to `1 + |x|`).
+    pub tolerance: f64,
+}
+
+impl TransientAnalysis {
+    /// Creates a transient analysis from a step size and an end time, with
+    /// default Newton settings (50 iterations, 1e-9 tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidStep`] for non-finite or non-positive
+    /// `dt` / `t_end`, or `dt > t_end`.
+    pub fn new(dt: f64, t_end: f64) -> Result<Self, SolverError> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(SolverError::InvalidStep {
+                name: "dt",
+                value: dt,
+            });
+        }
+        if !t_end.is_finite() || t_end <= 0.0 || dt > t_end {
+            return Err(SolverError::InvalidStep {
+                name: "t_end",
+                value: t_end,
+            });
+        }
+        Ok(Self {
+            dt,
+            t_end,
+            max_newton_iterations: 50,
+            tolerance: 1e-9,
+        })
+    }
+
+    /// Overrides the Newton iteration limit.
+    pub fn with_max_newton_iterations(mut self, limit: usize) -> Self {
+        self.max_newton_iterations = limit.max(1);
+        self
+    }
+
+    /// Overrides the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Runs the analysis on a circuit, consuming and returning the mutated
+    /// circuit (element states advance as the transient progresses) along
+    /// with the result traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidCircuit`] for an empty circuit,
+    /// [`SolverError::SingularMatrix`] when the MNA matrix cannot be
+    /// factorised (floating node, inconsistent sources) and propagates any
+    /// other solver error.
+    pub fn run(&self, circuit: &mut Circuit) -> Result<TransientResult, SolverError> {
+        let node_count = circuit.node_count();
+        if circuit.element_count() == 0 {
+            return Err(SolverError::InvalidCircuit {
+                reason: "circuit has no elements".into(),
+            });
+        }
+
+        // Assign branch offsets.
+        let mut branch_offsets = Vec::with_capacity(circuit.element_count());
+        let mut total_branches = 0usize;
+        for element in circuit.elements() {
+            branch_offsets.push(total_branches);
+            total_branches += element.branch_count();
+        }
+        let n_unknowns = node_count - 1 + total_branches;
+        if n_unknowns == 0 {
+            return Err(SolverError::InvalidCircuit {
+                reason: "circuit has no unknowns (only ground)".into(),
+            });
+        }
+
+        let steps = (self.t_end / self.dt).ceil() as usize;
+        let mut x_prev = vec![0.0; n_unknowns];
+        let mut matrix = Matrix::zeros(n_unknowns, n_unknowns);
+        let mut rhs = vec![0.0; n_unknowns];
+
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut solutions = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        solutions.push(x_prev.clone());
+
+        let mut stats = TransientStats::default();
+        let mut t = 0.0;
+
+        for _ in 0..steps {
+            let h = self.dt.min(self.t_end - t);
+            let t_next = t + h;
+            let mut x_guess = x_prev.clone();
+            let mut converged = false;
+
+            for iteration in 0..self.max_newton_iterations {
+                matrix.clear();
+                rhs.iter_mut().for_each(|v| *v = 0.0);
+                for (element, &offset) in circuit.elements().iter().zip(&branch_offsets) {
+                    let mut ctx = StampContext {
+                        matrix: &mut matrix,
+                        rhs: &mut rhs,
+                        x_guess: &x_guess,
+                        x_prev: &x_prev,
+                        node_count,
+                        branch_offset: offset,
+                        time: t_next,
+                        dt: h,
+                    };
+                    element.stamp(&mut ctx);
+                }
+                let x_new = matrix.solve(&rhs)?;
+                stats.lu_solves += 1;
+                stats.newton_iterations += 1;
+
+                let mut max_delta: f64 = 0.0;
+                for (new, old) in x_new.iter().zip(&x_guess) {
+                    let scale = 1.0 + new.abs().max(old.abs());
+                    max_delta = max_delta.max((new - old).abs() / scale);
+                }
+                x_guess = x_new;
+                if max_delta <= self.tolerance && iteration > 0 {
+                    converged = true;
+                    break;
+                }
+                // A purely linear circuit converges after the first solve;
+                // detect that cheaply by checking the delta directly.
+                if max_delta <= self.tolerance * 1e-3 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                stats.non_converged_steps += 1;
+            }
+
+            // Commit element states.
+            for (element, &offset) in circuit.elements_mut().iter_mut().zip(&branch_offsets) {
+                let ctx = CommitContext {
+                    x: &x_guess,
+                    node_count,
+                    branch_offset: offset,
+                    time: t_next,
+                    dt: h,
+                };
+                element.commit(&ctx);
+            }
+
+            x_prev = x_guess;
+            t = t_next;
+            times.push(t);
+            solutions.push(x_prev.clone());
+        }
+
+        Ok(TransientResult {
+            times,
+            solutions,
+            node_count,
+            branch_offsets,
+            stats,
+        })
+    }
+}
+
+/// Solver statistics of a transient run — the cost / robustness numbers the
+/// baseline-comparison experiments report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransientStats {
+    /// Total Newton iterations over all steps.
+    pub newton_iterations: usize,
+    /// Total LU factorisations + solves.
+    pub lu_solves: usize,
+    /// Steps that hit the Newton iteration limit without converging.
+    pub non_converged_steps: usize,
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+    node_count: usize,
+    branch_offsets: Vec<usize>,
+    stats: TransientStats,
+}
+
+impl TransientResult {
+    /// The time points (starting at 0).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the result holds no samples (cannot happen for a
+    /// successful run).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> TransientStats {
+        self.stats
+    }
+
+    /// Voltage series of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidCircuit`] for an unknown node.
+    pub fn voltage(&self, node: Node) -> Result<Vec<f64>, SolverError> {
+        if node.0 >= self.node_count {
+            return Err(SolverError::InvalidCircuit {
+                reason: format!("unknown node {}", node.0),
+            });
+        }
+        if node.is_ground() {
+            return Ok(vec![0.0; self.times.len()]);
+        }
+        Ok(self.solutions.iter().map(|x| x[node.0 - 1]).collect())
+    }
+
+    /// Branch-current series of the element at `element_index` (as returned
+    /// by [`Circuit::add`]); `local` selects the branch for elements with
+    /// several.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidCircuit`] when the element index is out
+    /// of range.
+    pub fn branch_current(&self, element_index: usize, local: usize) -> Result<Vec<f64>, SolverError> {
+        let offset = *self.branch_offsets.get(element_index).ok_or_else(|| {
+            SolverError::InvalidCircuit {
+                reason: format!("unknown element index {element_index}"),
+            }
+        })?;
+        let idx = self.node_count - 1 + offset + local;
+        Ok(self.solutions.iter().map(|x| x[idx]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::core_model::LinearCore;
+    use crate::circuit::elements::{Capacitor, Inductor, NonlinearInductor, Resistor, VoltageSource};
+    use magnetics::constants::MU0;
+    use waveform::generator::Constant;
+
+    #[test]
+    fn analysis_validation() {
+        assert!(TransientAnalysis::new(0.0, 1.0).is_err());
+        assert!(TransientAnalysis::new(1e-3, 0.0).is_err());
+        assert!(TransientAnalysis::new(2.0, 1.0).is_err());
+        assert!(TransientAnalysis::new(1e-3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let mut c = Circuit::new();
+        let analysis = TransientAnalysis::new(1e-3, 1e-2).unwrap();
+        assert!(analysis.run(&mut c).is_err());
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vout = c.node();
+        c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(10.0)))
+            .unwrap();
+        c.add("R1", Resistor::new(vin, vout, 1000.0).unwrap()).unwrap();
+        c.add("R2", Resistor::new(vout, Node::GROUND, 1000.0).unwrap())
+            .unwrap();
+        let result = TransientAnalysis::new(1e-4, 1e-3).unwrap().run(&mut c).unwrap();
+        let v = result.voltage(vout).unwrap();
+        assert!((v.last().unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(result.voltage(Node::GROUND).unwrap().last().unwrap(), &0.0);
+        assert!(result.voltage(Node(9)).is_err());
+        assert!(!result.is_empty());
+        assert!(result.stats().non_converged_steps == 0);
+    }
+
+    #[test]
+    fn rc_charging_curve() {
+        // 1V step into R = 1k, C = 1µF: tau = 1 ms.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vc = c.node();
+        c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(1.0)))
+            .unwrap();
+        c.add("R1", Resistor::new(vin, vc, 1000.0).unwrap()).unwrap();
+        c.add("C1", Capacitor::new(vc, Node::GROUND, 1e-6).unwrap())
+            .unwrap();
+        let result = TransientAnalysis::new(1e-5, 5e-3).unwrap().run(&mut c).unwrap();
+        let v = result.voltage(vc).unwrap();
+        // After 5 tau the capacitor is essentially charged.
+        assert!((v.last().unwrap() - 1.0).abs() < 0.01);
+        // After 1 tau it should be ~63%.
+        let idx_tau = (1e-3 / 1e-5) as usize;
+        assert!((v[idx_tau] - 0.632).abs() < 0.02, "v(tau) = {}", v[idx_tau]);
+    }
+
+    #[test]
+    fn rl_current_rise() {
+        // 1V step into R = 10 Ω in series with L = 10 mH: i -> 0.1 A,
+        // tau = 1 ms.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vl = c.node();
+        c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(1.0)))
+            .unwrap();
+        c.add("R1", Resistor::new(vin, vl, 10.0).unwrap()).unwrap();
+        let l_index = c
+            .add("L1", Inductor::new(vl, Node::GROUND, 10e-3).unwrap())
+            .unwrap();
+        let result = TransientAnalysis::new(1e-5, 6e-3).unwrap().run(&mut c).unwrap();
+        let i = result.branch_current(l_index, 0).unwrap();
+        assert!((i.last().unwrap() - 0.1).abs() < 2e-3, "i_end = {}", i.last().unwrap());
+        assert!(result.branch_current(99, 0).is_err());
+    }
+
+    #[test]
+    fn nonlinear_inductor_with_linear_core_matches_linear_inductor() {
+        // A linear core of mu_r makes the wound core equivalent to
+        // L = mu0 * mu_r * N^2 * A / l.
+        let turns = 100.0;
+        let area = 1e-4;
+        let path = 0.1;
+        let mu_r = 1000.0;
+        let l_equiv = MU0 * mu_r * turns * turns * area / path;
+
+        let build = |use_nonlinear: bool| -> (Vec<f64>, usize) {
+            let mut c = Circuit::new();
+            let vin = c.node();
+            let vl = c.node();
+            c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(1.0)))
+                .unwrap();
+            c.add("R1", Resistor::new(vin, vl, 50.0).unwrap()).unwrap();
+            let idx = if use_nonlinear {
+                c.add(
+                    "NL",
+                    NonlinearInductor::new(
+                        vl,
+                        Node::GROUND,
+                        turns,
+                        area,
+                        path,
+                        LinearCore::new(mu_r),
+                    )
+                    .unwrap(),
+                )
+                .unwrap()
+            } else {
+                c.add("L1", Inductor::new(vl, Node::GROUND, l_equiv).unwrap())
+                    .unwrap()
+            };
+            let result = TransientAnalysis::new(2e-6, 2e-3).unwrap().run(&mut c).unwrap();
+            (result.branch_current(idx, 0).unwrap(), result.len())
+        };
+
+        let (i_nl, n1) = build(true);
+        let (i_lin, n2) = build(false);
+        assert_eq!(n1, n2);
+        let max_diff = i_nl
+            .iter()
+            .zip(&i_lin)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 1e-4, "max difference {max_diff}");
+    }
+
+    #[test]
+    fn singular_circuit_reported() {
+        // A floating node: capacitor chain with no DC path is fine for BE,
+        // so instead build two voltage sources in parallel with different
+        // values -> inconsistent, still solvable (they fight through branch
+        // currents) ... use a node connected to nothing but a current
+        // source? Simplest singular case: node with no element connection is
+        // impossible through the API, so use two ideal voltage sources in
+        // series loop with no resistance, which yields a singular MNA matrix
+        // only when shorted; instead verify that a lone capacitor with both
+        // terminals on the same node is rejected as singular.
+        let mut c = Circuit::new();
+        let n1 = c.node();
+        let _n_floating = c.node(); // allocated but never connected
+        c.add("V1", VoltageSource::new(n1, Node::GROUND, Constant(1.0)))
+            .unwrap();
+        c.add("R1", Resistor::new(n1, Node::GROUND, 100.0).unwrap())
+            .unwrap();
+        let analysis = TransientAnalysis::new(1e-4, 1e-3).unwrap();
+        let result = analysis.run(&mut c);
+        assert!(matches!(result, Err(SolverError::SingularMatrix { .. })));
+    }
+}

@@ -1,0 +1,51 @@
+//! Analogue-solver substrate: linear algebra, Newton iteration, ODE
+//! integration and modified-nodal-analysis (MNA) circuit simulation.
+//!
+//! The paper contrasts its *timeless* magnetisation-slope integration with
+//! the conventional approach in which `dM/dH` is converted into `dM/dt` and
+//! handed to the simulator's analogue solver (VHDL-AMS `'INTEG`, SPICE /
+//! SABER transient engines).  Rust has no such solver, so this crate builds
+//! the substrate the baseline needs:
+//!
+//! * [`linalg`] — dense matrices and LU factorisation with partial pivoting;
+//! * [`newton`] — damped Newton–Raphson for nonlinear algebraic systems,
+//!   with the iteration statistics the stability experiments report;
+//! * [`ode`] — explicit (FE, Heun, RK4), implicit (BE, trapezoidal) and
+//!   adaptive (RKF45) integrators over a small [`ode::OdeSystem`] trait;
+//! * [`circuit`] — an MNA netlist builder and transient engine with
+//!   resistors, capacitors, inductors, independent sources and a
+//!   behavioural nonlinear inductor driven by a pluggable
+//!   [`circuit::MagneticCoreModel`] (the hook the JA core model uses to sit
+//!   inside a circuit, exactly as it would in SPICE).
+//!
+//! # Example
+//!
+//! ```
+//! use analog_solver::ode::{OdeSystem, explicit::Rk4, FixedStepIntegrator};
+//!
+//! struct Decay;
+//! impl OdeSystem for Decay {
+//!     fn dim(&self) -> usize { 1 }
+//!     fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+//!         dydt[0] = -y[0];
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), analog_solver::SolverError> {
+//! let trajectory = Rk4.integrate(&Decay, &[1.0], 0.0, 1.0, 1e-3)?;
+//! let y_end = trajectory.last_state()[0];
+//! assert!((y_end - (-1.0_f64).exp()).abs() < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod error;
+pub mod linalg;
+pub mod newton;
+pub mod ode;
+
+pub use error::SolverError;

@@ -1,0 +1,423 @@
+//! Dense linear algebra: matrices, vectors and LU factorisation.
+//!
+//! The MNA matrices of the circuits in this reproduction are tiny (a handful
+//! of nodes), so a straightforward dense row-major matrix with partial-pivot
+//! LU is the right tool — no sparse machinery needed.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::SolverError;
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a nested array of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] when the rows have
+    /// different lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, SolverError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(SolverError::DimensionMismatch {
+                    context: "Matrix::from_rows",
+                    expected: n_cols,
+                    actual: row.len(),
+                });
+            }
+        }
+        Ok(Self {
+            rows: n_rows,
+            cols: n_cols,
+            data: rows.iter().flatten().copied().collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry to zero (reuses the allocation between transient
+    /// steps).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if x.len() != self.cols {
+            return Err(SolverError::DimensionMismatch {
+                context: "Matrix::mul_vec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut result = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            result[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(result)
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// LU-factorises the matrix (with partial pivoting) and solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::SingularMatrix`] when a pivot is numerically
+    /// zero, or [`SolverError::DimensionMismatch`] for a non-square matrix
+    /// or wrong-length right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let lu = LuFactorisation::new(self.clone())?;
+        lu.solve(b)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// An LU factorisation with partial pivoting, reusable for several
+/// right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactorisation {
+    lu: Matrix,
+    pivots: Vec<usize>,
+}
+
+impl LuFactorisation {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] for non-square input and
+    /// [`SolverError::SingularMatrix`] when a pivot column has no usable
+    /// pivot.
+    pub fn new(mut a: Matrix) -> Result<Self, SolverError> {
+        if a.rows != a.cols {
+            return Err(SolverError::DimensionMismatch {
+                context: "LuFactorisation::new (square matrix required)",
+                expected: a.rows,
+                actual: a.cols,
+            });
+        }
+        let n = a.rows;
+        let mut pivots = (0..n).collect::<Vec<_>>();
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SolverError::SingularMatrix { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                pivots.swap(k, pivot_row);
+            }
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / a[(k, k)];
+                a[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * a[(k, j)];
+                    a[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu: a, pivots })
+    }
+
+    /// Solves `A·x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                context: "LuFactorisation::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply the row permutation.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm of a vector.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// `a − b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a + s·b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = vec![8.0, -11.0, -3.0];
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolverError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_and_norms() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -4.0]]).unwrap();
+        let y = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert_eq!(a.norm_inf(), 7.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn stamp_add_and_clear() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add(0, 0, 1.5);
+        a.add(0, 0, 0.5);
+        assert_eq!(a[(0, 0)], 2.0);
+        a.clear();
+        assert_eq!(a[(0, 0)], 0.0);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 2);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 1.0]), vec![2.0, 1.0]);
+        assert_eq!(axpy(&[1.0, 1.0], 2.0, &[1.0, 2.0]), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn display_formats_rows() {
+        let a = Matrix::identity(2);
+        let text = a.to_string();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let lu = LuFactorisation::new(a.clone()).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -2.0]] {
+            let x = lu.solve(&b).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            assert!((back[0] - b[0]).abs() < 1e-12);
+            assert!((back[1] - b[1]).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_recovers_solution(
+            seed in proptest::collection::vec(-10.0_f64..10.0, 9),
+            x_true in proptest::collection::vec(-5.0_f64..5.0, 3),
+        ) {
+            // Build a diagonally dominant matrix so it is well conditioned.
+            let mut a = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                let mut row_sum = 0.0;
+                for j in 0..3 {
+                    if i != j {
+                        a[(i, j)] = seed[i * 3 + j];
+                        row_sum += seed[i * 3 + j].abs();
+                    }
+                }
+                a[(i, i)] = row_sum + 1.0 + seed[i * 3 + i].abs();
+            }
+            let b = a.mul_vec(&x_true).unwrap();
+            let x = a.solve(&b).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                prop_assert!((xs - xt).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment E8 (ablation): effect of the ΔH_max threshold and of the
+//! integration order on accuracy and cost of the timeless discretisation.
+
+use criterion::{black_box, Criterion};
+use hdl_models::comparison::discretisation_ablation;
+use ja_hysteresis::config::{JaConfig, SlopeIntegration};
+use ja_hysteresis::model::JilesAtherton;
+use ja_hysteresis::sweep::sweep_schedule;
+use magnetics::material::JaParameters;
+use waveform::schedule::FieldSchedule;
+
+fn print_experiment() {
+    println!("== E8: discretisation ablation (ΔH_max and integration order) ==");
+    println!(
+        "{:>10} {:>14} {:>9} {:>9} {:>9} {:>12} {:>12}",
+        "dHmax[A/m]", "method", "Bmax[T]", "Hc[A/m]", "Br[T]", "area[J/m3]", "slope evals"
+    );
+    let rows = discretisation_ablation(
+        &[1.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0],
+        &[
+            SlopeIntegration::ForwardEuler,
+            SlopeIntegration::Heun,
+            SlopeIntegration::RungeKutta4,
+        ],
+    )
+    .expect("ablation runs");
+    for row in rows {
+        println!(
+            "{:>10} {:>14} {:>9.3} {:>9.0} {:>9.3} {:>12.0} {:>12}",
+            row.dh_max,
+            format!("{:?}", row.integration),
+            row.metrics.b_max.as_tesla(),
+            row.metrics.coercivity.value(),
+            row.metrics.remanence.as_tesla(),
+            row.metrics.loop_area,
+            row.slope_evaluations
+        );
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretisation_ablation");
+    group.sample_size(10);
+    for method in [
+        SlopeIntegration::ForwardEuler,
+        SlopeIntegration::Heun,
+        SlopeIntegration::RungeKutta4,
+    ] {
+        group.bench_function(format!("{method:?}_dh10"), |b| {
+            let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 2).expect("schedule");
+            let config = JaConfig::default().with_integration(method);
+            b.iter(|| {
+                let mut model =
+                    JilesAtherton::with_config(JaParameters::date2006(), config).expect("model");
+                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Experiment E6: the SystemC-style and AMS-style implementations produce
+//! virtually identical results.
+
+use criterion::{black_box, Criterion};
+use hdl_models::ams::AmsTimelessModel;
+use hdl_models::comparison::{fig1_schedule, implementation_equivalence, DEFAULT_STEP};
+use hdl_models::systemc::SystemCJaCore;
+use ja_hysteresis::config::JaConfig;
+use magnetics::material::JaParameters;
+
+fn print_experiment() {
+    println!("== E6: implementation equivalence (event-driven vs equation-style) ==");
+    for &step in &[5.0, 10.0, 25.0, 50.0] {
+        let report = implementation_equivalence(step).expect("comparison runs");
+        println!(
+            "step {step:>5} A/m: {} samples, max |dB| = {:.3e} T ({:.4}% of B_max), systemc activations = {}, ams updates = {}",
+            report.samples,
+            report.max_abs_diff_b,
+            report.relative_diff * 100.0,
+            report.systemc_activations,
+            report.ams_updates
+        );
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    let schedule = fig1_schedule(DEFAULT_STEP).expect("schedule");
+    let samples = schedule.to_samples();
+    let mut group = c.benchmark_group("implementation_equivalence");
+    group.sample_size(10);
+    group.bench_function("event_driven_systemc_port", |b| {
+        b.iter(|| {
+            let mut core = SystemCJaCore::date2006().expect("module");
+            black_box(core.run_schedule(&schedule).expect("sweep"))
+        })
+    });
+    group.bench_function("equation_style_ams_model", |b| {
+        b.iter(|| {
+            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
+                .expect("model");
+            black_box(model.run_samples(samples.iter().copied()).expect("sweep"))
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,61 @@
+//! Experiment E2: minor loops of various sizes and positions are produced
+//! without numerical difficulties.
+
+use criterion::{black_box, Criterion};
+use hdl_models::comparison::minor_loop_study;
+use ja_hysteresis::model::JilesAtherton;
+use ja_hysteresis::sweep::sweep_schedule;
+use magnetics::material::JaParameters;
+use waveform::schedule::FieldSchedule;
+
+fn print_experiment() {
+    println!("== E2: minor loops at various sizes and positions ==");
+    println!("paper claim: \"minor loops with no numerical difficulties for various minor loop sizes and in different positions\"\n");
+    let cases = minor_loop_study(
+        &[0.0, 2_000.0, 5_000.0, -4_000.0],
+        &[500.0, 1_500.0, 3_000.0],
+        10.0,
+    )
+    .expect("study runs");
+    println!(
+        "{:>10} {:>12} {:>14} {:>16} {:>12}",
+        "bias[A/m]", "ampl[A/m]", "area[J/m3]", "closure|dB|[T]", "neg.slope"
+    );
+    for case in &cases {
+        println!(
+            "{:>10.0} {:>12.0} {:>14.1} {:>16.4} {:>12}",
+            case.bias,
+            case.amplitude,
+            case.loop_area,
+            case.closure_error,
+            case.negative_slope_samples
+        );
+    }
+    println!(
+        "\nall loops numerically clean: {}\n",
+        cases.iter().all(|c| c.negative_slope_samples == 0)
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minor_loops");
+    group.sample_size(10);
+    for &amplitude in &[500.0, 1_500.0, 3_000.0] {
+        group.bench_function(format!("biased_loop_amplitude_{amplitude}"), |b| {
+            let schedule =
+                FieldSchedule::biased_minor_loop(2_000.0, amplitude, 3, 10.0).expect("schedule");
+            b.iter(|| {
+                let mut model = JilesAtherton::new(JaParameters::date2006()).expect("model");
+                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,82 @@
+//! Experiment E5: runtime of the timeless model against the
+//! solver-integrated baselines ("long analysis times" claim).
+
+use criterion::{black_box, Criterion};
+use hdl_models::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
+use ja_hysteresis::config::JaConfig;
+use magnetics::material::JaParameters;
+use waveform::triangular::Triangular;
+
+const T_END: f64 = 2.0;
+const DT: f64 = 2.0 / 8_000.0;
+
+fn print_experiment() {
+    println!("== E5: work comparison over one full paper sweep (2 cycles, 8000 samples) ==");
+    let waveform = Triangular::new(10_000.0, 1.0).expect("waveform");
+
+    let mut timeless =
+        AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default()).expect("model");
+    let curve = timeless.run_transient(&waveform, T_END, DT).expect("run");
+    let stats = timeless.model().statistics();
+    println!(
+        "timeless model         : {} samples, {} slope updates, {} slope evaluations",
+        curve.len(),
+        stats.updates,
+        stats.slope_evaluations
+    );
+
+    let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
+        .expect("baseline");
+    for (name, method) in [
+        ("baseline forward Euler ", SolverMethod::ForwardEuler),
+        ("baseline backward Euler", SolverMethod::BackwardEuler),
+        ("baseline trapezoidal   ", SolverMethod::Trapezoidal),
+        (
+            "baseline adaptive RKF45",
+            SolverMethod::AdaptiveRkf45 { rel_tol: 1e-6 },
+        ),
+    ] {
+        let result = baseline.run(&waveform, T_END, DT, method).expect("run");
+        println!(
+            "{name}: {} rhs evaluations, {} newton iterations, {} non-converged steps",
+            result.rhs_evaluations, result.newton_iterations, result.non_converged_steps
+        );
+    }
+    println!("\n(wall-clock timings follow from the Criterion measurements below)\n");
+}
+
+fn benches(c: &mut Criterion) {
+    let waveform = Triangular::new(10_000.0, 1.0).expect("waveform");
+    let mut group = c.benchmark_group("runtime_comparison");
+    group.sample_size(10);
+    group.bench_function("timeless", |b| {
+        b.iter(|| {
+            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
+                .expect("model");
+            black_box(model.run_transient(&waveform, T_END, DT).expect("run"))
+        })
+    });
+    let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
+        .expect("baseline");
+    for (name, method) in [
+        ("baseline_forward_euler", SolverMethod::ForwardEuler),
+        ("baseline_backward_euler", SolverMethod::BackwardEuler),
+        ("baseline_trapezoidal", SolverMethod::Trapezoidal),
+        (
+            "baseline_adaptive_rkf45",
+            SolverMethod::AdaptiveRkf45 { rel_tol: 1e-6 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(baseline.run(&waveform, T_END, DT, method).expect("run")))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

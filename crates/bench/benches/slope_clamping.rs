@@ -1,0 +1,53 @@
+//! Experiment E3: the positive-slope guard removes the unphysical negative
+//! slopes of the raw Jiles–Atherton equations (the Brown et al. criticism
+//! cited by the paper).
+
+use criterion::{black_box, Criterion};
+use hdl_models::comparison::{fig1_schedule, slope_clamping_study, DEFAULT_STEP};
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::model::JilesAtherton;
+use ja_hysteresis::sweep::sweep_schedule;
+use magnetics::material::JaParameters;
+
+fn print_experiment() {
+    println!("== E3: slope clamping (guards on vs raw JA equations) ==");
+    let report = slope_clamping_study(DEFAULT_STEP).expect("study runs");
+    println!(
+        "guarded model   : {} negative-slope samples, B_max = {:.3} T",
+        report.guarded_negative_samples, report.guarded_b_max
+    );
+    println!(
+        "raw (no guards) : {} negative-slope samples, B_max = {:.3} T",
+        report.unguarded_negative_samples, report.unguarded_b_max
+    );
+    println!(
+        "negative raw slopes encountered and clamped by the guarded model: {}\n",
+        report.clamped_events
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let schedule = fig1_schedule(DEFAULT_STEP).expect("schedule");
+    let mut group = c.benchmark_group("slope_clamping");
+    group.sample_size(10);
+    for (name, config) in [
+        ("guarded", JaConfig::default()),
+        ("unguarded", JaConfig::default().without_guards()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model =
+                    JilesAtherton::with_config(JaParameters::date2006(), config).expect("model");
+                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,75 @@
+//! Experiment E4: accuracy and stability at the field turning points —
+//! timeless discretisation versus the solver-integrated baseline across
+//! time-step sizes.
+
+use criterion::{black_box, Criterion};
+use hdl_models::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
+use hdl_models::comparison::turning_point_comparison;
+use ja_hysteresis::config::JaConfig;
+use magnetics::material::JaParameters;
+use waveform::triangular::Triangular;
+
+fn print_experiment() {
+    println!("== E4: stability at turning points vs solver time step ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "dt[s]", "timeless Bmax", "baseline Bmax", "shape err", "newton its", "non-conv", "neg.slope"
+    );
+    for &dt in &[
+        2.0 / 16_000.0,
+        2.0 / 8_000.0,
+        2.0 / 4_000.0,
+        2.0 / 2_000.0,
+        2.0 / 1_000.0,
+        2.0 / 500.0,
+    ] {
+        match turning_point_comparison(dt, SolverMethod::BackwardEuler) {
+            Ok(r) => println!(
+                "{:>10.2e} {:>14.3} {:>14.3} {:>12.4} {:>12} {:>10} {:>10}",
+                r.dt,
+                r.timeless_b_max,
+                r.baseline_b_max,
+                r.baseline_shape_error,
+                r.baseline_newton_iterations,
+                r.baseline_non_converged,
+                r.baseline_negative_samples
+            ),
+            Err(err) => println!("{dt:>10.2e}  baseline failed: {err}"),
+        }
+    }
+    println!("\n(the timeless column is insensitive to dt; the baseline's shape error grows with it)\n");
+}
+
+fn benches(c: &mut Criterion) {
+    let waveform = Triangular::new(10_000.0, 1.0).expect("waveform");
+    let dt = 2.0 / 4_000.0;
+    let mut group = c.benchmark_group("turning_points");
+    group.sample_size(10);
+    group.bench_function("timeless_transient", |b| {
+        b.iter(|| {
+            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
+                .expect("model");
+            black_box(model.run_transient(&waveform, 2.0, dt).expect("run"))
+        })
+    });
+    group.bench_function("baseline_backward_euler", |b| {
+        let baseline =
+            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
+                .expect("baseline");
+        b.iter(|| {
+            black_box(
+                baseline
+                    .run(&waveform, 2.0, dt, SolverMethod::BackwardEuler)
+                    .expect("run"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

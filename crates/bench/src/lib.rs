@@ -1,0 +1,50 @@
+//! Shared helpers for the benchmark / experiment-reproduction harness.
+//!
+//! Every bench target regenerates one experiment of EXPERIMENTS.md: it first
+//! prints the table or series the experiment reports (so `cargo bench`
+//! output doubles as the reproduction record), then runs the Criterion
+//! measurements of the code paths involved.
+
+use magnetics::loop_analysis::LoopMetrics;
+
+/// Prints a loop-metrics row in the fixed-width format shared by the
+/// experiment tables.
+pub fn print_metrics_row(label: &str, metrics: &LoopMetrics) {
+    println!(
+        "{label:<28} {:>8.3} {:>10.1} {:>8.0} {:>10.3} {:>12.0} {:>10}",
+        metrics.b_max.as_tesla(),
+        metrics.h_max.as_kiloamperes_per_meter(),
+        metrics.coercivity.value(),
+        metrics.remanence.as_tesla(),
+        metrics.loop_area,
+        metrics.negative_slope_samples
+    );
+}
+
+/// Prints the header matching [`print_metrics_row`].
+pub fn print_metrics_header() {
+    println!(
+        "{:<28} {:>8} {:>10} {:>8} {:>10} {:>12} {:>10}",
+        "case", "Bmax[T]", "Hmax[kA/m]", "Hc[A/m]", "Br[T]", "area[J/m3]", "neg.slope"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::units::{FieldStrength, FluxDensity};
+
+    #[test]
+    fn printing_helpers_do_not_panic() {
+        let metrics = LoopMetrics {
+            b_max: FluxDensity::new(1.7),
+            h_max: FieldStrength::new(10_000.0),
+            coercivity: FieldStrength::new(3_000.0),
+            remanence: FluxDensity::new(1.2),
+            loop_area: 60_000.0,
+            negative_slope_samples: 0,
+        };
+        print_metrics_header();
+        print_metrics_row("unit-test", &metrics);
+    }
+}

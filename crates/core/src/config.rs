@@ -1,0 +1,181 @@
+//! Model configuration: discretisation threshold, integration order,
+//! formulation and numerical guards.
+
+use crate::error::JaError;
+use crate::params::AnhystereticChoice;
+
+/// Integration method used for the timeless slope integration.
+///
+/// The paper uses forward Euler; the higher-order variants integrate the
+/// same slope expression with intermediate evaluations within the field
+/// increment and exist for the accuracy/cost ablation (experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlopeIntegration {
+    /// Forward Euler in `H` — the paper's method.
+    #[default]
+    ForwardEuler,
+    /// Heun's method (two slope evaluations per field increment).
+    Heun,
+    /// Classic RK4 in `H` (four slope evaluations per field increment).
+    RungeKutta4,
+}
+
+/// Which variant of the JA equations the model integrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Formulation {
+    /// The formulation of the paper's SystemC listing: the reversible part
+    /// is `M_rev = c·M_an/(1+c)` and the irreversible slope is driven by
+    /// `M_an − M_total`.
+    #[default]
+    Date2006,
+    /// The textbook Jiles–Atherton formulation: `M_rev = c·(M_an − M_irr)`
+    /// and the irreversible slope is driven by `M_an − M_irr`.
+    Classic,
+}
+
+/// Full model configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaConfig {
+    /// Field-change threshold `ΔH_max` (A/m): the slope is re-integrated
+    /// whenever the applied field has moved by at least this much since the
+    /// last update (the paper's `dhmax`).
+    pub dh_max: f64,
+    /// Integration method used within a field increment.
+    pub integration: SlopeIntegration,
+    /// Equation variant.
+    pub formulation: Formulation,
+    /// Anhysteretic law.
+    pub anhysteretic: AnhystereticChoice,
+    /// Clamp negative slopes to zero (the paper's `if (dmdh1 > 0.0)` guard).
+    pub clamp_negative_slope: bool,
+    /// Reject magnetisation updates whose sign opposes the field increment
+    /// (the paper's `if (dm * dh < 0.0) dm = 0.0` guard).
+    pub reject_opposing_update: bool,
+    /// Subdivide a field increment larger than `dh_max` into sub-steps of at
+    /// most `dh_max` (improves accuracy for coarse excitations; the paper's
+    /// listing takes a single step, so this defaults to `false`).
+    pub subdivide_increment: bool,
+}
+
+impl Default for JaConfig {
+    fn default() -> Self {
+        Self {
+            dh_max: 10.0,
+            integration: SlopeIntegration::ForwardEuler,
+            formulation: Formulation::Date2006,
+            anhysteretic: AnhystereticChoice::ModifiedLangevin,
+            clamp_negative_slope: true,
+            reject_opposing_update: true,
+            subdivide_increment: false,
+        }
+    }
+}
+
+impl JaConfig {
+    /// The configuration that mirrors the paper's SystemC listing with a
+    /// `ΔH_max` of 10 A/m.
+    pub fn date2006() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for `ΔH_max`.
+    pub fn with_dh_max(mut self, dh_max: f64) -> Self {
+        self.dh_max = dh_max;
+        self
+    }
+
+    /// Builder-style setter for the integration method.
+    pub fn with_integration(mut self, integration: SlopeIntegration) -> Self {
+        self.integration = integration;
+        self
+    }
+
+    /// Builder-style setter for the formulation.
+    pub fn with_formulation(mut self, formulation: Formulation) -> Self {
+        self.formulation = formulation;
+        self
+    }
+
+    /// Builder-style setter for the anhysteretic law.
+    pub fn with_anhysteretic(mut self, anhysteretic: AnhystereticChoice) -> Self {
+        self.anhysteretic = anhysteretic;
+        self
+    }
+
+    /// Disables both numerical guards — reproduces the raw JA behaviour
+    /// (negative slopes and all) for experiment E3.
+    pub fn without_guards(mut self) -> Self {
+        self.clamp_negative_slope = false;
+        self.reject_opposing_update = false;
+        self
+    }
+
+    /// Enables sub-division of large field increments.
+    pub fn with_subdivision(mut self) -> Self {
+        self.subdivide_increment = true;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] when `dh_max` is not finite and
+    /// strictly positive.
+    pub fn validate(&self) -> Result<(), JaError> {
+        if !self.dh_max.is_finite() || self.dh_max <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "dh_max",
+                value: self.dh_max,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_guards() {
+        let c = JaConfig::default();
+        assert!(c.clamp_negative_slope);
+        assert!(c.reject_opposing_update);
+        assert!(!c.subdivide_increment);
+        assert_eq!(c.integration, SlopeIntegration::ForwardEuler);
+        assert_eq!(c.formulation, Formulation::Date2006);
+        assert!(c.validate().is_ok());
+        assert_eq!(JaConfig::date2006(), JaConfig::default());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = JaConfig::default()
+            .with_dh_max(25.0)
+            .with_integration(SlopeIntegration::RungeKutta4)
+            .with_formulation(Formulation::Classic)
+            .with_anhysteretic(AnhystereticChoice::Langevin)
+            .with_subdivision();
+        assert_eq!(c.dh_max, 25.0);
+        assert_eq!(c.integration, SlopeIntegration::RungeKutta4);
+        assert_eq!(c.formulation, Formulation::Classic);
+        assert_eq!(c.anhysteretic, AnhystereticChoice::Langevin);
+        assert!(c.subdivide_increment);
+    }
+
+    #[test]
+    fn without_guards_disables_both() {
+        let c = JaConfig::default().without_guards();
+        assert!(!c.clamp_negative_slope);
+        assert!(!c.reject_opposing_update);
+    }
+
+    #[test]
+    fn validation_rejects_bad_dh_max() {
+        assert!(JaConfig::default().with_dh_max(0.0).validate().is_err());
+        assert!(JaConfig::default().with_dh_max(f64::NAN).validate().is_err());
+        assert!(JaConfig::default().with_dh_max(-3.0).validate().is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type of the hysteresis model.
+
+use std::error::Error;
+use std::fmt;
+
+use magnetics::MagneticsError;
+use waveform::WaveformError;
+
+/// Errors produced while configuring or driving the Jiles–Atherton model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JaError {
+    /// Invalid material parameters (propagated from the magnetics crate).
+    Material(MagneticsError),
+    /// Invalid excitation or trace handling (propagated from the waveform
+    /// crate).
+    Waveform(WaveformError),
+    /// A model configuration value is out of range.
+    InvalidConfig {
+        /// Name of the offending option.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Requirement violated.
+        requirement: &'static str,
+    },
+    /// The applied field was NaN or infinite.
+    NonFiniteField {
+        /// The offending value.
+        value: f64,
+    },
+    /// The model state became non-finite — only possible when the
+    /// numerical guards are disabled, and reported instead of silently
+    /// producing NaN curves.
+    StateDiverged {
+        /// The field at which the divergence was detected.
+        at_field: f64,
+    },
+}
+
+impl fmt::Display for JaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JaError::Material(err) => write!(f, "material error: {err}"),
+            JaError::Waveform(err) => write!(f, "waveform error: {err}"),
+            JaError::InvalidConfig {
+                name,
+                value,
+                requirement,
+            } => write!(
+                f,
+                "invalid configuration `{name}` = {value}: must satisfy {requirement}"
+            ),
+            JaError::NonFiniteField { value } => {
+                write!(f, "applied field is not finite: {value}")
+            }
+            JaError::StateDiverged { at_field } => write!(
+                f,
+                "magnetisation state diverged at H = {at_field} A/m (guards disabled?)"
+            ),
+        }
+    }
+}
+
+impl Error for JaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JaError::Material(err) => Some(err),
+            JaError::Waveform(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MagneticsError> for JaError {
+    fn from(err: MagneticsError) -> Self {
+        JaError::Material(err)
+    }
+}
+
+impl From<WaveformError> for JaError {
+    fn from(err: WaveformError) -> Self {
+        JaError::Waveform(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let inner = MagneticsError::NonFiniteInput { name: "h" };
+        let err: JaError = inner.clone().into();
+        assert!(err.to_string().contains("material error"));
+        assert!(err.source().is_some());
+
+        let err = JaError::NonFiniteField { value: f64::NAN };
+        assert!(err.to_string().contains("not finite"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn waveform_error_converts() {
+        let err: JaError = WaveformError::InvalidBreakpoints {
+            reason: "too few",
+        }
+        .into();
+        assert!(matches!(err, JaError::Waveform(_)));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<JaError>();
+    }
+}

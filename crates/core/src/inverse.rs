@@ -1,0 +1,256 @@
+//! Inverse (flux-driven) operation of the timeless model.
+//!
+//! Transformer-style simulations impose the flux density `B(t)` (it follows
+//! from the applied voltage) and need the field `H` — the inverse of the
+//! usual field-driven model.  Because the timeless model is cheap to clone
+//! and advance, the inverse is solved directly: for each target `B` the
+//! required `H` is bracketed and refined by bisection on a trial copy of the
+//! model, and only the accepted field is committed to the real history.
+
+use magnetics::bh::BhCurve;
+use magnetics::constants::MU0;
+
+use crate::error::JaError;
+use crate::model::JilesAtherton;
+
+/// Options of the inverse solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverseOptions {
+    /// Absolute tolerance on the achieved flux density (T).
+    pub b_tolerance: f64,
+    /// Maximum bisection iterations per sample.
+    pub max_iterations: usize,
+    /// Largest |H| the solver may apply (A/m); protects against targets
+    /// beyond saturation, which would otherwise need unbounded fields.
+    pub h_limit: f64,
+}
+
+impl Default for InverseOptions {
+    fn default() -> Self {
+        Self {
+            b_tolerance: 1e-6,
+            max_iterations: 80,
+            h_limit: 1.0e6,
+        }
+    }
+}
+
+/// A flux-driven wrapper around [`JilesAtherton`].
+#[derive(Debug, Clone)]
+pub struct FluxDrivenJa {
+    model: JilesAtherton,
+    options: InverseOptions,
+}
+
+impl FluxDrivenJa {
+    /// Wraps a model with default inverse options.
+    ///
+    /// The wrapped model is switched to sub-divided increment integration:
+    /// the inverse solver probes trial fields far from the current state,
+    /// and a single forward-Euler step across such a jump would overshoot
+    /// badly, so every increment is integrated in `ΔH_max`-sized sub-steps
+    /// instead.
+    pub fn new(model: JilesAtherton) -> Self {
+        let config = model.config().with_subdivision();
+        let mut inner = JilesAtherton::with_config(*model.params(), config)
+            .expect("parameters and configuration were already validated");
+        inner.set_state(*model.state());
+        Self {
+            model: inner,
+            options: InverseOptions::default(),
+        }
+    }
+
+    /// Overrides the inverse-solve options.
+    pub fn with_options(mut self, options: InverseOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Read access to the wrapped (field-driven) model.
+    pub fn model(&self) -> &JilesAtherton {
+        &self.model
+    }
+
+    /// Finds and applies the field that brings the flux density to
+    /// `b_target` (T), returning that field in A/m.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::NonFiniteField`] for a non-finite target and
+    /// [`JaError::InvalidConfig`] when the target cannot be reached within
+    /// the configured field limit (beyond saturation).
+    pub fn apply_flux_density(&mut self, b_target: f64) -> Result<f64, JaError> {
+        if !b_target.is_finite() {
+            return Err(JaError::NonFiniteField { value: b_target });
+        }
+        let b_now = self.model.flux_density().as_tesla();
+        if (b_now - b_target).abs() <= self.options.b_tolerance {
+            // Keep the history in sync even for a no-op target.
+            let h_now = self.model.state().h;
+            self.model.apply_field(h_now)?;
+            return Ok(h_now);
+        }
+
+        // Bracket the target: B(H) is non-decreasing in H for the guarded
+        // model, so march outward from the current field until the target is
+        // enclosed.
+        let h_now = self.model.state().h;
+        let direction = if b_target > b_now { 1.0 } else { -1.0 };
+        let mut step = (b_target - b_now).abs() / MU0 * 0.001 + self.model.config().dh_max;
+        let mut h_far = h_now;
+        let mut b_far = b_now;
+        while (b_target - b_far) * direction > 0.0 {
+            h_far += direction * step;
+            step *= 2.0;
+            if h_far.abs() > self.options.h_limit {
+                return Err(JaError::InvalidConfig {
+                    name: "b_target",
+                    value: b_target,
+                    requirement: "reachable within the configured field limit",
+                });
+            }
+            b_far = self.trial_b(h_far)?;
+        }
+
+        // Bisection between h_now and h_far.
+        let (mut lo, mut hi) = if direction > 0.0 {
+            (h_now, h_far)
+        } else {
+            (h_far, h_now)
+        };
+        let mut h_best = h_far;
+        for _ in 0..self.options.max_iterations {
+            let mid = 0.5 * (lo + hi);
+            let b_mid = self.trial_b(mid)?;
+            h_best = mid;
+            if (b_mid - b_target).abs() <= self.options.b_tolerance {
+                break;
+            }
+            if b_mid < b_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+
+        self.model.apply_field(h_best)?;
+        Ok(h_best)
+    }
+
+    /// Follows a whole flux-density waveform sample by sample, returning the
+    /// resulting BH trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FluxDrivenJa::apply_flux_density`] errors.
+    pub fn follow_flux_density<I>(&mut self, targets: I) -> Result<BhCurve, JaError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut curve = BhCurve::new();
+        for b_target in targets {
+            let h = self.apply_flux_density(b_target)?;
+            let sample = self.model.sample();
+            curve.push_raw(h, sample.b.as_tesla(), sample.m.value());
+        }
+        Ok(curve)
+    }
+
+    fn trial_b(&self, h: f64) -> Result<f64, JaError> {
+        let mut trial = self.model.clone();
+        Ok(trial.apply_field(h)?.b.as_tesla())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::material::JaParameters;
+
+    fn flux_driven() -> FluxDrivenJa {
+        FluxDrivenJa::new(JilesAtherton::new(JaParameters::date2006()).expect("valid"))
+    }
+
+    #[test]
+    fn reaches_a_moderate_flux_density_target() {
+        let mut inv = flux_driven();
+        let h = inv.apply_flux_density(1.0).unwrap();
+        assert!(h > 0.0);
+        let achieved = inv.model().flux_density().as_tesla();
+        assert!((achieved - 1.0).abs() < 1e-3, "achieved {achieved} T");
+    }
+
+    #[test]
+    fn negative_targets_need_negative_fields() {
+        let mut inv = flux_driven();
+        let h = inv.apply_flux_density(-1.2).unwrap();
+        assert!(h < 0.0);
+        assert!((inv.model().flux_density().as_tesla() + 1.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unreachable_target_is_rejected() {
+        let mut inv = flux_driven().with_options(InverseOptions {
+            h_limit: 20_000.0,
+            ..InverseOptions::default()
+        });
+        // 3 T exceeds what ±20 kA/m can produce with Msat = 1.6 MA/m.
+        assert!(matches!(
+            inv.apply_flux_density(3.0),
+            Err(JaError::InvalidConfig { .. })
+        ));
+        assert!(inv.apply_flux_density(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn flux_driven_cycle_shows_hysteresis_in_h() {
+        // Drive B sinusoidally between ±1.2 T; the required H on the way up
+        // must exceed the H on the way down at the same B (coercive offset).
+        let mut inv = flux_driven();
+        let n = 120;
+        let targets: Vec<f64> = (0..=2 * n)
+            .map(|i| 1.2 * (std::f64::consts::PI * i as f64 / n as f64).sin())
+            .collect();
+        let curve = inv.follow_flux_density(targets).unwrap();
+        assert_eq!(curve.len(), 2 * n + 1);
+        // Compare H at B ~ +0.6 T on the rising and falling branches.
+        let rising = curve
+            .points()
+            .iter()
+            .take(n / 2)
+            .min_by(|a, b| {
+                (a.b.as_tesla() - 0.6)
+                    .abs()
+                    .total_cmp(&(b.b.as_tesla() - 0.6).abs())
+            })
+            .unwrap();
+        let falling = curve
+            .points()
+            .iter()
+            .skip(n / 2)
+            .take(n)
+            .min_by(|a, b| {
+                (a.b.as_tesla() - 0.6)
+                    .abs()
+                    .total_cmp(&(b.b.as_tesla() - 0.6).abs())
+            })
+            .unwrap();
+        assert!(
+            rising.h.value() > falling.h.value() + 100.0,
+            "rising H {} vs falling H {}",
+            rising.h.value(),
+            falling.h.value()
+        );
+    }
+
+    #[test]
+    fn no_op_target_keeps_state() {
+        let mut inv = flux_driven();
+        inv.apply_flux_density(0.8).unwrap();
+        let h_before = inv.model().state().h;
+        let b_before = inv.model().flux_density().as_tesla();
+        let h = inv.apply_flux_density(b_before).unwrap();
+        assert!((h - h_before).abs() < 1e-9);
+    }
+}

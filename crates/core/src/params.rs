@@ -1,0 +1,76 @@
+//! Material parameters used by the model.
+//!
+//! The parameter set itself lives in the [`magnetics`] crate
+//! ([`JaParameters`]); this module re-exports it and adds the anhysteretic
+//! selection, so downstream code only needs one import path.
+
+pub use magnetics::anhysteretic::{
+    Anhysteretic, AnhystereticKind, DoubleArctan, Langevin, ModifiedLangevin,
+};
+pub use magnetics::material::{JaParameters, JaParametersBuilder};
+
+/// Which anhysteretic law a model instance uses.
+///
+/// The paper uses the modified (arctangent) Langevin of Wilson et al.; the
+/// classic Langevin and the two-parameter blend are provided for the
+/// ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnhystereticChoice {
+    /// The paper's modified Langevin, `(2/π)·atan(H_e/a)`.
+    #[default]
+    ModifiedLangevin,
+    /// The original Langevin function, `coth(x) − 1/x`.
+    Langevin,
+    /// The two-parameter arctangent blend using `a` and `a2`.
+    DoubleArctan,
+}
+
+impl AnhystereticChoice {
+    /// Builds the concrete anhysteretic object for a parameter set.
+    pub fn build(self, params: &JaParameters) -> AnhystereticKind {
+        match self {
+            AnhystereticChoice::ModifiedLangevin => params.modified_langevin().into(),
+            AnhystereticChoice::Langevin => params.langevin().into(),
+            AnhystereticChoice::DoubleArctan => params.double_arctan().into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_choice() {
+        assert_eq!(AnhystereticChoice::default(), AnhystereticChoice::ModifiedLangevin);
+    }
+
+    #[test]
+    fn build_produces_matching_kind() {
+        let p = JaParameters::date2006();
+        assert!(matches!(
+            AnhystereticChoice::ModifiedLangevin.build(&p),
+            AnhystereticKind::ModifiedLangevin(_)
+        ));
+        assert!(matches!(
+            AnhystereticChoice::Langevin.build(&p),
+            AnhystereticKind::Langevin(_)
+        ));
+        assert!(matches!(
+            AnhystereticChoice::DoubleArctan.build(&p),
+            AnhystereticKind::DoubleArctan(_)
+        ));
+    }
+
+    #[test]
+    fn anhysteretics_agree_at_zero_field() {
+        let p = JaParameters::date2006();
+        for choice in [
+            AnhystereticChoice::ModifiedLangevin,
+            AnhystereticChoice::Langevin,
+            AnhystereticChoice::DoubleArctan,
+        ] {
+            assert!(choice.build(&p).normalised(0.0).abs() < 1e-12);
+        }
+    }
+}

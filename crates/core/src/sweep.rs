@@ -1,0 +1,187 @@
+//! DC-sweep driver: apply a time-free field schedule to a model and collect
+//! the BH trace — "a triangular waveform used in a DC sweep, i.e. timeless
+//! simulations" (paper, §3).
+
+use magnetics::bh::BhCurve;
+use waveform::schedule::FieldSchedule;
+use waveform::trace::Trace;
+
+use crate::error::JaError;
+use crate::model::JilesAtherton;
+
+/// Result of a DC sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    curve: BhCurve,
+    trace: Trace,
+    samples: usize,
+    updates: u64,
+}
+
+impl SweepResult {
+    /// The BH trace.
+    pub fn curve(&self) -> &BhCurve {
+        &self.curve
+    }
+
+    /// Consumes the result, returning the BH trace.
+    pub fn into_curve(self) -> BhCurve {
+        self.curve
+    }
+
+    /// A tabular trace with columns `h`, `b`, `m`, `m_an` (for CSV export).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of field samples applied.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of slope-integration updates the model performed during the
+    /// sweep (≤ `samples`, depending on `ΔH_max`).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+/// Sweeps a model through every sample of a [`FieldSchedule`].
+///
+/// # Errors
+///
+/// Propagates any model error ([`JaError::NonFiniteField`],
+/// [`JaError::StateDiverged`]).
+pub fn sweep_schedule(
+    model: &mut JilesAtherton,
+    schedule: &FieldSchedule,
+) -> Result<SweepResult, JaError> {
+    sweep_samples(model, schedule.iter())
+}
+
+/// Sweeps a model through an arbitrary sequence of field samples (A/m).
+///
+/// # Errors
+///
+/// Propagates any model error.
+pub fn sweep_samples<I>(model: &mut JilesAtherton, samples: I) -> Result<SweepResult, JaError>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let updates_before = model.statistics().updates;
+    let mut curve = BhCurve::new();
+    let mut trace = Trace::new(["h", "b", "m", "m_an"]);
+    let mut count = 0usize;
+    for h in samples {
+        let sample = model.apply_field(h)?;
+        curve.push_raw(
+            sample.h.value(),
+            sample.b.as_tesla(),
+            sample.m.value(),
+        );
+        trace
+            .push_row(&[
+                sample.h.value(),
+                sample.b.as_tesla(),
+                sample.m.value(),
+                sample.m_an,
+            ])
+            .expect("trace has exactly four columns");
+        count += 1;
+    }
+    Ok(SweepResult {
+        curve,
+        trace,
+        samples: count,
+        updates: model.statistics().updates - updates_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::loop_analysis;
+    use magnetics::material::JaParameters;
+    use waveform::schedule::FieldSchedule;
+
+    fn paper_model() -> JilesAtherton {
+        JilesAtherton::new(JaParameters::date2006()).expect("valid parameters")
+    }
+
+    #[test]
+    fn major_loop_sweep_reproduces_figure_shape() {
+        let mut model = paper_model();
+        let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 2).unwrap();
+        let result = sweep_schedule(&mut model, &schedule).unwrap();
+        let metrics = loop_analysis::loop_metrics(result.curve()).unwrap();
+        // Fig. 1 axes: B spans roughly ±2 T over ±10 kA/m.
+        assert!(metrics.b_max.as_tesla() > 1.5 && metrics.b_max.as_tesla() < 2.3);
+        assert!((metrics.h_max.value() - 10_000.0).abs() < 1e-9);
+        assert!(metrics.coercivity.value() > 1_000.0);
+        assert!(metrics.remanence.as_tesla() > 0.3);
+        assert!(metrics.loop_area > 0.0);
+        assert_eq!(metrics.negative_slope_samples, 0);
+        assert_eq!(result.samples(), schedule.len());
+        assert!(result.updates() > 1000);
+    }
+
+    #[test]
+    fn nested_minor_loops_stay_inside_major_loop() {
+        let mut model = paper_model();
+        let schedule =
+            FieldSchedule::nested_minor_loops(10_000.0, &[7_500.0, 5_000.0, 2_500.0], 10.0)
+                .unwrap();
+        let result = sweep_schedule(&mut model, &schedule).unwrap();
+        let metrics = loop_analysis::loop_metrics(result.curve()).unwrap();
+        assert!(metrics.b_max.as_tesla() < 2.3);
+        assert_eq!(metrics.negative_slope_samples, 0);
+
+        // The minor-loop tail must stay strictly inside the major loop's
+        // flux-density extremes.
+        let tail_start = result.curve().len() - 200;
+        let tail_max = result
+            .curve()
+            .points()[tail_start..]
+            .iter()
+            .map(|p| p.b.as_tesla().abs())
+            .fold(0.0, f64::max);
+        assert!(tail_max < metrics.b_max.as_tesla());
+    }
+
+    #[test]
+    fn trace_and_curve_have_matching_lengths() {
+        let mut model = paper_model();
+        let schedule = FieldSchedule::major_loop(5_000.0, 25.0, 1).unwrap();
+        let result = sweep_schedule(&mut model, &schedule).unwrap();
+        assert_eq!(result.trace().len(), result.curve().len());
+        assert_eq!(result.trace().names(), &["h", "b", "m", "m_an"]);
+        let curve = result.into_curve();
+        assert!(!curve.is_empty());
+    }
+
+    #[test]
+    fn sweep_samples_accepts_plain_iterators() {
+        let mut model = paper_model();
+        let result = sweep_samples(&mut model, (0..100).map(|i| i as f64 * 50.0)).unwrap();
+        assert_eq!(result.samples(), 100);
+        assert!(result.curve().last().unwrap().b.as_tesla() > 0.0);
+    }
+
+    #[test]
+    fn sweep_propagates_model_errors() {
+        let mut model = paper_model();
+        assert!(sweep_samples(&mut model, vec![0.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn repeated_cycles_converge_to_a_closed_loop() {
+        let mut model = paper_model();
+        let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 3).unwrap();
+        let result = sweep_schedule(&mut model, &schedule).unwrap();
+        // One full cycle corresponds to 4 * peak / step samples.
+        let period = (4.0 * 10_000.0 / 10.0) as usize;
+        let closure = loop_analysis::loop_closure_error(result.curve(), period).unwrap();
+        let b_max = result.curve().peak_flux_density().unwrap().as_tesla();
+        assert!(closure < 0.02 * b_max, "closure error {closure} T");
+    }
+}

@@ -1,0 +1,453 @@
+//! The discrete-event kernel: signals + processes + scheduler.
+
+use std::collections::BTreeSet;
+
+use crate::error::KernelError;
+use crate::process::{Process, ProcessContext, ProcessId};
+use crate::scheduler::{Event, EventQueue};
+use crate::signal::{SignalId, SignalStore};
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// Default limit on delta cycles within a single settle phase.
+pub const DEFAULT_DELTA_LIMIT: usize = 10_000;
+
+/// A single-threaded discrete-event simulation kernel with SystemC-like
+/// evaluate/update semantics.
+///
+/// Typical use:
+///
+/// 1. [`add_signal`](Kernel::add_signal) for every signal;
+/// 2. [`add_process`](Kernel::add_process) for every method process with its
+///    static sensitivity list;
+/// 3. drive inputs with [`write_initial`](Kernel::write_initial) /
+///    [`schedule_write`](Kernel::schedule_write);
+/// 4. run with [`settle`](Kernel::settle) (untimed, delta cycles only) or
+///    [`run_until`](Kernel::run_until) (timed).
+pub struct Kernel {
+    signals: SignalStore,
+    processes: Vec<Process>,
+    sensitivity: Vec<Vec<ProcessId>>,
+    queue: EventQueue,
+    now: SimTime,
+    delta_limit: usize,
+    initialized: bool,
+    delta_cycles_run: u64,
+    activations: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        Self {
+            signals: SignalStore::new(),
+            processes: Vec::new(),
+            sensitivity: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delta_limit: DEFAULT_DELTA_LIMIT,
+            initialized: false,
+            delta_cycles_run: 0,
+            activations: 0,
+        }
+    }
+
+    /// Overrides the delta-cycle limit used to detect non-settling feedback.
+    pub fn with_delta_limit(mut self, limit: usize) -> Self {
+        self.delta_limit = limit.max(1);
+        self
+    }
+
+    /// Adds a signal and returns its id.
+    pub fn add_signal(&mut self, name: impl Into<String>, initial: Value) -> SignalId {
+        let id = self.signals.add(name, initial);
+        self.sensitivity.push(Vec::new());
+        id
+    }
+
+    /// Registers a method process sensitive to the given signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] if any sensitivity entry does
+    /// not refer to a signal of this kernel.
+    pub fn add_process(
+        &mut self,
+        name: impl Into<String>,
+        sensitive_to: &[SignalId],
+        body: impl FnMut(&mut ProcessContext<'_>) -> Result<(), KernelError> + 'static,
+    ) -> Result<ProcessId, KernelError> {
+        for &sig in sensitive_to {
+            if sig.index() >= self.signals.len() {
+                return Err(KernelError::UnknownSignal { id: sig });
+            }
+        }
+        let id = ProcessId(self.processes.len());
+        self.processes.push(Process::new(name, body));
+        for &sig in sensitive_to {
+            self.sensitivity[sig.index()].push(id);
+        }
+        Ok(id)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of delta cycles executed so far.
+    pub fn delta_cycles_run(&self) -> u64 {
+        self.delta_cycles_run
+    }
+
+    /// Number of process activations executed so far — the event-driven
+    /// cost metric reported by the runtime benches.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Reads a signal's committed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn read(&self, id: SignalId) -> Result<Value, KernelError> {
+        self.signals.read(id)
+    }
+
+    /// Reads a real-valued signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    pub fn read_real(&self, id: SignalId) -> Result<f64, KernelError> {
+        self.signals.read(id)?.as_real()
+    }
+
+    /// Writes a value that will be committed (and will trigger sensitive
+    /// processes) on the next [`settle`](Kernel::settle) call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write_initial(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
+        self.signals.write(id, value)
+    }
+
+    /// Overwrites a signal immediately without generating an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn force(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
+        self.signals.force(id, value)
+    }
+
+    /// Schedules a timed write (testbench stimulus).
+    pub fn schedule_write(&mut self, at: SimTime, id: SignalId, value: Value) {
+        self.queue.push(at, Event::SignalWrite { signal: id, value });
+    }
+
+    /// Schedules a timed wake-up of a process.
+    pub fn schedule_wakeup(&mut self, at: SimTime, process: ProcessId) {
+        self.queue.push(at, Event::Wakeup { process });
+    }
+
+    /// Runs delta cycles at the current time until no more signal changes
+    /// occur.  Returns the number of delta cycles executed.
+    ///
+    /// On the very first call every process is executed once
+    /// (initialisation), as in SystemC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::DeltaCycleLimit`] if the system does not
+    /// settle, or propagates the first process failure.
+    pub fn settle(&mut self) -> Result<usize, KernelError> {
+        let ready: BTreeSet<ProcessId> = if self.initialized {
+            BTreeSet::new()
+        } else {
+            (0..self.processes.len()).map(ProcessId).collect()
+        };
+        self.initialized = true;
+        self.settle_with(ready)
+    }
+
+    fn settle_with(&mut self, mut ready: BTreeSet<ProcessId>) -> Result<usize, KernelError> {
+        // Commit anything written from outside (write_initial / timed writes)
+        // and add the processes sensitive to those changes.
+        let changed = self.signals.update();
+        for sig in changed {
+            for &p in &self.sensitivity[sig.index()] {
+                ready.insert(p);
+            }
+        }
+
+        let mut cycles = 0usize;
+        while !ready.is_empty() {
+            if cycles >= self.delta_limit {
+                return Err(KernelError::DeltaCycleLimit {
+                    limit: self.delta_limit,
+                });
+            }
+            // Evaluate phase.
+            let to_run: Vec<ProcessId> = ready.iter().copied().collect();
+            ready.clear();
+            for pid in to_run {
+                self.run_process(pid)?;
+            }
+            // Update phase.
+            let changed = self.signals.update();
+            for sig in changed {
+                for &p in &self.sensitivity[sig.index()] {
+                    ready.insert(p);
+                }
+            }
+            cycles += 1;
+            self.delta_cycles_run += 1;
+        }
+        Ok(cycles)
+    }
+
+    fn run_process(&mut self, pid: ProcessId) -> Result<(), KernelError> {
+        self.activations += 1;
+        let now = self.now;
+        let process = &mut self.processes[pid.index()];
+        let mut ctx = ProcessContext::new(&mut self.signals, now);
+        let result = (process.body)(&mut ctx);
+        let wake = ctx.take_wake_request();
+        if let Err(err) = result {
+            return Err(KernelError::ProcessFailure {
+                process: process.name.clone(),
+                message: err.to_string(),
+            });
+        }
+        if let Some(delay) = wake {
+            self.queue.push(now + delay, Event::Wakeup { process: pid });
+        }
+        Ok(())
+    }
+
+    /// Advances simulated time, processing every queued event up to and
+    /// including `end`, settling delta cycles after each timed event.
+    /// Returns the number of timed events processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any settle failure ([`KernelError::DeltaCycleLimit`],
+    /// [`KernelError::ProcessFailure`]) and rejects an `end` before the
+    /// current time with [`KernelError::ScheduleInPast`].
+    pub fn run_until(&mut self, end: SimTime) -> Result<usize, KernelError> {
+        if end < self.now {
+            return Err(KernelError::ScheduleInPast {
+                now: self.now,
+                requested: end,
+            });
+        }
+        // Make sure initial state is settled first.
+        self.settle()?;
+        let mut processed = 0usize;
+        while let Some(t) = self.queue.next_time() {
+            if t > end {
+                break;
+            }
+            self.now = t;
+            let events = self.queue.pop_at(t);
+            let mut ready = BTreeSet::new();
+            for event in events {
+                processed += 1;
+                match event {
+                    Event::SignalWrite { signal, value } => {
+                        self.signals.write(signal, value)?;
+                    }
+                    Event::Wakeup { process } => {
+                        ready.insert(process);
+                    }
+                }
+            }
+            self.settle_with(ready)?;
+        }
+        self.now = end;
+        Ok(processed)
+    }
+
+    /// `true` when no timed events remain in the queue.
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("signals", &self.signals.len())
+            .field("processes", &self.processes.len())
+            .field("now", &self.now)
+            .field("delta_cycles_run", &self.delta_cycles_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_chain_settles() {
+        let mut k = Kernel::new();
+        let a = k.add_signal("a", Value::Real(0.0));
+        let b = k.add_signal("b", Value::Real(0.0));
+        let c = k.add_signal("c", Value::Real(0.0));
+        k.add_process("double", &[a], move |ctx| {
+            let x = ctx.read_real(a)?;
+            ctx.write_real(b, 2.0 * x)
+        })
+        .unwrap();
+        k.add_process("add_one", &[b], move |ctx| {
+            let x = ctx.read_real(b)?;
+            ctx.write_real(c, x + 1.0)
+        })
+        .unwrap();
+
+        k.write_initial(a, Value::Real(10.0)).unwrap();
+        k.settle().unwrap();
+        assert_eq!(k.read_real(c).unwrap(), 21.0);
+        assert!(k.activations() >= 3);
+    }
+
+    #[test]
+    fn identical_write_does_not_retrigger() {
+        let mut k = Kernel::new();
+        let a = k.add_signal("a", Value::Real(1.0));
+        let count = k.add_signal("count", Value::Int(0));
+        k.add_process("counter", &[a], move |ctx| {
+            let n = ctx.read_int(count)?;
+            ctx.write_int(count, n + 1)
+        })
+        .unwrap();
+        k.settle().unwrap(); // initialisation: runs once
+        let first = k.read(count).unwrap().as_int().unwrap();
+        k.write_initial(a, Value::Real(1.0)).unwrap(); // same value: no event
+        k.settle().unwrap();
+        assert_eq!(k.read(count).unwrap().as_int().unwrap(), first);
+    }
+
+    #[test]
+    fn feedback_loop_hits_delta_limit() {
+        let mut k = Kernel::new().with_delta_limit(50);
+        let a = k.add_signal("a", Value::Int(0));
+        k.add_process("osc", &[a], move |ctx| {
+            let v = ctx.read_int(a)?;
+            ctx.write_int(a, v + 1)
+        })
+        .unwrap();
+        let err = k.settle().unwrap_err();
+        assert!(matches!(err, KernelError::DeltaCycleLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn timed_stimulus_drives_process() {
+        let mut k = Kernel::new();
+        let h = k.add_signal("h", Value::Real(0.0));
+        let b = k.add_signal("b", Value::Real(0.0));
+        k.add_process("follow", &[h], move |ctx| {
+            let x = ctx.read_real(h)?;
+            ctx.write_real(b, x * 0.5)
+        })
+        .unwrap();
+        for i in 1..=10 {
+            k.schedule_write(SimTime::from_micros(i), h, Value::Real(i as f64));
+        }
+        let events = k.run_until(SimTime::from_micros(5)).unwrap();
+        assert_eq!(events, 5);
+        assert_eq!(k.read_real(b).unwrap(), 2.5);
+        assert_eq!(k.now(), SimTime::from_micros(5));
+        // Continue to the end.
+        k.run_until(SimTime::from_micros(10)).unwrap();
+        assert_eq!(k.read_real(b).unwrap(), 5.0);
+        assert!(k.queue_is_empty());
+    }
+
+    #[test]
+    fn run_until_rejects_time_travel() {
+        let mut k = Kernel::new();
+        k.run_until(SimTime::from_micros(10)).unwrap();
+        assert!(matches!(
+            k.run_until(SimTime::from_micros(5)),
+            Err(KernelError::ScheduleInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn self_rescheduling_process_acts_as_clock() {
+        let mut k = Kernel::new();
+        let tick = k.add_signal("tick", Value::Int(0));
+        k.add_process("clock", &[], move |ctx| {
+            let n = ctx.read_int(tick)?;
+            ctx.write_int(tick, n + 1)?;
+            ctx.wake_after(SimTime::from_micros(1));
+            Ok(())
+        })
+        .unwrap();
+        k.run_until(SimTime::from_micros(10)).unwrap();
+        // Initial run + one wake per microsecond.
+        let n = k.read(tick).unwrap().as_int().unwrap();
+        assert!((10..=11).contains(&n), "tick = {n}");
+    }
+
+    #[test]
+    fn process_failure_is_reported_with_name() {
+        let mut k = Kernel::new();
+        let a = k.add_signal("a", Value::Real(0.0));
+        k.add_process("broken", &[a], move |ctx| {
+            // Read the real signal as a bit to force a type error.
+            ctx.read_bit(a).map(|_| ())
+        })
+        .unwrap();
+        let err = k.settle().unwrap_err();
+        match err {
+            KernelError::ProcessFailure { process, .. } => assert_eq!(process, "broken"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_process_rejects_unknown_sensitivity() {
+        let mut k = Kernel::new();
+        let foreign = SignalId(42);
+        assert!(k.add_process("p", &[foreign], |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn force_does_not_trigger() {
+        let mut k = Kernel::new();
+        let a = k.add_signal("a", Value::Real(0.0));
+        let count = k.add_signal("count", Value::Int(0));
+        k.add_process("counter", &[a], move |ctx| {
+            let n = ctx.read_int(count)?;
+            ctx.write_int(count, n + 1)
+        })
+        .unwrap();
+        k.settle().unwrap();
+        let baseline = k.read(count).unwrap().as_int().unwrap();
+        k.force(a, Value::Real(5.0)).unwrap();
+        k.settle().unwrap();
+        assert_eq!(k.read(count).unwrap().as_int().unwrap(), baseline);
+        assert_eq!(k.read_real(a).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn debug_output_mentions_counts() {
+        let mut k = Kernel::new();
+        k.add_signal("a", Value::Real(0.0));
+        let text = format!("{k:?}");
+        assert!(text.contains("signals"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Method processes and their execution context.
+
+use crate::error::KernelError;
+use crate::signal::{SignalId, SignalStore};
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// Identifier of a process within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// The raw index of the process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The view of the kernel a process body receives while it executes.
+///
+/// Mirrors what a SystemC method process can do: read signals, write
+/// signals (visible after the next delta cycle), inspect the current time
+/// and request a timed re-trigger of itself (`next_trigger`).
+#[derive(Debug)]
+pub struct ProcessContext<'a> {
+    signals: &'a mut SignalStore,
+    now: SimTime,
+    wake_after: Option<SimTime>,
+}
+
+impl<'a> ProcessContext<'a> {
+    pub(crate) fn new(signals: &'a mut SignalStore, now: SimTime) -> Self {
+        Self {
+            signals,
+            now,
+            wake_after: None,
+        }
+    }
+
+    pub(crate) fn take_wake_request(&mut self) -> Option<SimTime> {
+        self.wake_after.take()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Reads a signal's committed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn read(&self, id: SignalId) -> Result<Value, KernelError> {
+        self.signals.read(id)
+    }
+
+    /// Reads a real-valued signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    pub fn read_real(&self, id: SignalId) -> Result<f64, KernelError> {
+        self.signals.read(id)?.as_real()
+    }
+
+    /// Reads a bit-valued signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    pub fn read_bit(&self, id: SignalId) -> Result<bool, KernelError> {
+        self.signals.read(id)?.as_bit()
+    }
+
+    /// Reads an integer-valued signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    pub fn read_int(&self, id: SignalId) -> Result<i64, KernelError> {
+        self.signals.read(id)?.as_int()
+    }
+
+    /// Writes a signal; the new value becomes visible after the next delta
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
+        self.signals.write(id, value)
+    }
+
+    /// Writes a real value (see [`write`](Self::write)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write_real(&mut self, id: SignalId, value: f64) -> Result<(), KernelError> {
+        self.signals.write(id, Value::Real(value))
+    }
+
+    /// Writes a bit value (see [`write`](Self::write)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write_bit(&mut self, id: SignalId, value: bool) -> Result<(), KernelError> {
+        self.signals.write(id, Value::Bit(value))
+    }
+
+    /// Writes an integer value (see [`write`](Self::write)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write_int(&mut self, id: SignalId, value: i64) -> Result<(), KernelError> {
+        self.signals.write(id, Value::Int(value))
+    }
+
+    /// Requests that this process be re-triggered `delay` after the current
+    /// time, in addition to its static sensitivity (SystemC's
+    /// `next_trigger(delay)`).
+    pub fn wake_after(&mut self, delay: SimTime) {
+        self.wake_after = Some(delay);
+    }
+}
+
+/// The boxed body of a method process.
+pub type ProcessBody = Box<dyn FnMut(&mut ProcessContext<'_>) -> Result<(), KernelError>>;
+
+/// A registered method process.
+pub struct Process {
+    pub(crate) name: String,
+    pub(crate) body: ProcessBody,
+}
+
+impl Process {
+    /// Creates a process from a name and a body closure.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl FnMut(&mut ProcessContext<'_>) -> Result<(), KernelError> + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_reads_and_writes_are_delta_separated() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Real(1.0));
+        let mut ctx = ProcessContext::new(&mut store, SimTime::from_nanos(5));
+        assert_eq!(ctx.now(), SimTime::from_nanos(5));
+        assert_eq!(ctx.read_real(a).unwrap(), 1.0);
+        ctx.write_real(a, 2.0).unwrap();
+        // Still the old value inside the same evaluation.
+        assert_eq!(ctx.read_real(a).unwrap(), 1.0);
+        drop(ctx);
+        store.update();
+        assert_eq!(store.read(a).unwrap(), Value::Real(2.0));
+    }
+
+    #[test]
+    fn context_typed_accessors() {
+        let mut store = SignalStore::new();
+        let b = store.add("b", Value::Bit(true));
+        let i = store.add("i", Value::Int(7));
+        let mut ctx = ProcessContext::new(&mut store, SimTime::ZERO);
+        assert!(ctx.read_bit(b).unwrap());
+        assert_eq!(ctx.read_int(i).unwrap(), 7);
+        assert!(ctx.read_real(b).is_err());
+        ctx.write_bit(b, false).unwrap();
+        ctx.write_int(i, 9).unwrap();
+        ctx.write(i, Value::Int(10)).unwrap();
+        assert_eq!(ctx.read(i).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn wake_request_is_captured() {
+        let mut store = SignalStore::new();
+        let mut ctx = ProcessContext::new(&mut store, SimTime::ZERO);
+        assert!(ctx.take_wake_request().is_none());
+        ctx.wake_after(SimTime::from_nanos(10));
+        assert_eq!(ctx.take_wake_request(), Some(SimTime::from_nanos(10)));
+        assert!(ctx.take_wake_request().is_none());
+    }
+
+    #[test]
+    fn process_debug_and_name() {
+        let p = Process::new("core", |_ctx| Ok(()));
+        assert_eq!(p.name(), "core");
+        assert!(format!("{p:?}").contains("core"));
+    }
+}

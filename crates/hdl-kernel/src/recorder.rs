@@ -1,0 +1,144 @@
+//! Signal recording for post-simulation analysis.
+
+use crate::error::KernelError;
+use crate::kernel::Kernel;
+use crate::signal::SignalId;
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// Records the values of a chosen set of signals every time
+/// [`Recorder::sample`] is called, along with the simulation time.
+///
+/// This plays the role of SystemC's `sc_trace`/VCD output: the testbench
+/// samples after each stimulus step and the recorded series become the BH
+/// curves compared in the experiments.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    labels: Vec<String>,
+    signals: Vec<SignalId>,
+    times: Vec<SimTime>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Recorder {
+    /// Creates a recorder for the given `(label, signal)` pairs.
+    pub fn new(channels: Vec<(String, SignalId)>) -> Self {
+        let (labels, signals) = channels.into_iter().unzip();
+        Self {
+            labels,
+            signals,
+            times: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from `&str` labels.
+    pub fn with_channels(channels: &[(&str, SignalId)]) -> Self {
+        Self::new(
+            channels
+                .iter()
+                .map(|(name, id)| ((*name).to_owned(), *id))
+                .collect(),
+        )
+    }
+
+    /// Samples every channel from the kernel's current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] if a channel refers to a
+    /// signal the kernel does not know.
+    pub fn sample(&mut self, kernel: &Kernel) -> Result<(), KernelError> {
+        let mut row = Vec::with_capacity(self.signals.len());
+        for &id in &self.signals {
+            row.push(kernel.read(id)?);
+        }
+        self.times.push(kernel.now());
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Channel labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The sampled times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Extracts one channel as a real-valued series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::TypeMismatch`] if the channel holds
+    /// non-real values, or [`KernelError::UnknownSignal`] if the label does
+    /// not exist.
+    pub fn real_series(&self, label: &str) -> Result<Vec<f64>, KernelError> {
+        let idx = self
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .ok_or(KernelError::UnknownSignal { id: SignalId(usize::MAX) })?;
+        self.rows.iter().map(|row| row[idx].as_real()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+
+    #[test]
+    fn records_series_over_time() {
+        let mut k = Kernel::new();
+        let h = k.add_signal("h", Value::Real(0.0));
+        let b = k.add_signal("b", Value::Real(0.0));
+        k.add_process("gain", &[h], move |ctx| {
+            let x = ctx.read_real(h)?;
+            ctx.write_real(b, 3.0 * x)
+        })
+        .unwrap();
+
+        let mut rec = Recorder::with_channels(&[("H", h), ("B", b)]);
+        k.settle().unwrap();
+        rec.sample(&k).unwrap();
+        for i in 1..=3 {
+            k.write_initial(h, Value::Real(i as f64)).unwrap();
+            k.settle().unwrap();
+            rec.sample(&k).unwrap();
+        }
+        assert_eq!(rec.len(), 4);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.labels(), &["H".to_string(), "B".to_string()]);
+        assert_eq!(rec.real_series("B").unwrap(), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(rec.times().len(), 4);
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let rec = Recorder::with_channels(&[]);
+        assert!(rec.real_series("nope").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let mut k = Kernel::new();
+        let flag = k.add_signal("flag", Value::Bit(false));
+        let mut rec = Recorder::with_channels(&[("flag", flag)]);
+        k.settle().unwrap();
+        rec.sample(&k).unwrap();
+        assert!(rec.real_series("flag").is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Timed event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::process::ProcessId;
+use crate::signal::SignalId;
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// A timed event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Write a value to a signal at the scheduled time.
+    SignalWrite {
+        /// Target signal.
+        signal: SignalId,
+        /// Value to write.
+        value: Value,
+    },
+    /// Wake a process at the scheduled time (timed trigger).
+    Wakeup {
+        /// Process to trigger.
+        process: ProcessId,
+    },
+}
+
+#[derive(Debug)]
+struct QueueEntry {
+    time: SimTime,
+    sequence: u64,
+    event: Event,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.sequence).cmp(&(other.time, other.sequence))
+    }
+}
+
+/// A time-ordered event queue with stable ordering for same-time events
+/// (insertion order is preserved, as in SystemC's evaluation phase).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event at an absolute time.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let entry = QueueEntry {
+            time,
+            sequence: self.next_sequence,
+            event,
+        };
+        self.next_sequence += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Time of the earliest queued event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops every event scheduled exactly at `time`, in insertion order.
+    pub fn pop_at(&mut self, time: SimTime) -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if entry.time != time {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            events.push(entry.event);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        let p = ProcessId(0);
+        q.push(SimTime::from_nanos(20), Event::Wakeup { process: p });
+        q.push(SimTime::from_nanos(10), Event::Wakeup { process: p });
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(10)));
+        let first = q.pop_at(SimTime::from_nanos(10));
+        assert_eq!(first.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn same_time_events_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        let s = SignalId(3);
+        q.push(
+            SimTime::from_nanos(5),
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(1.0),
+            },
+        );
+        q.push(
+            SimTime::from_nanos(5),
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(2.0),
+            },
+        );
+        let events = q.pop_at(SimTime::from_nanos(5));
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(1.0)
+            }
+        );
+        assert_eq!(
+            events[1],
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(2.0)
+            }
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_at_wrong_time_returns_nothing() {
+        let mut q = EventQueue::new();
+        q.push(
+            SimTime::from_nanos(5),
+            Event::Wakeup {
+                process: ProcessId(1),
+            },
+        );
+        assert!(q.pop_at(SimTime::from_nanos(4)).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_has_no_next_time() {
+        let q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        assert!(q.is_empty());
+    }
+}

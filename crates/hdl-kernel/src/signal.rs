@@ -1,0 +1,209 @@
+//! Signals with evaluate/update (delta-cycle) semantics.
+
+use crate::error::KernelError;
+use crate::value::Value;
+
+/// Identifier of a signal within a [`SignalStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// The raw index of the signal.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SignalSlot {
+    name: String,
+    current: Value,
+    pending: Option<Value>,
+}
+
+/// Storage for all signals of a kernel.
+///
+/// Writes performed during process evaluation are *pending* until
+/// [`SignalStore::update`] commits them — the core of the delta-cycle
+/// semantics the SystemC model relies on: `JA::core()` can read `H` and
+/// write `hchanged` without the write being observed in the same
+/// evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct SignalStore {
+    slots: Vec<SignalSlot>,
+}
+
+impl SignalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a signal with a display name and an initial value.
+    pub fn add(&mut self, name: impl Into<String>, initial: Value) -> SignalId {
+        let id = SignalId(self.slots.len());
+        self.slots.push(SignalSlot {
+            name: name.into(),
+            current: initial,
+            pending: None,
+        });
+        id
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the store holds no signals.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Display name of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn name(&self, id: SignalId) -> Result<&str, KernelError> {
+        self.slot(id).map(|s| s.name.as_str())
+    }
+
+    /// Current (committed) value of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn read(&self, id: SignalId) -> Result<Value, KernelError> {
+        self.slot(id).map(|s| s.current)
+    }
+
+    /// Schedules a new value for the next update phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn write(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
+        self.slot_mut(id)?.pending = Some(value);
+        Ok(())
+    }
+
+    /// Overwrites the committed value immediately, bypassing the delta
+    /// cycle.  Intended for initialisation before the simulation starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    pub fn force(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
+        let slot = self.slot_mut(id)?;
+        slot.current = value;
+        slot.pending = None;
+        Ok(())
+    }
+
+    /// Commits every pending write and returns the ids of the signals whose
+    /// committed value actually changed (writes of an identical value do not
+    /// generate events).
+    pub fn update(&mut self) -> Vec<SignalId> {
+        let mut changed = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(next) = slot.pending.take() {
+                if next.differs_from(&slot.current) {
+                    slot.current = next;
+                    changed.push(SignalId(i));
+                }
+            }
+        }
+        changed
+    }
+
+    /// `true` when at least one write is waiting to be committed.
+    pub fn has_pending(&self) -> bool {
+        self.slots.iter().any(|s| s.pending.is_some())
+    }
+
+    fn slot(&self, id: SignalId) -> Result<&SignalSlot, KernelError> {
+        self.slots
+            .get(id.0)
+            .ok_or(KernelError::UnknownSignal { id })
+    }
+
+    fn slot_mut(&mut self, id: SignalId) -> Result<&mut SignalSlot, KernelError> {
+        self.slots
+            .get_mut(id.0)
+            .ok_or(KernelError::UnknownSignal { id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_read_write_update_cycle() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Real(0.0));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.name(a).unwrap(), "a");
+
+        store.write(a, Value::Real(5.0)).unwrap();
+        // Not yet visible.
+        assert_eq!(store.read(a).unwrap(), Value::Real(0.0));
+        assert!(store.has_pending());
+
+        let changed = store.update();
+        assert_eq!(changed, vec![a]);
+        assert_eq!(store.read(a).unwrap(), Value::Real(5.0));
+        assert!(!store.has_pending());
+    }
+
+    #[test]
+    fn identical_write_is_not_an_event() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Bit(false));
+        store.write(a, Value::Bit(false)).unwrap();
+        assert!(store.update().is_empty());
+    }
+
+    #[test]
+    fn last_write_wins_within_a_delta() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Int(0));
+        store.write(a, Value::Int(1)).unwrap();
+        store.write(a, Value::Int(2)).unwrap();
+        let changed = store.update();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(store.read(a).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn force_bypasses_delta() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Real(0.0));
+        store.write(a, Value::Real(9.0)).unwrap();
+        store.force(a, Value::Real(1.0)).unwrap();
+        assert_eq!(store.read(a).unwrap(), Value::Real(1.0));
+        // The pending write was discarded by force().
+        assert!(store.update().is_empty());
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let mut store = SignalStore::new();
+        let foreign = SignalId(17);
+        assert!(store.read(foreign).is_err());
+        assert!(store.write(foreign, Value::Bit(true)).is_err());
+        assert!(store.name(foreign).is_err());
+        assert!(store.force(foreign, Value::Bit(true)).is_err());
+    }
+
+    #[test]
+    fn signal_id_index() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Real(0.0));
+        let b = store.add("b", Value::Real(0.0));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Signal values.
+
+use std::fmt;
+
+use crate::error::KernelError;
+
+/// The value carried by a signal.
+///
+/// The paper's model only needs real-valued signals (`H`, `M`, `B`) and
+/// bit-like flags (`hchanged`, `trig`), so the kernel supports exactly
+/// those plus integers for counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A real (analogue) value.
+    Real(f64),
+    /// A single-bit value.
+    Bit(bool),
+    /// An integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Name of the kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Real(_) => "real",
+            Value::Bit(_) => "bit",
+            Value::Int(_) => "int",
+        }
+    }
+
+    /// Extracts a real value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::TypeMismatch`] if the value is not real.
+    pub fn as_real(&self) -> Result<f64, KernelError> {
+        match self {
+            Value::Real(v) => Ok(*v),
+            other => Err(KernelError::TypeMismatch {
+                expected: "real",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Extracts a bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::TypeMismatch`] if the value is not a bit.
+    pub fn as_bit(&self) -> Result<bool, KernelError> {
+        match self {
+            Value::Bit(v) => Ok(*v),
+            other => Err(KernelError::TypeMismatch {
+                expected: "bit",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Extracts an integer value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::TypeMismatch`] if the value is not an integer.
+    pub fn as_int(&self) -> Result<i64, KernelError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(KernelError::TypeMismatch {
+                expected: "int",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Whether two values differ for the purpose of change detection.
+    /// Reals compare exactly (a delta-cycle write of an identical value does
+    /// not constitute an event, matching SystemC's `sc_signal` semantics).
+    pub fn differs_from(&self, other: &Value) -> bool {
+        self != other
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Bit(v) => write!(f, "{}", if *v { 1 } else { 0 }),
+            Value::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(value: f64) -> Self {
+        Value::Real(value)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Self {
+        Value::Bit(value)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Int(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_kind() {
+        assert_eq!(Value::Real(1.5).as_real().unwrap(), 1.5);
+        assert!(Value::Real(1.5).as_bit().is_err());
+        assert!(Value::Bit(true).as_bit().unwrap());
+        assert!(Value::Bit(true).as_int().is_err());
+        assert_eq!(Value::Int(-3).as_int().unwrap(), -3);
+        assert!(Value::Int(-3).as_real().is_err());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Real(0.0).kind(), "real");
+        assert_eq!(Value::Bit(false).kind(), "bit");
+        assert_eq!(Value::Int(0).kind(), "int");
+    }
+
+    #[test]
+    fn change_detection() {
+        assert!(Value::Real(1.0).differs_from(&Value::Real(2.0)));
+        assert!(!Value::Real(1.0).differs_from(&Value::Real(1.0)));
+        assert!(Value::Real(1.0).differs_from(&Value::Bit(true)));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(2.0), Value::Real(2.0));
+        assert_eq!(Value::from(true), Value::Bit(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::Real(2.5).to_string(), "2.5");
+        assert_eq!(Value::Bit(true).to_string(), "1");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+    }
+}

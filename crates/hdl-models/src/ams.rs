@@ -1,0 +1,368 @@
+//! Equation-style (VHDL-AMS-like) implementations.
+//!
+//! Two models live here:
+//!
+//! * [`AmsTimelessModel`] — the paper's technique expressed as an AMS-style
+//!   architecture: a transient loop samples the excitation waveform at a
+//!   fixed rate and feeds the field into the timeless JA model, which does
+//!   its own slope integration (the analogue solver never sees `dM/dH`).
+//! * [`SolverIntegratedBaseline`] — the conventional approach of the prior
+//!   work the paper criticises ([4, 5] in its references): `dM/dH` is
+//!   converted to `dM/dt` and handed to the analogue solver's integrator
+//!   (forward Euler, backward Euler, trapezoidal or adaptive RKF45).  Its
+//!   failure modes — Newton non-convergence and step-size collapse around
+//!   the turning points — are exactly what experiments E4/E5 measure.
+
+use analog_solver::ode::adaptive::{AdaptiveOptions, Rkf45};
+use analog_solver::ode::explicit::ForwardEuler;
+use analog_solver::ode::implicit::{BackwardEuler, Trapezoidal};
+use analog_solver::ode::{FixedStepIntegrator, OdeSystem};
+use analog_solver::SolverError;
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::error::JaError;
+use ja_hysteresis::model::JilesAtherton;
+use ja_hysteresis::time_domain::MagnetisationOde;
+use magnetics::bh::BhCurve;
+use magnetics::material::JaParameters;
+use waveform::Waveform;
+
+/// The timeless model embedded in an AMS-style fixed-step transient loop.
+#[derive(Debug, Clone)]
+pub struct AmsTimelessModel {
+    model: JilesAtherton,
+}
+
+impl AmsTimelessModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError`] for invalid parameters or configuration.
+    pub fn new(params: JaParameters, config: JaConfig) -> Result<Self, JaError> {
+        Ok(Self {
+            model: JilesAtherton::with_config(params, config)?,
+        })
+    }
+
+    /// Read access to the wrapped model (state and statistics).
+    pub fn model(&self) -> &JilesAtherton {
+        &self.model
+    }
+
+    /// Runs a transient simulation: the waveform is sampled every `dt`
+    /// seconds from `t = 0` to `t_end` and each sample is applied to the
+    /// timeless model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] for non-positive `dt`/`t_end` and
+    /// propagates model errors.
+    pub fn run_transient<W: Waveform>(
+        &mut self,
+        waveform: &W,
+        t_end: f64,
+        dt: f64,
+    ) -> Result<BhCurve, JaError> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "dt",
+                value: dt,
+                requirement: "finite and > 0",
+            });
+        }
+        if !t_end.is_finite() || t_end <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "t_end",
+                value: t_end,
+                requirement: "finite and > 0",
+            });
+        }
+        let steps = (t_end / dt).ceil() as usize;
+        let mut curve = BhCurve::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let t = (i as f64 * dt).min(t_end);
+            let sample = self.model.apply_field(waveform.value(t))?;
+            curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
+        }
+        Ok(curve)
+    }
+
+    /// Runs a timeless DC sweep over explicit field samples (the AMS model
+    /// used "quiescently", for direct comparison with the SystemC port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn run_samples<I: IntoIterator<Item = f64>>(
+        &mut self,
+        samples: I,
+    ) -> Result<BhCurve, JaError> {
+        let result = ja_hysteresis::sweep::sweep_samples(&mut self.model, samples)?;
+        Ok(result.into_curve())
+    }
+}
+
+/// Integration method used by the solver-integrated baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverMethod {
+    /// Explicit forward Euler over time.
+    ForwardEuler,
+    /// Implicit backward Euler (Newton per step).
+    BackwardEuler,
+    /// Trapezoidal rule (Newton per step) — the SPICE default.
+    Trapezoidal,
+    /// Adaptive RKF45 with the given relative tolerance.
+    AdaptiveRkf45 {
+        /// Relative error tolerance per step.
+        rel_tol: f64,
+    },
+}
+
+/// Outcome of a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// The BH trace.
+    pub curve: BhCurve,
+    /// Number of slope (right-hand-side) evaluations the solver used.
+    pub rhs_evaluations: usize,
+    /// Newton iterations (implicit methods only).
+    pub newton_iterations: usize,
+    /// Steps whose Newton solve failed to converge (implicit methods only).
+    pub non_converged_steps: usize,
+    /// Accepted + rejected step counts (adaptive method only).
+    pub adaptive_steps: Option<(usize, usize)>,
+}
+
+/// The conventional solver-integrated JA model.
+pub struct SolverIntegratedBaseline {
+    params: JaParameters,
+    config: JaConfig,
+}
+
+struct BaselineOde<'a, W> {
+    ode: MagnetisationOde<'a, W>,
+}
+
+impl<W: Waveform> OdeSystem for BaselineOde<'_, W> {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        dydt[0] = self.ode.dm_dt(t, y[0]);
+    }
+}
+
+impl SolverIntegratedBaseline {
+    /// Creates the baseline with the given material parameters and the
+    /// slope-guard configuration (the guards apply to the slope evaluation
+    /// only; the integration itself is the solver's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError`] for invalid parameters or configuration.
+    pub fn new(params: JaParameters, config: JaConfig) -> Result<Self, JaError> {
+        params.validate()?;
+        config.validate()?;
+        Ok(Self { params, config })
+    }
+
+    /// Runs the baseline over `[0, t_end]` with step `dt` (ignored by the
+    /// adaptive method, which controls its own step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError`] for solver failures (step-size underflow,
+    /// singular iteration matrix) — the very failures the experiment counts —
+    /// and [`SolverError::InvalidStep`] for invalid time parameters.
+    /// Configuration errors surface as [`SolverError::InvalidCircuit`].
+    pub fn run<W: Waveform>(
+        &self,
+        waveform: &W,
+        t_end: f64,
+        dt: f64,
+        method: SolverMethod,
+    ) -> Result<BaselineResult, SolverError> {
+        let ode_inner =
+            MagnetisationOde::new(self.params, &self.config, waveform).map_err(|err| {
+                SolverError::InvalidCircuit {
+                    reason: err.to_string(),
+                }
+            })?;
+        let system = BaselineOde { ode: ode_inner };
+        let m_sat = self.params.m_sat.value();
+
+        let build_curve = |times: &[f64], magnetisations: Vec<f64>| {
+            let mut curve = BhCurve::with_capacity(times.len());
+            for (&t, m) in times.iter().zip(magnetisations) {
+                let h = waveform.value(t);
+                curve.push_raw(h, magnetics::constants::MU0 * (h + m * m_sat), m * m_sat);
+            }
+            curve
+        };
+
+        match method {
+            SolverMethod::ForwardEuler => {
+                let trajectory = ForwardEuler.integrate(&system, &[0.0], 0.0, t_end, dt)?;
+                Ok(BaselineResult {
+                    curve: build_curve(trajectory.times(), trajectory.component(0)),
+                    rhs_evaluations: trajectory.rhs_evaluations(),
+                    newton_iterations: 0,
+                    non_converged_steps: 0,
+                    adaptive_steps: None,
+                })
+            }
+            SolverMethod::BackwardEuler => {
+                let (trajectory, stats) =
+                    BackwardEuler::default().integrate_with_stats(&system, &[0.0], 0.0, t_end, dt)?;
+                Ok(BaselineResult {
+                    curve: build_curve(trajectory.times(), trajectory.component(0)),
+                    rhs_evaluations: trajectory.rhs_evaluations(),
+                    newton_iterations: stats.newton_iterations,
+                    non_converged_steps: stats.non_converged_steps,
+                    adaptive_steps: None,
+                })
+            }
+            SolverMethod::Trapezoidal => {
+                let (trajectory, stats) =
+                    Trapezoidal::default().integrate_with_stats(&system, &[0.0], 0.0, t_end, dt)?;
+                Ok(BaselineResult {
+                    curve: build_curve(trajectory.times(), trajectory.component(0)),
+                    rhs_evaluations: trajectory.rhs_evaluations(),
+                    newton_iterations: stats.newton_iterations,
+                    non_converged_steps: stats.non_converged_steps,
+                    adaptive_steps: None,
+                })
+            }
+            SolverMethod::AdaptiveRkf45 { rel_tol } => {
+                let integrator = Rkf45::new(AdaptiveOptions {
+                    rel_tol,
+                    abs_tol: rel_tol * 1e-3,
+                    initial_step: dt,
+                    min_step: 1e-15,
+                    max_step: dt * 100.0,
+                });
+                let result = integrator.integrate(&system, &[0.0], 0.0, t_end)?;
+                Ok(BaselineResult {
+                    curve: build_curve(
+                        result.trajectory.times(),
+                        result.trajectory.component(0),
+                    ),
+                    rhs_evaluations: result.trajectory.rhs_evaluations(),
+                    newton_iterations: 0,
+                    non_converged_steps: 0,
+                    adaptive_steps: Some((result.accepted_steps, result.rejected_steps)),
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SolverIntegratedBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverIntegratedBaseline")
+            .field("params", &self.params)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::loop_analysis;
+    use waveform::triangular::Triangular;
+
+    fn paper_waveform() -> Triangular {
+        Triangular::new(10_000.0, 1.0).expect("valid waveform")
+    }
+
+    #[test]
+    fn ams_timeless_transient_produces_loop() {
+        let mut model =
+            AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        let curve = model.run_transient(&waveform, 2.0, 2.0 / 8000.0).unwrap();
+        let metrics = loop_analysis::loop_metrics(&curve).unwrap();
+        assert!(metrics.b_max.as_tesla() > 1.5);
+        assert!(metrics.coercivity.value() > 1000.0);
+        assert_eq!(metrics.negative_slope_samples, 0);
+        assert!(model.model().statistics().updates > 1000);
+    }
+
+    #[test]
+    fn ams_timeless_rejects_bad_time_parameters() {
+        let mut model =
+            AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        assert!(model.run_transient(&waveform, 1.0, 0.0).is_err());
+        assert!(model.run_transient(&waveform, -1.0, 1e-3).is_err());
+    }
+
+    #[test]
+    fn ams_run_samples_matches_direct_sweep() {
+        let mut model =
+            AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let samples: Vec<f64> = (0..=1000).map(|i| i as f64 * 10.0).collect();
+        let curve = model.run_samples(samples).unwrap();
+        assert_eq!(curve.len(), 1001);
+        assert!(curve.last().unwrap().b.as_tesla() > 1.2);
+    }
+
+    #[test]
+    fn baseline_rk_solvers_reproduce_loop_shape() {
+        let baseline =
+            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        let result = baseline
+            .run(&waveform, 2.0, 2.0 / 4000.0, SolverMethod::BackwardEuler)
+            .unwrap();
+        let metrics = loop_analysis::loop_metrics(&result.curve).unwrap();
+        assert!(metrics.b_max.as_tesla() > 1.2);
+        assert!(result.newton_iterations > 0);
+        assert!(result.rhs_evaluations > 4000);
+    }
+
+    #[test]
+    fn baseline_forward_euler_and_trapezoidal_run() {
+        let baseline =
+            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        let fe = baseline
+            .run(&waveform, 1.0, 1.0 / 4000.0, SolverMethod::ForwardEuler)
+            .unwrap();
+        assert_eq!(fe.newton_iterations, 0);
+        assert!(fe.curve.peak_flux_density().unwrap().as_tesla() > 1.0);
+        let trap = baseline
+            .run(&waveform, 1.0, 1.0 / 2000.0, SolverMethod::Trapezoidal)
+            .unwrap();
+        assert!(trap.newton_iterations > 0);
+    }
+
+    #[test]
+    fn baseline_adaptive_reports_step_statistics() {
+        let baseline =
+            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        let result = baseline
+            .run(
+                &waveform,
+                1.0,
+                1e-4,
+                SolverMethod::AdaptiveRkf45 { rel_tol: 1e-5 },
+            )
+            .unwrap();
+        let (accepted, _rejected) = result.adaptive_steps.unwrap();
+        assert!(accepted > 100);
+    }
+
+    #[test]
+    fn baseline_propagates_invalid_time_step() {
+        let baseline =
+            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default()).unwrap();
+        let waveform = paper_waveform();
+        assert!(baseline
+            .run(&waveform, 1.0, 0.0, SolverMethod::ForwardEuler)
+            .is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! HDL-style implementations of the timeless Jiles–Atherton core model.
+//!
+//! The paper presents the same technique twice — once as a SystemC module
+//! built from three method processes, once as a VHDL-AMS architecture — and
+//! shows that both "produce virtually identical results".  This crate
+//! rebuilds that layer on top of the Rust substrates:
+//!
+//! * [`systemc`] — a faithful port of the paper's SystemC listing
+//!   (`core`, `monitorH`, `Integral` processes, `hchanged`/`trig` handshake
+//!   signals) running on the [`hdl_kernel`] discrete-event kernel;
+//! * [`ams`] — the equation-style (VHDL-AMS-like) implementations: the
+//!   timeless model embedded in a fixed-step transient loop, and the
+//!   conventional solver-integrated baseline whose `dM/dt` is advanced by
+//!   the [`analog_solver`] ODE engines (the "previous work" the paper
+//!   criticises);
+//! * [`circuit_adapter`] — glue that lets the timeless JA model act as the
+//!   [`analog_solver::circuit::MagneticCoreModel`] of a wound-core circuit
+//!   element, i.e. the model sitting inside a SPICE-style netlist;
+//! * [`comparison`] — the experiment harness used by the benches and
+//!   integration tests: Fig. 1 reproduction, implementation equivalence,
+//!   turning-point stability and runtime comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod circuit_adapter;
+pub mod comparison;
+pub mod systemc;
+
+pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
+pub use circuit_adapter::JaCoreAdapter;
+pub use systemc::SystemCJaCore;

@@ -1,0 +1,355 @@
+//! Faithful port of the paper's SystemC model onto the discrete-event
+//! kernel.
+//!
+//! The original module has three method processes communicating through
+//! signals:
+//!
+//! * `JA::core()` — triggered by changes of the external field `H` (and here
+//!   also by the completion of an integration step): computes the effective
+//!   field, the anhysteretic (`Lang_mod`), the reversible and total
+//!   magnetisation and the flux density, and raises `hchanged` when the
+//!   field has moved by more than `dhmax`;
+//! * `JA::monitorH()` — triggered by `hchanged`: latches `deltah`, updates
+//!   `lasth` and raises `trig`;
+//! * `JA::Integral()` — triggered by `trig`: performs the timeless forward
+//!   Euler step of the irreversible magnetisation, with the negative-slope
+//!   clamp and the opposing-update rejection.
+//!
+//! Module-internal variables (`mirr`, `mtotal`, `man`, `lasth`, `deltah`)
+//! are shared between the processes through an `Rc<RefCell<…>>`, mirroring
+//! SystemC member variables.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hdl_kernel::kernel::Kernel;
+use hdl_kernel::recorder::Recorder;
+use hdl_kernel::signal::SignalId;
+use hdl_kernel::value::Value;
+use hdl_kernel::KernelError;
+use magnetics::bh::BhCurve;
+use magnetics::constants::MU0;
+use magnetics::material::JaParameters;
+use waveform::schedule::FieldSchedule;
+
+/// Internal module variables shared by the three processes — the SystemC
+/// member variables of the paper's `JA` module.
+#[derive(Debug, Clone, Copy)]
+struct CoreVars {
+    params: JaParameters,
+    dhmax: f64,
+    man: f64,
+    mirr: f64,
+    mtotal: f64,
+    lasth: f64,
+    deltah: f64,
+}
+
+impl CoreVars {
+    fn new(params: JaParameters, dhmax: f64) -> Self {
+        Self {
+            params,
+            dhmax,
+            man: 0.0,
+            mirr: 0.0,
+            mtotal: 0.0,
+            lasth: 0.0,
+            deltah: 0.0,
+        }
+    }
+
+    /// The paper's `Lang_mod`: the modified Langevin `(2/π)·atan(x)`.
+    fn lang_mod(x: f64) -> f64 {
+        std::f64::consts::FRAC_2_PI * x.atan()
+    }
+}
+
+/// The SystemC-style Jiles–Atherton core model.
+pub struct SystemCJaCore {
+    kernel: Kernel,
+    vars: Rc<RefCell<CoreVars>>,
+    h: SignalId,
+    m_sig: SignalId,
+    b_sig: SignalId,
+}
+
+impl SystemCJaCore {
+    /// Builds the module with the given material parameters and `dhmax`
+    /// threshold (the paper's update threshold, in A/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if process registration fails (cannot happen
+    /// with the signals created here) and panics never.
+    pub fn new(params: JaParameters, dhmax: f64) -> Result<Self, KernelError> {
+        let mut kernel = Kernel::new();
+        let vars = Rc::new(RefCell::new(CoreVars::new(params, dhmax)));
+
+        // Signals of the original module.
+        let h = kernel.add_signal("H", Value::Real(0.0));
+        let hchanged = kernel.add_signal("hchanged", Value::Bit(false));
+        let trig = kernel.add_signal("trig", Value::Bit(false));
+        let idone = kernel.add_signal("integral_done", Value::Bit(false));
+        let m_sig = kernel.add_signal("Msig", Value::Real(0.0));
+        let b_sig = kernel.add_signal("Bsig", Value::Real(0.0));
+
+        // void JA::core()
+        //
+        // Sensitive to the external field, to the completion of an
+        // integration step and to its own magnetisation output: the latter
+        // makes the reversible part settle over delta cycles (the effective
+        // field depends on the total magnetisation the process itself
+        // computes), exactly as an `sc_signal` feedback loop would in the
+        // original SystemC module.
+        let core_vars = Rc::clone(&vars);
+        kernel.add_process("core", &[h, idone, m_sig], move |ctx| {
+            let mut v = core_vars.borrow_mut();
+            let h_now = ctx.read_real(h)?;
+            if (h_now - v.lasth).abs() > v.dhmax {
+                ctx.write_bit(hchanged, true)?;
+            }
+            let ms = v.params.m_sat.value();
+            let he = h_now + v.params.alpha * ms * v.mtotal; // effective field
+            v.man = CoreVars::lang_mod(he / v.params.a); // anhysteretic
+            let mrev = v.params.c * v.man / (1.0 + v.params.c);
+            v.mtotal = mrev + v.mirr; // total magnetisation
+            let b = MU0 * (ms * v.mtotal + h_now); // flux density
+            ctx.write_real(m_sig, v.mtotal)?;
+            ctx.write_real(b_sig, b)?;
+            Ok(())
+        })?;
+
+        // void JA::monitorH()
+        let monitor_vars = Rc::clone(&vars);
+        kernel.add_process("monitorH", &[hchanged], move |ctx| {
+            if !ctx.read_bit(hchanged)? {
+                return Ok(());
+            }
+            let mut v = monitor_vars.borrow_mut();
+            let h_now = ctx.read_real(h)?;
+            let dh = h_now - v.lasth;
+            if dh.abs() > v.dhmax {
+                v.deltah = dh;
+                v.lasth = h_now;
+                ctx.write_bit(trig, true)?;
+                ctx.write_bit(hchanged, false)?;
+            }
+            Ok(())
+        })?;
+
+        // void JA::Integral()
+        let integral_vars = Rc::clone(&vars);
+        kernel.add_process("Integral", &[trig], move |ctx| {
+            if !ctx.read_bit(trig)? {
+                return Ok(());
+            }
+            let mut v = integral_vars.borrow_mut();
+            let ms = v.params.m_sat.value();
+            // Get the field direction.
+            let dk = if v.deltah > 0.0 { v.params.k } else { -v.params.k };
+            // Forward Euler integration method.
+            let dh = v.deltah;
+            let deltam = v.man - v.mtotal;
+            let dmdh1 =
+                deltam / ((1.0 + v.params.c) * (dk - v.params.alpha * ms * deltam));
+            let dmdh = if dmdh1 > 0.0 { dmdh1 } else { 0.0 }; // positive slopes only
+            let mut dm = dh * dmdh;
+            if dm * dh < 0.0 {
+                dm = 0.0;
+            }
+            v.mirr += dm;
+            ctx.write_bit(trig, false)?;
+            // Let core() re-evaluate the magnetisation with the new mirr.
+            let done = ctx.read_bit(idone)?;
+            ctx.write_bit(idone, !done)?;
+            Ok(())
+        })?;
+
+        Ok(Self {
+            kernel,
+            vars,
+            h,
+            m_sig,
+            b_sig,
+        })
+    }
+
+    /// Builds the module with the paper's parameters and a 10 A/m `dhmax`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SystemCJaCore::new`].
+    pub fn date2006() -> Result<Self, KernelError> {
+        Self::new(JaParameters::date2006(), 10.0)
+    }
+
+    /// Applies a new field sample (DC-sweep style: the kernel settles all
+    /// delta cycles before returning) and returns `(B, M_normalised)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (delta-cycle limit, process failure).
+    pub fn apply_field(&mut self, h: f64) -> Result<(f64, f64), KernelError> {
+        self.kernel.write_initial(self.h, Value::Real(h))?;
+        self.kernel.settle()?;
+        Ok((
+            self.kernel.read_real(self.b_sig)?,
+            self.kernel.read_real(self.m_sig)?,
+        ))
+    }
+
+    /// Runs a complete timeless DC sweep over a field schedule, returning
+    /// the BH curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_schedule(&mut self, schedule: &FieldSchedule) -> Result<BhCurve, KernelError> {
+        let mut curve = BhCurve::with_capacity(schedule.len());
+        let m_sat = self.vars.borrow().params.m_sat.value();
+        for h in schedule.iter() {
+            let (b, m_norm) = self.apply_field(h)?;
+            curve.push_raw(h, b, m_norm * m_sat);
+        }
+        Ok(curve)
+    }
+
+    /// Runs a timed testbench: the field samples are scheduled as timed
+    /// writes `dt` apart and the kernel advances through them, recording `H`
+    /// and `B` after every event.  Demonstrates that the same module also
+    /// works under a conventional timed simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_timed(
+        &mut self,
+        samples: &[f64],
+        dt_seconds: f64,
+    ) -> Result<(BhCurve, Recorder), KernelError> {
+        let mut recorder = Recorder::with_channels(&[("H", self.h), ("B", self.b_sig)]);
+        let m_sat = self.vars.borrow().params.m_sat.value();
+        let mut curve = BhCurve::with_capacity(samples.len());
+        for (i, &h) in samples.iter().enumerate() {
+            let at = hdl_kernel::SimTime::from_seconds((i + 1) as f64 * dt_seconds);
+            self.kernel.schedule_write(at, self.h, Value::Real(h));
+        }
+        for i in 0..samples.len() {
+            let until = hdl_kernel::SimTime::from_seconds((i + 1) as f64 * dt_seconds);
+            self.kernel.run_until(until)?;
+            recorder.sample(&self.kernel)?;
+            let b = self.kernel.read_real(self.b_sig)?;
+            let m = self.kernel.read_real(self.m_sig)?;
+            curve.push_raw(samples[i], b, m * m_sat);
+        }
+        Ok((curve, recorder))
+    }
+
+    /// Number of process activations executed so far (event-driven cost
+    /// metric).
+    pub fn activations(&self) -> u64 {
+        self.kernel.activations()
+    }
+
+    /// Number of delta cycles executed so far.
+    pub fn delta_cycles(&self) -> u64 {
+        self.kernel.delta_cycles_run()
+    }
+
+    /// The material parameters the module was built with.
+    pub fn params(&self) -> JaParameters {
+        self.vars.borrow().params
+    }
+}
+
+impl std::fmt::Debug for SystemCJaCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemCJaCore")
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::loop_analysis;
+
+    #[test]
+    fn initial_state_is_demagnetised() {
+        let mut core = SystemCJaCore::date2006().unwrap();
+        let (b, m) = core.apply_field(0.0).unwrap();
+        assert!(b.abs() < 1e-12);
+        assert!(m.abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_under_large_field() {
+        let mut core = SystemCJaCore::date2006().unwrap();
+        let mut b_last = 0.0;
+        let mut h = 0.0;
+        while h <= 10_000.0 {
+            let (b, _) = core.apply_field(h).unwrap();
+            assert!(b >= b_last - 1e-12, "B must not decrease on the initial curve");
+            b_last = b;
+            h += 10.0;
+        }
+        assert!(b_last > 1.2 && b_last < 2.3, "B(10 kA/m) = {b_last}");
+        assert!(core.activations() > 1000);
+        assert!(core.delta_cycles() > 1000);
+    }
+
+    #[test]
+    fn major_loop_has_hysteresis() {
+        let mut core = SystemCJaCore::date2006().unwrap();
+        let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 2).unwrap();
+        let curve = core.run_schedule(&schedule).unwrap();
+        let metrics = loop_analysis::loop_metrics(&curve).unwrap();
+        assert!(metrics.b_max.as_tesla() > 1.5);
+        assert!(metrics.coercivity.value() > 1_000.0);
+        assert!(metrics.remanence.as_tesla() > 0.3);
+        assert_eq!(metrics.negative_slope_samples, 0);
+    }
+
+    #[test]
+    fn small_changes_below_dhmax_do_not_integrate() {
+        let mut core = SystemCJaCore::new(JaParameters::date2006(), 100.0).unwrap();
+        core.apply_field(0.0).unwrap();
+        let activations_before = core.activations();
+        // 50 A/m < dhmax = 100 A/m: core runs but no integration is
+        // triggered, so the flux only reflects the reversible response.
+        let (b, _) = core.apply_field(50.0).unwrap();
+        assert!(b > 0.0);
+        assert!(b < 0.01);
+        assert!(core.activations() > activations_before);
+    }
+
+    #[test]
+    fn timed_testbench_matches_dc_sweep() {
+        let schedule = FieldSchedule::major_loop(10_000.0, 50.0, 1).unwrap();
+        let samples = schedule.to_samples();
+
+        let mut dc = SystemCJaCore::date2006().unwrap();
+        let dc_curve = dc.run_schedule(&schedule).unwrap();
+
+        let mut timed = SystemCJaCore::date2006().unwrap();
+        let (timed_curve, recorder) = timed.run_timed(&samples, 1e-6).unwrap();
+
+        assert_eq!(dc_curve.len(), timed_curve.len() + 0);
+        let max_diff = dc_curve
+            .points()
+            .iter()
+            .zip(timed_curve.points())
+            .map(|(a, b)| (a.b.as_tesla() - b.b.as_tesla()).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 1e-9, "timed vs DC sweep differ by {max_diff}");
+        assert_eq!(recorder.len(), samples.len());
+    }
+
+    #[test]
+    fn debug_output() {
+        let core = SystemCJaCore::date2006().unwrap();
+        assert!(format!("{core:?}").contains("SystemCJaCore"));
+        assert_eq!(core.params().k, 4000.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! BH-curve containers.
+//!
+//! A [`BhCurve`] is an ordered trace of `(H, B)` samples, optionally carrying
+//! the magnetisation `M` as well.  This is the common exchange format
+//! between the hysteresis models, the loop analysis and the export layer:
+//! the models append samples as the excitation is swept, and the analysis
+//! reads them back out.
+
+use crate::error::MagneticsError;
+use crate::units::{FieldStrength, FluxDensity, Magnetisation};
+
+/// One sample of a BH trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct BhPoint {
+    /// Applied field `H`.
+    pub h: FieldStrength,
+    /// Flux density `B`.
+    pub b: FluxDensity,
+    /// Magnetisation `M` (if the producing model tracks it; zero otherwise).
+    pub m: Magnetisation,
+}
+
+impl BhPoint {
+    /// Creates a sample carrying field, flux density and magnetisation.
+    pub fn new(h: FieldStrength, b: FluxDensity, m: Magnetisation) -> Self {
+        Self { h, b, m }
+    }
+
+    /// Creates a sample from field and flux density only.
+    pub fn from_h_b(h: FieldStrength, b: FluxDensity) -> Self {
+        Self {
+            h,
+            b,
+            m: Magnetisation::zero(),
+        }
+    }
+}
+
+/// An ordered BH trace.
+///
+/// The container enforces nothing about the shape of the data — it can hold
+/// an initial magnetisation curve, a single loop, or a long sweep with many
+/// nested minor loops — and provides the accessors the analysis code needs.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BhCurve {
+    points: Vec<BhPoint>,
+}
+
+impl BhCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Creates an empty curve with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, point: BhPoint) {
+        self.points.push(point);
+    }
+
+    /// Appends a sample given as raw `(H, B, M)` values in SI units.
+    pub fn push_raw(&mut self, h: f64, b: f64, m: f64) {
+        self.points.push(BhPoint::new(
+            FieldStrength::new(h),
+            FluxDensity::new(b),
+            Magnetisation::new(m),
+        ));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the curve holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Borrow the samples.
+    pub fn points(&self) -> &[BhPoint] {
+        &self.points
+    }
+
+    /// Iterator over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, BhPoint> {
+        self.points.iter()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<&BhPoint> {
+        self.points.last()
+    }
+
+    /// Largest |B| in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InsufficientSamples`] on an empty curve.
+    pub fn peak_flux_density(&self) -> Result<FluxDensity, MagneticsError> {
+        self.require(1)?;
+        let peak = self
+            .points
+            .iter()
+            .map(|p| p.b.as_tesla().abs())
+            .fold(0.0_f64, f64::max);
+        Ok(FluxDensity::new(peak))
+    }
+
+    /// Largest |H| in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InsufficientSamples`] on an empty curve.
+    pub fn peak_field(&self) -> Result<FieldStrength, MagneticsError> {
+        self.require(1)?;
+        let peak = self
+            .points
+            .iter()
+            .map(|p| p.h.value().abs())
+            .fold(0.0_f64, f64::max);
+        Ok(FieldStrength::new(peak))
+    }
+
+    /// Range of `H` covered by the trace as `(min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InsufficientSamples`] on an empty curve.
+    pub fn field_range(&self) -> Result<(FieldStrength, FieldStrength), MagneticsError> {
+        self.require(1)?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in &self.points {
+            lo = lo.min(p.h.value());
+            hi = hi.max(p.h.value());
+        }
+        Ok((FieldStrength::new(lo), FieldStrength::new(hi)))
+    }
+
+    /// Splits the trace at the field turning points, returning the index of
+    /// the first sample of every monotone branch.  The first branch always
+    /// starts at index 0.
+    pub fn branch_starts(&self) -> Vec<usize> {
+        let mut starts = vec![0];
+        if self.points.len() < 3 {
+            return starts;
+        }
+        let mut prev_dir = 0.0;
+        for i in 1..self.points.len() {
+            let dh = self.points[i].h.value() - self.points[i - 1].h.value();
+            let dir = if dh > 0.0 {
+                1.0
+            } else if dh < 0.0 {
+                -1.0
+            } else {
+                prev_dir
+            };
+            if prev_dir != 0.0 && dir != 0.0 && dir != prev_dir {
+                starts.push(i - 1);
+            }
+            if dir != 0.0 {
+                prev_dir = dir;
+            }
+        }
+        starts
+    }
+
+    /// Returns the number of samples at which `B` decreases while `H`
+    /// increases (or vice versa) — i.e. samples exhibiting a locally
+    /// negative differential permeability.  The paper's slope clamp is meant
+    /// to drive this count to zero.
+    pub fn negative_slope_samples(&self) -> usize {
+        let mut count = 0;
+        for w in self.points.windows(2) {
+            let dh = w[1].h.value() - w[0].h.value();
+            let db = w[1].b.as_tesla() - w[0].b.as_tesla();
+            if dh != 0.0 && db / dh < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn require(&self, n: usize) -> Result<(), MagneticsError> {
+        if self.points.len() < n {
+            return Err(MagneticsError::InsufficientSamples {
+                required: n,
+                available: self.points.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<BhPoint> for BhCurve {
+    fn from_iter<T: IntoIterator<Item = BhPoint>>(iter: T) -> Self {
+        Self {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BhPoint> for BhCurve {
+    fn extend<T: IntoIterator<Item = BhPoint>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a BhCurve {
+    type Item = &'a BhPoint;
+    type IntoIter = std::slice::Iter<'a, BhPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl IntoIterator for BhCurve {
+    type Item = BhPoint;
+    type IntoIter = std::vec::IntoIter<BhPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_curve() -> BhCurve {
+        // H goes 0 -> 10 -> -10 -> 10, B follows linearly (no hysteresis).
+        let mut curve = BhCurve::new();
+        let mut h = 0.0;
+        let mut dir = 1.0;
+        for _ in 0..400 {
+            curve.push_raw(h, h * 1e-4, h * 10.0);
+            h += dir * 0.25;
+            if h >= 10.0 {
+                dir = -1.0;
+            } else if h <= -10.0 {
+                dir = 1.0;
+            }
+        }
+        curve
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut curve = BhCurve::new();
+        assert!(curve.is_empty());
+        curve.push(BhPoint::from_h_b(FieldStrength::new(1.0), FluxDensity::new(0.5)));
+        curve.push_raw(2.0, 1.0, 3.0);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve.last().unwrap().h.value(), 2.0);
+    }
+
+    #[test]
+    fn peak_values() {
+        let curve = triangle_curve();
+        assert!((curve.peak_field().unwrap().value() - 10.0).abs() < 0.3);
+        assert!(curve.peak_flux_density().unwrap().as_tesla() > 9.0e-4);
+    }
+
+    #[test]
+    fn empty_curve_errors() {
+        let curve = BhCurve::new();
+        assert!(curve.peak_field().is_err());
+        assert!(curve.peak_flux_density().is_err());
+        assert!(curve.field_range().is_err());
+    }
+
+    #[test]
+    fn field_range_covers_sweep() {
+        let curve = triangle_curve();
+        let (lo, hi) = curve.field_range().unwrap();
+        assert!(lo.value() <= -9.5);
+        assert!(hi.value() >= 9.5);
+    }
+
+    #[test]
+    fn branch_starts_detect_reversals() {
+        let curve = triangle_curve();
+        let starts = curve.branch_starts();
+        // 0 -> 10 -> -10 -> 10 has at least two reversals.
+        assert!(starts.len() >= 3, "starts = {starts:?}");
+        assert_eq!(starts[0], 0);
+    }
+
+    #[test]
+    fn negative_slope_count_zero_for_monotone_b_of_h() {
+        let curve = triangle_curve();
+        assert_eq!(curve.negative_slope_samples(), 0);
+    }
+
+    #[test]
+    fn negative_slope_detected() {
+        let mut curve = BhCurve::new();
+        curve.push_raw(0.0, 0.0, 0.0);
+        curve.push_raw(1.0, -0.5, 0.0); // B drops while H rises
+        curve.push_raw(2.0, 0.5, 0.0);
+        assert_eq!(curve.negative_slope_samples(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let pts = vec![
+            BhPoint::from_h_b(FieldStrength::new(0.0), FluxDensity::new(0.0)),
+            BhPoint::from_h_b(FieldStrength::new(1.0), FluxDensity::new(0.1)),
+        ];
+        let mut curve: BhCurve = pts.clone().into_iter().collect();
+        curve.extend(pts);
+        assert_eq!(curve.len(), 4);
+        assert_eq!((&curve).into_iter().count(), 4);
+        assert_eq!(curve.into_iter().count(), 4);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let curve = BhCurve::with_capacity(128);
+        assert!(curve.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type shared by the magnetics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by magnetic domain computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MagneticsError {
+    /// A Jiles–Atherton or anhysteretic parameter is outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"a"`, `"k"`, `"m_sat"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable requirement the value violated.
+        requirement: &'static str,
+    },
+    /// A geometric quantity (area, path length, turns) is not physical.
+    InvalidGeometry {
+        /// Name of the offending quantity.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A BH trace did not contain enough samples for the requested analysis.
+    InsufficientSamples {
+        /// Number of samples required.
+        required: usize,
+        /// Number of samples available.
+        available: usize,
+    },
+    /// The analysed trace never crossed the level needed for a metric
+    /// (for example no `B = 0` crossing when extracting coercivity).
+    MissingCrossing {
+        /// Description of the crossing that was not found.
+        what: &'static str,
+    },
+    /// A numeric input was NaN or infinite.
+    NonFiniteInput {
+        /// Name of the offending input.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for MagneticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagneticsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}: must satisfy {requirement}"
+            ),
+            MagneticsError::InvalidGeometry { name, value } => {
+                write!(f, "invalid geometry `{name}` = {value}: must be finite and positive")
+            }
+            MagneticsError::InsufficientSamples {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient samples: analysis requires {required}, trace holds {available}"
+            ),
+            MagneticsError::MissingCrossing { what } => {
+                write!(f, "trace never produced the required crossing: {what}")
+            }
+            MagneticsError::NonFiniteInput { name } => {
+                write!(f, "input `{name}` was NaN or infinite")
+            }
+        }
+    }
+}
+
+impl Error for MagneticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = MagneticsError::InvalidParameter {
+            name: "a",
+            value: -1.0,
+            requirement: "a > 0",
+        };
+        let text = err.to_string();
+        assert!(text.contains("`a`"));
+        assert!(text.contains("a > 0"));
+    }
+
+    #[test]
+    fn display_missing_crossing() {
+        let err = MagneticsError::MissingCrossing {
+            what: "B = 0 on the descending branch",
+        };
+        assert!(err.to_string().contains("descending branch"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MagneticsError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        let a = MagneticsError::NonFiniteInput { name: "h" };
+        let b = MagneticsError::NonFiniteInput { name: "h" };
+        assert_eq!(a, b);
+    }
+}

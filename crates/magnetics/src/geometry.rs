@@ -1,0 +1,221 @@
+//! Magnetic core geometry and windings.
+//!
+//! The paper's SystemC model multiplies the flux density by a core area to
+//! report flux (`B = MU0*area*(ms*mtotal + H)` in the listing is actually a
+//! flux, Φ = B·A).  When the core is embedded in a circuit (the analogue
+//! solver substrate), the geometry also converts winding current into field
+//! strength (`H = N·I / l_m`) and flux change into induced voltage
+//! (`v = N·dΦ/dt`).
+
+use crate::error::MagneticsError;
+use crate::units::{FieldStrength, FluxDensity, MagneticFlux};
+
+/// Geometry of a magnetic core: effective cross-section area and effective
+/// magnetic path length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreGeometry {
+    area_m2: f64,
+    path_length_m: f64,
+}
+
+impl CoreGeometry {
+    /// Creates a core geometry from an effective area (m²) and an effective
+    /// magnetic path length (m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidGeometry`] when either value is not
+    /// finite and strictly positive.
+    pub fn new(area_m2: f64, path_length_m: f64) -> Result<Self, MagneticsError> {
+        if !area_m2.is_finite() || area_m2 <= 0.0 {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "area_m2",
+                value: area_m2,
+            });
+        }
+        if !path_length_m.is_finite() || path_length_m <= 0.0 {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "path_length_m",
+                value: path_length_m,
+            });
+        }
+        Ok(Self {
+            area_m2,
+            path_length_m,
+        })
+    }
+
+    /// A toroidal core described by inner/outer radius and height (all in
+    /// metres): area = (r_out − r_in)·h, path length = 2π·(r_in + r_out)/2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidGeometry`] when the radii are not
+    /// ordered `0 < r_in < r_out` or the height is not positive.
+    pub fn toroid(inner_radius_m: f64, outer_radius_m: f64, height_m: f64) -> Result<Self, MagneticsError> {
+        if !(inner_radius_m.is_finite() && inner_radius_m > 0.0) {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "inner_radius_m",
+                value: inner_radius_m,
+            });
+        }
+        if !(outer_radius_m.is_finite() && outer_radius_m > inner_radius_m) {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "outer_radius_m",
+                value: outer_radius_m,
+            });
+        }
+        if !(height_m.is_finite() && height_m > 0.0) {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "height_m",
+                value: height_m,
+            });
+        }
+        let area = (outer_radius_m - inner_radius_m) * height_m;
+        let path = std::f64::consts::PI * (inner_radius_m + outer_radius_m);
+        Self::new(area, path)
+    }
+
+    /// A small demonstration core (1 cm² area, 10 cm path) used by the
+    /// examples and benches.
+    pub fn demo() -> Self {
+        Self {
+            area_m2: 1.0e-4,
+            path_length_m: 0.1,
+        }
+    }
+
+    /// Effective cross-section area in m².
+    pub fn area_m2(&self) -> f64 {
+        self.area_m2
+    }
+
+    /// Effective magnetic path length in m.
+    pub fn path_length_m(&self) -> f64 {
+        self.path_length_m
+    }
+
+    /// Core volume in m³ (area × path length); multiplying the loop area
+    /// (J/m³) by this gives the energy lost per cycle in joules.
+    pub fn volume_m3(&self) -> f64 {
+        self.area_m2 * self.path_length_m
+    }
+
+    /// Flux through the core for a given flux density.
+    pub fn flux(&self, b: FluxDensity) -> MagneticFlux {
+        b.flux_through(self.area_m2)
+    }
+}
+
+/// A winding of `turns` turns around a [`CoreGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Winding {
+    turns: u32,
+    core: CoreGeometry,
+}
+
+impl Winding {
+    /// Creates a winding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidGeometry`] when `turns` is zero.
+    pub fn new(turns: u32, core: CoreGeometry) -> Result<Self, MagneticsError> {
+        if turns == 0 {
+            return Err(MagneticsError::InvalidGeometry {
+                name: "turns",
+                value: 0.0,
+            });
+        }
+        Ok(Self { turns, core })
+    }
+
+    /// Number of turns.
+    pub fn turns(&self) -> u32 {
+        self.turns
+    }
+
+    /// The wound core.
+    pub fn core(&self) -> &CoreGeometry {
+        &self.core
+    }
+
+    /// Field strength produced by a winding current (ampere-turns over the
+    /// magnetic path): `H = N·i / l_m`.
+    pub fn field_from_current(&self, current_a: f64) -> FieldStrength {
+        FieldStrength::new(self.turns as f64 * current_a / self.core.path_length_m())
+    }
+
+    /// Winding current needed to produce a given field strength.
+    pub fn current_for_field(&self, h: FieldStrength) -> f64 {
+        h.value() * self.core.path_length_m() / self.turns as f64
+    }
+
+    /// Flux linkage `λ = N·Φ` for a flux density in the core.
+    pub fn flux_linkage(&self, b: FluxDensity) -> f64 {
+        self.turns as f64 * self.core.flux(b).as_weber()
+    }
+
+    /// Induced voltage for a rate of change of flux density (T/s):
+    /// `v = N·A·dB/dt`.
+    pub fn induced_voltage(&self, db_dt: f64) -> f64 {
+        self.turns as f64 * self.core.area_m2() * db_dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_positive_dimensions() {
+        assert!(CoreGeometry::new(0.0, 0.1).is_err());
+        assert!(CoreGeometry::new(1e-4, -1.0).is_err());
+        assert!(CoreGeometry::new(f64::NAN, 0.1).is_err());
+        assert!(CoreGeometry::new(1e-4, 0.1).is_ok());
+    }
+
+    #[test]
+    fn toroid_dimensions() {
+        let core = CoreGeometry::toroid(0.01, 0.02, 0.005).unwrap();
+        assert!((core.area_m2() - 0.01 * 0.005).abs() < 1e-12);
+        assert!((core.path_length_m() - std::f64::consts::PI * 0.03).abs() < 1e-12);
+        assert!(core.volume_m3() > 0.0);
+    }
+
+    #[test]
+    fn toroid_rejects_bad_radii() {
+        assert!(CoreGeometry::toroid(-0.01, 0.02, 0.005).is_err());
+        assert!(CoreGeometry::toroid(0.02, 0.01, 0.005).is_err());
+        assert!(CoreGeometry::toroid(0.01, 0.02, 0.0).is_err());
+    }
+
+    #[test]
+    fn flux_through_core() {
+        let core = CoreGeometry::demo();
+        let phi = core.flux(FluxDensity::new(1.5));
+        assert!((phi.as_weber() - 1.5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winding_field_current_roundtrip() {
+        let w = Winding::new(100, CoreGeometry::demo()).unwrap();
+        let h = w.field_from_current(2.0);
+        assert!((h.value() - 100.0 * 2.0 / 0.1).abs() < 1e-9);
+        let i = w.current_for_field(h);
+        assert!((i - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winding_rejects_zero_turns() {
+        assert!(Winding::new(0, CoreGeometry::demo()).is_err());
+    }
+
+    #[test]
+    fn flux_linkage_and_induced_voltage() {
+        let w = Winding::new(50, CoreGeometry::demo()).unwrap();
+        assert!((w.flux_linkage(FluxDensity::new(1.0)) - 50.0 * 1.0e-4).abs() < 1e-12);
+        // dB/dt = 100 T/s through 1 cm^2 with 50 turns -> 0.5 V
+        assert!((w.induced_voltage(100.0) - 0.5).abs() < 1e-12);
+    }
+}

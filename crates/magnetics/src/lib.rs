@@ -1,0 +1,49 @@
+//! Magnetic domain substrate for the timeless Jiles–Atherton reproduction.
+//!
+//! This crate provides everything the hysteresis models need that is *not*
+//! specific to the timeless-discretisation technique itself:
+//!
+//! * strongly typed magnetic quantities ([`units`]): field strength,
+//!   magnetisation, flux density, flux, permeability;
+//! * physical [`constants`] (µ0 and friends);
+//! * anhysteretic magnetisation functions ([`anhysteretic`]): the classic
+//!   Langevin function and the modified (arctangent) form used by the paper,
+//!   plus a two-parameter variant for the `a2` parameter the paper mentions;
+//! * Jiles–Atherton material parameter sets ([`material`]) with validation
+//!   and presets, including the exact parameter set of the paper;
+//! * BH-curve containers ([`bh`]) and loop analysis ([`loop_analysis`]):
+//!   coercivity, remanence, saturation, loop area / hysteresis loss,
+//!   branch splitting and loop-closure checks;
+//! * magnetic core geometry ([`geometry`]): toroids and generic cores,
+//!   ampere-turns to field strength, flux to flux density, winding helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use magnetics::material::JaParameters;
+//! use magnetics::anhysteretic::{Anhysteretic, ModifiedLangevin};
+//! use magnetics::units::FieldStrength;
+//!
+//! # fn main() -> Result<(), magnetics::MagneticsError> {
+//! let params = JaParameters::date2006();
+//! let man = ModifiedLangevin::new(params.a)?;
+//! let m = man.magnetisation(FieldStrength::new(4000.0), params.m_sat);
+//! assert!(m.as_amperes_per_meter() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anhysteretic;
+pub mod bh;
+pub mod constants;
+pub mod error;
+pub mod geometry;
+pub mod loop_analysis;
+pub mod losses;
+pub mod material;
+pub mod units;
+
+pub use error::MagneticsError;

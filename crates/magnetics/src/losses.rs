@@ -1,0 +1,227 @@
+//! Core-loss estimation from BH traces.
+//!
+//! The hysteresis loop area gives the energy dissipated per cycle and unit
+//! volume; combined with a [`crate::geometry::CoreGeometry`] and an
+//! excitation frequency it yields the hysteresis loss in watts.  The
+//! classical eddy-current term for thin laminations and a Steinmetz-style
+//! power-law fit are provided as well, so the reproduction can report the
+//! loss breakdown a magnetics engineer would expect from a core model.
+
+use crate::bh::BhCurve;
+use crate::error::MagneticsError;
+use crate::geometry::CoreGeometry;
+use crate::loop_analysis::loop_area;
+
+/// Loss breakdown of a core under periodic excitation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreLoss {
+    /// Hysteresis loss in watts.
+    pub hysteresis_w: f64,
+    /// Classical eddy-current loss in watts.
+    pub eddy_w: f64,
+    /// Total of the two contributions in watts.
+    pub total_w: f64,
+    /// Energy lost to hysteresis per cycle, in joules.
+    pub energy_per_cycle_j: f64,
+}
+
+/// Parameters of the classical eddy-current loss model for laminated cores:
+/// `P_e = (π²/6) · σ · d² · f² · B_pk² · V`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaminationSpec {
+    /// Electrical conductivity of the lamination material (S/m).
+    pub conductivity_s_per_m: f64,
+    /// Lamination thickness (m).
+    pub thickness_m: f64,
+}
+
+impl LaminationSpec {
+    /// A typical 0.35 mm silicon-steel lamination.
+    pub fn silicon_steel_0p35mm() -> Self {
+        Self {
+            conductivity_s_per_m: 2.0e6,
+            thickness_m: 0.35e-3,
+        }
+    }
+}
+
+/// Computes the loss breakdown of one excitation cycle.
+///
+/// `curve` must contain exactly one full cycle of the BH trajectory (its
+/// enclosed area is taken as the per-cycle hysteresis energy density).
+///
+/// # Errors
+///
+/// Returns [`MagneticsError::InvalidParameter`] when the frequency is not
+/// finite and positive, or [`MagneticsError::InsufficientSamples`] when the
+/// curve holds fewer than 8 samples.
+pub fn core_loss(
+    curve: &BhCurve,
+    geometry: &CoreGeometry,
+    frequency_hz: f64,
+    lamination: Option<LaminationSpec>,
+) -> Result<CoreLoss, MagneticsError> {
+    if !frequency_hz.is_finite() || frequency_hz <= 0.0 {
+        return Err(MagneticsError::InvalidParameter {
+            name: "frequency_hz",
+            value: frequency_hz,
+            requirement: "finite and > 0",
+        });
+    }
+    if curve.len() < 8 {
+        return Err(MagneticsError::InsufficientSamples {
+            required: 8,
+            available: curve.len(),
+        });
+    }
+    let volume = geometry.volume_m3();
+    let energy_density = loop_area(curve); // J/m^3 per cycle
+    let energy_per_cycle = energy_density * volume;
+    let hysteresis_w = energy_per_cycle * frequency_hz;
+
+    let eddy_w = match lamination {
+        Some(spec) => {
+            let b_pk = curve.peak_flux_density()?.as_tesla();
+            (std::f64::consts::PI.powi(2) / 6.0)
+                * spec.conductivity_s_per_m
+                * spec.thickness_m.powi(2)
+                * frequency_hz.powi(2)
+                * b_pk.powi(2)
+                * volume
+        }
+        None => 0.0,
+    };
+
+    Ok(CoreLoss {
+        hysteresis_w,
+        eddy_w,
+        total_w: hysteresis_w + eddy_w,
+        energy_per_cycle_j: energy_per_cycle,
+    })
+}
+
+/// Fits a Steinmetz power law `P = k_h · f · B_pk^β` (hysteresis-only form)
+/// to a set of `(frequency, peak flux density, measured loss)` points,
+/// returning `(k_h, β)`.
+///
+/// The fit is a linear least-squares in log space; at least two points with
+/// distinct peak flux densities are required.
+///
+/// # Errors
+///
+/// Returns [`MagneticsError::InsufficientSamples`] for fewer than two
+/// points, and [`MagneticsError::NonFiniteInput`] when any point is not
+/// strictly positive.
+pub fn fit_steinmetz(points: &[(f64, f64, f64)]) -> Result<(f64, f64), MagneticsError> {
+    if points.len() < 2 {
+        return Err(MagneticsError::InsufficientSamples {
+            required: 2,
+            available: points.len(),
+        });
+    }
+    if points
+        .iter()
+        .any(|&(f, b, p)| !(f > 0.0 && b > 0.0 && p > 0.0))
+    {
+        return Err(MagneticsError::NonFiniteInput { name: "points" });
+    }
+    // log(P/f) = log(k_h) + beta * log(B)
+    let xs: Vec<f64> = points.iter().map(|&(_, b, _)| b.ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(f, _, p)| (p / f).ln()).collect();
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx < 1e-12 {
+        return Err(MagneticsError::InvalidParameter {
+            name: "points",
+            value: sxx,
+            requirement: "at least two distinct peak flux densities",
+        });
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let beta = sxy / sxx;
+    let k_h = (mean_y - beta * mean_x).exp();
+    Ok((k_h, beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bh::BhCurve;
+
+    fn rectangular_loop(b_s: f64, h_c: f64, n: usize) -> BhCurve {
+        // An idealised rectangular loop of area ~ 4 * Hc * Bs.
+        let mut curve = BhCurve::new();
+        for i in 0..=n {
+            let h = -3.0 * h_c + 6.0 * h_c * i as f64 / n as f64;
+            let b = if h > -h_c { b_s } else { -b_s };
+            curve.push_raw(h, b, 0.0);
+        }
+        for i in 0..=n {
+            let h = 3.0 * h_c - 6.0 * h_c * i as f64 / n as f64;
+            let b = if h < h_c { -b_s } else { b_s };
+            curve.push_raw(h, b, 0.0);
+        }
+        curve
+    }
+
+    #[test]
+    fn hysteresis_loss_scales_with_frequency_and_volume() {
+        let curve = rectangular_loop(1.5, 1000.0, 400);
+        let geom = CoreGeometry::new(1e-4, 0.1).unwrap();
+        let at_50 = core_loss(&curve, &geom, 50.0, None).unwrap();
+        let at_100 = core_loss(&curve, &geom, 100.0, None).unwrap();
+        assert!(at_50.hysteresis_w > 0.0);
+        assert!((at_100.hysteresis_w / at_50.hysteresis_w - 2.0).abs() < 1e-9);
+        assert_eq!(at_50.eddy_w, 0.0);
+        assert!((at_50.total_w - at_50.hysteresis_w).abs() < 1e-12);
+        // Loop area of the ideal rectangle is 4*Hc*Bs = 6000 J/m^3.
+        let expected_energy = 6000.0 * geom.volume_m3();
+        assert!((at_50.energy_per_cycle_j - expected_energy).abs() / expected_energy < 0.05);
+    }
+
+    #[test]
+    fn eddy_loss_scales_with_frequency_squared() {
+        let curve = rectangular_loop(1.5, 1000.0, 400);
+        let geom = CoreGeometry::new(1e-4, 0.1).unwrap();
+        let spec = LaminationSpec::silicon_steel_0p35mm();
+        let at_50 = core_loss(&curve, &geom, 50.0, Some(spec)).unwrap();
+        let at_100 = core_loss(&curve, &geom, 100.0, Some(spec)).unwrap();
+        assert!(at_50.eddy_w > 0.0);
+        assert!((at_100.eddy_w / at_50.eddy_w - 4.0).abs() < 1e-9);
+        assert!(at_100.total_w > at_100.hysteresis_w);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let curve = rectangular_loop(1.5, 1000.0, 400);
+        let geom = CoreGeometry::demo();
+        assert!(core_loss(&curve, &geom, 0.0, None).is_err());
+        let short = BhCurve::new();
+        assert!(core_loss(&short, &geom, 50.0, None).is_err());
+    }
+
+    #[test]
+    fn steinmetz_fit_recovers_known_exponent() {
+        // Synthesise P = 2.5 * f * B^1.8
+        let points: Vec<(f64, f64, f64)> = [(50.0, 0.5), (50.0, 1.0), (100.0, 1.5), (200.0, 0.8)]
+            .iter()
+            .map(|&(f, b): &(f64, f64)| (f, b, 2.5 * f * b.powf(1.8)))
+            .collect();
+        let (k_h, beta) = fit_steinmetz(&points).unwrap();
+        assert!((k_h - 2.5).abs() < 1e-6);
+        assert!((beta - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steinmetz_fit_rejects_degenerate_input() {
+        assert!(fit_steinmetz(&[(50.0, 1.0, 10.0)]).is_err());
+        assert!(fit_steinmetz(&[(50.0, 1.0, 10.0), (60.0, 1.0, 12.0)]).is_err());
+        assert!(fit_steinmetz(&[(50.0, -1.0, 10.0), (60.0, 1.0, 12.0)]).is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! Jiles–Atherton material parameter sets.
+//!
+//! The five classic JA parameters plus the paper's extra `a2`:
+//!
+//! | symbol | meaning | unit |
+//! |--------|---------|------|
+//! | `M_sat` | saturation magnetisation | A/m |
+//! | `a`     | anhysteretic shape parameter | A/m |
+//! | `a2`    | secondary shape parameter (paper's modification) | A/m |
+//! | `k`     | pinning-site / coercivity parameter | A/m |
+//! | `α`     | inter-domain coupling | — |
+//! | `c`     | reversible-magnetisation ratio | — |
+//!
+//! [`JaParameters::date2006`] reproduces the exact set quoted by the paper.
+
+use crate::anhysteretic::{AnhystereticKind, DoubleArctan, Langevin, ModifiedLangevin};
+use crate::constants::MU0;
+use crate::error::MagneticsError;
+use crate::units::{FluxDensity, Magnetisation};
+
+/// A validated Jiles–Atherton material parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaParameters {
+    /// Saturation magnetisation `M_sat` (A/m).
+    pub m_sat: Magnetisation,
+    /// Anhysteretic shape parameter `a` (A/m).
+    pub a: f64,
+    /// Secondary anhysteretic shape parameter `a2` (A/m); the paper lists
+    /// `a2 = 3500 A/m` next to `a = 2000 A/m`.
+    pub a2: f64,
+    /// Pinning parameter `k` (A/m); sets the coercive field scale.
+    pub k: f64,
+    /// Inter-domain coupling `α` (dimensionless).
+    pub alpha: f64,
+    /// Reversible magnetisation ratio `c` (dimensionless, `0 ≤ c < 1` in
+    /// practice; the model only requires `c ≥ 0`).
+    pub c: f64,
+}
+
+impl JaParameters {
+    /// Validates and constructs a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidParameter`] if any value is
+    /// non-finite, `m_sat`, `a`, `a2` or `k` is not strictly positive,
+    /// `alpha` is negative, or `c` is negative.
+    pub fn new(
+        m_sat: Magnetisation,
+        a: f64,
+        a2: f64,
+        k: f64,
+        alpha: f64,
+        c: f64,
+    ) -> Result<Self, MagneticsError> {
+        let candidate = Self {
+            m_sat,
+            a,
+            a2,
+            k,
+            alpha,
+            c,
+        };
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
+    /// The exact parameter set used by the paper (section 2):
+    /// `k = 4000 A/m`, `c = 0.1`, `M_sat = 1.6 MA/m`, `α = 0.003`,
+    /// `a = 2000 A/m`, `a2 = 3500 A/m`.
+    pub fn date2006() -> Self {
+        Self {
+            m_sat: Magnetisation::from_megaamperes_per_meter(1.6),
+            a: 2000.0,
+            a2: 3500.0,
+            k: 4000.0,
+            alpha: 0.003,
+            c: 0.1,
+        }
+    }
+
+    /// The parameter set of the original Jiles–Atherton 1984 paper, as
+    /// commonly quoted for annealed iron (`α = 1.6e-3`).  Included as an
+    /// alternative material for the examples and ablation benches.
+    pub fn jiles_atherton_1984() -> Self {
+        Self {
+            m_sat: Magnetisation::from_megaamperes_per_meter(1.7),
+            a: 1100.0,
+            a2: 1100.0,
+            k: 400.0,
+            alpha: 1.6e-3,
+            c: 0.2,
+        }
+    }
+
+    /// A soft-ferrite-like material: low coercivity, low saturation.
+    /// Useful for exercising the models on a very different loop shape.
+    pub fn soft_ferrite() -> Self {
+        Self {
+            m_sat: Magnetisation::new(3.8e5),
+            a: 25.0,
+            a2: 40.0,
+            k: 12.0,
+            alpha: 8.0e-6,
+            c: 0.55,
+        }
+    }
+
+    /// A hard-magnetic-like material with a wide loop (large `k`).
+    pub fn hard_steel() -> Self {
+        Self {
+            m_sat: Magnetisation::from_megaamperes_per_meter(1.2),
+            a: 5000.0,
+            a2: 7000.0,
+            k: 15_000.0,
+            alpha: 0.01,
+            c: 0.05,
+        }
+    }
+
+    /// Builder with the paper's values as the starting point.
+    pub fn builder() -> JaParametersBuilder {
+        JaParametersBuilder::new()
+    }
+
+    /// Re-validates the parameter set (useful after manual field edits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`JaParameters::new`].
+    pub fn validate(&self) -> Result<(), MagneticsError> {
+        check_positive("m_sat", self.m_sat.value())?;
+        check_positive("a", self.a)?;
+        check_positive("a2", self.a2)?;
+        check_positive("k", self.k)?;
+        check_non_negative("alpha", self.alpha)?;
+        check_non_negative("c", self.c)?;
+        Ok(())
+    }
+
+    /// Saturation flux density `B_sat = µ0 · M_sat` (the applied field's own
+    /// contribution excluded).  For the paper's material this is ≈ 2.01 T,
+    /// matching the vertical extent of Fig. 1.
+    pub fn saturation_flux_density(&self) -> FluxDensity {
+        FluxDensity::new(MU0 * self.m_sat.value())
+    }
+
+    /// The classic Langevin anhysteretic built from `a`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `a` was validated at construction.
+    pub fn langevin(&self) -> Langevin {
+        Langevin::new(self.a).expect("validated parameter")
+    }
+
+    /// The paper's modified (arctangent) anhysteretic built from `a`.
+    pub fn modified_langevin(&self) -> ModifiedLangevin {
+        ModifiedLangevin::new(self.a).expect("validated parameter")
+    }
+
+    /// The two-parameter arctangent blend built from `a` and `a2` with an
+    /// even weight.
+    pub fn double_arctan(&self) -> DoubleArctan {
+        DoubleArctan::new(self.a, self.a2, 0.5).expect("validated parameters")
+    }
+
+    /// The default anhysteretic for this material: the paper's modified
+    /// Langevin.
+    pub fn default_anhysteretic(&self) -> AnhystereticKind {
+        self.modified_langevin().into()
+    }
+}
+
+impl Default for JaParameters {
+    fn default() -> Self {
+        Self::date2006()
+    }
+}
+
+/// Builder for [`JaParameters`] (C-BUILDER).  Starts from the paper's values
+/// so callers only need to override what differs.
+#[derive(Debug, Clone, Copy)]
+pub struct JaParametersBuilder {
+    params: JaParameters,
+}
+
+impl JaParametersBuilder {
+    /// Starts a builder seeded with the paper's parameter set.
+    pub fn new() -> Self {
+        Self {
+            params: JaParameters::date2006(),
+        }
+    }
+
+    /// Sets the saturation magnetisation (A/m).
+    pub fn m_sat(mut self, m_sat: Magnetisation) -> Self {
+        self.params.m_sat = m_sat;
+        self
+    }
+
+    /// Sets the anhysteretic shape parameter `a` (A/m).
+    pub fn a(mut self, a: f64) -> Self {
+        self.params.a = a;
+        self
+    }
+
+    /// Sets the secondary shape parameter `a2` (A/m).
+    pub fn a2(mut self, a2: f64) -> Self {
+        self.params.a2 = a2;
+        self
+    }
+
+    /// Sets the pinning parameter `k` (A/m).
+    pub fn k(mut self, k: f64) -> Self {
+        self.params.k = k;
+        self
+    }
+
+    /// Sets the inter-domain coupling `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.params.alpha = alpha;
+        self
+    }
+
+    /// Sets the reversible ratio `c`.
+    pub fn c(mut self, c: f64) -> Self {
+        self.params.c = c;
+        self
+    }
+
+    /// Validates and returns the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidParameter`] under the same conditions
+    /// as [`JaParameters::new`].
+    pub fn build(self) -> Result<JaParameters, MagneticsError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+impl Default for JaParametersBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn check_positive(name: &'static str, value: f64) -> Result<(), MagneticsError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(MagneticsError::InvalidParameter {
+            name,
+            value,
+            requirement: "finite and > 0",
+        });
+    }
+    Ok(())
+}
+
+fn check_non_negative(name: &'static str, value: f64) -> Result<(), MagneticsError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(MagneticsError::InvalidParameter {
+            name,
+            value,
+            requirement: "finite and >= 0",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anhysteretic::Anhysteretic;
+
+    #[test]
+    fn date2006_matches_paper_values() {
+        let p = JaParameters::date2006();
+        assert_eq!(p.k, 4000.0);
+        assert_eq!(p.c, 0.1);
+        assert_eq!(p.m_sat.value(), 1.6e6);
+        assert_eq!(p.alpha, 0.003);
+        assert_eq!(p.a, 2000.0);
+        assert_eq!(p.a2, 3500.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn saturation_flux_density_about_two_tesla() {
+        let b = JaParameters::date2006().saturation_flux_density();
+        assert!(b.as_tesla() > 1.9 && b.as_tesla() < 2.1);
+    }
+
+    #[test]
+    fn presets_all_validate() {
+        for p in [
+            JaParameters::date2006(),
+            JaParameters::jiles_atherton_1984(),
+            JaParameters::soft_ferrite(),
+            JaParameters::hard_steel(),
+        ] {
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn new_rejects_negative_k() {
+        let err = JaParameters::new(Magnetisation::new(1.6e6), 2000.0, 3500.0, -1.0, 0.003, 0.1)
+            .unwrap_err();
+        assert!(matches!(err, MagneticsError::InvalidParameter { name: "k", .. }));
+    }
+
+    #[test]
+    fn new_rejects_nan_alpha() {
+        let err =
+            JaParameters::new(Magnetisation::new(1.6e6), 2000.0, 3500.0, 4000.0, f64::NAN, 0.1)
+                .unwrap_err();
+        assert!(matches!(err, MagneticsError::InvalidParameter { name: "alpha", .. }));
+    }
+
+    #[test]
+    fn new_rejects_zero_m_sat() {
+        let err = JaParameters::new(Magnetisation::zero(), 2000.0, 3500.0, 4000.0, 0.003, 0.1)
+            .unwrap_err();
+        assert!(matches!(err, MagneticsError::InvalidParameter { name: "m_sat", .. }));
+    }
+
+    #[test]
+    fn builder_overrides_single_field() {
+        let p = JaParameters::builder().k(5000.0).build().unwrap();
+        assert_eq!(p.k, 5000.0);
+        assert_eq!(p.a, 2000.0);
+    }
+
+    #[test]
+    fn builder_propagates_validation_error() {
+        assert!(JaParameters::builder().c(-0.5).build().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_set() {
+        assert_eq!(JaParameters::default(), JaParameters::date2006());
+    }
+
+    #[test]
+    fn anhysteretic_constructors_work() {
+        let p = JaParameters::date2006();
+        let he = 3000.0;
+        assert!(p.langevin().normalised(he) > 0.0);
+        assert!(p.modified_langevin().normalised(he) > 0.0);
+        assert!(p.double_arctan().normalised(he) > 0.0);
+        assert!(p.default_anhysteretic().normalised(he) > 0.0);
+    }
+
+    #[test]
+    fn validate_catches_manual_edit() {
+        let mut p = JaParameters::date2006();
+        p.a = f64::INFINITY;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Waveform combinators: scaling, offsetting and superposition.
+//!
+//! The paper's Fig. 1 excitation is a slow triangular major sweep with
+//! smaller triangular excursions superimposed, producing the non-biased
+//! minor loops.  [`Superposition`] composes such stimuli from the primitive
+//! generators without writing a new waveform type for every experiment.
+
+use crate::generator::Waveform;
+
+/// `scale · inner(t) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scaled<W> {
+    inner: W,
+    scale: f64,
+    offset: f64,
+}
+
+impl<W: Waveform> Scaled<W> {
+    /// Scales and offsets another waveform.
+    pub fn new(inner: W, scale: f64, offset: f64) -> Self {
+        Self {
+            inner,
+            scale,
+            offset,
+        }
+    }
+}
+
+impl<W: Waveform> Waveform for Scaled<W> {
+    fn value(&self, t: f64) -> f64 {
+        self.scale * self.inner.value(t) + self.offset
+    }
+
+    fn period(&self) -> Option<f64> {
+        self.inner.period()
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        self.scale * self.inner.derivative(t)
+    }
+}
+
+/// Sum of two waveforms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sum<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Waveform, B: Waveform> Sum<A, B> {
+    /// Adds two waveforms sample-by-sample.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: Waveform, B: Waveform> Waveform for Sum<A, B> {
+    fn value(&self, t: f64) -> f64 {
+        self.a.value(t) + self.b.value(t)
+    }
+
+    fn period(&self) -> Option<f64> {
+        // The combined period is the larger one when one divides the other;
+        // otherwise fall back to the larger period as an approximation.
+        match (self.a.period(), self.b.period()) {
+            (Some(pa), Some(pb)) => Some(pa.max(pb)),
+            (p, None) | (None, p) => p,
+        }
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        self.a.derivative(t) + self.b.derivative(t)
+    }
+}
+
+/// Superposition of an arbitrary number of boxed waveforms.
+///
+/// Unlike [`Sum`] this is dynamically sized, which is what the experiment
+/// harness wants when the number of minor-loop excursions is a parameter.
+#[derive(Default)]
+pub struct Superposition {
+    components: Vec<Box<dyn Waveform + Send + Sync>>,
+}
+
+impl Superposition {
+    /// Creates an empty superposition (identically zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component waveform.
+    pub fn push<W: Waveform + Send + Sync + 'static>(&mut self, w: W) {
+        self.components.push(Box::new(w));
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with<W: Waveform + Send + Sync + 'static>(mut self, w: W) -> Self {
+        self.push(w);
+        self
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the superposition has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Superposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Superposition")
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl Waveform for Superposition {
+    fn value(&self, t: f64) -> f64 {
+        self.components.iter().map(|c| c.value(t)).sum()
+    }
+
+    fn period(&self) -> Option<f64> {
+        self.components
+            .iter()
+            .filter_map(|c| c.period())
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        self.components.iter().map(|c| c.derivative(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Constant;
+    use crate::sine::Sine;
+    use crate::triangular::Triangular;
+
+    #[test]
+    fn scaled_waveform() {
+        let w = Scaled::new(Constant(2.0), 3.0, 1.0);
+        assert_eq!(w.value(0.0), 7.0);
+        assert_eq!(w.derivative(0.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_preserves_period() {
+        let tri = Triangular::new(1.0, 0.5).unwrap();
+        let w = Scaled::new(tri, 2.0, 0.0);
+        assert_eq!(w.period(), Some(0.5));
+        assert!((w.derivative(0.01) - 2.0 * tri.derivative(0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_waveforms() {
+        let a = Constant(1.0);
+        let b = Sine::new(2.0, 50.0).unwrap();
+        let w = Sum::new(a, b);
+        assert!((w.value(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(w.period(), Some(0.02));
+    }
+
+    #[test]
+    fn superposition_combines_components() {
+        let mut sup = Superposition::new();
+        assert!(sup.is_empty());
+        sup.push(Constant(1.0));
+        sup.push(Constant(2.5));
+        assert_eq!(sup.len(), 2);
+        assert!((sup.value(42.0) - 3.5).abs() < 1e-12);
+        assert_eq!(sup.period(), None);
+    }
+
+    #[test]
+    fn superposition_minor_loop_stimulus() {
+        // Major triangular sweep + small fast triangular ripple = the Fig. 1
+        // style excitation.
+        let major = Triangular::new(10_000.0, 1.0).unwrap();
+        let ripple = Triangular::new(1_500.0, 0.1).unwrap();
+        let sup = Superposition::new().with(major).with(ripple);
+        assert_eq!(sup.period(), Some(1.0));
+        let peak = (0..1000)
+            .map(|i| sup.value(i as f64 * 1e-3).abs())
+            .fold(0.0, f64::max);
+        assert!(peak > 10_000.0 && peak <= 11_500.0 + 1e-9);
+    }
+
+    #[test]
+    fn superposition_debug_shows_component_count() {
+        let sup = Superposition::new().with(Constant(0.0));
+        assert!(format!("{sup:?}").contains("components"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for waveform construction and export.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building waveforms, schedules or exporting traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformError {
+    /// A waveform parameter (amplitude, period, step…) is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Requirement the value violated.
+        requirement: &'static str,
+    },
+    /// A piecewise-linear definition had fewer than two breakpoints or
+    /// non-monotonic abscissae.
+    InvalidBreakpoints {
+        /// Explanation of what is wrong with the breakpoint list.
+        reason: &'static str,
+    },
+    /// Trace columns have mismatched lengths.
+    ColumnLengthMismatch {
+        /// Name of the column that differs.
+        column: String,
+        /// Expected length (rows already in the trace).
+        expected: usize,
+        /// Actual length of the added column.
+        actual: usize,
+    },
+    /// The requested column does not exist in the trace.
+    UnknownColumn {
+        /// Name of the missing column.
+        column: String,
+    },
+    /// Formatting or I/O failure while exporting.
+    Export(String),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(
+                f,
+                "invalid waveform parameter `{name}` = {value}: must satisfy {requirement}"
+            ),
+            WaveformError::InvalidBreakpoints { reason } => {
+                write!(f, "invalid piecewise-linear breakpoints: {reason}")
+            }
+            WaveformError::ColumnLengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has {actual} rows, trace expects {expected}"
+            ),
+            WaveformError::UnknownColumn { column } => {
+                write!(f, "trace has no column named `{column}`")
+            }
+            WaveformError::Export(msg) => write!(f, "export failed: {msg}"),
+        }
+    }
+}
+
+impl Error for WaveformError {}
+
+impl From<std::io::Error> for WaveformError {
+    fn from(err: std::io::Error) -> Self {
+        WaveformError::Export(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = WaveformError::InvalidParameter {
+            name: "period",
+            value: 0.0,
+            requirement: "> 0",
+        };
+        assert!(err.to_string().contains("period"));
+
+        let err = WaveformError::UnknownColumn {
+            column: "B".into(),
+        };
+        assert!(err.to_string().contains("`B`"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk full");
+        let err: WaveformError = io.into();
+        assert!(matches!(err, WaveformError::Export(_)));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<WaveformError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace export: CSV writing and a terminal ASCII scatter plot.
+//!
+//! The ASCII plot is the reproduction's stand-in for the paper's plotted
+//! Fig. 1 — it lets a user eyeball the BH loop (major loop plus nested minor
+//! loops) straight from a terminal without any plotting dependency.
+
+use std::io::Write;
+
+use crate::error::WaveformError;
+use crate::trace::Trace;
+
+/// Writes a trace as CSV (header row of column names, then one line per
+/// sample row) to any [`Write`] sink.  A `&mut Vec<u8>` or a `File` both
+/// work; remember that a `&mut W` can be passed where `W: Write` is needed.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::Export`] when the underlying writer fails.
+pub fn write_csv<W: Write>(trace: &Trace, mut sink: W) -> Result<(), WaveformError> {
+    writeln!(sink, "{}", trace.names().join(","))?;
+    for i in 0..trace.len() {
+        let row = trace.row(i).expect("index within len");
+        let line = row
+            .iter()
+            .map(|v| format!("{v:.9e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(sink, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Renders a scatter plot of `y` against `x` on a `width × height` character
+/// grid, returning the multi-line string.  Axis ranges are taken from the
+/// data; the origin axes are drawn with `-` and `|` characters when they lie
+/// inside the range, and data points with `*`.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::Export`] when the two series have different
+/// lengths or fewer than two points, or the grid is degenerate.
+pub fn ascii_plot(
+    x: &[f64],
+    y: &[f64],
+    width: usize,
+    height: usize,
+) -> Result<String, WaveformError> {
+    if x.len() != y.len() {
+        return Err(WaveformError::Export(format!(
+            "x has {} points but y has {}",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.len() < 2 {
+        return Err(WaveformError::Export(
+            "need at least two points to plot".into(),
+        ));
+    }
+    if width < 10 || height < 5 {
+        return Err(WaveformError::Export(
+            "plot grid must be at least 10x5 characters".into(),
+        ));
+    }
+    let (x_min, x_max) = min_max(x);
+    let (y_min, y_max) = min_max(y);
+    let x_span = if (x_max - x_min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        x_max - x_min
+    };
+    let y_span = if (y_max - y_min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        y_max - y_min
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+
+    // Axes through zero (if inside range).
+    if y_min <= 0.0 && 0.0 <= y_max {
+        let row = to_row(0.0, y_min, y_span, height);
+        for cell in &mut grid[row] {
+            *cell = '-';
+        }
+    }
+    if x_min <= 0.0 && 0.0 <= x_max {
+        let col = to_col(0.0, x_min, x_span, width);
+        for line in &mut grid {
+            line[col] = if line[col] == '-' { '+' } else { '|' };
+        }
+    }
+
+    for (&xi, &yi) in x.iter().zip(y) {
+        if !xi.is_finite() || !yi.is_finite() {
+            continue;
+        }
+        let col = to_col(xi, x_min, x_span, width);
+        let row = to_row(yi, y_min, y_span, height);
+        grid[row][col] = '*';
+    }
+
+    let mut out = String::with_capacity((width + 1) * (height + 2));
+    out.push_str(&format!("y: [{y_min:.3e}, {y_max:.3e}]\n"));
+    for line in grid {
+        out.extend(line);
+        out.push('\n');
+    }
+    out.push_str(&format!("x: [{x_min:.3e}, {x_max:.3e}]\n"));
+    Ok(out)
+}
+
+fn min_max(series: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in series {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn to_col(x: f64, x_min: f64, x_span: f64, width: usize) -> usize {
+    (((x - x_min) / x_span) * (width - 1) as f64).round() as usize
+}
+
+fn to_row(y: f64, y_min: f64, y_span: f64, height: usize) -> usize {
+    let r = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+    height - 1 - r.min(height - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut trace = Trace::new(["h", "b"]);
+        trace.push_row(&[0.0, 0.0]).unwrap();
+        trace.push_row(&[10.0, 1.5]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "h,b");
+        assert!(lines[2].starts_with("1.0"));
+    }
+
+    #[test]
+    fn csv_empty_trace_only_header() {
+        let trace = Trace::new(["a", "b", "c"]);
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b,c\n");
+    }
+
+    #[test]
+    fn ascii_plot_draws_points_and_axes() {
+        let x: Vec<f64> = (-50..=50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v / 50.0 - 25.0).collect();
+        let plot = ascii_plot(&x, &y, 60, 20).unwrap();
+        assert!(plot.contains('*'));
+        assert!(plot.contains('|'));
+        assert!(plot.contains('-'));
+        assert!(plot.lines().count() >= 20);
+    }
+
+    #[test]
+    fn ascii_plot_rejects_bad_input() {
+        assert!(ascii_plot(&[1.0], &[1.0], 40, 10).is_err());
+        assert!(ascii_plot(&[1.0, 2.0], &[1.0], 40, 10).is_err());
+        assert!(ascii_plot(&[1.0, 2.0], &[1.0, 2.0], 2, 2).is_err());
+    }
+
+    #[test]
+    fn ascii_plot_handles_constant_series() {
+        let x = vec![0.0, 1.0, 2.0];
+        let y = vec![5.0, 5.0, 5.0];
+        let plot = ascii_plot(&x, &y, 20, 8).unwrap();
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn ascii_plot_skips_non_finite_points() {
+        let x = vec![0.0, 1.0, f64::NAN, 3.0];
+        let y = vec![0.0, 1.0, 2.0, f64::INFINITY];
+        let plot = ascii_plot(&x, &y, 20, 8).unwrap();
+        assert!(plot.contains('*'));
+    }
+}

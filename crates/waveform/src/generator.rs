@@ -1,0 +1,103 @@
+//! The [`Waveform`] trait: a scalar function of time.
+
+/// A scalar excitation waveform `x(t)`.
+///
+/// Implementations must be deterministic and defined for every `t ≥ 0`.
+/// The trait is object-safe so heterogeneous stimulus lists can be stored as
+/// `Box<dyn Waveform>`.
+pub trait Waveform {
+    /// Value of the waveform at time `t` (seconds).
+    fn value(&self, t: f64) -> f64;
+
+    /// Fundamental period in seconds, if the waveform is periodic.
+    fn period(&self) -> Option<f64> {
+        None
+    }
+
+    /// Numerical time derivative of the waveform at `t`, using a central
+    /// difference with a step scaled to the period (or 1 µs for aperiodic
+    /// waveforms).  Implementations with an analytic derivative should
+    /// override this.
+    fn derivative(&self, t: f64) -> f64 {
+        let dt = self.period().map_or(1e-6, |p| p * 1e-6);
+        (self.value(t + dt) - self.value(t - dt)) / (2.0 * dt)
+    }
+}
+
+impl<W: Waveform + ?Sized> Waveform for &W {
+    fn value(&self, t: f64) -> f64 {
+        (**self).value(t)
+    }
+
+    fn period(&self) -> Option<f64> {
+        (**self).period()
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        (**self).derivative(t)
+    }
+}
+
+impl<W: Waveform + ?Sized> Waveform for Box<W> {
+    fn value(&self, t: f64) -> f64 {
+        (**self).value(t)
+    }
+
+    fn period(&self) -> Option<f64> {
+        (**self).period()
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        (**self).derivative(t)
+    }
+}
+
+/// A constant waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Waveform for Constant {
+    fn value(&self, _t: f64) -> f64 {
+        self.0
+    }
+
+    fn derivative(&self, _t: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_waveform() {
+        let w = Constant(5.0);
+        assert_eq!(w.value(0.0), 5.0);
+        assert_eq!(w.value(123.0), 5.0);
+        assert_eq!(w.derivative(1.0), 0.0);
+        assert_eq!(w.period(), None);
+    }
+
+    #[test]
+    fn references_and_boxes_delegate() {
+        let w = Constant(2.0);
+        let by_ref: &dyn Waveform = &w;
+        assert_eq!(by_ref.value(0.5), 2.0);
+        let boxed: Box<dyn Waveform> = Box::new(w);
+        assert_eq!(boxed.value(0.5), 2.0);
+        assert_eq!((&boxed).period(), None);
+    }
+
+    #[test]
+    fn default_derivative_uses_finite_difference() {
+        struct Ramp;
+        impl Waveform for Ramp {
+            fn value(&self, t: f64) -> f64 {
+                3.0 * t
+            }
+        }
+        let d = Ramp.derivative(1.0);
+        assert!((d - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Piecewise-linear waveform (SPICE-style `PWL` source).
+
+use crate::error::WaveformError;
+use crate::generator::Waveform;
+
+/// A piecewise-linear waveform defined by `(t, value)` breakpoints.
+///
+/// Before the first breakpoint the waveform holds the first value; after the
+/// last breakpoint it holds the last value.  Between breakpoints values are
+/// linearly interpolated, which is exactly how SPICE `PWL` sources behave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    breakpoints: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a piecewise-linear waveform from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidBreakpoints`] when fewer than two
+    /// breakpoints are given, times are not strictly increasing, or any
+    /// coordinate is not finite.
+    pub fn new(breakpoints: Vec<(f64, f64)>) -> Result<Self, WaveformError> {
+        if breakpoints.len() < 2 {
+            return Err(WaveformError::InvalidBreakpoints {
+                reason: "at least two breakpoints are required",
+            });
+        }
+        for pair in breakpoints.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(WaveformError::InvalidBreakpoints {
+                    reason: "times must be strictly increasing",
+                });
+            }
+        }
+        if breakpoints
+            .iter()
+            .any(|(t, v)| !t.is_finite() || !v.is_finite())
+        {
+            return Err(WaveformError::InvalidBreakpoints {
+                reason: "all coordinates must be finite",
+            });
+        }
+        Ok(Self { breakpoints })
+    }
+
+    /// The breakpoints.
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.breakpoints
+    }
+
+    /// End time of the last breakpoint.
+    pub fn end_time(&self) -> f64 {
+        self.breakpoints.last().map(|(t, _)| *t).unwrap_or(0.0)
+    }
+}
+
+impl Waveform for PiecewiseLinear {
+    fn value(&self, t: f64) -> f64 {
+        let first = self.breakpoints[0];
+        let last = *self.breakpoints.last().expect("validated: >= 2 breakpoints");
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        // Binary search for the segment containing t.
+        let idx = self
+            .breakpoints
+            .partition_point(|(bt, _)| *bt <= t)
+            .saturating_sub(1);
+        let (t0, v0) = self.breakpoints[idx];
+        let (t1, v1) = self.breakpoints[idx + 1];
+        let frac = (t - t0) / (t1 - t0);
+        v0 + frac * (v1 - v0)
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        let first = self.breakpoints[0];
+        let last = *self.breakpoints.last().expect("validated: >= 2 breakpoints");
+        if t < first.0 || t > last.0 {
+            return 0.0;
+        }
+        let idx = self
+            .breakpoints
+            .partition_point(|(bt, _)| *bt <= t)
+            .saturating_sub(1)
+            .min(self.breakpoints.len() - 2);
+        let (t0, v0) = self.breakpoints[idx];
+        let (t1, v1) = self.breakpoints[idx + 1];
+        (v1 - v0) / (t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 10.0), (3.0, -10.0), (4.0, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_breakpoints() {
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(1.0, 1.0), (0.5, 2.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, f64::NAN), (1.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn interpolates_between_breakpoints() {
+        let w = ramp();
+        assert!((w.value(0.5) - 5.0).abs() < 1e-12);
+        assert!((w.value(2.0) - 0.0).abs() < 1e-12);
+        assert!((w.value(3.5) + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holds_outside_range() {
+        let w = ramp();
+        assert_eq!(w.value(-1.0), 0.0);
+        assert_eq!(w.value(100.0), 0.0);
+        assert_eq!(w.derivative(-1.0), 0.0);
+        assert_eq!(w.derivative(100.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_per_segment() {
+        let w = ramp();
+        assert!((w.derivative(0.5) - 10.0).abs() < 1e-12);
+        assert!((w.derivative(2.0) + 10.0).abs() < 1e-12);
+        assert!((w.derivative(3.5) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = ramp();
+        assert_eq!(w.breakpoints().len(), 4);
+        assert_eq!(w.end_time(), 4.0);
+    }
+}

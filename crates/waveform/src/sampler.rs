@@ -1,0 +1,121 @@
+//! Uniform sampling of time-domain waveforms.
+
+use crate::error::WaveformError;
+use crate::generator::Waveform;
+
+/// A uniformly sampled view of a waveform: `n` samples spaced `dt` apart
+/// starting at `t = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledWaveform {
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl SampledWaveform {
+    /// Samples `waveform` every `dt` seconds over `[0, duration]`
+    /// (inclusive of both endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when `dt` or `duration`
+    /// is not finite and positive, or the sample count would exceed
+    /// 100 million points.
+    pub fn sample<W: Waveform>(
+        waveform: &W,
+        duration: f64,
+        dt: f64,
+    ) -> Result<Self, WaveformError> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "dt",
+                value: dt,
+                requirement: "finite and > 0",
+            });
+        }
+        if !duration.is_finite() || duration <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "duration",
+                value: duration,
+                requirement: "finite and > 0",
+            });
+        }
+        let n = (duration / dt).floor() as usize + 1;
+        if n > 100_000_000 {
+            return Err(WaveformError::InvalidParameter {
+                name: "duration/dt",
+                value: n as f64,
+                requirement: "<= 1e8 samples",
+            });
+        }
+        let samples = (0..n).map(|i| waveform.value(i as f64 * dt)).collect();
+        Ok(Self { dt, samples })
+    }
+
+    /// Sampling interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were captured (cannot happen for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time of sample `i`.
+    pub fn time_of(&self, i: usize) -> f64 {
+        i as f64 * self.dt
+    }
+
+    /// Iterator over `(t, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i as f64 * self.dt, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangular::Triangular;
+
+    #[test]
+    fn samples_triangular_wave() {
+        let w = Triangular::new(1.0, 1.0).unwrap();
+        let s = SampledWaveform::sample(&w, 1.0, 0.25).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!((s.samples()[1] - 1.0).abs() < 1e-12);
+        assert!((s.samples()[3] + 1.0).abs() < 1e-12);
+        assert_eq!(s.dt(), 0.25);
+        assert_eq!(s.time_of(4), 1.0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_time_value_pairs() {
+        let w = Triangular::new(2.0, 1.0).unwrap();
+        let s = SampledWaveform::sample(&w, 0.5, 0.1).unwrap();
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs.len(), s.len());
+        assert!((pairs[2].0 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let w = Triangular::new(1.0, 1.0).unwrap();
+        assert!(SampledWaveform::sample(&w, 1.0, 0.0).is_err());
+        assert!(SampledWaveform::sample(&w, 0.0, 0.1).is_err());
+        assert!(SampledWaveform::sample(&w, 1e9, 1e-6).is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Field schedules for timeless (DC-sweep) simulations.
+//!
+//! The paper's central idea is that the magnetisation slope is integrated
+//! against the *field* `H`, not against time.  A [`FieldSchedule`] captures
+//! exactly the information such a simulation needs: the ordered sequence of
+//! field values the excitation passes through, with no timestamps at all.
+//!
+//! A schedule is described by its reversal points (breakpoints) and a step
+//! size; iterating it walks linearly from each breakpoint to the next in
+//! increments of the step.  Ready-made constructors build the excitations
+//! used in the paper's evaluation:
+//!
+//! * [`FieldSchedule::major_loop`] — the plain triangular DC sweep;
+//! * [`FieldSchedule::nested_minor_loops`] — a major sweep followed by
+//!   progressively smaller non-biased (origin-centred) loops, the Fig. 1
+//!   stimulus;
+//! * [`FieldSchedule::biased_minor_loop`] — a small loop around an arbitrary
+//!   bias point ("various minor loop sizes and in different positions");
+//! * [`FieldSchedule::demagnetisation`] — decaying loop amplitudes.
+
+use crate::error::WaveformError;
+
+/// An ordered, time-free sequence of applied-field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSchedule {
+    start: f64,
+    breakpoints: Vec<f64>,
+    step: f64,
+}
+
+impl FieldSchedule {
+    /// Creates a schedule from a starting field, the successive reversal
+    /// targets and the field step used to walk between them (A/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when the step is not
+    /// finite and strictly positive, or any breakpoint is not finite, or no
+    /// breakpoints are given.
+    pub fn new(start: f64, breakpoints: Vec<f64>, step: f64) -> Result<Self, WaveformError> {
+        if !step.is_finite() || step <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "step",
+                value: step,
+                requirement: "finite and > 0",
+            });
+        }
+        if !start.is_finite() {
+            return Err(WaveformError::InvalidParameter {
+                name: "start",
+                value: start,
+                requirement: "finite",
+            });
+        }
+        if breakpoints.is_empty() {
+            return Err(WaveformError::InvalidParameter {
+                name: "breakpoints",
+                value: 0.0,
+                requirement: "at least one reversal target",
+            });
+        }
+        if let Some(&bad) = breakpoints.iter().find(|b| !b.is_finite()) {
+            return Err(WaveformError::InvalidParameter {
+                name: "breakpoints",
+                value: bad,
+                requirement: "all finite",
+            });
+        }
+        Ok(Self {
+            start,
+            breakpoints,
+            step,
+        })
+    }
+
+    /// A plain triangular DC sweep: starting from zero field, `cycles` full
+    /// excursions `0 → +H_peak → −H_peak → +H_peak → …`, ending back at
+    /// `+H_peak` of the last cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when `h_peak` is not
+    /// finite and positive, `step` is invalid, or `cycles` is zero.
+    pub fn major_loop(h_peak: f64, step: f64, cycles: usize) -> Result<Self, WaveformError> {
+        if !h_peak.is_finite() || h_peak <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "h_peak",
+                value: h_peak,
+                requirement: "finite and > 0",
+            });
+        }
+        if cycles == 0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "cycles",
+                value: 0.0,
+                requirement: ">= 1",
+            });
+        }
+        let mut breakpoints = Vec::with_capacity(cycles * 2 + 1);
+        breakpoints.push(h_peak);
+        for _ in 0..cycles {
+            breakpoints.push(-h_peak);
+            breakpoints.push(h_peak);
+        }
+        Self::new(0.0, breakpoints, step)
+    }
+
+    /// The Fig. 1 stimulus: a full major sweep followed by non-biased
+    /// (origin-centred) minor loops at each of the given amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when `h_peak` or any
+    /// minor amplitude is not finite and positive, an amplitude exceeds
+    /// `h_peak`, or `step` is invalid.
+    pub fn nested_minor_loops(
+        h_peak: f64,
+        minor_amplitudes: &[f64],
+        step: f64,
+    ) -> Result<Self, WaveformError> {
+        if !h_peak.is_finite() || h_peak <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "h_peak",
+                value: h_peak,
+                requirement: "finite and > 0",
+            });
+        }
+        for &a in minor_amplitudes {
+            if !a.is_finite() || a <= 0.0 || a > h_peak {
+                return Err(WaveformError::InvalidParameter {
+                    name: "minor_amplitudes",
+                    value: a,
+                    requirement: "finite, > 0 and <= h_peak",
+                });
+            }
+        }
+        // Major loop first (stabilises the trajectory on the outer loop),
+        // then one full non-biased cycle per minor amplitude.
+        let mut breakpoints = vec![h_peak, -h_peak, h_peak];
+        for &a in minor_amplitudes {
+            breakpoints.push(-a);
+            breakpoints.push(a);
+        }
+        Self::new(0.0, breakpoints, step)
+    }
+
+    /// A minor loop of amplitude `amplitude` centred on `bias`, repeated
+    /// `cycles` times, approached from zero field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when the amplitude is not
+    /// finite and positive, the bias is not finite, `cycles` is zero, or
+    /// `step` is invalid.
+    pub fn biased_minor_loop(
+        bias: f64,
+        amplitude: f64,
+        cycles: usize,
+        step: f64,
+    ) -> Result<Self, WaveformError> {
+        if !bias.is_finite() {
+            return Err(WaveformError::InvalidParameter {
+                name: "bias",
+                value: bias,
+                requirement: "finite",
+            });
+        }
+        if !amplitude.is_finite() || amplitude <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "amplitude",
+                value: amplitude,
+                requirement: "finite and > 0",
+            });
+        }
+        if cycles == 0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "cycles",
+                value: 0.0,
+                requirement: ">= 1",
+            });
+        }
+        let mut breakpoints = Vec::with_capacity(cycles * 2 + 1);
+        breakpoints.push(bias + amplitude);
+        for _ in 0..cycles {
+            breakpoints.push(bias - amplitude);
+            breakpoints.push(bias + amplitude);
+        }
+        Self::new(0.0, breakpoints, step)
+    }
+
+    /// A demagnetisation schedule: loops whose amplitude decays geometrically
+    /// from `h_start` by `decay` per half-cycle until it falls below
+    /// `h_stop`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when the amplitudes are
+    /// not positive and ordered (`h_stop < h_start`), the decay factor is not
+    /// in `(0, 1)`, or `step` is invalid.
+    pub fn demagnetisation(
+        h_start: f64,
+        h_stop: f64,
+        decay: f64,
+        step: f64,
+    ) -> Result<Self, WaveformError> {
+        if !h_start.is_finite() || h_start <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "h_start",
+                value: h_start,
+                requirement: "finite and > 0",
+            });
+        }
+        if !h_stop.is_finite() || h_stop <= 0.0 || h_stop >= h_start {
+            return Err(WaveformError::InvalidParameter {
+                name: "h_stop",
+                value: h_stop,
+                requirement: "finite, > 0 and < h_start",
+            });
+        }
+        if !(0.0..1.0).contains(&decay) || decay == 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "decay",
+                value: decay,
+                requirement: "in (0, 1)",
+            });
+        }
+        let mut breakpoints = Vec::new();
+        let mut amplitude = h_start;
+        let mut sign = 1.0;
+        while amplitude >= h_stop {
+            breakpoints.push(sign * amplitude);
+            sign = -sign;
+            amplitude *= decay;
+        }
+        breakpoints.push(0.0);
+        Self::new(0.0, breakpoints, step)
+    }
+
+    /// The starting field value.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// The reversal targets.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// The field step between successive samples.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Total number of samples the iterator will yield (including the
+    /// starting sample).
+    pub fn len(&self) -> usize {
+        let mut n = 1usize;
+        let mut from = self.start;
+        for &to in &self.breakpoints {
+            n += segment_steps(from, to, self.step);
+            from = to;
+        }
+        n
+    }
+
+    /// `true` when the schedule yields only the starting sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the field samples.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            schedule: self,
+            segment: 0,
+            current: self.start,
+            emitted_start: false,
+        }
+    }
+
+    /// Collects the schedule into a vector of field samples.
+    pub fn to_samples(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+
+    /// Peak absolute field value the schedule reaches.
+    pub fn peak(&self) -> f64 {
+        self.breakpoints
+            .iter()
+            .map(|b| b.abs())
+            .fold(self.start.abs(), f64::max)
+    }
+}
+
+fn segment_steps(from: f64, to: f64, step: f64) -> usize {
+    ((to - from).abs() / step).ceil() as usize
+}
+
+/// Iterator over the field samples of a [`FieldSchedule`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    schedule: &'a FieldSchedule,
+    segment: usize,
+    current: f64,
+    emitted_start: bool,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if !self.emitted_start {
+            self.emitted_start = true;
+            return Some(self.current);
+        }
+        loop {
+            let target = *self.schedule.breakpoints.get(self.segment)?;
+            let remaining = target - self.current;
+            if remaining.abs() < 1e-12 {
+                self.segment += 1;
+                continue;
+            }
+            let delta = remaining.signum() * self.schedule.step.min(remaining.abs());
+            self.current += delta;
+            return Some(self.current);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FieldSchedule {
+    type Item = f64;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(FieldSchedule::new(0.0, vec![100.0], 0.0).is_err());
+        assert!(FieldSchedule::new(0.0, vec![], 1.0).is_err());
+        assert!(FieldSchedule::new(f64::NAN, vec![100.0], 1.0).is_err());
+        assert!(FieldSchedule::new(0.0, vec![f64::INFINITY], 1.0).is_err());
+        assert!(FieldSchedule::major_loop(0.0, 1.0, 1).is_err());
+        assert!(FieldSchedule::major_loop(100.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn simple_ramp_hits_every_step() {
+        let s = FieldSchedule::new(0.0, vec![5.0], 1.0).unwrap();
+        assert_eq!(s.to_samples(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn non_divisible_step_clamps_to_breakpoint() {
+        let s = FieldSchedule::new(0.0, vec![2.5], 1.0).unwrap();
+        let samples = s.to_samples();
+        assert_eq!(samples.last().copied().unwrap(), 2.5);
+        assert_eq!(samples.len(), 4); // 0, 1, 2, 2.5
+    }
+
+    #[test]
+    fn major_loop_reaches_both_peaks() {
+        let s = FieldSchedule::major_loop(10_000.0, 10.0, 2).unwrap();
+        let samples = s.to_samples();
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        assert_eq!(max, 10_000.0);
+        assert_eq!(min, -10_000.0);
+        assert_eq!(s.peak(), 10_000.0);
+        // Iterator length must match len()
+        assert_eq!(samples.len(), s.len());
+    }
+
+    #[test]
+    fn nested_minor_loops_descend_in_amplitude() {
+        let s =
+            FieldSchedule::nested_minor_loops(10_000.0, &[7500.0, 5000.0, 2500.0], 10.0).unwrap();
+        assert_eq!(s.breakpoints().len(), 3 + 6);
+        let samples = s.to_samples();
+        assert!(samples.iter().all(|h| h.abs() <= 10_000.0));
+        // The tail of the schedule must stay within the smallest amplitude.
+        let tail = &samples[samples.len() - 10..];
+        assert!(tail.iter().all(|h| h.abs() <= 2500.0));
+    }
+
+    #[test]
+    fn nested_minor_loops_reject_amplitude_above_peak() {
+        assert!(FieldSchedule::nested_minor_loops(10_000.0, &[12_000.0], 10.0).is_err());
+        assert!(FieldSchedule::nested_minor_loops(10_000.0, &[-1.0], 10.0).is_err());
+    }
+
+    #[test]
+    fn biased_minor_loop_stays_around_bias() {
+        let s = FieldSchedule::biased_minor_loop(5000.0, 1000.0, 2, 10.0).unwrap();
+        let samples = s.to_samples();
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        assert_eq!(max, 6000.0);
+        assert_eq!(min, 0.0); // approach from zero
+        assert!(FieldSchedule::biased_minor_loop(5000.0, 0.0, 2, 10.0).is_err());
+        assert!(FieldSchedule::biased_minor_loop(5000.0, 100.0, 0, 10.0).is_err());
+    }
+
+    #[test]
+    fn demagnetisation_decays_to_zero() {
+        let s = FieldSchedule::demagnetisation(10_000.0, 100.0, 0.8, 10.0).unwrap();
+        let samples = s.to_samples();
+        assert_eq!(*samples.last().unwrap(), 0.0);
+        assert!(s.breakpoints().len() > 10);
+        assert!(FieldSchedule::demagnetisation(100.0, 10_000.0, 0.8, 10.0).is_err());
+        assert!(FieldSchedule::demagnetisation(10_000.0, 100.0, 1.5, 10.0).is_err());
+    }
+
+    #[test]
+    fn consecutive_samples_differ_by_at_most_step() {
+        let s = FieldSchedule::nested_minor_loops(10_000.0, &[2500.0], 25.0).unwrap();
+        let samples = s.to_samples();
+        for w in samples.windows(2) {
+            assert!((w[1] - w[0]).abs() <= 25.0 + 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedule_visits_all_breakpoints(
+            peak in 10.0_f64..100_000.0,
+            step in 0.5_f64..500.0,
+            cycles in 1usize..4,
+        ) {
+            let s = FieldSchedule::major_loop(peak, step, cycles).unwrap();
+            let samples = s.to_samples();
+            // Every breakpoint must appear exactly (within fp tolerance).
+            for &bp in s.breakpoints() {
+                prop_assert!(samples.iter().any(|&h| (h - bp).abs() < 1e-9));
+            }
+            prop_assert_eq!(samples.len(), s.len());
+        }
+
+        #[test]
+        fn prop_step_bound_holds(
+            peak in 10.0_f64..50_000.0,
+            step in 0.5_f64..500.0,
+        ) {
+            let s = FieldSchedule::major_loop(peak, step, 1).unwrap();
+            let samples = s.to_samples();
+            for w in samples.windows(2) {
+                prop_assert!((w[1] - w[0]).abs() <= step + 1e-9);
+            }
+        }
+    }
+}

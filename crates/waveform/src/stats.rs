@@ -1,0 +1,110 @@
+//! Small statistics helpers for comparing simulation result series.
+
+/// Summary statistics of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Root-mean-square value.
+    pub rms: f64,
+}
+
+/// Computes [`SeriesStats`] for a non-empty series; returns `None` when the
+/// series is empty or contains non-finite values.
+pub fn series_stats(series: &[f64]) -> Option<SeriesStats> {
+    if series.is_empty() || series.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in series {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        sum_sq += v * v;
+    }
+    let n = series.len() as f64;
+    Some(SeriesStats {
+        min,
+        max,
+        mean: sum / n,
+        rms: (sum_sq / n).sqrt(),
+    })
+}
+
+/// Maximum absolute difference between two equally long series; `None` when
+/// the lengths differ or either series is empty.
+pub fn max_abs_difference(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    Some(
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max),
+    )
+}
+
+/// Root-mean-square difference between two equally long series; `None` when
+/// the lengths differ or either series is empty.
+pub fn rms_difference(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let sum_sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    Some((sum_sq / a.len() as f64).sqrt())
+}
+
+/// Relative maximum difference: `max|a−b| / max|a|`; `None` under the same
+/// conditions as [`max_abs_difference`] or when `a` is identically zero.
+pub fn relative_max_difference(a: &[f64], b: &[f64]) -> Option<f64> {
+    let max_diff = max_abs_difference(a, b)?;
+    let scale = a.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    if scale == 0.0 {
+        return None;
+    }
+    Some(max_diff / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_series() {
+        let s = series_stats(&[1.0, -1.0, 3.0, -3.0]).unwrap();
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 0.0);
+        assert!((s.rms - (5.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_reject_empty_or_nan() {
+        assert!(series_stats(&[]).is_none());
+        assert!(series_stats(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn differences() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert_eq!(max_abs_difference(&a, &b).unwrap(), 1.0);
+        assert!((rms_difference(&a, &b).unwrap() - (1.25_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((relative_max_difference(&a, &b).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differences_reject_mismatched_lengths() {
+        assert!(max_abs_difference(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(rms_difference(&[], &[]).is_none());
+        assert!(relative_max_difference(&[0.0, 0.0], &[0.0, 0.0]).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Triangular waveform — the excitation used throughout the paper.
+
+use crate::error::WaveformError;
+use crate::generator::Waveform;
+
+/// A symmetric triangular waveform with amplitude `A`, period `T`, DC offset
+/// and phase.  Starting at `t = 0` (zero phase) the waveform rises from the
+/// offset, peaks at `+A`, falls through the offset to `−A` and returns — the
+/// "triangular waveform used in a DC sweep" of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    amplitude: f64,
+    period: f64,
+    offset: f64,
+    phase: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when the amplitude is not
+    /// finite and non-negative, or the period is not finite and positive.
+    pub fn new(amplitude: f64, period: f64) -> Result<Self, WaveformError> {
+        if !amplitude.is_finite() || amplitude < 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "amplitude",
+                value: amplitude,
+                requirement: "finite and >= 0",
+            });
+        }
+        if !period.is_finite() || period <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "period",
+                value: period,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(Self {
+            amplitude,
+            period,
+            offset: 0.0,
+            phase: 0.0,
+        })
+    }
+
+    /// Adds a DC offset.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Adds a phase expressed as a fraction of the period in `[0, 1)`.
+    pub fn with_phase(mut self, phase_fraction: f64) -> Self {
+        self.phase = phase_fraction.rem_euclid(1.0);
+        self
+    }
+
+    /// Peak amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// DC offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl Waveform for Triangular {
+    fn value(&self, t: f64) -> f64 {
+        // Normalised position in the cycle, with the cycle starting at the
+        // zero-crossing of the rising edge.
+        let x = (t / self.period + self.phase).rem_euclid(1.0);
+        let tri = if x < 0.25 {
+            4.0 * x
+        } else if x < 0.75 {
+            2.0 - 4.0 * x
+        } else {
+            4.0 * x - 4.0
+        };
+        self.offset + self.amplitude * tri
+    }
+
+    fn period(&self) -> Option<f64> {
+        Some(self.period)
+    }
+
+    fn derivative(&self, t: f64) -> f64 {
+        let x = (t / self.period + self.phase).rem_euclid(1.0);
+        let slope = if (0.25..0.75).contains(&x) { -4.0 } else { 4.0 };
+        self.amplitude * slope / self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Triangular::new(-1.0, 1.0).is_err());
+        assert!(Triangular::new(1.0, 0.0).is_err());
+        assert!(Triangular::new(f64::NAN, 1.0).is_err());
+        assert!(Triangular::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn key_points_of_cycle() {
+        let w = Triangular::new(10.0, 1.0).unwrap();
+        assert!((w.value(0.0)).abs() < 1e-12);
+        assert!((w.value(0.25) - 10.0).abs() < 1e-12);
+        assert!((w.value(0.5)).abs() < 1e-12);
+        assert!((w.value(0.75) + 10.0).abs() < 1e-12);
+        assert!((w.value(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodicity() {
+        let w = Triangular::new(3.0, 0.02).unwrap();
+        for i in 0..50 {
+            let t = i as f64 * 1.3e-3;
+            assert!((w.value(t) - w.value(t + 0.02)).abs() < 1e-9);
+        }
+        assert_eq!(w.period(), Some(0.02));
+    }
+
+    #[test]
+    fn offset_and_phase() {
+        let w = Triangular::new(10.0, 1.0).unwrap().with_offset(5.0).with_phase(0.25);
+        assert!((w.value(0.0) - 15.0).abs() < 1e-12);
+        assert_eq!(w.offset(), 5.0);
+        assert_eq!(w.amplitude(), 10.0);
+    }
+
+    #[test]
+    fn derivative_matches_slope() {
+        let w = Triangular::new(10.0, 2.0).unwrap();
+        // Rising quarter: slope = 4*A/T = 20
+        assert!((w.derivative(0.1) - 20.0).abs() < 1e-9);
+        // Falling half: slope = -20
+        assert!((w.derivative(1.0) + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_by_amplitude_plus_offset() {
+        let w = Triangular::new(7.0, 0.5).unwrap().with_offset(1.0);
+        for i in 0..1000 {
+            let v = w.value(i as f64 * 1e-3);
+            assert!(v <= 8.0 + 1e-9 && v >= -6.0 - 1e-9);
+        }
+    }
+}

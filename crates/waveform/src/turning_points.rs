@@ -1,0 +1,161 @@
+//! Turning-point (field-reversal) detection.
+//!
+//! The discontinuities of the JA slope occur exactly at the turning points
+//! of the applied field, so both the models and the stability experiments
+//! need to locate them in a sampled series.
+
+/// Direction of a detected turning point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurningKind {
+    /// A local maximum: the series was rising and starts falling.
+    Maximum,
+    /// A local minimum: the series was falling and starts rising.
+    Minimum,
+}
+
+/// A turning point in a sampled series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurningPoint {
+    /// Index of the extremal sample.
+    pub index: usize,
+    /// Value at the extremal sample.
+    pub value: f64,
+    /// Whether it is a maximum or a minimum.
+    pub kind: TurningKind,
+}
+
+/// Finds every turning point of `samples`, ignoring reversals smaller than
+/// `hysteresis` (useful to skip numerical jitter in solver output).
+pub fn turning_points(samples: &[f64], hysteresis: f64) -> Vec<TurningPoint> {
+    let mut result = Vec::new();
+    if samples.len() < 3 {
+        return result;
+    }
+    let mut direction: i8 = 0;
+    let mut extreme_idx = 0usize;
+    let mut extreme_val = samples[0];
+    for (i, &v) in samples.iter().enumerate().skip(1) {
+        match direction {
+            0 => {
+                if (v - extreme_val).abs() >= hysteresis {
+                    direction = if v > extreme_val { 1 } else { -1 };
+                    extreme_idx = i;
+                    extreme_val = v;
+                }
+            }
+            1 => {
+                if v >= extreme_val {
+                    extreme_idx = i;
+                    extreme_val = v;
+                } else if extreme_val - v >= hysteresis {
+                    result.push(TurningPoint {
+                        index: extreme_idx,
+                        value: extreme_val,
+                        kind: TurningKind::Maximum,
+                    });
+                    direction = -1;
+                    extreme_idx = i;
+                    extreme_val = v;
+                }
+            }
+            _ => {
+                if v <= extreme_val {
+                    extreme_idx = i;
+                    extreme_val = v;
+                } else if v - extreme_val >= hysteresis {
+                    result.push(TurningPoint {
+                        index: extreme_idx,
+                        value: extreme_val,
+                        kind: TurningKind::Minimum,
+                    });
+                    direction = 1;
+                    extreme_idx = i;
+                    extreme_val = v;
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Counts sign changes of the first difference — a cheap proxy for the
+/// number of reversals when no noise filtering is needed.
+pub fn reversal_count(samples: &[f64]) -> usize {
+    let mut count = 0;
+    let mut prev_sign = 0.0;
+    for w in samples.windows(2) {
+        let d = w[1] - w[0];
+        if d == 0.0 {
+            continue;
+        }
+        let sign = d.signum();
+        if prev_sign != 0.0 && sign != prev_sign {
+            count += 1;
+        }
+        prev_sign = sign;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_alternating_turning_points() {
+        // 0..10..0..-10..0 triangle samples
+        let mut samples = Vec::new();
+        for i in 0..=10 {
+            samples.push(i as f64);
+        }
+        for i in (-10..10).rev() {
+            samples.push(i as f64);
+        }
+        for i in -9..=0 {
+            samples.push(i as f64);
+        }
+        let tps = turning_points(&samples, 0.5);
+        assert_eq!(tps.len(), 2);
+        assert_eq!(tps[0].kind, TurningKind::Maximum);
+        assert_eq!(tps[0].value, 10.0);
+        assert_eq!(tps[1].kind, TurningKind::Minimum);
+        assert_eq!(tps[1].value, -10.0);
+    }
+
+    #[test]
+    fn hysteresis_filters_jitter() {
+        let samples = vec![0.0, 1.0, 0.95, 2.0, 1.9, 3.0, -3.0];
+        // Without filtering, the small dips count as reversals.
+        let loose = turning_points(&samples, 0.01);
+        let tight = turning_points(&samples, 0.5);
+        assert!(loose.len() > tight.len());
+        assert_eq!(tight.len(), 1);
+        assert_eq!(tight[0].value, 3.0);
+    }
+
+    #[test]
+    fn short_series_has_no_turning_points() {
+        assert!(turning_points(&[1.0, 2.0], 0.1).is_empty());
+        assert!(turning_points(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn reversal_count_matches_triangle_cycles() {
+        let mut samples = Vec::new();
+        for cycle in 0..3 {
+            for i in 0..20 {
+                samples.push(if cycle % 2 == 0 { i as f64 } else { 20.0 - i as f64 });
+            }
+        }
+        // 3 monotone runs -> 2 reversals
+        assert_eq!(reversal_count(&samples), 2);
+        assert_eq!(reversal_count(&[1.0, 1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn monotone_series_has_no_reversals() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        assert!(turning_points(&samples, 0.01).is_empty());
+        assert_eq!(reversal_count(&samples), 0);
+    }
+}

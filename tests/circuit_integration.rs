@@ -1,0 +1,106 @@
+//! Integration test: the timeless JA core embedded in the MNA circuit
+//! simulator (the "model inside SPICE" setting), spanning the
+//! `analog-solver`, `ja-hysteresis` and `hdl-models` crates.
+
+use ja_repro::analog_solver::circuit::elements::{NonlinearInductor, Resistor, VoltageSource};
+use ja_repro::analog_solver::circuit::{Circuit, LinearCore, Node, TransientAnalysis};
+use ja_repro::hdl_models::circuit_adapter::JaCoreAdapter;
+use ja_repro::waveform::generator::Constant;
+use ja_repro::waveform::sine::Sine;
+
+/// Builds a source → resistor → wound core circuit and returns
+/// (core element index, mutable circuit).
+fn wound_core_circuit<W>(source: W, turns: f64, core: JaCoreAdapter) -> (usize, Circuit)
+where
+    W: ja_repro::waveform::Waveform + 'static,
+{
+    let mut circuit = Circuit::new();
+    let v_in = circuit.node();
+    let v_core = circuit.node();
+    circuit
+        .add("V1", VoltageSource::new(v_in, Node::GROUND, source))
+        .unwrap();
+    circuit
+        .add("R1", Resistor::new(v_in, v_core, 1.0).unwrap())
+        .unwrap();
+    let idx = circuit
+        .add(
+            "CORE",
+            NonlinearInductor::new(v_core, Node::GROUND, turns, 1.0e-4, 0.1, core).unwrap(),
+        )
+        .unwrap();
+    (idx, circuit)
+}
+
+#[test]
+fn hysteretic_core_saturates_and_distorts_the_current() {
+    // 12 V peak puts the flux excursion just beyond the knee of the BH
+    // curve, the classic condition for a spiky magnetising current.
+    let (core_idx, mut circuit) = wound_core_circuit(
+        Sine::new(12.0, 50.0).unwrap(),
+        200.0,
+        JaCoreAdapter::date2006().unwrap(),
+    );
+    let result = TransientAnalysis::new(5e-5, 0.06).unwrap().run(&mut circuit).unwrap();
+    let current = result.branch_current(core_idx, 0).unwrap();
+
+    let peak = current.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+    let rms = (current.iter().map(|i| i * i).sum::<f64>() / current.len() as f64).sqrt();
+    // A saturating magnetising current has a crest factor well above a
+    // sine's 1.41.
+    assert!(peak / rms > 1.8, "crest factor {}", peak / rms);
+    assert!(result.stats().newton_iterations > 0);
+    // The hysteresis model's update threshold makes its small-signal
+    // derivative piecewise, so a handful of steps may stop at the Newton
+    // iteration limit; they must stay a small minority.
+    assert!(
+        result.stats().non_converged_steps < result.len() / 20,
+        "{} of {} steps did not converge",
+        result.stats().non_converged_steps,
+        result.len()
+    );
+}
+
+#[test]
+fn hysteretic_core_remembers_its_state_after_excitation_is_removed() {
+    // Drive the core hard with a DC step, then watch the flux: it must not
+    // return to zero (remanence), unlike a linear core.
+    let mut adapter = JaCoreAdapter::date2006().unwrap();
+    // Pre-magnetise directly through the adapter interface.
+    use ja_repro::analog_solver::circuit::MagneticCoreModel;
+    for h in (0..=100).map(|i| i as f64 * 100.0) {
+        adapter.commit(h);
+    }
+    for h in (0..=100).rev().map(|i| i as f64 * 100.0) {
+        adapter.commit(h);
+    }
+    let remanent_b = adapter.flux_density();
+    assert!(remanent_b > 0.3, "remanent flux density {remanent_b} T");
+
+    let mut linear = LinearCore::new(1000.0);
+    for h in (0..=100).map(|i| i as f64 * 100.0) {
+        linear.commit(h);
+    }
+    for h in (0..=100).rev().map(|i| i as f64 * 100.0) {
+        linear.commit(h);
+    }
+    assert!(linear.flux_density().abs() < 1e-12);
+}
+
+#[test]
+fn dc_drive_settles_to_resistance_limited_current() {
+    // With a DC source the steady-state current is limited by the series
+    // resistance only (the core saturates and stops opposing).
+    let (core_idx, mut circuit) = wound_core_circuit(
+        Constant(10.0),
+        200.0,
+        JaCoreAdapter::date2006().unwrap(),
+    );
+    let result = TransientAnalysis::new(1e-4, 0.2).unwrap().run(&mut circuit).unwrap();
+    let current = result.branch_current(core_idx, 0).unwrap();
+    let final_current = *current.last().unwrap();
+    assert!(
+        (final_current - 10.0).abs() < 0.5,
+        "steady-state current {final_current} A (expected ~10 A through 1 Ω)"
+    );
+}

@@ -1,0 +1,49 @@
+//! Integration test for experiment E6: the event-driven (SystemC-style) and
+//! equation-style (AMS-style) implementations produce virtually identical
+//! results, and the event-driven module behaves identically under timeless
+//! DC sweeps and timed testbenches.
+
+use ja_repro::hdl_models::comparison::implementation_equivalence;
+use ja_repro::hdl_models::systemc::SystemCJaCore;
+use ja_repro::waveform::schedule::FieldSchedule;
+
+#[test]
+fn systemc_and_ams_models_agree_within_one_percent() {
+    let report = implementation_equivalence(10.0).expect("both implementations run");
+    assert!(
+        report.relative_diff < 0.01,
+        "implementations diverge by {:.3}% of B_max",
+        report.relative_diff * 100.0
+    );
+    assert!(report.samples > 10_000);
+    // The event-driven implementation necessarily does more bookkeeping
+    // (several process activations per field sample).
+    assert!(report.systemc_activations as usize > report.samples);
+}
+
+#[test]
+fn timed_and_untimed_execution_of_the_same_module_agree() {
+    let schedule = FieldSchedule::major_loop(10_000.0, 100.0, 1).expect("schedule");
+    let samples = schedule.to_samples();
+
+    let mut dc = SystemCJaCore::date2006().expect("module");
+    let dc_curve = dc.run_schedule(&schedule).expect("dc sweep");
+
+    let mut timed = SystemCJaCore::date2006().expect("module");
+    let (timed_curve, _recorder) = timed.run_timed(&samples, 1e-6).expect("timed run");
+
+    assert_eq!(dc_curve.len(), timed_curve.len());
+    for (a, b) in dc_curve.points().iter().zip(timed_curve.points()) {
+        assert!((a.b.as_tesla() - b.b.as_tesla()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn equivalence_holds_for_coarser_discretisation_too() {
+    let report = implementation_equivalence(50.0).expect("both implementations run");
+    assert!(
+        report.relative_diff < 0.02,
+        "implementations diverge by {:.3}% of B_max at 50 A/m steps",
+        report.relative_diff * 100.0
+    );
+}
