@@ -399,7 +399,11 @@ impl<M: MagneticCoreModel> NonlinearInductor<M> {
         path_length: f64,
         core: M,
     ) -> Result<Self, crate::SolverError> {
-        for (name, v) in [("turns", turns), ("area", area), ("path_length", path_length)] {
+        for (name, v) in [
+            ("turns", turns),
+            ("area", area),
+            ("path_length", path_length),
+        ] {
             if !v.is_finite() || v <= 0.0 {
                 return Err(crate::SolverError::InvalidCircuit {
                     reason: format!("{name} must be finite and positive, got {v}"),
@@ -490,8 +494,9 @@ mod tests {
     fn branch_counts() {
         let r = Resistor::new(Node(1), Node::GROUND, 1.0).unwrap();
         let l = Inductor::new(Node(1), Node::GROUND, 1.0).unwrap();
-        let n = NonlinearInductor::new(Node(1), Node::GROUND, 10.0, 1e-4, 0.1, LinearCore::new(1.0))
-            .unwrap();
+        let n =
+            NonlinearInductor::new(Node(1), Node::GROUND, 10.0, 1e-4, 0.1, LinearCore::new(1.0))
+                .unwrap();
         assert_eq!(r.branch_count(), 0);
         assert_eq!(l.branch_count(), 1);
         assert_eq!(n.branch_count(), 1);
@@ -500,9 +505,15 @@ mod tests {
 
     #[test]
     fn nonlinear_inductor_field_conversion() {
-        let n =
-            NonlinearInductor::new(Node(1), Node::GROUND, 100.0, 1e-4, 0.1, LinearCore::new(1.0))
-                .unwrap();
+        let n = NonlinearInductor::new(
+            Node(1),
+            Node::GROUND,
+            100.0,
+            1e-4,
+            0.1,
+            LinearCore::new(1.0),
+        )
+        .unwrap();
         assert!((n.field_for_current(2.0) - 2000.0).abs() < 1e-9);
         assert_eq!(n.core().mu_r(), 1.0);
     }

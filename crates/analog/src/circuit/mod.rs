@@ -19,7 +19,9 @@ pub mod elements;
 pub mod transient;
 
 pub use core_model::{LinearCore, MagneticCoreModel};
-pub use elements::{Capacitor, CurrentSource, Element, Inductor, NonlinearInductor, Resistor, VoltageSource};
+pub use elements::{
+    Capacitor, CurrentSource, Element, Inductor, NonlinearInductor, Resistor, VoltageSource,
+};
 pub use transient::{TransientAnalysis, TransientResult, TransientStats};
 
 use crate::error::SolverError;

@@ -249,12 +249,18 @@ impl TransientResult {
     ///
     /// Returns [`SolverError::InvalidCircuit`] when the element index is out
     /// of range.
-    pub fn branch_current(&self, element_index: usize, local: usize) -> Result<Vec<f64>, SolverError> {
-        let offset = *self.branch_offsets.get(element_index).ok_or_else(|| {
-            SolverError::InvalidCircuit {
-                reason: format!("unknown element index {element_index}"),
-            }
-        })?;
+    pub fn branch_current(
+        &self,
+        element_index: usize,
+        local: usize,
+    ) -> Result<Vec<f64>, SolverError> {
+        let offset =
+            *self
+                .branch_offsets
+                .get(element_index)
+                .ok_or_else(|| SolverError::InvalidCircuit {
+                    reason: format!("unknown element index {element_index}"),
+                })?;
         let idx = self.node_count - 1 + offset + local;
         Ok(self.solutions.iter().map(|x| x[idx]).collect())
     }
@@ -264,7 +270,9 @@ impl TransientResult {
 mod tests {
     use super::*;
     use crate::circuit::core_model::LinearCore;
-    use crate::circuit::elements::{Capacitor, Inductor, NonlinearInductor, Resistor, VoltageSource};
+    use crate::circuit::elements::{
+        Capacitor, Inductor, NonlinearInductor, Resistor, VoltageSource,
+    };
     use magnetics::constants::MU0;
     use waveform::generator::Constant;
 
@@ -290,10 +298,14 @@ mod tests {
         let vout = c.node();
         c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(10.0)))
             .unwrap();
-        c.add("R1", Resistor::new(vin, vout, 1000.0).unwrap()).unwrap();
+        c.add("R1", Resistor::new(vin, vout, 1000.0).unwrap())
+            .unwrap();
         c.add("R2", Resistor::new(vout, Node::GROUND, 1000.0).unwrap())
             .unwrap();
-        let result = TransientAnalysis::new(1e-4, 1e-3).unwrap().run(&mut c).unwrap();
+        let result = TransientAnalysis::new(1e-4, 1e-3)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
         let v = result.voltage(vout).unwrap();
         assert!((v.last().unwrap() - 5.0).abs() < 1e-9);
         assert_eq!(result.voltage(Node::GROUND).unwrap().last().unwrap(), &0.0);
@@ -310,10 +322,14 @@ mod tests {
         let vc = c.node();
         c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(1.0)))
             .unwrap();
-        c.add("R1", Resistor::new(vin, vc, 1000.0).unwrap()).unwrap();
+        c.add("R1", Resistor::new(vin, vc, 1000.0).unwrap())
+            .unwrap();
         c.add("C1", Capacitor::new(vc, Node::GROUND, 1e-6).unwrap())
             .unwrap();
-        let result = TransientAnalysis::new(1e-5, 5e-3).unwrap().run(&mut c).unwrap();
+        let result = TransientAnalysis::new(1e-5, 5e-3)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
         let v = result.voltage(vc).unwrap();
         // After 5 tau the capacitor is essentially charged.
         assert!((v.last().unwrap() - 1.0).abs() < 0.01);
@@ -335,9 +351,16 @@ mod tests {
         let l_index = c
             .add("L1", Inductor::new(vl, Node::GROUND, 10e-3).unwrap())
             .unwrap();
-        let result = TransientAnalysis::new(1e-5, 6e-3).unwrap().run(&mut c).unwrap();
+        let result = TransientAnalysis::new(1e-5, 6e-3)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
         let i = result.branch_current(l_index, 0).unwrap();
-        assert!((i.last().unwrap() - 0.1).abs() < 2e-3, "i_end = {}", i.last().unwrap());
+        assert!(
+            (i.last().unwrap() - 0.1).abs() < 2e-3,
+            "i_end = {}",
+            i.last().unwrap()
+        );
         assert!(result.branch_current(99, 0).is_err());
     }
 
@@ -376,7 +399,10 @@ mod tests {
                 c.add("L1", Inductor::new(vl, Node::GROUND, l_equiv).unwrap())
                     .unwrap()
             };
-            let result = TransientAnalysis::new(2e-6, 2e-3).unwrap().run(&mut c).unwrap();
+            let result = TransientAnalysis::new(2e-6, 2e-3)
+                .unwrap()
+                .run(&mut c)
+                .unwrap();
             (result.branch_current(idx, 0).unwrap(), result.len())
         };
 

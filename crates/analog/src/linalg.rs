@@ -99,11 +99,14 @@ impl Matrix {
                 actual: x.len(),
             });
         }
-        let mut result = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            result[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        if self.cols == 0 {
+            return Ok(vec![0.0; self.rows]);
         }
+        let result = self
+            .data
+            .chunks(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
         Ok(result)
     }
 
@@ -239,16 +242,16 @@ impl LuFactorisation {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -296,6 +299,14 @@ mod tests {
         let a = Matrix::identity(4);
         let b = vec![1.0, -2.0, 3.0, 0.5];
         assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn mul_vec_handles_zero_column_matrix() {
+        let empty = Matrix::zeros(0, 0);
+        assert_eq!(empty.mul_vec(&[]).unwrap(), Vec::<f64>::new());
+        let tall = Matrix::zeros(3, 0);
+        assert_eq!(tall.mul_vec(&[]).unwrap(), vec![0.0; 3]);
     }
 
     #[test]

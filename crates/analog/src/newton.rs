@@ -247,7 +247,10 @@ mod tests {
         };
         // Start far away so 2 iterations cannot converge.
         let err = solve(&Quadratic, &[1000.0], &options).unwrap_err();
-        assert!(matches!(err, SolverError::NonConvergence { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            SolverError::NonConvergence { iterations: 2, .. }
+        ));
     }
 
     #[test]
@@ -284,7 +287,10 @@ mod tests {
         };
         assert!(matches!(
             solve(&Quadratic, &[1.0], &options),
-            Err(SolverError::InvalidStep { name: "damping", .. })
+            Err(SolverError::InvalidStep {
+                name: "damping",
+                ..
+            })
         ));
     }
 

@@ -51,18 +51,10 @@ pub struct AdaptiveResult {
 
 /// Embedded Runge–Kutta–Fehlberg 4(5) integrator with proportional step
 /// control.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rkf45 {
     /// Step-control options.
     pub options: AdaptiveOptions,
-}
-
-impl Default for Rkf45 {
-    fn default() -> Self {
-        Self {
-            options: AdaptiveOptions::default(),
-        }
-    }
 }
 
 // Fehlberg coefficients.
@@ -71,7 +63,13 @@ const A: [[f64; 5]; 5] = [
     [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
     [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
     [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
 ];
 const C: [f64; 6] = [0.0, 0.25, 0.375, 12.0 / 13.0, 1.0, 0.5];
 const B5: [f64; 6] = [
@@ -240,7 +238,9 @@ mod tests {
 
     #[test]
     fn accurate_on_smooth_problem() {
-        let result = Rkf45::default().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap();
+        let result = Rkf45::default()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap();
         let y_end = result.trajectory.last_state()[0];
         assert!((y_end - (-1.0_f64).exp()).abs() < 1e-6);
         assert!(result.accepted_steps > 0);
@@ -249,10 +249,14 @@ mod tests {
 
     #[test]
     fn corner_forces_smaller_steps() {
-        let mut options = AdaptiveOptions::default();
-        options.initial_step = 0.05;
-        options.max_step = 0.2;
-        let result = Rkf45::new(options).integrate(&Corner, &[0.0], 0.0, 1.0).unwrap();
+        let options = AdaptiveOptions {
+            initial_step: 0.05,
+            max_step: 0.2,
+            ..Default::default()
+        };
+        let result = Rkf45::new(options)
+            .integrate(&Corner, &[0.0], 0.0, 1.0)
+            .unwrap();
         // The peak value should be close to 0.5 and the end close to 0.
         let peak = result
             .trajectory
@@ -283,13 +287,17 @@ mod tests {
 
     #[test]
     fn invalid_inputs_rejected() {
-        assert!(Rkf45::default().integrate(&Decay, &[1.0, 2.0], 0.0, 1.0).is_err());
+        assert!(Rkf45::default()
+            .integrate(&Decay, &[1.0, 2.0], 0.0, 1.0)
+            .is_err());
         let bad = Rkf45::new(AdaptiveOptions {
             initial_step: 0.0,
             ..AdaptiveOptions::default()
         });
         assert!(bad.integrate(&Decay, &[1.0], 0.0, 1.0).is_err());
-        assert!(Rkf45::default().integrate(&Decay, &[1.0], 1.0, 0.0).is_err());
+        assert!(Rkf45::default()
+            .integrate(&Decay, &[1.0], 1.0, 0.0)
+            .is_err());
     }
 
     #[test]

@@ -201,7 +201,13 @@ mod tests {
     #[test]
     fn rk4_conserves_oscillator_energy_approximately() {
         let result = Rk4
-            .integrate(&Oscillator, &[1.0, 0.0], 0.0, 2.0 * std::f64::consts::PI, 1e-3)
+            .integrate(
+                &Oscillator,
+                &[1.0, 0.0],
+                0.0,
+                2.0 * std::f64::consts::PI,
+                1e-3,
+            )
             .unwrap();
         let last = result.last_state();
         // After one full period the state returns to (1, 0).
@@ -211,7 +217,9 @@ mod tests {
 
     #[test]
     fn trajectory_includes_initial_state_and_end_time() {
-        let result = ForwardEuler.integrate(&Decay, &[1.0], 0.0, 0.55, 0.1).unwrap();
+        let result = ForwardEuler
+            .integrate(&Decay, &[1.0], 0.0, 0.55, 0.1)
+            .unwrap();
         assert_eq!(result.states()[0], vec![1.0]);
         let last_t = *result.times().last().unwrap();
         assert!((last_t - 0.55).abs() < 1e-12);
@@ -219,7 +227,9 @@ mod tests {
 
     #[test]
     fn invalid_inputs_rejected() {
-        assert!(ForwardEuler.integrate(&Decay, &[1.0, 2.0], 0.0, 1.0, 0.1).is_err());
+        assert!(ForwardEuler
+            .integrate(&Decay, &[1.0, 2.0], 0.0, 1.0, 0.1)
+            .is_err());
         assert!(Heun.integrate(&Decay, &[1.0], 0.0, 1.0, -0.1).is_err());
         assert!(Rk4.integrate(&Decay, &[1.0], 1.0, 0.0, 0.1).is_err());
     }

@@ -84,7 +84,9 @@ impl Trajectory {
     /// Panics if the trajectory is empty (integrators always record the
     /// initial condition, so this cannot happen for their output).
     pub fn last_state(&self) -> &[f64] {
-        self.states.last().expect("trajectory contains at least the initial state")
+        self.states
+            .last()
+            .expect("trajectory contains at least the initial state")
     }
 
     /// Extracts component `i` of the state as its own series.
@@ -166,11 +168,7 @@ mod tests {
 
     #[test]
     fn trajectory_accessors() {
-        let traj = Trajectory::new(
-            vec![0.0, 1.0],
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-            7,
-        );
+        let traj = Trajectory::new(vec![0.0, 1.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]], 7);
         assert_eq!(traj.len(), 2);
         assert!(!traj.is_empty());
         assert_eq!(traj.last_state(), &[3.0, 4.0]);

@@ -3,11 +3,9 @@
 
 use criterion::{black_box, Criterion};
 use hdl_models::comparison::discretisation_ablation;
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_hysteresis::config::{JaConfig, SlopeIntegration};
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
 use magnetics::material::JaParameters;
-use waveform::schedule::FieldSchedule;
 
 fn print_experiment() {
     println!("== E8: discretisation ablation (ΔH_max and integration order) ==");
@@ -47,14 +45,15 @@ fn benches(c: &mut Criterion) {
         SlopeIntegration::Heun,
         SlopeIntegration::RungeKutta4,
     ] {
+        let scenario = Scenario::new(
+            format!("ablation/{method:?}"),
+            JaParameters::date2006(),
+            JaConfig::default().with_integration(method),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 10.0, 2).expect("excitation"),
+        );
         group.bench_function(format!("{method:?}_dh10"), |b| {
-            let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 2).expect("schedule");
-            let config = JaConfig::default().with_integration(method);
-            b.iter(|| {
-                let mut model =
-                    JilesAtherton::with_config(JaParameters::date2006(), config).expect("model");
-                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
-            })
+            b.iter(|| black_box(scenario.run().expect("sweep")))
         });
     }
     group.finish();

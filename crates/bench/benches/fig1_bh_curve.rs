@@ -1,45 +1,38 @@
 //! Experiment E1 / Fig. 1: the BH curve with non-biased minor loops.
 //!
-//! Prints the loop metrics of the reproduced figure for both
-//! implementations, then benchmarks the full sweep.
+//! Prints the loop metrics of the reproduced figure for the timeless
+//! backends, then benchmarks the full sweep through the scenario engine.
 
 use criterion::{black_box, Criterion};
-use hdl_models::comparison::{fig1_direct_curve, fig1_schedule, fig1_systemc_curve, DEFAULT_STEP};
-use hdl_models::systemc::SystemCJaCore;
-use ja_bench::{print_metrics_header, print_metrics_row};
-use ja_hysteresis::config::JaConfig;
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
-use magnetics::loop_analysis::loop_metrics;
-use magnetics::material::JaParameters;
+use hdl_models::comparison::DEFAULT_STEP;
+use hdl_models::scenario::{BackendKind, Scenario};
+use ja_bench::{print_metrics_header, print_outcome_row};
 
 fn print_experiment() {
-    println!("== E1 / Fig. 1: BH curve, triangular DC sweep ±10 kA/m with non-biased minor loops ==");
+    println!(
+        "== E1 / Fig. 1: BH curve, triangular DC sweep ±10 kA/m with non-biased minor loops =="
+    );
     println!("paper reference: B spans roughly ±2 T over ±10 kA/m (Fig. 1 axes)\n");
     print_metrics_header();
-    let systemc = fig1_systemc_curve(DEFAULT_STEP).expect("systemc run");
-    print_metrics_row("SystemC-style (event kernel)", &loop_metrics(&systemc).unwrap());
-    let direct = fig1_direct_curve(DEFAULT_STEP, JaConfig::default()).expect("direct run");
-    print_metrics_row("library model (direct sweep)", &loop_metrics(&direct).unwrap());
+    for backend in BackendKind::TIMELESS {
+        let outcome = Scenario::fig1(backend, DEFAULT_STEP)
+            .expect("valid scenario")
+            .run()
+            .expect("paper parameters cannot diverge");
+        print_outcome_row(&outcome);
+    }
     println!();
 }
 
 fn benches(c: &mut Criterion) {
-    let schedule = fig1_schedule(DEFAULT_STEP).expect("schedule");
     let mut group = c.benchmark_group("fig1_bh_curve");
     group.sample_size(10);
-    group.bench_function("systemc_event_kernel_sweep", |b| {
-        b.iter(|| {
-            let mut core = SystemCJaCore::date2006().expect("module");
-            black_box(core.run_schedule(&schedule).expect("sweep"))
-        })
-    });
-    group.bench_function("library_direct_sweep", |b| {
-        b.iter(|| {
-            let mut model = JilesAtherton::new(JaParameters::date2006()).expect("model");
-            black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
-        })
-    });
+    for backend in [BackendKind::SystemC, BackendKind::DirectTimeless] {
+        let scenario = Scenario::fig1(backend, DEFAULT_STEP).expect("valid scenario");
+        group.bench_function(format!("{}_sweep", backend.label()), |b| {
+            b.iter(|| black_box(scenario.run().expect("sweep")))
+        });
+    }
     group.finish();
 }
 

@@ -1,23 +1,20 @@
 //! Experiment E6: the SystemC-style and AMS-style implementations produce
-//! virtually identical results.
+//! virtually identical results — compared through the backend trait.
 
 use criterion::{black_box, Criterion};
-use hdl_models::ams::AmsTimelessModel;
-use hdl_models::comparison::{fig1_schedule, implementation_equivalence, DEFAULT_STEP};
-use hdl_models::systemc::SystemCJaCore;
-use ja_hysteresis::config::JaConfig;
-use magnetics::material::JaParameters;
+use hdl_models::comparison::{implementation_equivalence, DEFAULT_STEP};
+use hdl_models::scenario::{BackendKind, Scenario};
 
 fn print_experiment() {
     println!("== E6: implementation equivalence (event-driven vs equation-style) ==");
     for &step in &[5.0, 10.0, 25.0, 50.0] {
         let report = implementation_equivalence(step).expect("comparison runs");
         println!(
-            "step {step:>5} A/m: {} samples, max |dB| = {:.3e} T ({:.4}% of B_max), systemc activations = {}, ams updates = {}",
+            "step {step:>5} A/m: {} samples, max |dB| = {:.3e} T ({:.4}% of B_max), systemc updates = {}, ams updates = {}",
             report.samples,
             report.max_abs_diff_b,
             report.relative_diff * 100.0,
-            report.systemc_activations,
+            report.systemc_updates,
             report.ams_updates
         );
     }
@@ -25,23 +22,14 @@ fn print_experiment() {
 }
 
 fn benches(c: &mut Criterion) {
-    let schedule = fig1_schedule(DEFAULT_STEP).expect("schedule");
-    let samples = schedule.to_samples();
     let mut group = c.benchmark_group("implementation_equivalence");
     group.sample_size(10);
-    group.bench_function("event_driven_systemc_port", |b| {
-        b.iter(|| {
-            let mut core = SystemCJaCore::date2006().expect("module");
-            black_box(core.run_schedule(&schedule).expect("sweep"))
-        })
-    });
-    group.bench_function("equation_style_ams_model", |b| {
-        b.iter(|| {
-            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
-                .expect("model");
-            black_box(model.run_samples(samples.iter().copied()).expect("sweep"))
-        })
-    });
+    for backend in [BackendKind::SystemC, BackendKind::AmsTimeless] {
+        let scenario = Scenario::fig1(backend, DEFAULT_STEP).expect("valid scenario");
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| black_box(scenario.run().expect("sweep")))
+        });
+    }
     group.finish();
 }
 

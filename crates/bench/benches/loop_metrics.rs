@@ -3,25 +3,39 @@
 //! of the analysis itself.
 
 use criterion::{black_box, Criterion};
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_bench::{print_metrics_header, print_metrics_row};
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
+use ja_hysteresis::config::JaConfig;
 use magnetics::loop_analysis::{self, loop_metrics};
 use magnetics::material::JaParameters;
-use waveform::schedule::FieldSchedule;
 
 fn sweep(params: JaParameters, peak: f64) -> magnetics::bh::BhCurve {
-    let mut model = JilesAtherton::new(params).expect("model");
-    let schedule = FieldSchedule::major_loop(peak, peak / 1000.0, 2).expect("schedule");
-    sweep_schedule(&mut model, &schedule).expect("sweep").into_curve()
+    Scenario::new(
+        "loop-metrics",
+        params,
+        JaConfig::default(),
+        BackendKind::DirectTimeless,
+        Excitation::major_loop(peak, peak / 1000.0, 2).expect("excitation"),
+    )
+    .run()
+    .expect("sweep")
+    .curve
 }
 
 fn print_experiment() {
     println!("== E7: loop metrics of the paper's parameter set (k=4000, c=0.1, Msat=1.6M, a=2000, a2=3500, alpha=0.003) ==\n");
     print_metrics_header();
     let cases = [
-        ("DATE-2006 paper material", JaParameters::date2006(), 10_000.0),
-        ("Jiles-Atherton 1984 iron", JaParameters::jiles_atherton_1984(), 5_000.0),
+        (
+            "DATE-2006 paper material",
+            JaParameters::date2006(),
+            10_000.0,
+        ),
+        (
+            "Jiles-Atherton 1984 iron",
+            JaParameters::jiles_atherton_1984(),
+            5_000.0,
+        ),
         ("soft ferrite preset", JaParameters::soft_ferrite(), 200.0),
         ("hard steel preset", JaParameters::hard_steel(), 50_000.0),
     ];

@@ -3,10 +3,9 @@
 
 use criterion::{black_box, Criterion};
 use hdl_models::comparison::minor_loop_study;
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
+use ja_hysteresis::config::JaConfig;
 use magnetics::material::JaParameters;
-use waveform::schedule::FieldSchedule;
 
 fn print_experiment() {
     println!("== E2: minor loops at various sizes and positions ==");
@@ -41,13 +40,15 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("minor_loops");
     group.sample_size(10);
     for &amplitude in &[500.0, 1_500.0, 3_000.0] {
+        let scenario = Scenario::new(
+            format!("minor-loop/amp{amplitude}"),
+            JaParameters::date2006(),
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            Excitation::biased_minor_loop(2_000.0, amplitude, 3, 10.0).expect("excitation"),
+        );
         group.bench_function(format!("biased_loop_amplitude_{amplitude}"), |b| {
-            let schedule =
-                FieldSchedule::biased_minor_loop(2_000.0, amplitude, 3, 10.0).expect("schedule");
-            b.iter(|| {
-                let mut model = JilesAtherton::new(JaParameters::date2006()).expect("model");
-                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
-            })
+            b.iter(|| black_box(scenario.run().expect("sweep")))
         });
     }
     group.finish();

@@ -2,7 +2,8 @@
 //! solver-integrated baselines ("long analysis times" claim).
 
 use criterion::{black_box, Criterion};
-use hdl_models::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
+use hdl_models::ams::{SolverIntegratedBaseline, SolverMethod};
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_hysteresis::config::JaConfig;
 use magnetics::material::JaParameters;
 use waveform::triangular::Triangular;
@@ -10,19 +11,24 @@ use waveform::triangular::Triangular;
 const T_END: f64 = 2.0;
 const DT: f64 = 2.0 / 8_000.0;
 
+fn timeless_scenario(waveform: &Triangular) -> Scenario {
+    Scenario::new(
+        "runtime/timeless",
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::AmsTimeless,
+        Excitation::sampled(waveform, T_END, DT).expect("excitation"),
+    )
+}
+
 fn print_experiment() {
     println!("== E5: work comparison over one full paper sweep (2 cycles, 8000 samples) ==");
     let waveform = Triangular::new(10_000.0, 1.0).expect("waveform");
 
-    let mut timeless =
-        AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default()).expect("model");
-    let curve = timeless.run_transient(&waveform, T_END, DT).expect("run");
-    let stats = timeless.model().statistics();
+    let outcome = timeless_scenario(&waveform).run().expect("run");
     println!(
         "timeless model         : {} samples, {} slope updates, {} slope evaluations",
-        curve.len(),
-        stats.updates,
-        stats.slope_evaluations
+        outcome.stats.samples, outcome.stats.updates, outcome.stats.slope_evaluations
     );
 
     let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
@@ -49,12 +55,9 @@ fn benches(c: &mut Criterion) {
     let waveform = Triangular::new(10_000.0, 1.0).expect("waveform");
     let mut group = c.benchmark_group("runtime_comparison");
     group.sample_size(10);
+    let timeless = timeless_scenario(&waveform);
     group.bench_function("timeless", |b| {
-        b.iter(|| {
-            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
-                .expect("model");
-            black_box(model.run_transient(&waveform, T_END, DT).expect("run"))
-        })
+        b.iter(|| black_box(timeless.run().expect("run")))
     });
     let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
         .expect("baseline");

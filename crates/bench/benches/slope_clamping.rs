@@ -3,10 +3,9 @@
 //! cited by the paper).
 
 use criterion::{black_box, Criterion};
-use hdl_models::comparison::{fig1_schedule, slope_clamping_study, DEFAULT_STEP};
+use hdl_models::comparison::{slope_clamping_study, DEFAULT_STEP};
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_hysteresis::config::JaConfig;
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
 use magnetics::material::JaParameters;
 
 fn print_experiment() {
@@ -27,19 +26,22 @@ fn print_experiment() {
 }
 
 fn benches(c: &mut Criterion) {
-    let schedule = fig1_schedule(DEFAULT_STEP).expect("schedule");
+    let excitation = Excitation::fig1(DEFAULT_STEP).expect("excitation");
     let mut group = c.benchmark_group("slope_clamping");
     group.sample_size(10);
     for (name, config) in [
         ("guarded", JaConfig::default()),
         ("unguarded", JaConfig::default().without_guards()),
     ] {
+        let scenario = Scenario::new(
+            format!("clamping/{name}"),
+            JaParameters::date2006(),
+            config,
+            BackendKind::DirectTimeless,
+            excitation.clone(),
+        );
         group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut model =
-                    JilesAtherton::with_config(JaParameters::date2006(), config).expect("model");
-                black_box(sweep_schedule(&mut model, &schedule).expect("sweep"))
-            })
+            b.iter(|| black_box(scenario.run().expect("sweep")))
         });
     }
     group.finish();

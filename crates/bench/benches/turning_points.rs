@@ -3,8 +3,9 @@
 //! time-step sizes.
 
 use criterion::{black_box, Criterion};
-use hdl_models::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
+use hdl_models::ams::{SolverIntegratedBaseline, SolverMethod};
 use hdl_models::comparison::turning_point_comparison;
+use hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_hysteresis::config::JaConfig;
 use magnetics::material::JaParameters;
 use waveform::triangular::Triangular;
@@ -13,7 +14,13 @@ fn print_experiment() {
     println!("== E4: stability at turning points vs solver time step ==");
     println!(
         "{:>10} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
-        "dt[s]", "timeless Bmax", "baseline Bmax", "shape err", "newton its", "non-conv", "neg.slope"
+        "dt[s]",
+        "timeless Bmax",
+        "baseline Bmax",
+        "shape err",
+        "newton its",
+        "non-conv",
+        "neg.slope"
     );
     for &dt in &[
         2.0 / 16_000.0,
@@ -37,7 +44,9 @@ fn print_experiment() {
             Err(err) => println!("{dt:>10.2e}  baseline failed: {err}"),
         }
     }
-    println!("\n(the timeless column is insensitive to dt; the baseline's shape error grows with it)\n");
+    println!(
+        "\n(the timeless column is insensitive to dt; the baseline's shape error grows with it)\n"
+    );
 }
 
 fn benches(c: &mut Criterion) {
@@ -45,17 +54,19 @@ fn benches(c: &mut Criterion) {
     let dt = 2.0 / 4_000.0;
     let mut group = c.benchmark_group("turning_points");
     group.sample_size(10);
+    let timeless = Scenario::new(
+        "turning-point/timeless",
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::AmsTimeless,
+        Excitation::sampled(&waveform, 2.0, dt).expect("excitation"),
+    );
     group.bench_function("timeless_transient", |b| {
-        b.iter(|| {
-            let mut model = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())
-                .expect("model");
-            black_box(model.run_transient(&waveform, 2.0, dt).expect("run"))
-        })
+        b.iter(|| black_box(timeless.run().expect("run")))
     });
     group.bench_function("baseline_backward_euler", |b| {
-        let baseline =
-            SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
-                .expect("baseline");
+        let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())
+            .expect("baseline");
         b.iter(|| {
             black_box(
                 baseline

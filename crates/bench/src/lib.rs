@@ -5,6 +5,7 @@
 //! output doubles as the reproduction record), then runs the Criterion
 //! measurements of the code paths involved.
 
+use hdl_models::scenario::ScenarioOutcome;
 use magnetics::loop_analysis::LoopMetrics;
 
 /// Prints a loop-metrics row in the fixed-width format shared by the
@@ -26,6 +27,22 @@ pub fn print_metrics_header() {
     println!(
         "{:<28} {:>8} {:>10} {:>8} {:>10} {:>12} {:>10}",
         "case", "Bmax[T]", "Hmax[kA/m]", "Hc[A/m]", "Br[T]", "area[J/m3]", "neg.slope"
+    );
+}
+
+/// Prints a scenario outcome as a metrics row labelled with its backend,
+/// followed by the run cost (samples, updates, wall-clock).
+pub fn print_outcome_row(outcome: &ScenarioOutcome) {
+    match &outcome.metrics {
+        Some(metrics) => print_metrics_row(outcome.backend.label(), metrics),
+        None => println!("{:<28} (no closed loop)", outcome.backend.label()),
+    }
+    println!(
+        "{:<28} {} samples, {} slope updates, {:.3} ms",
+        "",
+        outcome.stats.samples,
+        outcome.stats.updates,
+        outcome.runtime.as_secs_f64() * 1e3
     );
 }
 

@@ -1,0 +1,304 @@
+//! Backend-agnostic driving API: one trait in front of every hysteresis
+//! implementation.
+//!
+//! The repository carries four parallel implementations of the paper's
+//! technique and its baseline — the direct library model
+//! ([`JilesAtherton`]), the conventional time-domain formulation
+//! ([`TimeDomainBackend`]), and the SystemC-style and AMS-style HDL models
+//! in the `hdl-models` crate.  [`HysteresisBackend`] is the seam that lets
+//! equivalence tests, benches and the scenario engine drive any of them
+//! through one polymorphic API: feed a field sample in, get a
+//! [`JaSample`] out, read the cost counters back as [`JaStatistics`].
+//!
+//! The trait is object-safe, so backends can be collected in
+//! `Vec<Box<dyn HysteresisBackend>>` and run over the same stimulus grid.
+
+use magnetics::anhysteretic::{Anhysteretic, AnhystereticKind};
+use magnetics::bh::BhCurve;
+use magnetics::constants::MU0;
+use magnetics::material::JaParameters;
+use magnetics::units::{FieldStrength, FluxDensity, Magnetisation};
+use waveform::schedule::FieldSchedule;
+
+use crate::config::JaConfig;
+use crate::error::JaError;
+use crate::model::{JaSample, JaStatistics, JilesAtherton};
+use crate::slope::{evaluate_total_slope, FieldDirection};
+
+/// A hysteresis model that can be driven sample-by-sample with applied
+/// field values.
+///
+/// All four implementation styles of the repository stand behind this
+/// trait; the provided methods give every backend uniform sweep drivers.
+pub trait HysteresisBackend {
+    /// A short, stable, human-readable backend name (used in reports and
+    /// error messages).
+    fn label(&self) -> &'static str;
+
+    /// Applies a new value of the external field (A/m) and returns the
+    /// resulting sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::NonFiniteField`] for a NaN/infinite field,
+    /// [`JaError::StateDiverged`] if the state stops being finite, and
+    /// [`JaError::Backend`] for substrate failures.
+    fn apply_field(&mut self, h: f64) -> Result<JaSample, JaError>;
+
+    /// Cumulative cost counters since construction or the last
+    /// [`reset`](HysteresisBackend::reset).
+    fn statistics(&self) -> JaStatistics;
+
+    /// Returns the backend to the demagnetised state and clears the
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Backend`] if the substrate cannot be rebuilt
+    /// (event-kernel backends reconstruct their process network).
+    fn reset(&mut self) -> Result<(), JaError>;
+
+    /// Drives the backend through an explicit sequence of field samples and
+    /// collects the BH trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`apply_field`](HysteresisBackend::apply_field)
+    /// error.
+    fn run_samples(&mut self, samples: &[f64]) -> Result<BhCurve, JaError> {
+        let mut curve = BhCurve::with_capacity(samples.len());
+        for &h in samples {
+            let sample = self.apply_field(h)?;
+            curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
+        }
+        Ok(curve)
+    }
+
+    /// Drives the backend through every sample of a timeless field
+    /// schedule and collects the BH trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`apply_field`](HysteresisBackend::apply_field)
+    /// error.
+    fn run_schedule(&mut self, schedule: &FieldSchedule) -> Result<BhCurve, JaError> {
+        let mut curve = BhCurve::with_capacity(schedule.len());
+        for h in schedule.iter() {
+            let sample = self.apply_field(h)?;
+            curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
+        }
+        Ok(curve)
+    }
+}
+
+impl HysteresisBackend for JilesAtherton {
+    fn label(&self) -> &'static str {
+        "direct-timeless"
+    }
+
+    fn apply_field(&mut self, h: f64) -> Result<JaSample, JaError> {
+        JilesAtherton::apply_field(self, h)
+    }
+
+    fn statistics(&self) -> JaStatistics {
+        JilesAtherton::statistics(self)
+    }
+
+    fn reset(&mut self) -> Result<(), JaError> {
+        JilesAtherton::reset(self);
+        Ok(())
+    }
+}
+
+/// The conventional time-domain formulation driven through the sample API —
+/// the "previous work" baseline expressed as a backend.
+///
+/// Where the timeless backends integrate over the *field* and gate updates
+/// on `ΔH_max`, this backend does what a solver-integrated model does on
+/// every solver step: it advances the total magnetisation by
+/// `ΔM = dM/dH · ΔH` at **every** sample, with the slope discontinuity at
+/// field reversals left in place.  Driving it with the same schedule as a
+/// timeless backend therefore reproduces the baseline's per-step behaviour
+/// without an analogue solver in the loop (the solver's own failure modes —
+/// Newton non-convergence, step-size collapse — are exercised separately by
+/// `hdl-models::ams::SolverIntegratedBaseline`).
+#[derive(Debug, Clone)]
+pub struct TimeDomainBackend {
+    params: JaParameters,
+    anhysteretic: AnhystereticKind,
+    clamp_negative_slope: bool,
+    m_total: f64,
+    h_last: f64,
+    has_sample: bool,
+    stats: JaStatistics,
+}
+
+impl TimeDomainBackend {
+    /// Creates the backend from a material and configuration (the
+    /// configuration contributes the anhysteretic law and the slope clamp;
+    /// `ΔH_max` is deliberately ignored — this formulation updates on every
+    /// sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Material`] or [`JaError::InvalidConfig`] for
+    /// invalid inputs.
+    pub fn new(params: JaParameters, config: JaConfig) -> Result<Self, JaError> {
+        params.validate()?;
+        config.validate()?;
+        Ok(Self {
+            params,
+            anhysteretic: config.anhysteretic.build(&params),
+            clamp_negative_slope: config.clamp_negative_slope,
+            m_total: 0.0,
+            h_last: 0.0,
+            has_sample: false,
+            stats: JaStatistics::default(),
+        })
+    }
+
+    /// The material parameters.
+    pub fn params(&self) -> &JaParameters {
+        &self.params
+    }
+
+    fn sample_at(&self, h: f64) -> JaSample {
+        let m_sat = self.params.m_sat.value();
+        let h_effective = h + self.params.alpha * m_sat * self.m_total;
+        JaSample {
+            h: FieldStrength::new(h),
+            b: FluxDensity::new(MU0 * (h + self.m_total * m_sat)),
+            m: Magnetisation::new(self.m_total * m_sat),
+            m_an: self.anhysteretic.normalised(h_effective),
+        }
+    }
+}
+
+impl HysteresisBackend for TimeDomainBackend {
+    fn label(&self) -> &'static str {
+        "time-domain-baseline"
+    }
+
+    fn apply_field(&mut self, h: f64) -> Result<JaSample, JaError> {
+        if !h.is_finite() {
+            return Err(JaError::NonFiniteField { value: h });
+        }
+        self.stats.samples += 1;
+        let dh = if self.has_sample {
+            h - self.h_last
+        } else {
+            0.0
+        };
+        if let Some(direction) = FieldDirection::from_increment(dh) {
+            let dm_dh = evaluate_total_slope(
+                &self.params,
+                &self.anhysteretic,
+                self.h_last,
+                self.m_total,
+                direction,
+                self.clamp_negative_slope,
+            );
+            self.stats.slope_evaluations += 1;
+            self.stats.updates += 1;
+            if dm_dh < 0.0 {
+                self.stats.negative_slope_events += 1;
+            }
+            self.m_total += dm_dh * dh;
+        }
+        self.h_last = h;
+        self.has_sample = true;
+        if !self.m_total.is_finite() {
+            return Err(JaError::StateDiverged { at_field: h });
+        }
+        Ok(self.sample_at(h))
+    }
+
+    fn statistics(&self) -> JaStatistics {
+        self.stats
+    }
+
+    fn reset(&mut self) -> Result<(), JaError> {
+        self.m_total = 0.0;
+        self.h_last = 0.0;
+        self.has_sample = false;
+        self.stats = JaStatistics::default();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnetics::loop_analysis;
+
+    fn paper_backends() -> Vec<Box<dyn HysteresisBackend>> {
+        vec![
+            Box::new(JilesAtherton::new(JaParameters::date2006()).expect("valid")),
+            Box::new(
+                TimeDomainBackend::new(JaParameters::date2006(), JaConfig::default())
+                    .expect("valid"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn trait_objects_drive_both_core_backends() {
+        let schedule = FieldSchedule::major_loop(10_000.0, 10.0, 2).expect("schedule");
+        for backend in paper_backends().iter_mut() {
+            let curve = backend.run_schedule(&schedule).expect("sweep");
+            let metrics = loop_analysis::loop_metrics(&curve).expect("metrics");
+            assert!(
+                metrics.b_max.as_tesla() > 1.2 && metrics.b_max.as_tesla() < 2.5,
+                "{}: B_max = {} T",
+                backend.label(),
+                metrics.b_max.as_tesla()
+            );
+            assert!(backend.statistics().updates > 0, "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn reset_restores_demagnetised_state_through_the_trait() {
+        for backend in paper_backends().iter_mut() {
+            backend.apply_field(5_000.0).expect("field");
+            assert!(backend.statistics().samples > 0);
+            backend.reset().expect("reset");
+            assert_eq!(backend.statistics(), JaStatistics::default());
+            let sample = backend.apply_field(0.0).expect("field");
+            assert!(sample.b.as_tesla().abs() < 1e-9, "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn time_domain_backend_tracks_direct_model_on_fine_steps() {
+        // On a fine schedule the conventional per-sample integration and the
+        // timeless gated integration follow the same loop envelope; the two
+        // formulations differ at the reversal handling, not in bulk shape.
+        let schedule = FieldSchedule::major_loop(10_000.0, 5.0, 2).expect("schedule");
+        let mut direct = JilesAtherton::new(JaParameters::date2006()).expect("valid");
+        let mut baseline =
+            TimeDomainBackend::new(JaParameters::date2006(), JaConfig::default()).expect("valid");
+        let b_direct = HysteresisBackend::run_schedule(&mut direct, &schedule)
+            .expect("sweep")
+            .peak_flux_density()
+            .expect("peak")
+            .as_tesla();
+        let b_baseline = baseline
+            .run_schedule(&schedule)
+            .expect("sweep")
+            .peak_flux_density()
+            .expect("peak")
+            .as_tesla();
+        assert!(
+            (b_direct - b_baseline).abs() / b_direct < 0.1,
+            "direct {b_direct} T vs time-domain {b_baseline} T"
+        );
+    }
+
+    #[test]
+    fn time_domain_backend_rejects_non_finite_field() {
+        let mut backend =
+            TimeDomainBackend::new(JaParameters::date2006(), JaConfig::default()).expect("valid");
+        assert!(backend.apply_field(f64::NAN).is_err());
+    }
+}

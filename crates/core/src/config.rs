@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_dh_max() {
         assert!(JaConfig::default().with_dh_max(0.0).validate().is_err());
-        assert!(JaConfig::default().with_dh_max(f64::NAN).validate().is_err());
+        assert!(JaConfig::default()
+            .with_dh_max(f64::NAN)
+            .validate()
+            .is_err());
         assert!(JaConfig::default().with_dh_max(-3.0).validate().is_err());
     }
 }

@@ -35,6 +35,15 @@ pub enum JaError {
         /// The field at which the divergence was detected.
         at_field: f64,
     },
+    /// A backend-specific substrate failure (e.g. the discrete-event kernel
+    /// under the SystemC-style backend), reported through the polymorphic
+    /// [`crate::backend::HysteresisBackend`] API.
+    Backend {
+        /// Label of the failing backend.
+        backend: &'static str,
+        /// Substrate error message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for JaError {
@@ -57,6 +66,9 @@ impl fmt::Display for JaError {
                 f,
                 "magnetisation state diverged at H = {at_field} A/m (guards disabled?)"
             ),
+            JaError::Backend { backend, reason } => {
+                write!(f, "backend `{backend}` failed: {reason}")
+            }
         }
     }
 }
@@ -101,10 +113,7 @@ mod tests {
 
     #[test]
     fn waveform_error_converts() {
-        let err: JaError = WaveformError::InvalidBreakpoints {
-            reason: "too few",
-        }
-        .into();
+        let err: JaError = WaveformError::InvalidBreakpoints { reason: "too few" }.into();
         assert!(matches!(err, JaError::Waveform(_)));
     }
 

@@ -73,9 +73,8 @@ pub fn fit_major_loop(
     //  * k of the order of the coercivity,
     //  * a of the order of the coercivity as well,
     //  * modest c and alpha.
-    let m_sat_guess = (target.b_max.as_tesla() / magnetics::constants::MU0
-        - target.h_max.value())
-    .max(1.0e5);
+    let m_sat_guess =
+        (target.b_max.as_tesla() / magnetics::constants::MU0 - target.h_max.value()).max(1.0e5);
     let initial = JaParameters::builder()
         .m_sat(Magnetisation::new(m_sat_guess))
         .a(target.coercivity.value().max(10.0))
@@ -118,10 +117,10 @@ fn perturb(params: &JaParameters, coordinate: usize, factor: f64) -> Result<JaPa
     let mut p = *params;
     match coordinate {
         0 => p.m_sat = Magnetisation::new(p.m_sat.value() * factor),
-        1 => p.a = p.a * factor,
-        2 => p.k = p.k * factor,
+        1 => p.a *= factor,
+        2 => p.k *= factor,
         3 => p.c = (p.c * factor).min(0.95),
-        _ => p.alpha = p.alpha * factor,
+        _ => p.alpha *= factor,
     }
     p.a2 = 1.75 * p.a;
     p.validate()?;

@@ -36,7 +36,10 @@
 //! * [`time_domain`] — the conventional formulation (`dM/dt = dM/dH ·
 //!   dH/dt`) used as the baseline the paper compares against;
 //! * [`sweep`] — DC-sweep driver turning a [`waveform::schedule::FieldSchedule`]
-//!   into a [`magnetics::bh::BhCurve`].
+//!   into a [`magnetics::bh::BhCurve`];
+//! * [`backend`] — the [`backend::HysteresisBackend`] trait unifying every
+//!   implementation style (direct, time-domain, and the HDL models of the
+//!   `hdl-models` crate) behind one polymorphic driving API.
 //!
 //! # Quickstart
 //!
@@ -61,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod fitting;
@@ -73,6 +77,7 @@ pub mod sweep;
 pub mod time_domain;
 pub mod timeless;
 
+pub use backend::HysteresisBackend;
 pub use config::JaConfig;
 pub use error::JaError;
 pub use model::JilesAtherton;

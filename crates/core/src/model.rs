@@ -328,7 +328,7 @@ mod tests {
         // in the sweep tests; here check the statistics are consistent).
         let stats = model.statistics();
         assert!(stats.updates > 0);
-        assert!(stats.slope_evaluations >= stats.updates as u64);
+        assert!(stats.slope_evaluations >= stats.updates);
     }
 
     #[test]
@@ -336,8 +336,8 @@ mod tests {
         let config = JaConfig::default()
             .with_formulation(Formulation::Classic)
             .with_anhysteretic(AnhystereticChoice::Langevin);
-        let mut model = JilesAtherton::with_config(JaParameters::jiles_atherton_1984(), config)
-            .expect("valid");
+        let mut model =
+            JilesAtherton::with_config(JaParameters::jiles_atherton_1984(), config).expect("valid");
         ramp(&mut model, 0.0, 5_000.0, 5.0);
         ramp(&mut model, 5_000.0, 0.0, 5.0);
         assert!(model.flux_density().as_tesla() > 0.05);
@@ -355,7 +355,10 @@ mod tests {
         let (b_euler, s_euler) = run(SlopeIntegration::ForwardEuler);
         let (b_rk4, s_rk4) = run(SlopeIntegration::RungeKutta4);
         assert!(s_rk4.slope_evaluations > s_euler.slope_evaluations);
-        assert!((b_euler - b_rk4).abs() < 0.2, "euler {b_euler} vs rk4 {b_rk4}");
+        assert!(
+            (b_euler - b_rk4).abs() < 0.2,
+            "euler {b_euler} vs rk4 {b_rk4}"
+        );
     }
 
     proptest! {

@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn default_is_paper_choice() {
-        assert_eq!(AnhystereticChoice::default(), AnhystereticChoice::ModifiedLangevin);
+        assert_eq!(
+            AnhystereticChoice::default(),
+            AnhystereticChoice::ModifiedLangevin
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct SlopeEvaluation {
 ///
 /// With `clamp_negative` the slope is clamped to be non-negative — the
 /// paper's `if (dmdh1 > 0.0)` guard.
+#[allow(clippy::too_many_arguments)] // mirrors the terms of Eq. 1 one-to-one
 pub fn evaluate_irreversible_slope(
     params: &JaParameters,
     anhysteretic: &AnhystereticKind,
@@ -158,8 +159,14 @@ mod tests {
 
     #[test]
     fn direction_from_increment() {
-        assert_eq!(FieldDirection::from_increment(5.0), Some(FieldDirection::Rising));
-        assert_eq!(FieldDirection::from_increment(-5.0), Some(FieldDirection::Falling));
+        assert_eq!(
+            FieldDirection::from_increment(5.0),
+            Some(FieldDirection::Rising)
+        );
+        assert_eq!(
+            FieldDirection::from_increment(-5.0),
+            Some(FieldDirection::Falling)
+        );
         assert_eq!(FieldDirection::from_increment(0.0), None);
         assert_eq!(FieldDirection::Rising.delta(), 1.0);
         assert_eq!(FieldDirection::Falling.delta(), -1.0);

@@ -74,11 +74,7 @@ where
     let mut count = 0usize;
     for h in samples {
         let sample = model.apply_field(h)?;
-        curve.push_raw(
-            sample.h.value(),
-            sample.b.as_tesla(),
-            sample.m.value(),
-        );
+        curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
         trace
             .push_row(&[
                 sample.h.value(),
@@ -139,9 +135,7 @@ mod tests {
         // The minor-loop tail must stay strictly inside the major loop's
         // flux-density extremes.
         let tail_start = result.curve().len() - 200;
-        let tail_max = result
-            .curve()
-            .points()[tail_start..]
+        let tail_max = result.curve().points()[tail_start..]
             .iter()
             .map(|p| p.b.as_tesla().abs())
             .fold(0.0, f64::max);

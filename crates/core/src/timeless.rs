@@ -63,30 +63,31 @@ pub fn integrate_field_increment(
     } else {
         1
     };
-    let dh = dh_total / substeps as usize as f64;
+    let dh = dh_total / substeps as f64;
 
     let mut m_irr_local = m_irr;
     let mut m_total_local = m_total;
     let mut h = h_from;
 
     for _ in 0..substeps {
-        let slope_at = |h_eval: f64, m_irr_eval: f64, m_total_eval: f64, result: &mut IncrementResult| {
-            let eval = evaluate_irreversible_slope(
-                params,
-                anhysteretic,
-                config.formulation,
-                h_eval,
-                m_irr_eval,
-                m_total_eval,
-                direction,
-                config.clamp_negative_slope,
-            );
-            result.slope_evaluations += 1;
-            if eval.raw_slope < 0.0 {
-                result.negative_slope_events += 1;
-            }
-            eval
-        };
+        let slope_at =
+            |h_eval: f64, m_irr_eval: f64, m_total_eval: f64, result: &mut IncrementResult| {
+                let eval = evaluate_irreversible_slope(
+                    params,
+                    anhysteretic,
+                    config.formulation,
+                    h_eval,
+                    m_irr_eval,
+                    m_total_eval,
+                    direction,
+                    config.clamp_negative_slope,
+                );
+                result.slope_evaluations += 1;
+                if eval.raw_slope < 0.0 {
+                    result.negative_slope_events += 1;
+                }
+                eval
+            };
 
         let dm = match config.integration {
             SlopeIntegration::ForwardEuler => {

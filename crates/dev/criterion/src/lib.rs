@@ -1,0 +1,223 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Provides the API subset used by the workspace's bench targets
+//! (`Criterion::default().configure_from_args()`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, `finish`,
+//! `final_summary`, [`black_box`]) backed by a simple wall-clock timing
+//! loop: each benchmark runs `sample_size` samples and reports min / mean /
+//! max per-iteration time.  There is no statistical analysis, outlier
+//! rejection or report generation.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point of the timing harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: the first free argument (as passed by
+    /// `cargo bench -- <filter>`) is used as a substring filter on benchmark
+    /// names; harness flags like `--bench` are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        self.filter = filter;
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    /// Prints the closing line of a run (report generation in the real
+    /// crate; a no-op marker here).
+    pub fn final_summary(&mut self) {
+        println!("\nbenchmarks complete (offline criterion stub: wall-clock timing only)");
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        // One warm-up call outside the measurement.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        for _ in 0..sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+            }
+        }
+        if samples.is_empty() {
+            println!("  {id:<44} (no measurements)");
+            return;
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0_f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {id:<44} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&id, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; measures the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the real crate runs many
+    /// iterations per sample; the stub times a single call per sample).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        // warm-up + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_prefix() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function(String::from("inner"), |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn format_time_scales_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -50,7 +50,10 @@ impl fmt::Display for KernelError {
         match self {
             KernelError::UnknownSignal { id } => write!(f, "unknown signal id {id:?}"),
             KernelError::TypeMismatch { expected, found } => {
-                write!(f, "signal type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "signal type mismatch: expected {expected}, found {found}"
+                )
             }
             KernelError::DeltaCycleLimit { limit } => write!(
                 f,

@@ -152,7 +152,8 @@ impl Kernel {
 
     /// Schedules a timed write (testbench stimulus).
     pub fn schedule_write(&mut self, at: SimTime, id: SignalId, value: Value) {
-        self.queue.push(at, Event::SignalWrite { signal: id, value });
+        self.queue
+            .push(at, Event::SignalWrite { signal: id, value });
     }
 
     /// Schedules a timed wake-up of a process.

@@ -177,7 +177,6 @@ mod tests {
         ctx.write_real(a, 2.0).unwrap();
         // Still the old value inside the same evaluation.
         assert_eq!(ctx.read_real(a).unwrap(), 1.0);
-        drop(ctx);
         store.update();
         assert_eq!(store.read(a).unwrap(), Value::Real(2.0));
     }

@@ -86,11 +86,13 @@ impl Recorder {
     /// non-real values, or [`KernelError::UnknownSignal`] if the label does
     /// not exist.
     pub fn real_series(&self, label: &str) -> Result<Vec<f64>, KernelError> {
-        let idx = self
-            .labels
-            .iter()
-            .position(|l| l == label)
-            .ok_or(KernelError::UnknownSignal { id: SignalId(usize::MAX) })?;
+        let idx =
+            self.labels
+                .iter()
+                .position(|l| l == label)
+                .ok_or(KernelError::UnknownSignal {
+                    id: SignalId(usize::MAX),
+                })?;
         self.rows.iter().map(|row| row[idx].as_real()).collect()
     }
 }

@@ -51,7 +51,9 @@ impl AmsTimelessModel {
 
     /// Runs a transient simulation: the waveform is sampled every `dt`
     /// seconds from `t = 0` to `t_end` and each sample is applied to the
-    /// timeless model.
+    /// timeless model.  The sampling grid is
+    /// [`crate::scenario::Excitation::sampled`], so a transient run here and
+    /// a scenario run over the same waveform see the identical stimulus.
     ///
     /// # Errors
     ///
@@ -63,28 +65,8 @@ impl AmsTimelessModel {
         t_end: f64,
         dt: f64,
     ) -> Result<BhCurve, JaError> {
-        if !dt.is_finite() || dt <= 0.0 {
-            return Err(JaError::InvalidConfig {
-                name: "dt",
-                value: dt,
-                requirement: "finite and > 0",
-            });
-        }
-        if !t_end.is_finite() || t_end <= 0.0 {
-            return Err(JaError::InvalidConfig {
-                name: "t_end",
-                value: t_end,
-                requirement: "finite and > 0",
-            });
-        }
-        let steps = (t_end / dt).ceil() as usize;
-        let mut curve = BhCurve::with_capacity(steps + 1);
-        for i in 0..=steps {
-            let t = (i as f64 * dt).min(t_end);
-            let sample = self.model.apply_field(waveform.value(t))?;
-            curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
-        }
-        Ok(curve)
+        let excitation = crate::scenario::Excitation::sampled(waveform, t_end, dt)?;
+        self.run_samples(excitation.to_samples())
     }
 
     /// Runs a timeless DC sweep over explicit field samples (the AMS model
@@ -99,6 +81,25 @@ impl AmsTimelessModel {
     ) -> Result<BhCurve, JaError> {
         let result = ja_hysteresis::sweep::sweep_samples(&mut self.model, samples)?;
         Ok(result.into_curve())
+    }
+}
+
+impl ja_hysteresis::backend::HysteresisBackend for AmsTimelessModel {
+    fn label(&self) -> &'static str {
+        "ams-timeless"
+    }
+
+    fn apply_field(&mut self, h: f64) -> Result<ja_hysteresis::model::JaSample, JaError> {
+        self.model.apply_field(h)
+    }
+
+    fn statistics(&self) -> ja_hysteresis::model::JaStatistics {
+        self.model.statistics()
+    }
+
+    fn reset(&mut self) -> Result<(), JaError> {
+        self.model.reset();
+        Ok(())
     }
 }
 
@@ -213,8 +214,13 @@ impl SolverIntegratedBaseline {
                 })
             }
             SolverMethod::BackwardEuler => {
-                let (trajectory, stats) =
-                    BackwardEuler::default().integrate_with_stats(&system, &[0.0], 0.0, t_end, dt)?;
+                let (trajectory, stats) = BackwardEuler::default().integrate_with_stats(
+                    &system,
+                    &[0.0],
+                    0.0,
+                    t_end,
+                    dt,
+                )?;
                 Ok(BaselineResult {
                     curve: build_curve(trajectory.times(), trajectory.component(0)),
                     rhs_evaluations: trajectory.rhs_evaluations(),
@@ -244,10 +250,7 @@ impl SolverIntegratedBaseline {
                 });
                 let result = integrator.integrate(&system, &[0.0], 0.0, t_end)?;
                 Ok(BaselineResult {
-                    curve: build_curve(
-                        result.trajectory.times(),
-                        result.trajectory.component(0),
-                    ),
+                    curve: build_curve(result.trajectory.times(), result.trajectory.component(0)),
                     rhs_evaluations: result.trajectory.rhs_evaluations(),
                     newton_iterations: 0,
                     non_converged_steps: 0,

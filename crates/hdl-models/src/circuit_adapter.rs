@@ -147,7 +147,10 @@ mod tests {
         let result = analysis.run(&mut circuit).unwrap();
         let current = result.branch_current(core_idx, 0).unwrap();
         let peak_current = current.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
-        assert!(peak_current > 1.0, "peak magnetising current {peak_current} A");
+        assert!(
+            peak_current > 1.0,
+            "peak magnetising current {peak_current} A"
+        );
         assert!(result.stats().newton_iterations > 0);
         // The node voltage across the core must stay bounded by the source.
         let v = result.voltage(vl).unwrap();

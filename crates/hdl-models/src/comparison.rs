@@ -1,20 +1,25 @@
-//! Experiment harness: the functions behind every figure / claim
+//! Experiment drivers: the functions behind every figure / claim
 //! reproduction (see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! Since the introduction of the [`crate::scenario`] engine these are thin
+//! wrappers: each experiment declares its scenarios (material × excitation
+//! × backend × config) and reads the numbers it reports out of the
+//! [`ScenarioOutcome`]s.  Only the solver-in-the-loop baseline of
+//! experiments E4/E5 still drives [`SolverIntegratedBaseline`] directly —
+//! genuine time integration cannot stand behind the sample-driven
+//! [`ja_hysteresis::backend::HysteresisBackend`] API.
 
 use ja_hysteresis::config::{JaConfig, SlopeIntegration};
 use ja_hysteresis::error::JaError;
-use ja_hysteresis::model::JilesAtherton;
-use ja_hysteresis::sweep::sweep_schedule;
 use magnetics::bh::BhCurve;
 use magnetics::loop_analysis::{self, LoopMetrics};
 use magnetics::material::JaParameters;
-use magnetics::MagneticsError;
 use waveform::schedule::FieldSchedule;
 use waveform::triangular::Triangular;
 use waveform::WaveformError;
 
-use crate::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
-use crate::systemc::SystemCJaCore;
+use crate::ams::{SolverIntegratedBaseline, SolverMethod};
+use crate::scenario::{backend_agreement, BackendKind, Excitation, Scenario, ScenarioOutcome};
 
 /// Peak field of the paper's Fig. 1 sweep (±10 kA/m).
 pub const FIG1_H_PEAK: f64 = 10_000.0;
@@ -36,31 +41,41 @@ pub fn fig1_schedule(step: f64) -> Result<FieldSchedule, WaveformError> {
     FieldSchedule::nested_minor_loops(FIG1_H_PEAK, &FIG1_MINOR_AMPLITUDES, step)
 }
 
+/// Runs the Fig. 1 experiment (E1) on one backend and returns the full
+/// outcome.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn fig1_outcome(backend: BackendKind, step: f64) -> Result<ScenarioOutcome, JaError> {
+    Scenario::fig1(backend, step)?.run()
+}
+
 /// Runs the Fig. 1 experiment on the SystemC-style model and returns the BH
 /// curve (experiment E1).
 ///
 /// # Errors
 ///
-/// Propagates schedule or kernel errors as a boxed error string inside
-/// [`JaError::InvalidConfig`]-free form; kernel failures cannot occur for
-/// this well-formed module, so the error type is the waveform one.
-pub fn fig1_systemc_curve(step: f64) -> Result<BhCurve, WaveformError> {
-    let schedule = fig1_schedule(step)?;
-    let mut core = SystemCJaCore::date2006().expect("well-formed module");
-    Ok(core
-        .run_schedule(&schedule)
-        .expect("paper parameters cannot diverge"))
+/// Propagates scenario errors.
+pub fn fig1_systemc_curve(step: f64) -> Result<BhCurve, JaError> {
+    Ok(fig1_outcome(BackendKind::SystemC, step)?.curve)
 }
 
 /// Runs the Fig. 1 experiment on the direct (library) timeless model.
 ///
 /// # Errors
 ///
-/// Propagates waveform or model errors.
+/// Propagates scenario errors.
 pub fn fig1_direct_curve(step: f64, config: JaConfig) -> Result<BhCurve, JaError> {
-    let schedule = fig1_schedule(step)?;
-    let mut model = JilesAtherton::with_config(JaParameters::date2006(), config)?;
-    Ok(sweep_schedule(&mut model, &schedule)?.into_curve())
+    let outcome = Scenario::new(
+        "fig1/direct-timeless",
+        JaParameters::date2006(),
+        config,
+        BackendKind::DirectTimeless,
+        Excitation::fig1(step)?,
+    )
+    .run()?;
+    Ok(outcome.curve)
 }
 
 /// Summary of the implementation-equivalence experiment (E6): the
@@ -72,44 +87,36 @@ pub struct EquivalenceReport {
     pub max_abs_diff_b: f64,
     /// `max_abs_diff_b` relative to the peak flux density.
     pub relative_diff: f64,
-    /// Process activations used by the event-driven implementation.
-    pub systemc_activations: u64,
-    /// Slope-integration updates used by the equation-style implementation.
+    /// Slope-integration steps of the event-driven implementation (the
+    /// `Integral` process executions).
+    pub systemc_updates: u64,
+    /// Slope-integration updates of the equation-style implementation.
     pub ams_updates: u64,
     /// Number of samples compared.
     pub samples: usize,
 }
 
-/// Runs both implementations over the same schedule and compares them
-/// sample by sample (experiment E6).
+/// Runs both implementations over the same schedule through the backend
+/// trait and compares them sample by sample (experiment E6).
 ///
 /// # Errors
 ///
-/// Propagates waveform or model errors.
+/// Propagates scenario errors.
 pub fn implementation_equivalence(step: f64) -> Result<EquivalenceReport, JaError> {
-    let schedule = fig1_schedule(step)?;
-    let samples = schedule.to_samples();
-
-    let mut systemc = SystemCJaCore::date2006().expect("well-formed module");
-    let systemc_curve = systemc
-        .run_schedule(&schedule)
-        .expect("paper parameters cannot diverge");
-
-    let mut ams = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())?;
-    let ams_curve = ams.run_samples(samples.iter().copied())?;
-
-    let mut max_diff = 0.0_f64;
-    let mut peak = 0.0_f64;
-    for (a, b) in systemc_curve.points().iter().zip(ams_curve.points()) {
-        max_diff = max_diff.max((a.b.as_tesla() - b.b.as_tesla()).abs());
-        peak = peak.max(a.b.as_tesla().abs());
-    }
+    let report = backend_agreement(
+        JaParameters::date2006(),
+        JaConfig::default(),
+        &Excitation::fig1(step)?,
+        &[BackendKind::SystemC, BackendKind::AmsTimeless],
+    )?;
+    let systemc = &report.outcomes[0];
+    let ams = &report.outcomes[1];
     Ok(EquivalenceReport {
-        max_abs_diff_b: max_diff,
-        relative_diff: if peak > 0.0 { max_diff / peak } else { 0.0 },
-        systemc_activations: systemc.activations(),
-        ams_updates: ams.model().statistics().updates,
-        samples: samples.len(),
+        max_abs_diff_b: report.max_abs_diff_b,
+        relative_diff: report.relative_diff,
+        systemc_updates: systemc.stats.updates,
+        ams_updates: ams.stats.updates,
+        samples: systemc.curve.len(),
     })
 }
 
@@ -129,11 +136,12 @@ pub struct MinorLoopCase {
 }
 
 /// Runs minor loops of several sizes and positions (experiment E2):
-/// every combination of the given biases and amplitudes, three cycles each.
+/// every combination of the given biases and amplitudes, five cycles each,
+/// each case as one scenario on the direct backend.
 ///
 /// # Errors
 ///
-/// Propagates waveform or model errors.
+/// Propagates waveform or scenario errors.
 pub fn minor_loop_study(
     biases: &[f64],
     amplitudes: &[f64],
@@ -142,18 +150,23 @@ pub fn minor_loop_study(
     let mut cases = Vec::with_capacity(biases.len() * amplitudes.len());
     for &bias in biases {
         for &amplitude in amplitudes {
-            let schedule = FieldSchedule::biased_minor_loop(bias, amplitude, 5, step)?;
-            let mut model = JilesAtherton::new(JaParameters::date2006())?;
-            let result = sweep_schedule(&mut model, &schedule)?;
+            let outcome = Scenario::new(
+                format!("minor-loop/bias{bias}/amp{amplitude}"),
+                JaParameters::date2006(),
+                JaConfig::default(),
+                BackendKind::DirectTimeless,
+                Excitation::biased_minor_loop(bias, amplitude, 5, step)?,
+            )
+            .run()?;
             let period = (4.0 * amplitude / step).round() as usize;
             let closure_error =
-                loop_analysis::loop_closure_error(result.curve(), period).unwrap_or(f64::NAN);
+                loop_analysis::loop_closure_error(&outcome.curve, period).unwrap_or(f64::NAN);
             cases.push(MinorLoopCase {
                 bias,
                 amplitude,
                 closure_error,
-                loop_area: loop_analysis::loop_area(result.curve()),
-                negative_slope_samples: result.curve().negative_slope_samples(),
+                loop_area: loop_analysis::loop_area(&outcome.curve),
+                negative_slope_samples: outcome.curve.negative_slope_samples(),
             });
         }
     }
@@ -177,29 +190,33 @@ pub struct ClampingReport {
 }
 
 /// Runs the same sweep with and without the paper's numerical guards
-/// (experiment E3).
+/// (experiment E3) — two scenarios differing only in configuration.
 ///
 /// # Errors
 ///
-/// Propagates waveform or model errors.
+/// Propagates scenario errors.
 pub fn slope_clamping_study(step: f64) -> Result<ClampingReport, JaError> {
-    let schedule = fig1_schedule(step)?;
-
-    let mut guarded = JilesAtherton::with_config(JaParameters::date2006(), JaConfig::default())?;
-    let guarded_curve = sweep_schedule(&mut guarded, &schedule)?.into_curve();
-
-    let mut raw = JilesAtherton::with_config(
-        JaParameters::date2006(),
-        JaConfig::default().without_guards(),
-    )?;
-    let raw_curve = sweep_schedule(&mut raw, &schedule)?.into_curve();
+    let excitation = Excitation::fig1(step)?;
+    let run = |name: &str, config: JaConfig| {
+        Scenario::new(
+            format!("clamping/{name}"),
+            JaParameters::date2006(),
+            config,
+            BackendKind::DirectTimeless,
+            excitation.clone(),
+        )
+        .run()
+    };
+    let guarded = run("guarded", JaConfig::default())?;
+    let guarded_metrics = guarded.full_metrics()?;
+    let raw = run("unguarded", JaConfig::default().without_guards())?;
 
     Ok(ClampingReport {
-        guarded_negative_samples: guarded_curve.negative_slope_samples(),
-        unguarded_negative_samples: raw_curve.negative_slope_samples(),
-        clamped_events: guarded.statistics().negative_slope_events,
-        guarded_b_max: guarded_curve.peak_flux_density()?.as_tesla(),
-        unguarded_b_max: raw_curve.peak_flux_density()?.as_tesla(),
+        guarded_negative_samples: guarded_metrics.negative_slope_samples,
+        unguarded_negative_samples: raw.curve.negative_slope_samples(),
+        clamped_events: guarded.stats.negative_slope_events,
+        guarded_b_max: guarded_metrics.b_max.as_tesla(),
+        unguarded_b_max: raw.curve.peak_flux_density()?.as_tesla(),
     })
 }
 
@@ -231,7 +248,9 @@ pub struct TurningPointReport {
 }
 
 /// Compares the timeless model against the solver-integrated baseline for a
-/// triangular excitation sampled with time step `dt` (experiment E4).
+/// triangular excitation sampled with time step `dt` (experiment E4).  The
+/// timeless side runs as a scenario over the sampled waveform; the baseline
+/// genuinely integrates over time.
 ///
 /// # Errors
 ///
@@ -244,19 +263,26 @@ pub fn turning_point_comparison(
     let waveform = Triangular::new(FIG1_H_PEAK, 1.0).expect("valid waveform");
     let t_end = 2.0;
 
-    let mut timeless = AmsTimelessModel::new(JaParameters::date2006(), JaConfig::default())?;
-    let timeless_curve = timeless.run_transient(&waveform, t_end, dt)?;
+    let timeless = Scenario::new(
+        format!("turning-point/timeless/dt{dt}"),
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::AmsTimeless,
+        Excitation::sampled(&waveform, t_end, dt)?,
+    )
+    .run()?;
 
     let baseline = SolverIntegratedBaseline::new(JaParameters::date2006(), JaConfig::default())?;
-    let baseline_result = baseline
-        .run(&waveform, t_end, dt, method)
-        .map_err(|err| JaError::InvalidConfig {
-            name: "baseline solver",
-            value: dt,
-            requirement: Box::leak(err.to_string().into_boxed_str()),
-        })?;
+    let baseline_result =
+        baseline
+            .run(&waveform, t_end, dt, method)
+            .map_err(|err| JaError::Backend {
+                backend: "solver-integrated-baseline",
+                reason: err.to_string(),
+            })?;
 
-    let timeless_b_max = timeless_curve.peak_flux_density()?.as_tesla();
+    let timeless_metrics = timeless.full_metrics()?;
+    let timeless_b_max = timeless_metrics.b_max.as_tesla();
     let baseline_b_max = baseline_result.curve.peak_flux_density()?.as_tesla();
     Ok(TurningPointReport {
         dt,
@@ -267,7 +293,7 @@ pub fn turning_point_comparison(
         baseline_newton_iterations: baseline_result.newton_iterations,
         baseline_non_converged: baseline_result.non_converged_steps,
         baseline_negative_samples: baseline_result.curve.negative_slope_samples(),
-        timeless_negative_samples: timeless_curve.negative_slope_samples(),
+        timeless_negative_samples: timeless_metrics.negative_slope_samples,
     })
 }
 
@@ -285,11 +311,11 @@ pub struct AblationRow {
 }
 
 /// Sweeps ΔH_max and the integration order over the Fig. 1 stimulus
-/// (experiment E8).
+/// (experiment E8) — a scenario per grid point on the direct backend.
 ///
 /// # Errors
 ///
-/// Propagates waveform, model or analysis errors.
+/// Propagates waveform or scenario errors.
 pub fn discretisation_ablation(
     dh_max_values: &[f64],
     methods: &[SlopeIntegration],
@@ -303,23 +329,23 @@ pub fn discretisation_ablation(
                 .with_subdivision();
             // The excitation always advances in steps of dh_max so the model
             // updates on every sample, like the paper's DC sweep.
-            let schedule = FieldSchedule::major_loop(FIG1_H_PEAK, dh_max, 2)?;
-            let mut model = JilesAtherton::with_config(JaParameters::date2006(), config)?;
-            let curve = sweep_schedule(&mut model, &schedule)?.into_curve();
-            let metrics = loop_metrics_or_err(&curve)?;
+            let outcome = Scenario::new(
+                format!("ablation/{integration:?}/dh{dh_max}"),
+                JaParameters::date2006(),
+                config,
+                BackendKind::DirectTimeless,
+                Excitation::major_loop(FIG1_H_PEAK, dh_max, 2)?,
+            )
+            .run()?;
             rows.push(AblationRow {
                 dh_max,
                 integration,
-                metrics,
-                slope_evaluations: model.statistics().slope_evaluations,
+                metrics: outcome.full_metrics()?,
+                slope_evaluations: outcome.stats.slope_evaluations,
             });
         }
     }
     Ok(rows)
-}
-
-fn loop_metrics_or_err(curve: &BhCurve) -> Result<LoopMetrics, MagneticsError> {
-    loop_analysis::loop_metrics(curve)
 }
 
 #[cfg(test)]
@@ -354,9 +380,13 @@ mod tests {
     #[test]
     fn equivalence_report_shows_near_identical_results() {
         let report = implementation_equivalence(DEFAULT_STEP).unwrap();
-        assert!(report.relative_diff < 0.05, "relative diff {}", report.relative_diff);
+        assert!(
+            report.relative_diff < 0.05,
+            "relative diff {}",
+            report.relative_diff
+        );
         assert!(report.samples > 5_000);
-        assert!(report.systemc_activations > 0);
+        assert!(report.systemc_updates > 0);
         assert!(report.ams_updates > 0);
     }
 
@@ -387,8 +417,7 @@ mod tests {
 
     #[test]
     fn turning_point_comparison_runs_both_models() {
-        let report =
-            turning_point_comparison(2.0 / 4000.0, SolverMethod::BackwardEuler).unwrap();
+        let report = turning_point_comparison(2.0 / 4000.0, SolverMethod::BackwardEuler).unwrap();
         assert_eq!(report.timeless_negative_samples, 0);
         assert!(report.timeless_b_max > 1.5);
         assert!(report.baseline_newton_iterations > 0);
@@ -398,7 +427,10 @@ mod tests {
     fn ablation_covers_requested_grid() {
         let rows = discretisation_ablation(
             &[10.0, 100.0],
-            &[SlopeIntegration::ForwardEuler, SlopeIntegration::RungeKutta4],
+            &[
+                SlopeIntegration::ForwardEuler,
+                SlopeIntegration::RungeKutta4,
+            ],
         )
         .unwrap();
         assert_eq!(rows.len(), 4);

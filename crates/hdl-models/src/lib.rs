@@ -16,9 +16,15 @@
 //! * [`circuit_adapter`] — glue that lets the timeless JA model act as the
 //!   [`analog_solver::circuit::MagneticCoreModel`] of a wound-core circuit
 //!   element, i.e. the model sitting inside a SPICE-style netlist;
-//! * [`comparison`] — the experiment harness used by the benches and
-//!   integration tests: Fig. 1 reproduction, implementation equivalence,
-//!   turning-point stability and runtime comparisons.
+//! * [`scenario`] — the scenario engine: a [`scenario::Scenario`] is one
+//!   (material × excitation × backend × config) experiment, run uniformly
+//!   through the [`ja_hysteresis::backend::HysteresisBackend`] trait, with
+//!   [`scenario::ScenarioGrid`] and [`scenario::run_batch`] for whole
+//!   experiment grids;
+//! * [`comparison`] — the experiment drivers used by the benches and
+//!   integration tests (Fig. 1 reproduction, implementation equivalence,
+//!   turning-point stability, runtime comparisons), now thin wrappers over
+//!   the scenario engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +32,10 @@
 pub mod ams;
 pub mod circuit_adapter;
 pub mod comparison;
+pub mod scenario;
 pub mod systemc;
 
 pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
 pub use circuit_adapter::JaCoreAdapter;
+pub use scenario::{BackendKind, Excitation, Scenario, ScenarioGrid, ScenarioOutcome};
 pub use systemc::SystemCJaCore;

@@ -1,0 +1,693 @@
+//! Scenario engine: declarative experiment descriptions and a batch runner.
+//!
+//! A [`Scenario`] is the cross product the experiments of the paper are
+//! built from — **material × excitation × backend × configuration**.  The
+//! engine turns one scenario into a [`ScenarioOutcome`] (BH curve, loop
+//! metrics, model cost counters and wall-clock runtime) through the
+//! [`HysteresisBackend`] trait, so the same runner serves every
+//! implementation style.  [`ScenarioGrid`] expands whole grids of
+//! scenarios, and [`run_batch`] executes them uniformly — the seam where
+//! future parallelism, result caching and new workloads plug in.
+//!
+//! The Fig.-1/E1–E6 experiment drivers in [`crate::comparison`] are thin
+//! wrappers over this module.
+
+use std::time::{Duration, Instant};
+
+use ja_hysteresis::backend::{HysteresisBackend, TimeDomainBackend};
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::error::JaError;
+use ja_hysteresis::model::{JaStatistics, JilesAtherton};
+use magnetics::bh::BhCurve;
+use magnetics::loop_analysis::{self, LoopMetrics};
+use magnetics::material::JaParameters;
+use waveform::schedule::FieldSchedule;
+use waveform::Waveform;
+
+use crate::ams::AmsTimelessModel;
+use crate::systemc::SystemCJaCore;
+
+/// Which implementation style runs a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The direct library model ([`JilesAtherton`]).
+    DirectTimeless,
+    /// The SystemC-style port on the discrete-event kernel
+    /// ([`SystemCJaCore`]).
+    SystemC,
+    /// The equation-style AMS model ([`AmsTimelessModel`]).
+    AmsTimeless,
+    /// The conventional time-domain formulation driven per sample
+    /// ([`TimeDomainBackend`]).
+    TimeDomainBaseline,
+}
+
+impl BackendKind {
+    /// All four implementation styles.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::DirectTimeless,
+        BackendKind::SystemC,
+        BackendKind::AmsTimeless,
+        BackendKind::TimeDomainBaseline,
+    ];
+
+    /// The three implementations of the paper's timeless technique (the
+    /// ones expected to agree sample-for-sample).
+    pub const TIMELESS: [BackendKind; 3] = [
+        BackendKind::DirectTimeless,
+        BackendKind::SystemC,
+        BackendKind::AmsTimeless,
+    ];
+
+    /// Stable display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::DirectTimeless => "direct-timeless",
+            BackendKind::SystemC => "systemc-event-kernel",
+            BackendKind::AmsTimeless => "ams-timeless",
+            BackendKind::TimeDomainBaseline => "time-domain-baseline",
+        }
+    }
+
+    /// Instantiates the backend for a material and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError`] for invalid parameters/configuration or a
+    /// substrate construction failure.  The SystemC port is a faithful
+    /// transcription of the paper's listing and only honours `dh_max`; a
+    /// configuration that deviates from the paper's defaults in any other
+    /// field is rejected rather than silently ignored.
+    pub fn build(
+        self,
+        params: JaParameters,
+        config: JaConfig,
+    ) -> Result<Box<dyn HysteresisBackend>, JaError> {
+        match self {
+            BackendKind::DirectTimeless => {
+                Ok(Box::new(JilesAtherton::with_config(params, config)?))
+            }
+            BackendKind::SystemC => {
+                config.validate()?;
+                params.validate()?;
+                let paper = JaConfig::default().with_dh_max(config.dh_max);
+                if config != paper {
+                    return Err(JaError::Backend {
+                        backend: BackendKind::SystemC.label(),
+                        reason: "the SystemC port hard-codes the paper's listing (guards on, \
+                                 forward Euler, Date2006 formulation, modified Langevin); only \
+                                 dh_max is configurable"
+                            .to_owned(),
+                    });
+                }
+                let core =
+                    SystemCJaCore::new(params, config.dh_max).map_err(|err| JaError::Backend {
+                        backend: BackendKind::SystemC.label(),
+                        reason: err.to_string(),
+                    })?;
+                Ok(Box::new(core))
+            }
+            BackendKind::AmsTimeless => Ok(Box::new(AmsTimelessModel::new(params, config)?)),
+            BackendKind::TimeDomainBaseline => {
+                Ok(Box::new(TimeDomainBackend::new(params, config)?))
+            }
+        }
+    }
+}
+
+/// The stimulus a scenario drives its backend with.
+///
+/// Both forms reduce to an ordered sequence of applied-field samples — the
+/// timeless view of an excitation.  Time-domain waveforms enter through
+/// [`Excitation::sampled`], which fixes the sampling grid up front so every
+/// backend sees the identical stimulus.
+#[derive(Debug, Clone)]
+pub enum Excitation {
+    /// A timeless field schedule with explicit reversal points.
+    Schedule(FieldSchedule),
+    /// Raw field samples (A/m).
+    Samples(Vec<f64>),
+}
+
+impl Excitation {
+    /// The paper's Fig. 1 stimulus: triangular major sweep to ±10 kA/m
+    /// followed by non-biased minor loops of decreasing amplitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Waveform`] for an invalid step.
+    pub fn fig1(step: f64) -> Result<Self, JaError> {
+        Ok(Excitation::Schedule(FieldSchedule::nested_minor_loops(
+            crate::comparison::FIG1_H_PEAK,
+            &crate::comparison::FIG1_MINOR_AMPLITUDES,
+            step,
+        )?))
+    }
+
+    /// A triangular major loop of `cycles` full cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Waveform`] for invalid schedule parameters.
+    pub fn major_loop(peak: f64, step: f64, cycles: usize) -> Result<Self, JaError> {
+        Ok(Excitation::Schedule(FieldSchedule::major_loop(
+            peak, step, cycles,
+        )?))
+    }
+
+    /// A biased minor loop (loop centre `bias`, amplitude `amplitude`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Waveform`] for invalid schedule parameters.
+    pub fn biased_minor_loop(
+        bias: f64,
+        amplitude: f64,
+        cycles: usize,
+        step: f64,
+    ) -> Result<Self, JaError> {
+        Ok(Excitation::Schedule(FieldSchedule::biased_minor_loop(
+            bias, amplitude, cycles, step,
+        )?))
+    }
+
+    /// A time-domain waveform sampled every `dt` seconds over `[0, t_end]`
+    /// — the transient stimulus reduced to the field samples every backend
+    /// can consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] for non-positive `dt`/`t_end`.
+    pub fn sampled<W: Waveform>(waveform: &W, t_end: f64, dt: f64) -> Result<Self, JaError> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "dt",
+                value: dt,
+                requirement: "finite and > 0",
+            });
+        }
+        if !t_end.is_finite() || t_end <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "t_end",
+                value: t_end,
+                requirement: "finite and > 0",
+            });
+        }
+        let steps = (t_end / dt).ceil() as usize;
+        let samples = (0..=steps)
+            .map(|i| waveform.value((i as f64 * dt).min(t_end)))
+            .collect();
+        Ok(Excitation::Samples(samples))
+    }
+
+    /// Number of field samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Excitation::Schedule(schedule) => schedule.len(),
+            Excitation::Samples(samples) => samples.len(),
+        }
+    }
+
+    /// Whether the stimulus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stimulus as a flat sample vector.
+    pub fn to_samples(&self) -> Vec<f64> {
+        match self {
+            Excitation::Schedule(schedule) => schedule.to_samples(),
+            Excitation::Samples(samples) => samples.clone(),
+        }
+    }
+}
+
+/// One experiment: a named (material, configuration, backend, excitation)
+/// tuple.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (used in batch reports).
+    pub name: String,
+    /// Material parameters.
+    pub params: JaParameters,
+    /// Model configuration.
+    pub config: JaConfig,
+    /// Implementation style.
+    pub backend: BackendKind,
+    /// Stimulus.
+    pub excitation: Excitation,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(
+        name: impl Into<String>,
+        params: JaParameters,
+        config: JaConfig,
+        backend: BackendKind,
+        excitation: Excitation,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            params,
+            config,
+            backend,
+            excitation,
+        }
+    }
+
+    /// The paper's Fig. 1 experiment on the given backend: paper material,
+    /// default configuration (the paper's `ΔH_max` of 10 A/m — the stimulus
+    /// step is a property of the excitation, not of the model), Fig. 1
+    /// stimulus with field step `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Waveform`] for an invalid step.
+    pub fn fig1(backend: BackendKind, step: f64) -> Result<Self, JaError> {
+        Ok(Self::new(
+            format!("fig1/{}", backend.label()),
+            JaParameters::date2006(),
+            JaConfig::default(),
+            backend,
+            Excitation::fig1(step)?,
+        ))
+    }
+
+    /// Runs the scenario: builds the backend, drives it through the
+    /// stimulus, extracts the loop metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction, sweep and analysis errors.
+    pub fn run(&self) -> Result<ScenarioOutcome, JaError> {
+        let mut backend = self.backend.build(self.params, self.config)?;
+        let started = Instant::now();
+        let curve = match &self.excitation {
+            Excitation::Schedule(schedule) => backend.run_schedule(schedule)?,
+            Excitation::Samples(samples) => backend.run_samples(samples)?,
+        };
+        let runtime = started.elapsed();
+        // Not every stimulus produces a closable loop (a biased minor loop
+        // never crosses B = 0, so coercivity is undefined): metric
+        // extraction failure is not a scenario failure.
+        let metrics = loop_analysis::loop_metrics(&curve).ok();
+        Ok(ScenarioOutcome {
+            name: self.name.clone(),
+            backend: self.backend,
+            curve,
+            metrics,
+            stats: backend.statistics(),
+            runtime,
+        })
+    }
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Name of the scenario that produced this outcome.
+    pub name: String,
+    /// Backend that ran it.
+    pub backend: BackendKind,
+    /// The BH trace.
+    pub curve: BhCurve,
+    /// Loop metrics extracted from the trace; `None` when the trace does
+    /// not form a closable loop (e.g. a biased minor loop that never
+    /// crosses `B = 0`, leaving coercivity undefined).
+    pub metrics: Option<LoopMetrics>,
+    /// The backend's cost counters for this run.
+    pub stats: JaStatistics,
+    /// Wall-clock time of the sweep (excluding backend construction and
+    /// metric extraction).
+    pub runtime: Duration,
+}
+
+impl ScenarioOutcome {
+    /// The loop metrics, failing loudly when the trace does not form a
+    /// closable loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Material`] with the underlying extraction error.
+    pub fn full_metrics(&self) -> Result<LoopMetrics, JaError> {
+        match self.metrics {
+            Some(metrics) => Ok(metrics),
+            None => Ok(loop_analysis::loop_metrics(&self.curve)?),
+        }
+    }
+}
+
+/// A grid of scenario dimensions, expanded as a cartesian product.
+///
+/// Dimensions left empty fall back to a single default: the paper's
+/// material, the default configuration, the [`BackendKind::DirectTimeless`]
+/// backend.  At least one excitation must be supplied.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioGrid {
+    materials: Vec<(String, JaParameters)>,
+    configs: Vec<(String, JaConfig)>,
+    backends: Vec<BackendKind>,
+    excitations: Vec<(String, Excitation)>,
+}
+
+impl ScenarioGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a material.
+    #[must_use]
+    pub fn material(mut self, name: impl Into<String>, params: JaParameters) -> Self {
+        self.materials.push((name.into(), params));
+        self
+    }
+
+    /// Adds a configuration.
+    #[must_use]
+    pub fn config(mut self, name: impl Into<String>, config: JaConfig) -> Self {
+        self.configs.push((name.into(), config));
+        self
+    }
+
+    /// Adds a backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Adds several backends.
+    #[must_use]
+    pub fn backends(mut self, backends: impl IntoIterator<Item = BackendKind>) -> Self {
+        self.backends.extend(backends);
+        self
+    }
+
+    /// Adds an excitation.
+    #[must_use]
+    pub fn excitation(mut self, name: impl Into<String>, excitation: Excitation) -> Self {
+        self.excitations.push((name.into(), excitation));
+        self
+    }
+
+    /// Expands the grid into concrete scenarios
+    /// (excitation-major, then backend, config, material).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let materials: Vec<(String, JaParameters)> = if self.materials.is_empty() {
+            vec![("date2006".to_owned(), JaParameters::date2006())]
+        } else {
+            self.materials.clone()
+        };
+        let configs: Vec<(String, JaConfig)> = if self.configs.is_empty() {
+            vec![("default".to_owned(), JaConfig::default())]
+        } else {
+            self.configs.clone()
+        };
+        let backends: Vec<BackendKind> = if self.backends.is_empty() {
+            vec![BackendKind::DirectTimeless]
+        } else {
+            self.backends.clone()
+        };
+
+        let mut scenarios = Vec::with_capacity(
+            materials.len() * configs.len() * backends.len() * self.excitations.len(),
+        );
+        for (excitation_name, excitation) in &self.excitations {
+            for &backend in &backends {
+                for (config_name, config) in &configs {
+                    for (material_name, params) in &materials {
+                        scenarios.push(Scenario::new(
+                            format!(
+                                "{excitation_name}/{}/{config_name}/{material_name}",
+                                backend.label()
+                            ),
+                            *params,
+                            *config,
+                            backend,
+                            excitation.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Number of scenarios the grid expands to, without materialising them
+    /// (empty dimensions count as their single default).
+    pub fn len(&self) -> usize {
+        self.excitations.len()
+            * self.backends.len().max(1)
+            * self.configs.len().max(1)
+            * self.materials.len().max(1)
+    }
+
+    /// Whether the grid expands to no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.excitations.is_empty()
+    }
+}
+
+/// Result of one batch entry: the scenario together with its outcome or
+/// error (a failing scenario does not abort the batch).
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Its outcome.
+    pub outcome: Result<ScenarioOutcome, JaError>,
+}
+
+/// Report of a batch run.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// One entry per scenario, in input order.
+    pub entries: Vec<BatchEntry>,
+}
+
+impl BatchReport {
+    /// Successful outcomes, in input order.
+    pub fn successes(&self) -> impl Iterator<Item = &ScenarioOutcome> {
+        self.entries.iter().filter_map(|e| e.outcome.as_ref().ok())
+    }
+
+    /// Failed entries, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = (&Scenario, &JaError)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.outcome.as_ref().err().map(|err| (&e.scenario, err)))
+    }
+
+    /// Total sweep wall-clock across the successful entries.
+    pub fn total_runtime(&self) -> Duration {
+        self.successes().map(|o| o.runtime).sum()
+    }
+
+    /// Looks an outcome up by scenario name.
+    pub fn outcome(&self, name: &str) -> Option<&ScenarioOutcome> {
+        self.successes().find(|o| o.name == name)
+    }
+}
+
+/// Runs every scenario in order and collects all outcomes; individual
+/// failures are recorded, not propagated.
+pub fn run_batch(scenarios: impl IntoIterator<Item = Scenario>) -> BatchReport {
+    BatchReport {
+        entries: scenarios
+            .into_iter()
+            .map(|scenario| {
+                let outcome = scenario.run();
+                BatchEntry { scenario, outcome }
+            })
+            .collect(),
+    }
+}
+
+/// Pairwise flux-density agreement across backends on one stimulus: runs
+/// the same (material, config, excitation) on every given backend and
+/// reports the worst sample-wise |ΔB| between any pair, relative to the
+/// peak flux density.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure — an equivalence check is
+/// meaningless with a missing participant.
+pub fn backend_agreement(
+    params: JaParameters,
+    config: JaConfig,
+    excitation: &Excitation,
+    backends: &[BackendKind],
+) -> Result<AgreementReport, JaError> {
+    let mut outcomes = Vec::with_capacity(backends.len());
+    for &kind in backends {
+        let scenario = Scenario::new(
+            format!("agreement/{}", kind.label()),
+            params,
+            config,
+            kind,
+            excitation.clone(),
+        );
+        outcomes.push(scenario.run()?);
+    }
+    let mut max_abs_diff_b = 0.0_f64;
+    let mut peak = 0.0_f64;
+    let mut worst_pair = None;
+    for (i, a) in outcomes.iter().enumerate() {
+        peak = peak.max(
+            a.curve
+                .points()
+                .iter()
+                .map(|p| p.b.as_tesla().abs())
+                .fold(0.0, f64::max),
+        );
+        for b in &outcomes[i + 1..] {
+            let diff = a
+                .curve
+                .points()
+                .iter()
+                .zip(b.curve.points())
+                .map(|(x, y)| (x.b.as_tesla() - y.b.as_tesla()).abs())
+                .fold(0.0, f64::max);
+            if diff >= max_abs_diff_b {
+                max_abs_diff_b = diff;
+                worst_pair = Some((a.backend, b.backend));
+            }
+        }
+    }
+    Ok(AgreementReport {
+        max_abs_diff_b,
+        relative_diff: if peak > 0.0 {
+            max_abs_diff_b / peak
+        } else {
+            0.0
+        },
+        worst_pair,
+        outcomes,
+    })
+}
+
+/// Result of [`backend_agreement`].
+#[derive(Debug)]
+pub struct AgreementReport {
+    /// Worst sample-wise |ΔB| between any backend pair (T).
+    pub max_abs_diff_b: f64,
+    /// `max_abs_diff_b` relative to the peak |B| across all backends.
+    pub relative_diff: f64,
+    /// The pair of backends exhibiting the worst difference.
+    pub worst_pair: Option<(BackendKind, BackendKind)>,
+    /// Per-backend outcomes, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_scenario_runs_on_every_backend() {
+        for kind in BackendKind::ALL {
+            let outcome = Scenario::fig1(kind, 50.0).unwrap().run().unwrap();
+            let metrics = outcome.full_metrics().unwrap();
+            assert!(
+                metrics.b_max.as_tesla() > 1.2,
+                "{}: B_max = {} T",
+                kind.label(),
+                metrics.b_max.as_tesla()
+            );
+            assert!(outcome.stats.samples > 0);
+            assert_eq!(outcome.curve.len(), outcome.stats.samples as usize);
+        }
+    }
+
+    #[test]
+    fn grid_expands_cartesian_product_with_defaults() {
+        let grid = ScenarioGrid::new()
+            .backends(BackendKind::TIMELESS)
+            .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap())
+            .excitation("fig1", Excitation::fig1(100.0).unwrap());
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 6); // 2 excitations x 3 backends x 1 x 1
+        assert!(scenarios[0].name.contains("major"));
+        assert!(!grid.is_empty());
+        assert_eq!(grid.len(), 6);
+    }
+
+    #[test]
+    fn batch_runner_collects_all_outcomes() {
+        let report = run_batch(
+            ScenarioGrid::new()
+                .backends(BackendKind::TIMELESS)
+                .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap())
+                .scenarios(),
+        );
+        assert_eq!(report.entries.len(), 3);
+        assert_eq!(report.successes().count(), 3);
+        assert_eq!(report.failures().count(), 0);
+        assert!(report.total_runtime() > Duration::ZERO);
+        let name = &report.entries[0].scenario.name;
+        assert!(report.outcome(name).is_some());
+    }
+
+    #[test]
+    fn systemc_backend_rejects_configs_the_port_cannot_honour() {
+        let unsupported = JaConfig::default().without_guards();
+        let err = BackendKind::SystemC
+            .build(JaParameters::date2006(), unsupported)
+            .err()
+            .expect("unsupported config must be rejected");
+        assert!(matches!(err, JaError::Backend { .. }), "{err}");
+        // dh_max alone is honoured.
+        assert!(BackendKind::SystemC
+            .build(
+                JaParameters::date2006(),
+                JaConfig::default().with_dh_max(25.0)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_records_failures_without_aborting() {
+        let bad = Scenario::new(
+            "bad",
+            JaParameters::date2006(),
+            JaConfig::default().with_dh_max(-1.0),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 100.0, 1).unwrap(),
+        );
+        let good = Scenario::fig1(BackendKind::DirectTimeless, 100.0).unwrap();
+        let report = run_batch([bad, good]);
+        assert_eq!(report.failures().count(), 1);
+        assert_eq!(report.successes().count(), 1);
+    }
+
+    #[test]
+    fn sampled_excitation_matches_waveform() {
+        let waveform = waveform::triangular::Triangular::new(1_000.0, 1.0).unwrap();
+        let excitation = Excitation::sampled(&waveform, 1.0, 0.25).unwrap();
+        assert_eq!(excitation.len(), 5);
+        assert!(!excitation.is_empty());
+        let samples = excitation.to_samples();
+        assert!((samples[1] - 1_000.0).abs() < 1e-9); // peak at t = 0.25
+        assert!(Excitation::sampled(&waveform, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn timeless_backends_agree_on_fig1() {
+        let report = backend_agreement(
+            JaParameters::date2006(),
+            JaConfig::default(),
+            &Excitation::fig1(50.0).unwrap(),
+            &BackendKind::TIMELESS,
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(
+            report.relative_diff < 0.05,
+            "relative diff {} (worst pair {:?})",
+            report.relative_diff,
+            report.worst_pair
+        );
+    }
+}

@@ -27,9 +27,11 @@ use hdl_kernel::recorder::Recorder;
 use hdl_kernel::signal::SignalId;
 use hdl_kernel::value::Value;
 use hdl_kernel::KernelError;
+use ja_hysteresis::error::JaError;
 use magnetics::bh::BhCurve;
 use magnetics::constants::MU0;
 use magnetics::material::JaParameters;
+use magnetics::units::{FieldStrength, FluxDensity, Magnetisation};
 use waveform::schedule::FieldSchedule;
 
 /// Internal module variables shared by the three processes — the SystemC
@@ -43,6 +45,11 @@ struct CoreVars {
     mtotal: f64,
     lasth: f64,
     deltah: f64,
+    // Cost counters of the Integral process, mirroring the library model's
+    // `JaStatistics` so the module can stand behind `HysteresisBackend`.
+    integral_steps: u64,
+    negative_slope_events: u64,
+    rejected_updates: u64,
 }
 
 impl CoreVars {
@@ -55,6 +62,9 @@ impl CoreVars {
             mtotal: 0.0,
             lasth: 0.0,
             deltah: 0.0,
+            integral_steps: 0,
+            negative_slope_events: 0,
+            rejected_updates: 0,
         }
     }
 
@@ -71,6 +81,7 @@ pub struct SystemCJaCore {
     h: SignalId,
     m_sig: SignalId,
     b_sig: SignalId,
+    samples: u64,
 }
 
 impl SystemCJaCore {
@@ -146,16 +157,24 @@ impl SystemCJaCore {
             let mut v = integral_vars.borrow_mut();
             let ms = v.params.m_sat.value();
             // Get the field direction.
-            let dk = if v.deltah > 0.0 { v.params.k } else { -v.params.k };
+            let dk = if v.deltah > 0.0 {
+                v.params.k
+            } else {
+                -v.params.k
+            };
             // Forward Euler integration method.
             let dh = v.deltah;
             let deltam = v.man - v.mtotal;
-            let dmdh1 =
-                deltam / ((1.0 + v.params.c) * (dk - v.params.alpha * ms * deltam));
+            let dmdh1 = deltam / ((1.0 + v.params.c) * (dk - v.params.alpha * ms * deltam));
             let dmdh = if dmdh1 > 0.0 { dmdh1 } else { 0.0 }; // positive slopes only
             let mut dm = dh * dmdh;
             if dm * dh < 0.0 {
                 dm = 0.0;
+                v.rejected_updates += 1;
+            }
+            v.integral_steps += 1;
+            if dmdh1 < 0.0 {
+                v.negative_slope_events += 1;
             }
             v.mirr += dm;
             ctx.write_bit(trig, false)?;
@@ -171,6 +190,7 @@ impl SystemCJaCore {
             h,
             m_sig,
             b_sig,
+            samples: 0,
         })
     }
 
@@ -192,6 +212,7 @@ impl SystemCJaCore {
     pub fn apply_field(&mut self, h: f64) -> Result<(f64, f64), KernelError> {
         self.kernel.write_initial(self.h, Value::Real(h))?;
         self.kernel.settle()?;
+        self.samples += 1;
         Ok((
             self.kernel.read_real(self.b_sig)?,
             self.kernel.read_real(self.m_sig)?,
@@ -234,13 +255,13 @@ impl SystemCJaCore {
             let at = hdl_kernel::SimTime::from_seconds((i + 1) as f64 * dt_seconds);
             self.kernel.schedule_write(at, self.h, Value::Real(h));
         }
-        for i in 0..samples.len() {
+        for (i, &h) in samples.iter().enumerate() {
             let until = hdl_kernel::SimTime::from_seconds((i + 1) as f64 * dt_seconds);
             self.kernel.run_until(until)?;
             recorder.sample(&self.kernel)?;
             let b = self.kernel.read_real(self.b_sig)?;
             let m = self.kernel.read_real(self.m_sig)?;
-            curve.push_raw(samples[i], b, m * m_sat);
+            curve.push_raw(h, b, m * m_sat);
         }
         Ok((curve, recorder))
     }
@@ -259,6 +280,73 @@ impl SystemCJaCore {
     /// The material parameters the module was built with.
     pub fn params(&self) -> JaParameters {
         self.vars.borrow().params
+    }
+
+    /// The update threshold `dhmax` the module was built with (A/m).
+    pub fn dhmax(&self) -> f64 {
+        self.vars.borrow().dhmax
+    }
+
+    /// The current normalised anhysteretic magnetisation (the module's
+    /// `man` member variable).
+    pub fn anhysteretic_magnetisation(&self) -> f64 {
+        self.vars.borrow().man
+    }
+}
+
+impl ja_hysteresis::backend::HysteresisBackend for SystemCJaCore {
+    fn label(&self) -> &'static str {
+        "systemc-event-kernel"
+    }
+
+    fn apply_field(&mut self, h: f64) -> Result<ja_hysteresis::model::JaSample, JaError> {
+        if !h.is_finite() {
+            return Err(JaError::NonFiniteField { value: h });
+        }
+        let (b, m_norm) = SystemCJaCore::apply_field(self, h).map_err(|err| JaError::Backend {
+            backend: "systemc-event-kernel",
+            reason: err.to_string(),
+        })?;
+        let v = self.vars.borrow();
+        let m = m_norm * v.params.m_sat.value();
+        if !(b.is_finite() && m.is_finite()) {
+            return Err(JaError::StateDiverged { at_field: h });
+        }
+        Ok(ja_hysteresis::model::JaSample {
+            h: FieldStrength::new(h),
+            b: FluxDensity::new(b),
+            m: Magnetisation::new(m),
+            m_an: v.man,
+        })
+    }
+
+    fn statistics(&self) -> ja_hysteresis::model::JaStatistics {
+        let v = self.vars.borrow();
+        ja_hysteresis::model::JaStatistics {
+            samples: self.samples,
+            updates: v.integral_steps,
+            // The paper's Integral process is forward Euler: exactly one
+            // slope evaluation per integration step.
+            slope_evaluations: v.integral_steps,
+            negative_slope_events: v.negative_slope_events,
+            // In the paper's listing the slope clamp precedes the sign
+            // check, so `dm·dh < 0` is unreachable and this stays 0 — the
+            // module genuinely never rejects an update, unlike the library
+            // model whose guards are independently switchable.
+            rejected_updates: v.rejected_updates,
+        }
+    }
+
+    fn reset(&mut self) -> Result<(), JaError> {
+        let (params, dhmax) = {
+            let v = self.vars.borrow();
+            (v.params, v.dhmax)
+        };
+        *self = SystemCJaCore::new(params, dhmax).map_err(|err| JaError::Backend {
+            backend: "systemc-event-kernel",
+            reason: err.to_string(),
+        })?;
+        Ok(())
     }
 }
 
@@ -290,7 +378,10 @@ mod tests {
         let mut h = 0.0;
         while h <= 10_000.0 {
             let (b, _) = core.apply_field(h).unwrap();
-            assert!(b >= b_last - 1e-12, "B must not decrease on the initial curve");
+            assert!(
+                b >= b_last - 1e-12,
+                "B must not decrease on the initial curve"
+            );
             b_last = b;
             h += 10.0;
         }
@@ -335,7 +426,7 @@ mod tests {
         let mut timed = SystemCJaCore::date2006().unwrap();
         let (timed_curve, recorder) = timed.run_timed(&samples, 1e-6).unwrap();
 
-        assert_eq!(dc_curve.len(), timed_curve.len() + 0);
+        assert_eq!(dc_curve.len(), timed_curve.len());
         let max_diff = dc_curve
             .points()
             .iter()

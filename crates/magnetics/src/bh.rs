@@ -256,7 +256,10 @@ mod tests {
     fn push_and_len() {
         let mut curve = BhCurve::new();
         assert!(curve.is_empty());
-        curve.push(BhPoint::from_h_b(FieldStrength::new(1.0), FluxDensity::new(0.5)));
+        curve.push(BhPoint::from_h_b(
+            FieldStrength::new(1.0),
+            FluxDensity::new(0.5),
+        ));
         curve.push_raw(2.0, 1.0, 3.0);
         assert_eq!(curve.len(), 2);
         assert_eq!(curve.last().unwrap().h.value(), 2.0);

@@ -54,7 +54,10 @@ impl fmt::Display for MagneticsError {
                 "invalid parameter `{name}` = {value}: must satisfy {requirement}"
             ),
             MagneticsError::InvalidGeometry { name, value } => {
-                write!(f, "invalid geometry `{name}` = {value}: must be finite and positive")
+                write!(
+                    f,
+                    "invalid geometry `{name}` = {value}: must be finite and positive"
+                )
             }
             MagneticsError::InsufficientSamples {
                 required,

@@ -52,7 +52,11 @@ impl CoreGeometry {
     ///
     /// Returns [`MagneticsError::InvalidGeometry`] when the radii are not
     /// ordered `0 < r_in < r_out` or the height is not positive.
-    pub fn toroid(inner_radius_m: f64, outer_radius_m: f64, height_m: f64) -> Result<Self, MagneticsError> {
+    pub fn toroid(
+        inner_radius_m: f64,
+        outer_radius_m: f64,
+        height_m: f64,
+    ) -> Result<Self, MagneticsError> {
         if !(inner_radius_m.is_finite() && inner_radius_m > 0.0) {
             return Err(MagneticsError::InvalidGeometry {
                 name: "inner_radius_m",

@@ -213,6 +213,80 @@ mod tests {
         curve
     }
 
+    /// Builds a synthetic lens-shaped loop with closed tips at ±h_peak:
+    /// both branches share the linear backbone `k·H` and are separated by
+    /// the parabolic lens `d(H) = d0·(1 − (H/h_peak)²)`, giving analytic
+    /// remanence (`d0`), coercivity (positive root of `k·H = d(H)`) and
+    /// enclosed area (`(8/3)·d0·h_peak`).
+    fn lens_loop(h_peak: f64, k: f64, d0: f64, n: usize) -> BhCurve {
+        let mut curve = BhCurve::new();
+        let lens = |h: f64| d0 * (1.0 - (h / h_peak).powi(2));
+        // ascending branch (lower lip): H from -h_peak to +h_peak
+        for i in 0..=n {
+            let h = -h_peak + 2.0 * h_peak * i as f64 / n as f64;
+            curve.push_raw(h, k * h - lens(h), 0.0);
+        }
+        // descending branch (upper lip): H from +h_peak back to -h_peak
+        for i in 0..=n {
+            let h = h_peak - 2.0 * h_peak * i as f64 / n as f64;
+            curve.push_raw(h, k * h + lens(h), 0.0);
+        }
+        curve
+    }
+
+    const LENS_H_PEAK: f64 = 10_000.0;
+    const LENS_K: f64 = 1.8e-4; // > 2·d0/h_peak, so slopes stay positive
+    const LENS_D0: f64 = 0.5;
+
+    #[test]
+    fn lens_loop_remanence_is_the_lens_half_width() {
+        let curve = lens_loop(LENS_H_PEAK, LENS_K, LENS_D0, 2000);
+        let br = remanence(&curve).unwrap();
+        // At H = 0 both branches sit at ±d0 exactly.
+        assert!(
+            (br.as_tesla() - LENS_D0).abs() < 1e-3,
+            "Br = {} T, expected {LENS_D0} T",
+            br.as_tesla()
+        );
+    }
+
+    #[test]
+    fn lens_loop_coercivity_matches_analytic_root() {
+        let curve = lens_loop(LENS_H_PEAK, LENS_K, LENS_D0, 2000);
+        let hc = coercivity(&curve).unwrap();
+        // B = 0 on the ascending branch at k·H = d0(1 − (H/hp)²), the
+        // positive root of (d0/hp²)·H² + k·H − d0 = 0.
+        let a = LENS_D0 / (LENS_H_PEAK * LENS_H_PEAK);
+        let expected = (-LENS_K + (LENS_K * LENS_K + 4.0 * a * LENS_D0).sqrt()) / (2.0 * a);
+        assert!(
+            (hc.value() - expected).abs() < 0.01 * expected,
+            "Hc = {} A/m, expected {expected} A/m",
+            hc.value()
+        );
+    }
+
+    #[test]
+    fn lens_loop_area_matches_closed_form() {
+        let curve = lens_loop(LENS_H_PEAK, LENS_K, LENS_D0, 2000);
+        // ∮ H dB over the lens: ∫ 2·d(H) dH = (8/3)·d0·h_peak.
+        let expected = 8.0 / 3.0 * LENS_D0 * LENS_H_PEAK;
+        let area = loop_area(&curve);
+        assert!(
+            (area - expected).abs() < 0.01 * expected,
+            "area = {area} J/m³, expected {expected} J/m³"
+        );
+    }
+
+    #[test]
+    fn lens_loop_full_metrics_are_consistent() {
+        let curve = lens_loop(LENS_H_PEAK, LENS_K, LENS_D0, 2000);
+        let m = loop_metrics(&curve).unwrap();
+        assert!((m.h_max.value() - LENS_H_PEAK).abs() < 1e-9);
+        // Peak B at +h_peak where the lens vanishes: k·h_peak.
+        assert!((m.b_max.as_tesla() - LENS_K * LENS_H_PEAK).abs() < 1e-9);
+        assert_eq!(m.negative_slope_samples, 0);
+    }
+
     #[test]
     fn coercivity_of_synthetic_loop() {
         let curve = synthetic_loop(10_000.0, 1000.0, 1.8, 2000);
@@ -230,7 +304,11 @@ mod tests {
         let br = remanence(&curve).unwrap();
         // B at H=0 on either branch: Bs * tanh(Hc/w) = Bs * tanh(2) ~ 0.964 Bs
         let expected = 1.8 * (2.0_f64).tanh();
-        assert!((br.as_tesla() - expected).abs() < 0.02, "Br = {}", br.as_tesla());
+        assert!(
+            (br.as_tesla() - expected).abs() < 0.02,
+            "Br = {}",
+            br.as_tesla()
+        );
     }
 
     #[test]

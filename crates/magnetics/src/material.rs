@@ -308,22 +308,37 @@ mod tests {
     fn new_rejects_negative_k() {
         let err = JaParameters::new(Magnetisation::new(1.6e6), 2000.0, 3500.0, -1.0, 0.003, 0.1)
             .unwrap_err();
-        assert!(matches!(err, MagneticsError::InvalidParameter { name: "k", .. }));
+        assert!(matches!(
+            err,
+            MagneticsError::InvalidParameter { name: "k", .. }
+        ));
     }
 
     #[test]
     fn new_rejects_nan_alpha() {
-        let err =
-            JaParameters::new(Magnetisation::new(1.6e6), 2000.0, 3500.0, 4000.0, f64::NAN, 0.1)
-                .unwrap_err();
-        assert!(matches!(err, MagneticsError::InvalidParameter { name: "alpha", .. }));
+        let err = JaParameters::new(
+            Magnetisation::new(1.6e6),
+            2000.0,
+            3500.0,
+            4000.0,
+            f64::NAN,
+            0.1,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MagneticsError::InvalidParameter { name: "alpha", .. }
+        ));
     }
 
     #[test]
     fn new_rejects_zero_m_sat() {
         let err = JaParameters::new(Magnetisation::zero(), 2000.0, 3500.0, 4000.0, 0.003, 0.1)
             .unwrap_err();
-        assert!(matches!(err, MagneticsError::InvalidParameter { name: "m_sat", .. }));
+        assert!(matches!(
+            err,
+            MagneticsError::InvalidParameter { name: "m_sat", .. }
+        ));
     }
 
     #[test]

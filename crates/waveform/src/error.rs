@@ -90,15 +90,13 @@ mod tests {
         };
         assert!(err.to_string().contains("period"));
 
-        let err = WaveformError::UnknownColumn {
-            column: "B".into(),
-        };
+        let err = WaveformError::UnknownColumn { column: "B".into() };
         assert!(err.to_string().contains("`B`"));
     }
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk full");
+        let io = std::io::Error::other("disk full");
         let err: WaveformError = io.into();
         assert!(matches!(err, WaveformError::Export(_)));
     }

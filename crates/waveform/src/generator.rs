@@ -86,7 +86,7 @@ mod tests {
         assert_eq!(by_ref.value(0.5), 2.0);
         let boxed: Box<dyn Waveform> = Box::new(w);
         assert_eq!(boxed.value(0.5), 2.0);
-        assert_eq!((&boxed).period(), None);
+        assert_eq!(boxed.period(), None);
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl PiecewiseLinear {
 impl Waveform for PiecewiseLinear {
     fn value(&self, t: f64) -> f64 {
         let first = self.breakpoints[0];
-        let last = *self.breakpoints.last().expect("validated: >= 2 breakpoints");
+        let last = *self
+            .breakpoints
+            .last()
+            .expect("validated: >= 2 breakpoints");
         if t <= first.0 {
             return first.1;
         }
@@ -79,7 +82,10 @@ impl Waveform for PiecewiseLinear {
 
     fn derivative(&self, t: f64) -> f64 {
         let first = self.breakpoints[0];
-        let last = *self.breakpoints.last().expect("validated: >= 2 breakpoints");
+        let last = *self
+            .breakpoints
+            .last()
+            .expect("validated: >= 2 breakpoints");
         if t < first.0 || t > last.0 {
             return 0.0;
         }

@@ -68,7 +68,8 @@ impl Sine {
 impl Waveform for Sine {
     fn value(&self, t: f64) -> f64 {
         self.offset
-            + self.amplitude * (2.0 * std::f64::consts::PI * self.frequency * t + self.phase_rad).sin()
+            + self.amplitude
+                * (2.0 * std::f64::consts::PI * self.frequency * t + self.phase_rad).sin()
     }
 
     fn period(&self) -> Option<f64> {
@@ -183,7 +184,9 @@ mod tests {
     #[test]
     fn damped_sine_decays() {
         let w = DampedSine::new(100.0, 50.0, 0.05).unwrap();
-        let early: f64 = (0..20).map(|i| w.value(i as f64 * 1e-3).abs()).fold(0.0, f64::max);
+        let early: f64 = (0..20)
+            .map(|i| w.value(i as f64 * 1e-3).abs())
+            .fold(0.0, f64::max);
         let late: f64 = (0..20)
             .map(|i| w.value(0.3 + i as f64 * 1e-3).abs())
             .fold(0.0, f64::max);

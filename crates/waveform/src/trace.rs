@@ -69,13 +69,11 @@ impl Trace {
     ///
     /// Returns [`WaveformError::UnknownColumn`] when no column has that name.
     pub fn column(&self, name: &str) -> Result<&[f64], WaveformError> {
-        let idx = self
-            .names
-            .iter()
-            .position(|n| n == name)
-            .ok_or_else(|| WaveformError::UnknownColumn {
+        let idx = self.names.iter().position(|n| n == name).ok_or_else(|| {
+            WaveformError::UnknownColumn {
                 column: name.to_owned(),
-            })?;
+            }
+        })?;
         Ok(&self.columns[idx])
     }
 

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn offset_and_phase() {
-        let w = Triangular::new(10.0, 1.0).unwrap().with_offset(5.0).with_phase(0.25);
+        let w = Triangular::new(10.0, 1.0)
+            .unwrap()
+            .with_offset(5.0)
+            .with_phase(0.25);
         assert!((w.value(0.0) - 15.0).abs() < 1e-12);
         assert_eq!(w.offset(), 5.0);
         assert_eq!(w.amplitude(), 10.0);
@@ -148,7 +151,7 @@ mod tests {
         let w = Triangular::new(7.0, 0.5).unwrap().with_offset(1.0);
         for i in 0..1000 {
             let v = w.value(i as f64 * 1e-3);
-            assert!(v <= 8.0 + 1e-9 && v >= -6.0 - 1e-9);
+            assert!((-6.0 - 1e-9..=8.0 + 1e-9).contains(&v));
         }
     }
 }

@@ -144,7 +144,11 @@ mod tests {
         let mut samples = Vec::new();
         for cycle in 0..3 {
             for i in 0..20 {
-                samples.push(if cycle % 2 == 0 { i as f64 } else { 20.0 - i as f64 });
+                samples.push(if cycle % 2 == 0 {
+                    i as f64
+                } else {
+                    20.0 - i as f64
+                });
             }
         }
         // 3 monotone runs -> 2 reversals
@@ -157,5 +161,47 @@ mod tests {
         let samples: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
         assert!(turning_points(&samples, 0.01).is_empty());
         assert_eq!(reversal_count(&samples), 0);
+    }
+
+    #[test]
+    fn triangular_waveform_sweep_detects_every_apex() {
+        // Two full cycles of the paper's ±10 kA/m triangular excitation,
+        // sampled uniformly: apexes at +peak and −peak must be recovered
+        // exactly, alternating maximum/minimum.
+        let waveform = crate::triangular::Triangular::new(10_000.0, 1.0).unwrap();
+        let samples: Vec<f64> = (0..=800)
+            .map(|i| crate::Waveform::value(&waveform, i as f64 * 2.0 / 800.0))
+            .collect();
+        let tps = turning_points(&samples, 1.0);
+        // Cycle apexes at t = 0.25, 0.75, 1.25, 1.75 → max, min, max, min.
+        assert_eq!(tps.len(), 4);
+        for (i, tp) in tps.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(tp.kind, TurningKind::Maximum);
+                assert!((tp.value - 10_000.0).abs() < 1e-9, "apex {}", tp.value);
+            } else {
+                assert_eq!(tp.kind, TurningKind::Minimum);
+                assert!((tp.value + 10_000.0).abs() < 1e-9, "apex {}", tp.value);
+            }
+        }
+        assert_eq!(reversal_count(&samples), 4);
+    }
+
+    #[test]
+    fn field_schedule_sweep_turning_points_match_breakpoints() {
+        // The timeless view of the same stimulus: a major-loop field
+        // schedule. Its interior breakpoints are exactly the turning points
+        // the detector must find, at the right sample indices.
+        let schedule = crate::schedule::FieldSchedule::major_loop(10_000.0, 10.0, 1).unwrap();
+        let samples = schedule.to_samples();
+        let tps = turning_points(&samples, 5.0);
+        // One cycle 0 → +peak → −peak → 0 has two interior reversals.
+        assert_eq!(tps.len(), 2);
+        assert_eq!(tps[0].kind, TurningKind::Maximum);
+        assert!((tps[0].value - 10_000.0).abs() < 1e-9);
+        assert_eq!(tps[1].kind, TurningKind::Minimum);
+        assert!((tps[1].value + 10_000.0).abs() < 1e-9);
+        assert!((samples[tps[0].index] - 10_000.0).abs() < 1e-9);
+        assert!((samples[tps[1].index] + 10_000.0).abs() < 1e-9);
     }
 }

@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         NonlinearInductor::new(
             v_core,
             Node::GROUND,
-            200.0,   // turns
-            1.0e-4,  // core area, m^2
-            0.1,     // magnetic path length, m
+            200.0,  // turns
+            1.0e-4, // core area, m^2
+            0.1,    // magnetic path length, m
             JaCoreAdapter::date2006()?,
         )?,
     )?;
@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // RMS — a sine has crest factor sqrt(2) ~ 1.41, a saturating inductor
     // much more.
     let rms = (current.iter().map(|i| i * i).sum::<f64>() / current.len() as f64).sqrt();
-    println!("  current crest factor     = {:.2} (sine would be 1.41)", peak_i / rms);
+    println!(
+        "  current crest factor     = {:.2} (sine would be 1.41)",
+        peak_i / rms
+    );
 
     println!("\nmagnetising current over time (x: sample, y: A):");
     let t: Vec<f64> = (0..current.len()).map(|i| i as f64).collect();

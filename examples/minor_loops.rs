@@ -1,59 +1,101 @@
 //! Minor-loop robustness: "various minor loop sizes and in different
-//! positions" (paper, §2), plus a demagnetisation sweep.
+//! positions" (paper, §2), plus a demagnetisation sweep — a scenario grid
+//! executed by the batch runner.
 //!
 //! Run with: `cargo run --example minor_loops`
 
 use std::error::Error;
 
-use ja_repro::hdl_models::comparison::minor_loop_study;
-use ja_repro::ja_hysteresis::model::JilesAtherton;
-use ja_repro::ja_hysteresis::sweep::sweep_schedule;
+use ja_repro::hdl_models::scenario::{run_batch, BackendKind, Excitation, Scenario};
+use ja_repro::ja_hysteresis::config::JaConfig;
 use ja_repro::magnetics::loop_analysis;
 use ja_repro::magnetics::material::JaParameters;
 use ja_repro::waveform::export::ascii_plot;
 use ja_repro::waveform::schedule::FieldSchedule;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    // A grid of loop positions (bias) and sizes (amplitude).
+    // A grid of loop positions (bias) and sizes (amplitude), one scenario
+    // per case, run as one batch.
     let biases = [0.0, 2_000.0, 5_000.0, -4_000.0];
     let amplitudes = [500.0, 1_500.0, 3_000.0];
-    let cases = minor_loop_study(&biases, &amplitudes, 10.0)?;
+    let step = 10.0;
+    let mut cases = Vec::new();
+    let mut scenarios = Vec::new();
+    for &bias in &biases {
+        for &amplitude in &amplitudes {
+            cases.push((bias, amplitude));
+            scenarios.push(Scenario::new(
+                format!("minor-loop/bias{bias}/amp{amplitude}"),
+                JaParameters::date2006(),
+                JaConfig::default(),
+                BackendKind::DirectTimeless,
+                Excitation::biased_minor_loop(bias, amplitude, 5, step)?,
+            ));
+        }
+    }
+    let report = run_batch(scenarios);
 
     println!("bias [A/m]  amplitude [A/m]  loop area [J/m^3]  closure |dB| [T]  neg.slope samples");
-    for case in &cases {
+    let mut clean = true;
+    for (&(bias, amplitude), entry) in cases.iter().zip(&report.entries) {
+        let outcome = entry.outcome.as_ref().map_err(|e| e.to_string())?;
+        let period = (4.0 * amplitude / step).round() as usize;
+        let closure = loop_analysis::loop_closure_error(&outcome.curve, period).unwrap_or(f64::NAN);
+        let negative_slopes = outcome.curve.negative_slope_samples();
+        clean &= negative_slopes == 0;
         println!(
             "{:>10.0}  {:>15.0}  {:>17.1}  {:>16.4}  {:>18}",
-            case.bias,
-            case.amplitude,
-            case.loop_area,
-            case.closure_error,
-            case.negative_slope_samples
+            bias,
+            amplitude,
+            loop_analysis::loop_area(&outcome.curve),
+            closure,
+            negative_slopes
         );
     }
-    let robust = cases.iter().all(|c| c.negative_slope_samples == 0);
     println!(
-        "\nall {} loops produced without numerical difficulties: {}",
-        cases.len(),
-        robust
+        "\nall {} loops produced without numerical difficulties: {clean}",
+        report.entries.len(),
+    );
+    println!(
+        "batch sweep time: {:.1} ms",
+        report.total_runtime().as_secs_f64() * 1e3
     );
 
     // Demagnetisation: decaying loop amplitudes walk the core back towards
-    // the origin through a sequence of shrinking minor loops.
-    let mut model = JilesAtherton::new(JaParameters::date2006())?;
-    // First magnetise hard.
-    sweep_schedule(&mut model, &FieldSchedule::major_loop(10_000.0, 10.0, 1)?)?;
-    let remanent = model.flux_density().as_tesla();
-    let demag = FieldSchedule::demagnetisation(10_000.0, 50.0, 0.85, 10.0)?;
-    let result = sweep_schedule(&mut model, &demag)?;
-    let final_b = model.flux_density().as_tesla();
+    // the origin through a sequence of shrinking minor loops.  The
+    // magnetise and demagnetise phases are one excitation so the scenario
+    // carries the core's history.
+    let mut samples = FieldSchedule::major_loop(10_000.0, 10.0, 1)?.to_samples();
+    let remanent_index = samples.len().saturating_sub(1);
+    samples.extend(FieldSchedule::demagnetisation(10_000.0, 50.0, 0.85, 10.0)?.iter());
+    let outcome = Scenario::new(
+        "demagnetisation",
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::DirectTimeless,
+        Excitation::Samples(samples),
+    )
+    .run()?;
+    let points = outcome.curve.points();
+    let remanent = points[remanent_index].b.as_tesla();
+    let final_b = points.last().map(|p| p.b.as_tesla()).unwrap_or(0.0);
     println!("\ndemagnetisation: B before = {remanent:.3} T, after = {final_b:.3} T");
 
-    let h: Vec<f64> = result.curve().points().iter().map(|p| p.h.value() / 1000.0).collect();
-    let b: Vec<f64> = result.curve().points().iter().map(|p| p.b.as_tesla()).collect();
+    let demag = &points[remanent_index + 1..];
+    let h: Vec<f64> = demag.iter().map(|p| p.h.value() / 1000.0).collect();
+    let b: Vec<f64> = demag.iter().map(|p| p.b.as_tesla()).collect();
     println!("\ndemagnetisation trajectory (x: H in kA/m, y: B in T):");
     println!("{}", ascii_plot(&h, &b, 72, 22)?);
 
-    let metrics = loop_analysis::loop_metrics(result.curve())?;
-    println!("negative-slope samples during demagnetisation: {}", metrics.negative_slope_samples);
+    // Count over the demagnetisation slice only (the preceding major loop
+    // is part of the same trace).
+    let mut demag_curve = ja_repro::magnetics::bh::BhCurve::with_capacity(demag.len());
+    for p in demag {
+        demag_curve.push_raw(p.h.value(), p.b.as_tesla(), p.m.value());
+    }
+    println!(
+        "negative-slope samples during demagnetisation: {}",
+        demag_curve.negative_slope_samples()
+    );
     Ok(())
 }

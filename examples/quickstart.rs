@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fs::File;
 
+use ja_repro::hdl_models::scenario::{run_batch, BackendKind, Excitation, ScenarioGrid};
 use ja_repro::ja_hysteresis::model::JilesAtherton;
 use ja_repro::ja_hysteresis::sweep::sweep_schedule;
 use ja_repro::magnetics::loop_analysis;
@@ -41,11 +42,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let metrics = loop_analysis::loop_metrics(result.curve())?;
     println!("\n== loop metrics (compare with Fig. 1 axes: +/-10 kA/m, ~+/-2 T) ==");
     println!("  B_max        = {:.3} T", metrics.b_max.as_tesla());
-    println!("  H_max        = {:.1} kA/m", metrics.h_max.as_kiloamperes_per_meter());
+    println!(
+        "  H_max        = {:.1} kA/m",
+        metrics.h_max.as_kiloamperes_per_meter()
+    );
     println!("  coercivity   = {:.0} A/m", metrics.coercivity.value());
     println!("  remanence    = {:.3} T", metrics.remanence.as_tesla());
-    println!("  loop area    = {:.0} J/m^3 per full trace", metrics.loop_area);
-    println!("  negative dB/dH samples = {}", metrics.negative_slope_samples);
+    println!(
+        "  loop area    = {:.0} J/m^3 per full trace",
+        metrics.loop_area
+    );
+    println!(
+        "  negative dB/dH samples = {}",
+        metrics.negative_slope_samples
+    );
     println!(
         "  slope updates = {} over {} samples",
         result.updates(),
@@ -73,5 +83,31 @@ fn main() -> Result<(), Box<dyn Error>> {
     let file = File::create("target/fig1_bh_curve.csv")?;
     write_csv(result.trace(), file)?;
     println!("full trace written to target/fig1_bh_curve.csv");
+
+    // The same experiment through the scenario engine: one grid, all four
+    // implementation styles, run as a batch.
+    let grid = ScenarioGrid::new()
+        .backends(BackendKind::ALL)
+        .excitation("fig1", Excitation::fig1(10.0)?);
+    let report = run_batch(grid.scenarios());
+    println!("\n== the same sweep on every backend (scenario engine) ==");
+    println!(
+        "{:<42} {:>8} {:>10} {:>10} {:>10}",
+        "scenario", "Bmax[T]", "Hc[A/m]", "updates", "time[ms]"
+    );
+    for outcome in report.successes() {
+        let m = outcome.full_metrics()?;
+        println!(
+            "{:<42} {:>8.3} {:>10.0} {:>10} {:>10.1}",
+            outcome.name,
+            m.b_max.as_tesla(),
+            m.coercivity.value(),
+            outcome.stats.updates,
+            outcome.runtime.as_secs_f64() * 1e3
+        );
+    }
+    for (scenario, err) in report.failures() {
+        println!("{:<42} failed: {err}", scenario.name);
+    }
     Ok(())
 }

@@ -2,59 +2,87 @@
 //! E4/E5): stability at the turning points and work spent, as a function of
 //! the time step handed to the analogue solver.
 //!
+//! The timeless side runs as scenarios through the scenario engine (the
+//! waveform is pre-sampled into field samples); the baseline genuinely
+//! integrates `dM/dt` with the analogue solver.
+//!
 //! Run with: `cargo run --example solver_comparison`
 
 use std::error::Error;
-use std::time::Instant;
 
-use ja_repro::hdl_models::ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
-use ja_repro::hdl_models::comparison::turning_point_comparison;
+use ja_repro::hdl_models::ams::{SolverIntegratedBaseline, SolverMethod};
+use ja_repro::hdl_models::scenario::{BackendKind, Excitation, Scenario};
 use ja_repro::ja_hysteresis::config::JaConfig;
 use ja_repro::magnetics::material::JaParameters;
 use ja_repro::waveform::triangular::Triangular;
 
+fn timeless_scenario(
+    waveform: &Triangular,
+    t_end: f64,
+    dt: f64,
+) -> Result<Scenario, Box<dyn Error>> {
+    Ok(Scenario::new(
+        format!("solver-comparison/timeless/dt{dt}"),
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::AmsTimeless,
+        Excitation::sampled(waveform, t_end, dt)?,
+    ))
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    let waveform = Triangular::new(10_000.0, 1.0)?;
+    let t_end = 2.0;
+    let params = JaParameters::date2006();
+
     println!("== turning-point stability (E4): timeless vs backward-Euler baseline ==");
-    println!("dt [s]      timeless Bmax  baseline Bmax  overshoot  newton its  non-conv  neg.slope (baseline)");
-    for &dt in &[2.0 / 16_000.0, 2.0 / 8_000.0, 2.0 / 4_000.0, 2.0 / 2_000.0, 2.0 / 1_000.0] {
-        let report = turning_point_comparison(dt, SolverMethod::BackwardEuler)?;
+    println!("dt [s]      timeless Bmax  baseline Bmax  shape err  newton its  non-conv  neg.slope (baseline)");
+    let baseline = SolverIntegratedBaseline::new(params, JaConfig::default())?;
+    for &dt in &[
+        2.0 / 16_000.0,
+        2.0 / 8_000.0,
+        2.0 / 4_000.0,
+        2.0 / 2_000.0,
+        2.0 / 1_000.0,
+    ] {
+        let timeless = timeless_scenario(&waveform, t_end, dt)?.run()?;
+        let timeless_b_max = timeless.full_metrics()?.b_max.as_tesla();
+        let result = baseline.run(&waveform, t_end, dt, SolverMethod::BackwardEuler)?;
+        let baseline_b_max = result.curve.peak_flux_density()?.as_tesla();
         println!(
             "{:<10.2e}  {:>12.3}  {:>12.3}  {:>8.3}  {:>10}  {:>8}  {:>10}",
-            report.dt,
-            report.timeless_b_max,
-            report.baseline_b_max,
-            report.baseline_overshoot,
-            report.baseline_newton_iterations,
-            report.baseline_non_converged,
-            report.baseline_negative_samples,
+            dt,
+            timeless_b_max,
+            baseline_b_max,
+            (baseline_b_max - timeless_b_max).abs() / timeless_b_max,
+            result.newton_iterations,
+            result.non_converged_steps,
+            result.curve.negative_slope_samples(),
         );
     }
 
     println!("\n== runtime comparison (E5): one full cycle of the paper's sweep ==");
-    let waveform = Triangular::new(10_000.0, 1.0)?;
-    let params = JaParameters::date2006();
     let dt = 2.0 / 8_000.0;
 
-    let start = Instant::now();
-    let mut timeless = AmsTimelessModel::new(params, JaConfig::default())?;
-    let curve = timeless.run_transient(&waveform, 2.0, dt)?;
-    let timeless_elapsed = start.elapsed();
+    let outcome = timeless_scenario(&waveform, t_end, dt)?.run()?;
     println!(
         "  timeless model      : {:>9.3} ms, {} slope evaluations, {} samples",
-        timeless_elapsed.as_secs_f64() * 1e3,
-        timeless.model().statistics().slope_evaluations,
-        curve.len()
+        outcome.runtime.as_secs_f64() * 1e3,
+        outcome.stats.slope_evaluations,
+        outcome.curve.len()
     );
 
-    let baseline = SolverIntegratedBaseline::new(params, JaConfig::default())?;
     for (name, method) in [
         ("forward Euler (time)", SolverMethod::ForwardEuler),
         ("backward Euler      ", SolverMethod::BackwardEuler),
         ("trapezoidal         ", SolverMethod::Trapezoidal),
-        ("adaptive RKF45      ", SolverMethod::AdaptiveRkf45 { rel_tol: 1e-6 }),
+        (
+            "adaptive RKF45      ",
+            SolverMethod::AdaptiveRkf45 { rel_tol: 1e-6 },
+        ),
     ] {
-        let start = Instant::now();
-        let result = baseline.run(&waveform, 2.0, dt, method)?;
+        let start = std::time::Instant::now();
+        let result = baseline.run(&waveform, t_end, dt, method)?;
         let elapsed = start.elapsed();
         println!(
             "  baseline {name}: {:>9.3} ms, {} rhs evaluations, {} newton iterations",

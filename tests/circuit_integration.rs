@@ -41,7 +41,10 @@ fn hysteretic_core_saturates_and_distorts_the_current() {
         200.0,
         JaCoreAdapter::date2006().unwrap(),
     );
-    let result = TransientAnalysis::new(5e-5, 0.06).unwrap().run(&mut circuit).unwrap();
+    let result = TransientAnalysis::new(5e-5, 0.06)
+        .unwrap()
+        .run(&mut circuit)
+        .unwrap();
     let current = result.branch_current(core_idx, 0).unwrap();
 
     let peak = current.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
@@ -91,12 +94,12 @@ fn hysteretic_core_remembers_its_state_after_excitation_is_removed() {
 fn dc_drive_settles_to_resistance_limited_current() {
     // With a DC source the steady-state current is limited by the series
     // resistance only (the core saturates and stops opposing).
-    let (core_idx, mut circuit) = wound_core_circuit(
-        Constant(10.0),
-        200.0,
-        JaCoreAdapter::date2006().unwrap(),
-    );
-    let result = TransientAnalysis::new(1e-4, 0.2).unwrap().run(&mut circuit).unwrap();
+    let (core_idx, mut circuit) =
+        wound_core_circuit(Constant(10.0), 200.0, JaCoreAdapter::date2006().unwrap());
+    let result = TransientAnalysis::new(1e-4, 0.2)
+        .unwrap()
+        .run(&mut circuit)
+        .unwrap();
     let current = result.branch_current(core_idx, 0).unwrap();
     let final_current = *current.last().unwrap();
     assert!(

@@ -39,8 +39,14 @@ fn fig1_minor_loops_nest_inside_major_loop() {
     let b_peak = curve.peak_flux_density().unwrap().as_tesla();
     // ...while the last minor loop (smallest amplitude) stays well inside.
     let tail = &curve.points()[curve.len() - 500..];
-    let b_tail_peak = tail.iter().map(|p| p.b.as_tesla().abs()).fold(0.0, f64::max);
-    assert!(b_tail_peak < b_peak * 0.9, "tail {b_tail_peak} vs peak {b_peak}");
+    let b_tail_peak = tail
+        .iter()
+        .map(|p| p.b.as_tesla().abs())
+        .fold(0.0, f64::max);
+    assert!(
+        b_tail_peak < b_peak * 0.9,
+        "tail {b_tail_peak} vs peak {b_peak}"
+    );
     // Minor loops are non-biased: their field stays within ±2.5 kA/m.
     assert!(tail.iter().all(|p| p.h.value().abs() <= 2_500.0 + 1e-9));
 }

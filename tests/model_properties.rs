@@ -12,11 +12,11 @@ use proptest::prelude::*;
 
 fn arbitrary_material() -> impl Strategy<Value = JaParameters> {
     (
-        5.0e5_f64..2.0e6,   // m_sat
-        200.0_f64..5_000.0, // a
+        5.0e5_f64..2.0e6,    // m_sat
+        200.0_f64..5_000.0,  // a
         500.0_f64..20_000.0, // k
-        1.0e-4_f64..5.0e-3, // alpha
-        0.01_f64..0.8,      // c
+        1.0e-4_f64..5.0e-3,  // alpha
+        0.01_f64..0.8,       // c
     )
         .prop_map(|(m_sat, a, k, alpha, c)| {
             JaParameters::builder()
@@ -110,5 +110,8 @@ fn demagnetisation_returns_the_core_near_the_origin() {
     .expect("demagnetisation sweep");
     let after = model.flux_density().as_tesla();
     assert!(before > 0.5);
-    assert!(after.abs() < before * 0.35, "after = {after} T (before {before} T)");
+    assert!(
+        after.abs() < before * 0.35,
+        "after = {after} T (before {before} T)"
+    );
 }

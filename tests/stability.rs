@@ -23,8 +23,8 @@ fn guards_eliminate_negative_slopes_that_raw_ja_exhibits() {
 fn timeless_model_is_insensitive_to_sampling_rate_at_turning_points() {
     let mut b_max_values = Vec::new();
     for &dt in &[2.0 / 16_000.0, 2.0 / 4_000.0, 2.0 / 1_000.0] {
-        let report = turning_point_comparison(dt, SolverMethod::BackwardEuler)
-            .expect("comparison runs");
+        let report =
+            turning_point_comparison(dt, SolverMethod::BackwardEuler).expect("comparison runs");
         // The timeless model never produces unphysical samples, at any rate.
         assert_eq!(report.timeless_negative_samples, 0, "dt = {dt}");
         b_max_values.push(report.timeless_b_max);
@@ -57,7 +57,10 @@ fn solver_baseline_degrades_as_the_time_step_grows() {
     let degraded = coarse.baseline_shape_error > 2.0 * fine.baseline_shape_error
         || coarse.baseline_non_converged > 0
         || coarse.baseline_negative_samples > fine.baseline_negative_samples;
-    assert!(degraded, "coarse baseline unexpectedly clean: fine {fine:?} vs coarse {coarse:?}");
+    assert!(
+        degraded,
+        "coarse baseline unexpectedly clean: fine {fine:?} vs coarse {coarse:?}"
+    );
     // The timeless model, fed the identical coarse sampling, stays clean.
     assert_eq!(coarse.timeless_negative_samples, 0);
 }
