@@ -1,0 +1,102 @@
+//! Batch scaling: the parallel scenario executor across worker counts.
+//!
+//! Runs a 64-scenario grid (4 backends × 4 `ΔH_max` configurations × 4
+//! excitations) through `BatchRunner` at 1, 2, 4 and all available workers,
+//! printing the observed wall-clock and aggregate speedup, then measures
+//! each worker count with the Criterion harness.  The report is
+//! deterministic at every worker count (asserted by
+//! `tests/batch_determinism.rs`); this bench covers the performance side.
+
+use criterion::{black_box, Criterion};
+use hdl_models::exec::BatchRunner;
+use hdl_models::scenario::{BackendKind, Excitation, Scenario, ScenarioGrid};
+use ja_hysteresis::config::JaConfig;
+
+fn grid_scenarios() -> Vec<Scenario> {
+    let grid = ScenarioGrid::new()
+        .backends(BackendKind::ALL)
+        .config("dh5", JaConfig::default().with_dh_max(5.0))
+        .config("dh10", JaConfig::default())
+        .config("dh20", JaConfig::default().with_dh_max(20.0))
+        .config("dh40", JaConfig::default().with_dh_max(40.0))
+        .excitation("fig1", Excitation::fig1(50.0).expect("excitation"))
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 50.0, 2).expect("excitation"),
+        )
+        .excitation(
+            "biased-minor",
+            Excitation::biased_minor_loop(4_000.0, 2_000.0, 3, 50.0).expect("excitation"),
+        )
+        .excitation(
+            "half-peak",
+            Excitation::major_loop(5_000.0, 25.0, 2).expect("excitation"),
+        );
+    let scenarios = grid.scenarios().expect("non-empty grid");
+    assert!(scenarios.len() >= 64, "grid too small for a scaling study");
+    scenarios
+}
+
+fn worker_counts() -> Vec<usize> {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut counts = vec![1, 2, 4];
+    if !counts.contains(&available) {
+        counts.push(available);
+    }
+    counts
+}
+
+fn print_experiment() {
+    let scenarios = grid_scenarios();
+    println!(
+        "== batch scaling: {} scenarios (4 backends x 4 configs x 4 excitations) ==",
+        scenarios.len()
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>10} {:>10}",
+        "workers", "elapsed[ms]", "serial[ms]", "speedup", "failures"
+    );
+    let mut baseline_elapsed = None;
+    for workers in worker_counts() {
+        let report = BatchRunner::new().workers(workers).run(scenarios.clone());
+        let elapsed = report.elapsed.as_secs_f64();
+        let baseline = *baseline_elapsed.get_or_insert(elapsed);
+        println!(
+            "{:<10} {:>12.1} {:>14.1} {:>9.2}x {:>10}",
+            report.workers,
+            elapsed * 1e3,
+            report.serial_runtime().as_secs_f64() * 1e3,
+            if elapsed > 0.0 {
+                baseline / elapsed
+            } else {
+                0.0
+            },
+            report.failures().count()
+        );
+    }
+    println!(
+        "\n(speedup = 1-worker elapsed over this row's elapsed; on a single-core\n\
+         machine every row stays near 1x)\n"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let scenarios = grid_scenarios();
+    let mut group = c.benchmark_group("batch_scaling");
+    group.sample_size(5);
+    for workers in worker_counts() {
+        let runner = BatchRunner::new().workers(workers);
+        let scenarios = scenarios.clone();
+        group.bench_function(format!("workers{workers}"), move |b| {
+            b.iter(|| black_box(runner.run(scenarios.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

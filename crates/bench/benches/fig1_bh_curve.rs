@@ -1,12 +1,17 @@
 //! Experiment E1 / Fig. 1: the BH curve with non-biased minor loops.
 //!
 //! Prints the loop metrics of the reproduced figure for the timeless
-//! backends, then benchmarks the full sweep through the scenario engine.
+//! backends, then benchmarks the full sweep through the scenario engine,
+//! plus the allocation-free `run_schedule_into` driving path.
 
 use criterion::{black_box, Criterion};
-use hdl_models::comparison::DEFAULT_STEP;
+use hdl_models::comparison::{fig1_schedule, DEFAULT_STEP};
 use hdl_models::scenario::{BackendKind, Scenario};
 use ja_bench::{print_metrics_header, print_outcome_row};
+use ja_hysteresis::backend::HysteresisBackend;
+use ja_hysteresis::model::JilesAtherton;
+use magnetics::bh::BhCurve;
+use magnetics::material::JaParameters;
 
 fn print_experiment() {
     println!(
@@ -33,6 +38,21 @@ fn benches(c: &mut Criterion) {
             b.iter(|| black_box(scenario.run().expect("sweep")))
         });
     }
+    // The metrics-only driving path: reset + run_schedule_into reuse one
+    // model and one trace buffer across iterations (no per-sweep
+    // allocation), the lower bound the scenario path is compared against.
+    let schedule = fig1_schedule(DEFAULT_STEP).expect("valid schedule");
+    let mut model = JilesAtherton::new(JaParameters::date2006()).expect("valid params");
+    let mut curve = BhCurve::with_capacity(schedule.len());
+    group.bench_function("direct-timeless_sweep_into_reused_buffer", |b| {
+        b.iter(|| {
+            HysteresisBackend::reset(&mut model).expect("reset");
+            model
+                .run_schedule_into(&schedule, &mut curve)
+                .expect("sweep");
+            black_box(curve.len())
+        })
+    });
     group.finish();
 }
 

@@ -67,11 +67,29 @@ pub trait HysteresisBackend {
     /// error.
     fn run_samples(&mut self, samples: &[f64]) -> Result<BhCurve, JaError> {
         let mut curve = BhCurve::with_capacity(samples.len());
+        self.run_samples_into(samples, &mut curve)?;
+        Ok(curve)
+    }
+
+    /// Like [`run_samples`](HysteresisBackend::run_samples), but fills a
+    /// caller-provided curve: the curve is cleared, its allocation is kept,
+    /// and exactly one point per field sample is appended.  For callers
+    /// that run many sweeps and keep only derived metrics (benches,
+    /// fitting loops) — the scenario executor cannot use it, since every
+    /// [`BhCurve`] it produces is retained in the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`apply_field`](HysteresisBackend::apply_field)
+    /// error; the curve then holds the samples up to the failure.
+    fn run_samples_into(&mut self, samples: &[f64], curve: &mut BhCurve) -> Result<(), JaError> {
+        curve.clear();
+        curve.reserve(samples.len());
         for &h in samples {
             let sample = self.apply_field(h)?;
             curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
         }
-        Ok(curve)
+        Ok(())
     }
 
     /// Drives the backend through every sample of a timeless field
@@ -83,11 +101,29 @@ pub trait HysteresisBackend {
     /// error.
     fn run_schedule(&mut self, schedule: &FieldSchedule) -> Result<BhCurve, JaError> {
         let mut curve = BhCurve::with_capacity(schedule.len());
+        self.run_schedule_into(schedule, &mut curve)?;
+        Ok(curve)
+    }
+
+    /// Like [`run_schedule`](HysteresisBackend::run_schedule), but fills a
+    /// caller-provided curve (cleared first, allocation kept).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`apply_field`](HysteresisBackend::apply_field)
+    /// error; the curve then holds the samples up to the failure.
+    fn run_schedule_into(
+        &mut self,
+        schedule: &FieldSchedule,
+        curve: &mut BhCurve,
+    ) -> Result<(), JaError> {
+        curve.clear();
+        curve.reserve(schedule.len());
         for h in schedule.iter() {
             let sample = self.apply_field(h)?;
             curve.push_raw(sample.h.value(), sample.b.as_tesla(), sample.m.value());
         }
-        Ok(curve)
+        Ok(())
     }
 }
 
@@ -293,6 +329,28 @@ mod tests {
             (b_direct - b_baseline).abs() / b_direct < 0.1,
             "direct {b_direct} T vs time-domain {b_baseline} T"
         );
+    }
+
+    #[test]
+    fn run_into_reuses_curve_and_matches_fresh_run() {
+        let schedule = FieldSchedule::major_loop(10_000.0, 50.0, 1).expect("schedule");
+        let mut model = JilesAtherton::new(JaParameters::date2006()).expect("valid");
+        let fresh = HysteresisBackend::run_schedule(&mut model, &schedule).expect("sweep");
+
+        HysteresisBackend::reset(&mut model).expect("reset");
+        let mut reused = BhCurve::new();
+        reused.push_raw(99.0, 99.0, 99.0); // stale content must be cleared
+        model
+            .run_schedule_into(&schedule, &mut reused)
+            .expect("sweep");
+        assert_eq!(fresh, reused);
+
+        HysteresisBackend::reset(&mut model).expect("reset");
+        let samples = schedule.to_samples();
+        model
+            .run_samples_into(&samples, &mut reused)
+            .expect("sweep");
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum JaError {
         /// Substrate error message.
         reason: String,
     },
+    /// A scenario grid expanded to zero scenarios because one of its axes is
+    /// empty — almost always a bug in the caller (a batch that silently does
+    /// no work), so it is reported instead of succeeding vacuously.
+    EmptyGrid {
+        /// Name of the empty axis.
+        axis: &'static str,
+    },
+    /// The scenario never ran: a fail-fast batch aborted after an earlier
+    /// entry failed.
+    Cancelled,
 }
 
 impl fmt::Display for JaError {
@@ -68,6 +78,18 @@ impl fmt::Display for JaError {
             ),
             JaError::Backend { backend, reason } => {
                 write!(f, "backend `{backend}` failed: {reason}")
+            }
+            JaError::EmptyGrid { axis } => {
+                write!(
+                    f,
+                    "scenario grid expands to zero scenarios: the `{axis}` axis is empty"
+                )
+            }
+            JaError::Cancelled => {
+                write!(
+                    f,
+                    "scenario cancelled: a fail-fast batch aborted after an earlier failure"
+                )
             }
         }
     }
@@ -115,6 +137,15 @@ mod tests {
     fn waveform_error_converts() {
         let err: JaError = WaveformError::InvalidBreakpoints { reason: "too few" }.into();
         assert!(matches!(err, JaError::Waveform(_)));
+    }
+
+    #[test]
+    fn batch_error_variants_display() {
+        let err = JaError::EmptyGrid {
+            axis: "excitations",
+        };
+        assert!(err.to_string().contains("excitations"));
+        assert!(JaError::Cancelled.to_string().contains("fail-fast"));
     }
 
     #[test]

@@ -69,8 +69,13 @@ where
     I: IntoIterator<Item = f64>,
 {
     let updates_before = model.statistics().updates;
-    let mut curve = BhCurve::new();
-    let mut trace = Trace::new(["h", "b", "m", "m_an"]);
+    let samples = samples.into_iter();
+    // FieldSchedule iterators know their exact length; arbitrary iterators
+    // contribute at least their lower bound, so the common case fills the
+    // buffers without a single reallocation.
+    let capacity = samples.size_hint().0;
+    let mut curve = BhCurve::with_capacity(capacity);
+    let mut trace = Trace::with_capacity(["h", "b", "m", "m_an"], capacity);
     let mut count = 0usize;
     for h in samples {
         let sample = model.apply_field(h)?;

@@ -34,12 +34,22 @@ impl Recorder {
 
     /// Convenience constructor from `&str` labels.
     pub fn with_channels(channels: &[(&str, SignalId)]) -> Self {
-        Self::new(
+        Self::with_channel_capacity(channels, 0)
+    }
+
+    /// Like [`Recorder::with_channels`], but preallocates room for
+    /// `samples` calls to [`Recorder::sample`] — testbenches that know their
+    /// stimulus length up front record without reallocating.
+    pub fn with_channel_capacity(channels: &[(&str, SignalId)], samples: usize) -> Self {
+        let mut recorder = Self::new(
             channels
                 .iter()
                 .map(|(name, id)| ((*name).to_owned(), *id))
                 .collect(),
-        )
+        );
+        recorder.times.reserve(samples);
+        recorder.rows.reserve(samples);
+        recorder
     }
 
     /// Samples every channel from the kernel's current state.
@@ -126,6 +136,16 @@ mod tests {
         assert_eq!(rec.labels(), &["H".to_string(), "B".to_string()]);
         assert_eq!(rec.real_series("B").unwrap(), vec![0.0, 3.0, 6.0, 9.0]);
         assert_eq!(rec.times().len(), 4);
+    }
+
+    #[test]
+    fn with_channel_capacity_records_normally() {
+        let mut k = Kernel::new();
+        let h = k.add_signal("h", Value::Real(1.5));
+        let mut rec = Recorder::with_channel_capacity(&[("H", h)], 8);
+        k.settle().unwrap();
+        rec.sample(&k).unwrap();
+        assert_eq!(rec.real_series("H").unwrap(), vec![1.5]);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Parallel scenario execution.
+//!
+//! [`BatchRunner`] is the engine behind [`crate::scenario::run_batch`]: it
+//! distributes a scenario list over a pool of scoped worker threads
+//! (`std::thread::scope`, no external dependencies), with chunked work
+//! stealing over an atomic cursor and a configurable error policy.  Results
+//! are tagged with their input index and re-sorted, so a
+//! [`BatchReport`] is **deterministic**: the entries come back in input
+//! order with bit-identical floating-point content regardless of the worker
+//! count (each scenario's computation is sequential and self-contained; the
+//! executor only changes *where* it runs).  The one exception is fail-fast
+//! cancellation, which depends on timing — see [`ErrorPolicy::FailFast`].
+//!
+//! Workers keep a [`RunScratch`] alive across the scenarios they execute:
+//! consecutive scenarios sharing a (backend, material, configuration)
+//! triple reuse the constructed backend through
+//! [`HysteresisBackend::reset`] instead of rebuilding it, so the parallel
+//! win is not eaten by per-scenario construction and allocator traffic.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ja_hysteresis::backend::HysteresisBackend;
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::error::JaError;
+use magnetics::material::JaParameters;
+
+use crate::scenario::{BackendKind, BatchEntry, BatchReport, Scenario, ScenarioOutcome};
+
+/// How a batch reacts to a failing scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Run every scenario and record failures alongside successes (the
+    /// historical `run_batch` behaviour).  Reports are fully deterministic.
+    #[default]
+    CollectAll,
+    /// Stop scheduling new work once any scenario fails; scenarios that
+    /// were not yet executed are recorded as [`JaError::Cancelled`].  Which
+    /// scenarios get cancelled depends on worker timing, so fail-fast
+    /// reports are only deterministic for a single worker.
+    FailFast,
+}
+
+/// Builder-style executor for scenario batches.
+///
+/// ```
+/// use hdl_models::exec::BatchRunner;
+/// use hdl_models::scenario::{BackendKind, Excitation, ScenarioGrid};
+///
+/// let grid = ScenarioGrid::new()
+///     .backends(BackendKind::TIMELESS)
+///     .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap());
+/// let report = BatchRunner::new()
+///     .workers(2)
+///     .run(grid.scenarios().unwrap());
+/// assert_eq!(report.entries.len(), 3);
+/// assert_eq!(report.workers, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunner {
+    workers: Option<NonZeroUsize>,
+    chunk_size: Option<NonZeroUsize>,
+    policy: ErrorPolicy,
+}
+
+impl BatchRunner {
+    /// An executor with the default knobs: one worker per available core,
+    /// chunk size 1 (best load balance for uneven scenario runtimes),
+    /// collect-all error policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` restores the default
+    /// (`std::thread::available_parallelism`).  The effective count never
+    /// exceeds the number of scenarios.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = NonZeroUsize::new(workers);
+        self
+    }
+
+    /// Sets how many scenarios a worker claims from the shared cursor at a
+    /// time; `0` restores the default of 1.  Larger chunks reduce cursor
+    /// contention but can leave workers idle at the tail of uneven grids.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = NonZeroUsize::new(chunk_size);
+        self
+    }
+
+    /// Sets the error policy.
+    #[must_use]
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for [`ErrorPolicy::FailFast`].
+    #[must_use]
+    pub fn fail_fast(self) -> Self {
+        self.error_policy(ErrorPolicy::FailFast)
+    }
+
+    /// The worker count the runner would use for `jobs` scenarios.
+    pub fn resolved_workers(&self, jobs: usize) -> usize {
+        let configured = self.workers.map(NonZeroUsize::get).unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        configured.min(jobs).max(1)
+    }
+
+    /// Runs every scenario and collects a [`BatchReport`] with one entry
+    /// per scenario, in input order.
+    pub fn run(&self, scenarios: impl IntoIterator<Item = Scenario>) -> BatchReport {
+        let scenarios: Vec<Scenario> = scenarios.into_iter().collect();
+        let jobs = scenarios.len();
+        let workers = self.resolved_workers(jobs);
+        let chunk = self.chunk_size.map_or(1, NonZeroUsize::get);
+        let started = Instant::now();
+
+        let mut results: Vec<Option<(Result<ScenarioOutcome, JaError>, Duration)>> =
+            (0..jobs).map(|_| None).collect();
+
+        if workers <= 1 {
+            let mut scratch = RunScratch::new();
+            let mut failed = false;
+            for (slot, scenario) in results.iter_mut().zip(&scenarios) {
+                *slot = Some(if failed && self.policy == ErrorPolicy::FailFast {
+                    (Err(JaError::Cancelled), Duration::ZERO)
+                } else {
+                    let t0 = Instant::now();
+                    let outcome = scenario.run_with_scratch(&mut scratch);
+                    failed |= outcome.is_err();
+                    (outcome, t0.elapsed())
+                });
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let shared = scenarios.as_slice();
+            let per_worker: Vec<_> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut scratch = RunScratch::new();
+                            let mut local = Vec::new();
+                            loop {
+                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= shared.len() {
+                                    break;
+                                }
+                                let end = start.saturating_add(chunk).min(shared.len());
+                                for (index, scenario) in
+                                    shared.iter().enumerate().take(end).skip(start)
+                                {
+                                    let entry = if self.policy == ErrorPolicy::FailFast
+                                        && abort.load(Ordering::Relaxed)
+                                    {
+                                        (Err(JaError::Cancelled), Duration::ZERO)
+                                    } else {
+                                        let t0 = Instant::now();
+                                        let outcome = scenario.run_with_scratch(&mut scratch);
+                                        if outcome.is_err() {
+                                            abort.store(true, Ordering::Relaxed);
+                                        }
+                                        (outcome, t0.elapsed())
+                                    };
+                                    local.push((index, entry));
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("batch worker panicked"))
+                    .collect()
+            });
+            for (index, entry) in per_worker.into_iter().flatten() {
+                results[index] = Some(entry);
+            }
+        }
+
+        let entries = scenarios
+            .into_iter()
+            .zip(results)
+            .map(|(scenario, result)| {
+                let (outcome, wall_clock) =
+                    result.expect("every scenario index produced exactly one result");
+                BatchEntry {
+                    scenario,
+                    outcome,
+                    wall_clock,
+                }
+            })
+            .collect();
+        BatchReport {
+            entries,
+            workers,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// Worker-local reusable state for running scenarios.
+///
+/// Holds the most recently constructed backend; when the next scenario uses
+/// the same (backend kind, material, configuration) triple, the backend is
+/// [`reset`](HysteresisBackend::reset) and reused instead of rebuilt.
+/// Reset returns a backend to the demagnetised state with cleared
+/// statistics, so a reused run is bit-identical to a fresh one (asserted by
+/// the executor's tests).
+#[derive(Default)]
+pub struct RunScratch {
+    cached: Option<CachedBackend>,
+}
+
+struct CachedBackend {
+    kind: BackendKind,
+    params: JaParameters,
+    config: JaConfig,
+    backend: Box<dyn HysteresisBackend>,
+}
+
+impl RunScratch {
+    /// An empty scratch (no cached backend).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A demagnetised backend for the scenario: the cached one when the
+    /// scenario matches it, a freshly built one otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction or reset failures.
+    pub fn backend_for(
+        &mut self,
+        scenario: &Scenario,
+    ) -> Result<&mut dyn HysteresisBackend, JaError> {
+        let reusable = self.cached.as_ref().is_some_and(|cached| {
+            cached.kind == scenario.backend
+                && cached.params == scenario.params
+                && cached.config == scenario.config
+        });
+        let cached = if reusable {
+            let cached = self.cached.as_mut().expect("checked above");
+            cached.backend.reset()?;
+            cached
+        } else {
+            let backend = scenario.backend.build(scenario.params, scenario.config)?;
+            self.cached.insert(CachedBackend {
+                kind: scenario.backend,
+                params: scenario.params,
+                config: scenario.config,
+                backend,
+            })
+        };
+        Ok(cached.backend.as_mut())
+    }
+}
+
+impl std::fmt::Debug for RunScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunScratch")
+            .field("cached", &self.cached.as_ref().map(|c| c.kind))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Excitation, ScenarioGrid};
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .backends(BackendKind::ALL)
+            .config("dh10", JaConfig::default())
+            .config("dh25", JaConfig::default().with_dh_max(25.0))
+            .excitation(
+                "major",
+                Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+            )
+    }
+
+    fn assert_outcomes_bitwise_equal(a: &BatchReport, b: &BatchReport) {
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.scenario.name, y.scenario.name);
+            match (&x.outcome, &y.outcome) {
+                (Ok(ox), Ok(oy)) => {
+                    assert_eq!(ox.stats, oy.stats, "{}", x.scenario.name);
+                    assert_eq!(ox.curve.len(), oy.curve.len(), "{}", x.scenario.name);
+                    for (p, q) in ox.curve.points().iter().zip(oy.curve.points()) {
+                        assert_eq!(p.h.value().to_bits(), q.h.value().to_bits());
+                        assert_eq!(p.b.as_tesla().to_bits(), q.b.as_tesla().to_bits());
+                        assert_eq!(p.m.value().to_bits(), q.m.value().to_bits());
+                    }
+                }
+                (Err(ex), Err(ey)) => assert_eq!(ex, ey, "{}", x.scenario.name),
+                (ox, oy) => panic!(
+                    "{}: outcome kinds differ: {ox:?} vs {oy:?}",
+                    x.scenario.name
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let scenarios = small_grid().scenarios().expect("grid");
+        let serial = BatchRunner::new().workers(1).run(scenarios.clone());
+        let parallel = BatchRunner::new().workers(4).run(scenarios);
+        assert_eq!(serial.workers, 1);
+        assert_eq!(parallel.workers, 4);
+        assert_outcomes_bitwise_equal(&serial, &parallel);
+    }
+
+    #[test]
+    fn chunked_distribution_covers_every_scenario() {
+        let scenarios = small_grid().scenarios().expect("grid");
+        let expected = scenarios.len();
+        let report = BatchRunner::new().workers(3).chunk_size(2).run(scenarios);
+        assert_eq!(report.entries.len(), expected);
+        assert_eq!(report.successes().count(), expected);
+        assert!(report.elapsed > Duration::ZERO);
+        assert!(report.serial_runtime() >= report.total_runtime());
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn resolved_workers_clamps_to_jobs_and_floor() {
+        let runner = BatchRunner::new().workers(8);
+        assert_eq!(runner.resolved_workers(3), 3);
+        assert_eq!(runner.resolved_workers(100), 8);
+        assert_eq!(runner.resolved_workers(0), 1);
+        // workers(0) restores the auto default, which is at least 1.
+        assert!(BatchRunner::new().workers(0).resolved_workers(100) >= 1);
+    }
+
+    #[test]
+    fn fail_fast_cancels_scenarios_after_a_failure() {
+        let bad = Scenario::new(
+            "bad",
+            JaParameters::date2006(),
+            JaConfig::default().with_dh_max(-1.0),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        );
+        let good = Scenario::fig1(BackendKind::DirectTimeless, 500.0).expect("scenario");
+        let report = BatchRunner::new()
+            .workers(1)
+            .fail_fast()
+            .run([bad, good.clone(), good]);
+        assert_eq!(report.entries.len(), 3);
+        assert!(report.entries[0].outcome.is_err());
+        for entry in &report.entries[1..] {
+            assert_eq!(entry.outcome.as_ref().err(), Some(&JaError::Cancelled));
+        }
+        // Collect-all keeps running after the failure.
+        let report = BatchRunner::new().workers(1).run([
+            Scenario::new(
+                "bad",
+                JaParameters::date2006(),
+                JaConfig::default().with_dh_max(-1.0),
+                BackendKind::DirectTimeless,
+                Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+            ),
+            Scenario::fig1(BackendKind::DirectTimeless, 500.0).expect("scenario"),
+        ]);
+        assert_eq!(report.failures().count(), 1);
+        assert_eq!(report.successes().count(), 1);
+    }
+
+    #[test]
+    fn fail_fast_multi_worker_still_reports_every_entry() {
+        let bad = Scenario::new(
+            "bad",
+            JaParameters::date2006(),
+            JaConfig::default().with_dh_max(-1.0),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        );
+        let mut scenarios = small_grid().scenarios().expect("grid");
+        scenarios.insert(0, bad);
+        let expected = scenarios.len();
+        let report = BatchRunner::new().workers(4).fail_fast().run(scenarios);
+        assert_eq!(report.entries.len(), expected);
+        assert!(report.failures().count() >= 1);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let scenario = Scenario::fig1(BackendKind::DirectTimeless, 250.0).expect("scenario");
+        let mut scratch = RunScratch::new();
+        let first = scenario.run_with_scratch(&mut scratch).expect("run");
+        // Second run hits the cached backend (reset path).
+        let second = scenario.run_with_scratch(&mut scratch).expect("run");
+        assert_eq!(first.stats, second.stats);
+        assert_eq!(first.curve, second.curve);
+        let fresh = scenario.run().expect("run");
+        assert_eq!(first.curve, fresh.curve);
+        assert!(format!("{scratch:?}").contains("DirectTimeless"));
+    }
+
+    #[test]
+    fn scratch_rebuilds_when_the_scenario_changes() {
+        let mut scratch = RunScratch::new();
+        for kind in BackendKind::ALL {
+            let scenario = Scenario::fig1(kind, 500.0).expect("scenario");
+            let outcome = scenario.run_with_scratch(&mut scratch).expect("run");
+            assert_eq!(outcome.backend, kind);
+            assert!(outcome.stats.samples > 0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_produces_an_empty_report() {
+        let report = BatchRunner::new().run(std::iter::empty::<Scenario>());
+        assert!(report.entries.is_empty());
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.serial_runtime(), Duration::ZERO);
+        assert_eq!(report.speedup(), 0.0);
+    }
+}

@@ -21,6 +21,9 @@
 //!   through the [`ja_hysteresis::backend::HysteresisBackend`] trait, with
 //!   [`scenario::ScenarioGrid`] and [`scenario::run_batch`] for whole
 //!   experiment grids;
+//! * [`exec`] — the parallel batch executor behind `run_batch`:
+//!   [`exec::BatchRunner`] distributes a scenario grid over scoped worker
+//!   threads with deterministic, input-ordered reports;
 //! * [`comparison`] — the experiment drivers used by the benches and
 //!   integration tests (Fig. 1 reproduction, implementation equivalence,
 //!   turning-point stability, runtime comparisons), now thin wrappers over
@@ -32,10 +35,12 @@
 pub mod ams;
 pub mod circuit_adapter;
 pub mod comparison;
+pub mod exec;
 pub mod scenario;
 pub mod systemc;
 
 pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
 pub use circuit_adapter::JaCoreAdapter;
+pub use exec::{BatchRunner, ErrorPolicy, RunScratch};
 pub use scenario::{BackendKind, Excitation, Scenario, ScenarioGrid, ScenarioOutcome};
 pub use systemc::SystemCJaCore;

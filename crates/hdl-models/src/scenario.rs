@@ -6,8 +6,10 @@
 //! metrics, model cost counters and wall-clock runtime) through the
 //! [`HysteresisBackend`] trait, so the same runner serves every
 //! implementation style.  [`ScenarioGrid`] expands whole grids of
-//! scenarios, and [`run_batch`] executes them uniformly — the seam where
-//! future parallelism, result caching and new workloads plug in.
+//! scenarios, and [`run_batch`] executes them uniformly — since the
+//! introduction of [`crate::exec`] it does so in parallel, one worker per
+//! available core, with a deterministic (input-ordered, bit-identical)
+//! [`BatchReport`] regardless of the worker count.
 //!
 //! The Fig.-1/E1–E6 experiment drivers in [`crate::comparison`] are thin
 //! wrappers over this module.
@@ -25,6 +27,7 @@ use waveform::schedule::FieldSchedule;
 use waveform::Waveform;
 
 use crate::ams::AmsTimelessModel;
+use crate::exec::{BatchRunner, RunScratch};
 use crate::systemc::SystemCJaCore;
 
 /// Which implementation style runs a scenario.
@@ -281,7 +284,19 @@ impl Scenario {
     ///
     /// Propagates backend construction, sweep and analysis errors.
     pub fn run(&self) -> Result<ScenarioOutcome, JaError> {
-        let mut backend = self.backend.build(self.params, self.config)?;
+        self.run_with_scratch(&mut RunScratch::new())
+    }
+
+    /// Runs the scenario reusing worker-local scratch state: when the
+    /// scratch's cached backend matches this scenario's (backend, material,
+    /// configuration) triple it is reset and reused instead of rebuilt.
+    /// The outcome is bit-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction, reset, sweep and analysis errors.
+    pub fn run_with_scratch(&self, scratch: &mut RunScratch) -> Result<ScenarioOutcome, JaError> {
+        let backend = scratch.backend_for(self)?;
         let started = Instant::now();
         let curve = match &self.excitation {
             Excitation::Schedule(schedule) => backend.run_schedule(schedule)?,
@@ -394,7 +409,20 @@ impl ScenarioGrid {
 
     /// Expands the grid into concrete scenarios
     /// (excitation-major, then backend, config, material).
-    pub fn scenarios(&self) -> Vec<Scenario> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::EmptyGrid`] when the grid expands to zero
+    /// scenarios.  Materials, configurations and backends fall back to a
+    /// single default when left empty, so in practice only a missing
+    /// excitation axis can empty the product — but silently returning zero
+    /// scenarios made a misconfigured batch look like a successful one.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, JaError> {
+        if self.excitations.is_empty() {
+            return Err(JaError::EmptyGrid {
+                axis: "excitations",
+            });
+        }
         let materials: Vec<(String, JaParameters)> = if self.materials.is_empty() {
             vec![("date2006".to_owned(), JaParameters::date2006())]
         } else {
@@ -432,7 +460,7 @@ impl ScenarioGrid {
                 }
             }
         }
-        scenarios
+        Ok(scenarios)
     }
 
     /// Number of scenarios the grid expands to, without materialising them
@@ -451,20 +479,34 @@ impl ScenarioGrid {
 }
 
 /// Result of one batch entry: the scenario together with its outcome or
-/// error (a failing scenario does not abort the batch).
+/// error (under the default collect-all policy a failing scenario does not
+/// abort the batch).
 #[derive(Debug)]
 pub struct BatchEntry {
     /// The scenario that ran.
     pub scenario: Scenario,
     /// Its outcome.
     pub outcome: Result<ScenarioOutcome, JaError>,
+    /// Wall-clock time this entry spent on its worker, including backend
+    /// construction and metric extraction ([`ScenarioOutcome::runtime`]
+    /// covers the sweep only).  Zero for cancelled entries.
+    pub wall_clock: Duration,
 }
 
 /// Report of a batch run.
-#[derive(Debug, Default)]
+///
+/// Entries come back in input order with bit-identical content regardless
+/// of the worker count; only the timing fields (`wall_clock`, `elapsed`,
+/// [`ScenarioOutcome::runtime`]) vary between runs.
+#[derive(Debug)]
 pub struct BatchReport {
     /// One entry per scenario, in input order.
     pub entries: Vec<BatchEntry>,
+    /// Number of worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch, from scheduling the first
+    /// scenario to joining the last worker.
+    pub elapsed: Duration,
 }
 
 impl BatchReport {
@@ -485,24 +527,43 @@ impl BatchReport {
         self.successes().map(|o| o.runtime).sum()
     }
 
+    /// Total per-entry wall-clock across all entries — the time a
+    /// single-worker run would have spent executing scenarios.
+    pub fn serial_runtime(&self) -> Duration {
+        self.entries.iter().map(|e| e.wall_clock).sum()
+    }
+
+    /// Aggregate speedup estimate: [`BatchReport::serial_runtime`] over
+    /// [`BatchReport::elapsed`] (0 when the batch was empty or too fast to
+    /// measure).  Equivalently the average number of entries in flight, so
+    /// it is bounded above by the worker count and matches the true
+    /// speedup over a serial run only while workers are not oversubscribed
+    /// (per-entry wall-clocks include time spent descheduled); the
+    /// `batch_scaling` bench measures the real thing against a 1-worker
+    /// run.
+    pub fn speedup(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed > 0.0 {
+            self.serial_runtime().as_secs_f64() / elapsed
+        } else {
+            0.0
+        }
+    }
+
     /// Looks an outcome up by scenario name.
     pub fn outcome(&self, name: &str) -> Option<&ScenarioOutcome> {
         self.successes().find(|o| o.name == name)
     }
 }
 
-/// Runs every scenario in order and collects all outcomes; individual
-/// failures are recorded, not propagated.
+/// Runs every scenario and collects all outcomes in input order;
+/// individual failures are recorded, not propagated.
+///
+/// This is a thin wrapper over [`crate::exec::BatchRunner`] with the
+/// default knobs: one worker per available core, collect-all error policy.
+/// The report is deterministic — see [`BatchReport`].
 pub fn run_batch(scenarios: impl IntoIterator<Item = Scenario>) -> BatchReport {
-    BatchReport {
-        entries: scenarios
-            .into_iter()
-            .map(|scenario| {
-                let outcome = scenario.run();
-                BatchEntry { scenario, outcome }
-            })
-            .collect(),
-    }
+    BatchRunner::new().run(scenarios)
 }
 
 /// Pairwise flux-density agreement across backends on one stimulus: runs
@@ -607,11 +668,25 @@ mod tests {
             .backends(BackendKind::TIMELESS)
             .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap())
             .excitation("fig1", Excitation::fig1(100.0).unwrap());
-        let scenarios = grid.scenarios();
+        let scenarios = grid.scenarios().unwrap();
         assert_eq!(scenarios.len(), 6); // 2 excitations x 3 backends x 1 x 1
         assert!(scenarios[0].name.contains("major"));
         assert!(!grid.is_empty());
         assert_eq!(grid.len(), 6);
+    }
+
+    #[test]
+    fn grid_without_excitations_is_an_error_not_zero_work() {
+        let grid = ScenarioGrid::new().backends(BackendKind::ALL);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        let err = grid.scenarios().expect_err("empty grid must be rejected");
+        assert!(matches!(
+            err,
+            JaError::EmptyGrid {
+                axis: "excitations"
+            }
+        ));
     }
 
     #[test]
@@ -620,12 +695,15 @@ mod tests {
             ScenarioGrid::new()
                 .backends(BackendKind::TIMELESS)
                 .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap())
-                .scenarios(),
+                .scenarios()
+                .unwrap(),
         );
         assert_eq!(report.entries.len(), 3);
         assert_eq!(report.successes().count(), 3);
         assert_eq!(report.failures().count(), 0);
         assert!(report.total_runtime() > Duration::ZERO);
+        assert!(report.workers >= 1);
+        assert!(report.serial_runtime() >= report.total_runtime());
         let name = &report.entries[0].scenario.name;
         assert!(report.outcome(name).is_some());
     }

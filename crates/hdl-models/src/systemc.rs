@@ -248,7 +248,8 @@ impl SystemCJaCore {
         samples: &[f64],
         dt_seconds: f64,
     ) -> Result<(BhCurve, Recorder), KernelError> {
-        let mut recorder = Recorder::with_channels(&[("H", self.h), ("B", self.b_sig)]);
+        let mut recorder =
+            Recorder::with_channel_capacity(&[("H", self.h), ("B", self.b_sig)], samples.len());
         let m_sat = self.vars.borrow().params.m_sat.value();
         let mut curve = BhCurve::with_capacity(samples.len());
         for (i, &h) in samples.iter().enumerate() {

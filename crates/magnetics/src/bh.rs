@@ -73,6 +73,18 @@ impl BhCurve {
         ));
     }
 
+    /// Removes every sample while keeping the allocation, so the curve can
+    /// be refilled without touching the allocator (hot-path reuse in the
+    /// batch executor's sweep drivers).
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
+    /// Reserves capacity for at least `additional` further samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -329,5 +341,17 @@ mod tests {
     fn with_capacity_starts_empty() {
         let curve = BhCurve::with_capacity(128);
         assert!(curve.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut curve = BhCurve::new();
+        curve.reserve(16);
+        curve.push_raw(1.0, 0.1, 10.0);
+        curve.clear();
+        assert!(curve.is_empty());
+        curve.push_raw(2.0, 0.2, 20.0);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve.last().unwrap().h.value(), 2.0);
     }
 }

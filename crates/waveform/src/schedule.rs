@@ -273,8 +273,14 @@ impl FieldSchedule {
         Iter {
             schedule: self,
             segment: 0,
-            current: self.start,
+            segment_from: self.start,
+            steps_in_segment: self
+                .breakpoints
+                .first()
+                .map_or(0, |&to| segment_steps(self.start, to, self.step)),
+            step_done: 0,
             emitted_start: false,
+            remaining: self.len(),
         }
     }
 
@@ -297,12 +303,22 @@ fn segment_steps(from: f64, to: f64, step: f64) -> usize {
 }
 
 /// Iterator over the field samples of a [`FieldSchedule`].
+///
+/// Each segment emits exactly `segment_steps(from, to, step)` samples —
+/// the same count [`FieldSchedule::len`] sums — computed as
+/// `from + i · step` with the final sample clamped to the breakpoint, so
+/// the iterator is an exact [`ExactSizeIterator`] by construction (no
+/// float-accumulation drift deciding when a segment ends) and every
+/// breakpoint is hit bit-exactly.
 #[derive(Debug, Clone)]
 pub struct Iter<'a> {
     schedule: &'a FieldSchedule,
     segment: usize,
-    current: f64,
+    segment_from: f64,
+    steps_in_segment: usize,
+    step_done: usize,
     emitted_start: bool,
+    remaining: usize,
 }
 
 impl Iterator for Iter<'_> {
@@ -311,21 +327,39 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<f64> {
         if !self.emitted_start {
             self.emitted_start = true;
-            return Some(self.current);
+            self.remaining = self.remaining.saturating_sub(1);
+            return Some(self.segment_from);
         }
         loop {
             let target = *self.schedule.breakpoints.get(self.segment)?;
-            let remaining = target - self.current;
-            if remaining.abs() < 1e-12 {
+            if self.step_done >= self.steps_in_segment {
+                // Segment finished (or empty): advance to the next one.
+                self.segment_from = target;
                 self.segment += 1;
+                let next_target = *self.schedule.breakpoints.get(self.segment)?;
+                self.steps_in_segment =
+                    segment_steps(self.segment_from, next_target, self.schedule.step);
+                self.step_done = 0;
                 continue;
             }
-            let delta = remaining.signum() * self.schedule.step.min(remaining.abs());
-            self.current += delta;
-            return Some(self.current);
+            self.step_done += 1;
+            self.remaining = self.remaining.saturating_sub(1);
+            let value = if self.step_done == self.steps_in_segment {
+                target
+            } else {
+                let direction = (target - self.segment_from).signum();
+                self.segment_from + direction * self.step_done as f64 * self.schedule.step
+            };
+            return Some(value);
         }
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
 }
+
+impl ExactSizeIterator for Iter<'_> {}
 
 impl<'a> IntoIterator for &'a FieldSchedule {
     type Item = f64;
@@ -417,6 +451,36 @@ mod tests {
         assert!(s.breakpoints().len() > 10);
         assert!(FieldSchedule::demagnetisation(100.0, 10_000.0, 0.8, 10.0).is_err());
         assert!(FieldSchedule::demagnetisation(10_000.0, 100.0, 1.5, 10.0).is_err());
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let s = FieldSchedule::nested_minor_loops(10_000.0, &[2_500.0], 30.0).unwrap();
+        let mut iter = s.iter();
+        assert_eq!(iter.len(), s.len());
+        let mut seen = 0usize;
+        while iter.next().is_some() {
+            seen += 1;
+            assert_eq!(iter.len(), s.len() - seen);
+        }
+        assert_eq!(seen, s.len());
+        assert_eq!(iter.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn iterator_length_matches_len_on_adversarial_breakpoints() {
+        // A breakpoint one ulp above a step multiple used to make the
+        // float-accumulating iterator emit one sample fewer than len()
+        // (the residual fell under the old 1e-12 snap tolerance); the
+        // step-counted iterator agrees with len() by construction.
+        let s = FieldSchedule::new(0.0, vec![1.000_000_000_000_000_2], 0.5).unwrap();
+        let samples = s.to_samples();
+        assert_eq!(samples.len(), s.len());
+        assert_eq!(*samples.last().unwrap(), 1.000_000_000_000_000_2);
+
+        // Non-representable steps accumulate no drift either.
+        let s = FieldSchedule::major_loop(10_000.0, 0.1, 1).unwrap();
+        assert_eq!(s.to_samples().len(), s.len());
     }
 
     #[test]

@@ -18,8 +18,18 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace with the given column names and no rows.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Self::with_capacity(names, 0)
+    }
+
+    /// Creates a trace with the given column names and every column
+    /// preallocated for `rows` rows — the sweep drivers know their sample
+    /// count up front, so filling the trace never reallocates.
+    pub fn with_capacity<S: Into<String>, I: IntoIterator<Item = S>>(
+        names: I,
+        rows: usize,
+    ) -> Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
-        let columns = names.iter().map(|_| Vec::new()).collect();
+        let columns = names.iter().map(|_| Vec::with_capacity(rows)).collect();
         Self { names, columns }
     }
 
@@ -159,6 +169,15 @@ mod tests {
         assert!(t.add_column("y", vec![1.0]).is_err());
         assert!(t.add_column("y", vec![1.0, 4.0]).is_ok());
         assert_eq!(t.width(), 2);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_every_column() {
+        let mut t = Trace::with_capacity(["h", "b"], 64);
+        assert!(t.is_empty());
+        assert_eq!(t.width(), 2);
+        t.push_row(&[1.0, 2.0]).unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

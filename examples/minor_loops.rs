@@ -57,8 +57,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.entries.len(),
     );
     println!(
-        "batch sweep time: {:.1} ms",
-        report.total_runtime().as_secs_f64() * 1e3
+        "batch sweep time: {:.1} ms across {} workers ({:.1} ms wall-clock, {:.2}x speedup)",
+        report.total_runtime().as_secs_f64() * 1e3,
+        report.workers,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.speedup()
     );
 
     // Demagnetisation: decaying loop amplitudes walk the core back towards

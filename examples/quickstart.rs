@@ -85,11 +85,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("full trace written to target/fig1_bh_curve.csv");
 
     // The same experiment through the scenario engine: one grid, all four
-    // implementation styles, run as a batch.
+    // implementation styles, run as a batch (in parallel, one worker per
+    // available core — the report order and values are deterministic).
     let grid = ScenarioGrid::new()
         .backends(BackendKind::ALL)
         .excitation("fig1", Excitation::fig1(10.0)?);
-    let report = run_batch(grid.scenarios());
+    let report = run_batch(grid.scenarios()?);
     println!("\n== the same sweep on every backend (scenario engine) ==");
     println!(
         "{:<42} {:>8} {:>10} {:>10} {:>10}",
@@ -109,5 +110,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (scenario, err) in report.failures() {
         println!("{:<42} failed: {err}", scenario.name);
     }
+    println!(
+        "batch: {} workers, {:.1} ms elapsed, {:.2}x speedup over serial",
+        report.workers,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.speedup()
+    );
     Ok(())
 }

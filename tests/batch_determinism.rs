@@ -1,0 +1,109 @@
+//! Determinism of the parallel batch executor: the same `ScenarioGrid` run
+//! with 1, 2 and 8 workers must produce `BatchReport`s whose entries are
+//! identical in order and in floating-point content (bitwise).  Only the
+//! timing fields (`wall_clock`, `elapsed`, `ScenarioOutcome::runtime`) may
+//! differ between runs.
+
+use ja_repro::hdl_models::exec::BatchRunner;
+use ja_repro::hdl_models::scenario::{BackendKind, BatchReport, Excitation, ScenarioGrid};
+use ja_repro::ja_hysteresis::config::JaConfig;
+
+fn grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .backends(BackendKind::ALL)
+        .config("dh10", JaConfig::default())
+        .config("dh25", JaConfig::default().with_dh_max(25.0))
+        .excitation("fig1", Excitation::fig1(500.0).expect("excitation"))
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        )
+}
+
+/// Everything in a report that must be reproducible, with the
+/// floating-point payload captured bit-for-bit.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    name: String,
+    payload: Result<OutcomeBits, String>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct OutcomeBits {
+    backend: &'static str,
+    samples: u64,
+    updates: u64,
+    slope_evaluations: u64,
+    curve_bits: Vec<(u64, u64, u64)>,
+    metric_bits: Option<(u64, u64, u64, u64)>,
+}
+
+fn fingerprint(report: &BatchReport) -> Vec<Fingerprint> {
+    report
+        .entries
+        .iter()
+        .map(|entry| Fingerprint {
+            name: entry.scenario.name.clone(),
+            payload: match &entry.outcome {
+                Ok(outcome) => Ok(OutcomeBits {
+                    backend: outcome.backend.label(),
+                    samples: outcome.stats.samples,
+                    updates: outcome.stats.updates,
+                    slope_evaluations: outcome.stats.slope_evaluations,
+                    curve_bits: outcome
+                        .curve
+                        .points()
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.h.value().to_bits(),
+                                p.b.as_tesla().to_bits(),
+                                p.m.value().to_bits(),
+                            )
+                        })
+                        .collect(),
+                    metric_bits: outcome.metrics.map(|m| {
+                        (
+                            m.b_max.as_tesla().to_bits(),
+                            m.coercivity.value().to_bits(),
+                            m.remanence.as_tesla().to_bits(),
+                            m.loop_area.to_bits(),
+                        )
+                    }),
+                }),
+                Err(err) => Err(err.to_string()),
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn batch_report_is_bit_identical_across_worker_counts() {
+    let scenarios = grid().scenarios().expect("non-empty grid");
+    assert_eq!(scenarios.len(), 16); // 4 backends x 2 configs x 2 excitations
+
+    let single = BatchRunner::new().workers(1).run(scenarios.clone());
+    assert_eq!(single.workers, 1);
+    assert_eq!(single.failures().count(), 0);
+    let reference = fingerprint(&single);
+    assert_eq!(reference.len(), scenarios.len());
+
+    for workers in [2, 8] {
+        let parallel = BatchRunner::new().workers(workers).run(scenarios.clone());
+        assert_eq!(parallel.workers, workers);
+        assert_eq!(
+            fingerprint(&parallel),
+            reference,
+            "{workers}-worker report diverged from the single-worker report"
+        );
+    }
+}
+
+#[test]
+fn run_batch_default_matches_single_worker() {
+    let scenarios = grid().scenarios().expect("non-empty grid");
+    let default_run = ja_repro::hdl_models::scenario::run_batch(scenarios.clone());
+    let single = BatchRunner::new().workers(1).run(scenarios);
+    assert_eq!(fingerprint(&default_run), fingerprint(&single));
+    assert!(default_run.workers >= 1);
+}
