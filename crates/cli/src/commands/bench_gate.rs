@@ -1,0 +1,289 @@
+//! `ja bench-gate` — diff two bench reports, fail on perf regressions.
+//!
+//! Consumes the `kind: "bench"` reports the criterion stand-in's `--json`
+//! flag writes (one merged document per run: `BENCH_baseline.json`
+//! committed to the repository, `BENCH_pr.json` produced by CI's
+//! bench-smoke job) and emits a one-line-per-bench markdown table suitable
+//! for `$GITHUB_STEP_SUMMARY`.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
+
+use crate::common::{read_input, write_output};
+use crate::{opts, CliError};
+
+/// Per-subcommand help (see `ja help bench-gate`).
+pub const HELP: &str = "\
+ja bench-gate — compare bench medians against a baseline, fail on regression
+
+USAGE:
+    ja bench-gate --baseline PATH --current PATH [OPTIONS]
+
+OPTIONS:
+    --baseline PATH       committed reference report (kind: \"bench\")
+    --current PATH        freshly measured report (kind: \"bench\")
+    --max-ratio R         fail when current/baseline exceeds R [default: 2.5]
+                          (generous on purpose: smoke-mode medians on a
+                          noisy 1-core CI runner jitter far more than a
+                          genuine regression signal on a quiet machine)
+    --min-baseline-ns NS  skip the ratio check for benches whose baseline
+                          median is below NS (sub-floor timings are noise)
+                          [default: 0]
+    --summary PATH        append the markdown table to PATH (e.g.
+                          \"$GITHUB_STEP_SUMMARY\")
+    --out PATH            write the table to PATH instead of stdout
+
+Both inputs must carry the shared envelope (schema_version 1, kind
+\"bench\") — a schema mismatch fails the gate, which is how drift between
+the criterion stand-in and the library constant is caught.
+
+EXIT STATUS: 0 when no bench regressed and none disappeared; 1 otherwise.
+Benches present only in --current are reported as `new` and do not fail
+the gate (update the baseline to start tracking them).";
+
+/// One row of the gate's verdict table.
+#[derive(Debug, PartialEq)]
+pub struct GateRow {
+    /// Bench id.
+    pub id: String,
+    /// Baseline median (ns), if present.
+    pub baseline_ns: Option<f64>,
+    /// Current median (ns), if present.
+    pub current_ns: Option<f64>,
+    /// current/baseline when both are present and baseline > 0.
+    pub ratio: Option<f64>,
+    /// Verdict: `ok`, `faster`, `below floor`, `new`, `missing` or
+    /// `REGRESSION`.
+    pub status: &'static str,
+}
+
+impl GateRow {
+    /// Whether this row fails the gate.
+    pub fn fails(&self) -> bool {
+        matches!(self.status, "REGRESSION" | "missing")
+    }
+}
+
+/// Computes the per-bench verdicts (sorted by bench id).
+pub fn gate(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    max_ratio: f64,
+    min_baseline_ns: f64,
+) -> Vec<GateRow> {
+    let mut ids: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    ids.sort();
+    ids.dedup();
+    ids.into_iter()
+        .map(|id| {
+            let baseline_ns = baseline.get(id).copied();
+            let current_ns = current.get(id).copied();
+            let (ratio, status) = match (baseline_ns, current_ns) {
+                (Some(base), Some(now)) if base > 0.0 => {
+                    let ratio = now / base;
+                    let status = if base < min_baseline_ns {
+                        "below floor"
+                    } else if ratio > max_ratio {
+                        "REGRESSION"
+                    } else if ratio < 1.0 / max_ratio {
+                        "faster"
+                    } else {
+                        "ok"
+                    };
+                    (Some(ratio), status)
+                }
+                // A non-positive baseline median cannot anchor a ratio.
+                (Some(_), Some(_)) => (None, "below floor"),
+                (Some(_), None) => (None, "missing"),
+                (None, _) => (None, "new"),
+            };
+            GateRow {
+                id: id.clone(),
+                baseline_ns,
+                current_ns,
+                ratio,
+                status,
+            }
+        })
+        .collect()
+}
+
+/// Renders the verdicts as a markdown table plus a one-line summary.
+pub fn render_markdown(rows: &[GateRow], max_ratio: f64) -> String {
+    let mut text = format!("### Bench gate (fail above {max_ratio}x)\n\n");
+    text.push_str("| bench | baseline (ns) | current (ns) | ratio | status |\n");
+    text.push_str("|---|---:|---:|---:|---|\n");
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}"));
+    for row in rows {
+        text.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            row.id,
+            fmt(row.baseline_ns),
+            fmt(row.current_ns),
+            row.ratio
+                .map_or_else(|| "-".to_owned(), |r| format!("{r:.2}")),
+            row.status,
+        ));
+    }
+    let failures = rows.iter().filter(|row| row.fails()).count();
+    text.push_str(&format!(
+        "\n{} benches, {failures} gate failure{}\n",
+        rows.len(),
+        if failures == 1 { "" } else { "s" }
+    ));
+    text
+}
+
+/// Loads a `kind: "bench"` report and returns its medians map.
+fn load_bench_report(path: &str) -> Result<BTreeMap<String, f64>, CliError> {
+    let doc = JsonValue::parse(&read_input(path)?)
+        .map_err(|err| CliError::failure(format!("{path}: {err}")))?;
+    let version = doc.get(SCHEMA_VERSION_KEY).and_then(JsonValue::as_i64);
+    if version != Some(SCHEMA_VERSION) {
+        return Err(CliError::failure(format!(
+            "{path}: schema_version {version:?} does not match the supported {SCHEMA_VERSION}"
+        )));
+    }
+    if doc.get("kind").and_then(JsonValue::as_str) != Some("bench") {
+        return Err(CliError::failure(format!(
+            "{path}: not a `kind: \"bench\"` report"
+        )));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| CliError::failure(format!("{path}: missing `benches` object")))?;
+    let mut map = BTreeMap::new();
+    for (id, value) in benches {
+        let median = value.as_f64().ok_or_else(|| {
+            CliError::failure(format!("{path}: bench `{id}` median is not a number"))
+        })?;
+        map.insert(id.clone(), median);
+    }
+    Ok(map)
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors for bad options; failures for unreadable/invalid reports,
+/// regressions or disappeared benches.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = opts::parse(
+        args,
+        &[],
+        &[
+            "baseline",
+            "current",
+            "max-ratio",
+            "min-baseline-ns",
+            "summary",
+            "out",
+        ],
+    )?;
+    parsed.no_positionals()?;
+
+    let baseline = load_bench_report(parsed.require("baseline")?)?;
+    let current = load_bench_report(parsed.require("current")?)?;
+    let max_ratio = parsed.f64_or("max-ratio", 2.5)?;
+    if max_ratio <= 0.0 {
+        return Err(CliError::usage("--max-ratio must be > 0".to_owned()));
+    }
+    let min_baseline_ns = parsed.f64_or("min-baseline-ns", 0.0)?;
+
+    let rows = gate(&baseline, &current, max_ratio, min_baseline_ns);
+    let markdown = render_markdown(&rows, max_ratio);
+    write_output(parsed.value("out"), &markdown)?;
+    if let Some(path) = parsed.value("summary") {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|err| CliError::failure(format!("cannot open `{path}`: {err}")))?;
+        file.write_all(markdown.as_bytes())
+            .map_err(|err| CliError::failure(format!("cannot append to `{path}`: {err}")))?;
+    }
+
+    let failures: Vec<&GateRow> = rows.iter().filter(|row| row.fails()).collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::failure(format!(
+            "bench gate failed: {}",
+            failures
+                .iter()
+                .map(|row| format!("{} ({})", row.id, row.status))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries
+            .iter()
+            .map(|(id, v)| ((*id).to_owned(), *v))
+            .collect()
+    }
+
+    #[test]
+    fn gate_classifies_every_case() {
+        let baseline = map(&[
+            ("steady", 100.0),
+            ("regressed", 100.0),
+            ("sped_up", 100.0),
+            ("tiny", 10.0),
+            ("gone", 100.0),
+            ("zero", 0.0),
+        ]);
+        let current = map(&[
+            ("steady", 140.0),
+            ("regressed", 251.0),
+            ("sped_up", 30.0),
+            ("tiny", 80.0),
+            ("zero", 5.0),
+            ("fresh", 42.0),
+        ]);
+        let rows = gate(&baseline, &current, 2.5, 50.0);
+        let by_id = |id: &str| rows.iter().find(|row| row.id == id).unwrap();
+        assert_eq!(by_id("steady").status, "ok");
+        assert_eq!(by_id("regressed").status, "REGRESSION");
+        assert!(by_id("regressed").fails());
+        assert_eq!(by_id("sped_up").status, "faster");
+        assert_eq!(by_id("tiny").status, "below floor", "10ns < 50ns floor");
+        assert_eq!(by_id("zero").status, "below floor");
+        assert_eq!(by_id("gone").status, "missing");
+        assert!(by_id("gone").fails());
+        assert_eq!(by_id("fresh").status, "new");
+        assert!(!by_id("fresh").fails());
+        // Sorted by id.
+        let ids: Vec<&str> = rows.iter().map(|row| row.id.as_str()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn markdown_has_one_line_per_bench() {
+        let rows = gate(
+            &map(&[("a", 100.0), ("b", 10.0)]),
+            &map(&[("a", 120.0), ("b", 300.0)]),
+            2.5,
+            0.0,
+        );
+        let text = render_markdown(&rows, 2.5);
+        assert!(text.contains("| a | 100.0 | 120.0 | 1.20 | ok |"), "{text}");
+        assert!(
+            text.contains("| b | 10.0 | 300.0 | 30.00 | REGRESSION |"),
+            "{text}"
+        );
+        assert!(text.contains("2 benches, 1 gate failure\n"), "{text}");
+    }
+}

@@ -1,0 +1,119 @@
+//! `ja fit` — fit JA parameters to a measured BH loop.
+
+use hdl_models::report::{metrics_value, report_envelope};
+use ja_hysteresis::fitting::{fit_major_loop, FitOptions};
+use ja_hysteresis::json::JsonValue;
+use magnetics::bh::BhCurve;
+use magnetics::loop_analysis::loop_metrics;
+use magnetics::material::JaParameters;
+use waveform::export::read_csv;
+use waveform::trace::Trace;
+
+use crate::common::{read_input, write_output};
+use crate::{opts, CliError};
+
+/// Per-subcommand help (see `ja help fit`).
+pub const HELP: &str = "\
+ja fit — extract JA parameters from a measured BH loop (CSV in, JSON out)
+
+USAGE:
+    ja fit --input PATH [OPTIONS]
+
+OPTIONS:
+    --input PATH          measured-loop CSV (required).  Header row names
+                          the columns; the loop must contain at least one
+                          full major cycle.
+    --h-column NAME       field column                       [default: h]
+    --b-column NAME       flux-density column                [default: b]
+    --h-peak A_PER_M      measurement's peak field
+                          [default: max |H| of the input]
+    --passes N            coordinate-search passes           [default: 6]
+    --initial-step FRAC   initial relative perturbation      [default: 0.4]
+    --sweep-step A_PER_M  candidate-sweep field step         [default: 50]
+    --out PATH            write to PATH instead of stdout
+
+The JSON report is `kind: \"fit\"`: input_samples, h_peak_a_per_m, the
+measured loop metrics, the fitted `params` object (m_sat_a_per_m,
+a_a_per_m, a2_a_per_m, k_a_per_m, alpha, c), the residual `cost`
+(0 = exact metric match) and the number of candidate `evaluations`.";
+
+/// Serialises a parameter set with the schema's unit-suffixed keys.
+pub fn params_value(params: &JaParameters) -> JsonValue {
+    JsonValue::object()
+        .with("m_sat_a_per_m", params.m_sat.value())
+        .with("a_a_per_m", params.a)
+        .with("a2_a_per_m", params.a2)
+        .with("k_a_per_m", params.k)
+        .with("alpha", params.alpha)
+        .with("c", params.c)
+}
+
+/// Extracts a named column, with an error that lists what is available.
+pub fn column<'t>(trace: &'t Trace, name: &str) -> Result<&'t [f64], CliError> {
+    trace.column(name).map_err(|_| {
+        CliError::failure(format!(
+            "input has no column `{name}` (available: {})",
+            trace.names().join(", ")
+        ))
+    })
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors for bad options; failures for unreadable/degenerate input
+/// or a fit that cannot run.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = opts::parse(
+        args,
+        &[],
+        &[
+            "input",
+            "h-column",
+            "b-column",
+            "h-peak",
+            "passes",
+            "initial-step",
+            "sweep-step",
+            "out",
+        ],
+    )?;
+    parsed.no_positionals()?;
+
+    let text = read_input(parsed.require("input")?)?;
+    let trace = read_csv(&text).map_err(|err| CliError::failure(err.to_string()))?;
+    let h = column(&trace, parsed.value("h-column").unwrap_or("h"))?;
+    let b = column(&trace, parsed.value("b-column").unwrap_or("b"))?;
+
+    let mut curve = BhCurve::with_capacity(h.len());
+    for (&h, &b) in h.iter().zip(b) {
+        curve.push_raw(h, b, 0.0);
+    }
+    let h_peak_default = h.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+    let h_peak = parsed.f64_or("h-peak", h_peak_default)?;
+
+    let options = FitOptions {
+        passes: parsed.usize_or("passes", 6)?,
+        initial_step: parsed.f64_or("initial-step", 0.4)?,
+        sweep_step: parsed.f64_or("sweep-step", 50.0)?,
+    };
+    // Bad option values are a bad invocation (exit 2), not a runtime
+    // failure — mirror how `ja inverse` treats InverseOptions.
+    options
+        .validate()
+        .map_err(|err| CliError::usage(err.to_string()))?;
+    let measured = loop_metrics(&curve)
+        .map_err(|err| CliError::failure(format!("input is not a closed BH loop: {err}")))?;
+    let fit = fit_major_loop(&curve, h_peak, &options)
+        .map_err(|err| CliError::failure(err.to_string()))?;
+
+    let doc = report_envelope("fit")
+        .with("input_samples", curve.len())
+        .with("h_peak_a_per_m", h_peak)
+        .with("measured", metrics_value(&measured))
+        .with("params", params_value(&fit.params))
+        .with("cost", fit.cost)
+        .with("evaluations", fit.evaluations);
+    write_output(parsed.value("out"), &doc.to_pretty_string())
+}

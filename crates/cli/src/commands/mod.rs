@@ -1,0 +1,8 @@
+//! The `ja` subcommands.
+
+pub mod batch;
+pub mod bench_gate;
+pub mod compare;
+pub mod fit;
+pub mod inverse;
+pub mod sweep;

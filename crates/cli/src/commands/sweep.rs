@@ -1,0 +1,138 @@
+//! `ja sweep` — run one scenario and export the BH trace.
+
+use hdl_models::scenario::Scenario;
+use ja_hysteresis::config::JaConfig;
+use waveform::export::ascii_plot;
+
+use crate::common::{
+    backend_by_name, config_name, enveloped_outcome, material_by_name, write_curve_csv,
+    write_output, NamedExcitation,
+};
+use crate::{opts, CliError};
+
+/// Per-subcommand help (see `ja help sweep`).
+pub const HELP: &str = "\
+ja sweep — run one scenario and export the BH trace
+
+USAGE:
+    ja sweep [OPTIONS]
+
+OPTIONS:
+    --backend NAME     direct | systemc | ams | time-domain   [default: direct]
+    --material NAME    date2006 | ja1984 | soft-ferrite | hard-steel
+                       [default: date2006]
+    --dh-max A_PER_M   timeless discretisation threshold      [default: 10]
+    --peak A_PER_M     triangular major-loop peak             [default: 10000]
+    --step A_PER_M     field step of the stimulus             [default: 10]
+    --cycles N         full triangular cycles                 [default: 1]
+    --fig1             use the paper's Fig. 1 stimulus (major sweep + nested
+                       minor loops) instead of --peak/--cycles
+    --format FORMAT    ascii | csv | json                     [default: ascii]
+    --width N          ascii plot width                       [default: 72]
+    --height N         ascii plot height                      [default: 24]
+    --timings          include runtime_ns in the JSON report
+    --out PATH         write to PATH instead of stdout
+
+The JSON report is `kind: \"sweep\"` — the envelope plus one scenario entry
+(see `ja --help` for the schema).  CSV columns are h, b, m.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors for bad options; failures for scenario or output errors.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = opts::parse(
+        args,
+        &["fig1", "timings"],
+        &[
+            "backend", "material", "dh-max", "peak", "step", "cycles", "format", "width", "height",
+            "out",
+        ],
+    )?;
+    parsed.no_positionals()?;
+
+    let backend = backend_by_name(parsed.value("backend").unwrap_or("direct"))?;
+    let material_name = parsed.value("material").unwrap_or("date2006");
+    let params = material_by_name(material_name)?;
+    let dh_max = parsed.f64_or("dh-max", 10.0)?;
+    let config = JaConfig::default().with_dh_max(dh_max);
+    config
+        .validate()
+        .map_err(|err| CliError::usage(err.to_string()))?;
+
+    let step = parsed.f64_or("step", 10.0)?;
+    let named = if parsed.flag("fig1") {
+        if parsed.value("peak").is_some() || parsed.value("cycles").is_some() {
+            return Err(CliError::usage(
+                "--fig1 replaces the triangular stimulus; it excludes --peak and --cycles"
+                    .to_owned(),
+            ));
+        }
+        NamedExcitation::fig1(step)?
+    } else {
+        NamedExcitation::major(
+            parsed.f64_or("peak", 10_000.0)?,
+            step,
+            parsed.usize_or("cycles", 1)?,
+        )?
+    };
+
+    let scenario = Scenario::new(
+        format!(
+            "{}/{}/{}/{material_name}",
+            named.name,
+            backend.label(),
+            config_name(dh_max)
+        ),
+        params,
+        config,
+        backend,
+        named.excitation,
+    );
+    let outcome = scenario
+        .run()
+        .map_err(|err| CliError::failure(err.to_string()))?;
+
+    let out = parsed.value("out");
+    match parsed.value("format").unwrap_or("ascii") {
+        "json" => write_output(
+            out,
+            &enveloped_outcome("sweep", &outcome, parsed.flag("timings")).to_pretty_string(),
+        ),
+        "csv" => write_curve_csv(out, &outcome.curve),
+        "ascii" => {
+            let h: Vec<f64> = outcome.curve.points().iter().map(|p| p.h.value()).collect();
+            let b: Vec<f64> = outcome
+                .curve
+                .points()
+                .iter()
+                .map(|p| p.b.as_tesla())
+                .collect();
+            let plot = ascii_plot(
+                &h,
+                &b,
+                parsed.usize_or("width", 72)?,
+                parsed.usize_or("height", 24)?,
+            )
+            .map_err(|err| CliError::failure(err.to_string()))?;
+            let mut text = format!(
+                "{}  [{} samples]\n{plot}",
+                outcome.name,
+                outcome.curve.len()
+            );
+            match &outcome.metrics {
+                Some(m) => {
+                    for (key, value) in m.named_values() {
+                        text.push_str(&format!("{key} = {value}\n"));
+                    }
+                }
+                None => text.push_str("(trace does not form a closable loop; no metrics)\n"),
+            }
+            write_output(out, &text)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown format `{other}` (expected ascii | csv | json)"
+        ))),
+    }
+}

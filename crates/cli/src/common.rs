@@ -1,0 +1,221 @@
+//! Shared helpers: name → domain-object lookups, excitation construction,
+//! report envelopes and output writing.
+
+use hdl_models::report;
+use hdl_models::scenario::{BackendKind, Excitation, ScenarioOutcome};
+use ja_hysteresis::json::JsonValue;
+use magnetics::material::JaParameters;
+
+use crate::CliError;
+
+/// Accepted material preset names (the `magnetics` crate's constructors).
+pub const MATERIALS: [&str; 4] = ["date2006", "ja1984", "soft-ferrite", "hard-steel"];
+
+/// Looks a material preset up by name.
+///
+/// # Errors
+///
+/// Usage error for an unknown name.
+pub fn material_by_name(name: &str) -> Result<JaParameters, CliError> {
+    match name {
+        "date2006" => Ok(JaParameters::date2006()),
+        "ja1984" => Ok(JaParameters::jiles_atherton_1984()),
+        "soft-ferrite" => Ok(JaParameters::soft_ferrite()),
+        "hard-steel" => Ok(JaParameters::hard_steel()),
+        other => Err(CliError::usage(format!(
+            "unknown material `{other}` (expected one of: {})",
+            MATERIALS.join(", ")
+        ))),
+    }
+}
+
+/// Looks a backend up by its label or short alias.
+///
+/// # Errors
+///
+/// Usage error for an unknown name.
+pub fn backend_by_name(name: &str) -> Result<BackendKind, CliError> {
+    match name {
+        "direct" | "direct-timeless" => Ok(BackendKind::DirectTimeless),
+        "systemc" | "systemc-event-kernel" => Ok(BackendKind::SystemC),
+        "ams" | "ams-timeless" => Ok(BackendKind::AmsTimeless),
+        "time-domain" | "time-domain-baseline" => Ok(BackendKind::TimeDomainBaseline),
+        other => Err(CliError::usage(format!(
+            "unknown backend `{other}` (expected direct | systemc | ams | time-domain, \
+             or the full labels)"
+        ))),
+    }
+}
+
+/// Expands a backend list name: `all`, `timeless`, or a single backend.
+///
+/// # Errors
+///
+/// Usage error for an unknown name.
+pub fn backend_set_by_name(name: &str) -> Result<Vec<BackendKind>, CliError> {
+    match name {
+        "all" => Ok(BackendKind::ALL.to_vec()),
+        "timeless" => Ok(BackendKind::TIMELESS.to_vec()),
+        other => Ok(vec![backend_by_name(other)?]),
+    }
+}
+
+/// An excitation together with the stable name used in scenario keys
+/// (derived from the parameters, so the same stimulus always gets the same
+/// key — reports stay diffable).
+pub struct NamedExcitation {
+    /// Scenario-key component, e.g. `major(peak=10000,step=100,cycles=1)`.
+    pub name: String,
+    /// The stimulus itself.
+    pub excitation: Excitation,
+}
+
+impl NamedExcitation {
+    /// The paper's Fig. 1 stimulus with the given field step.
+    ///
+    /// # Errors
+    ///
+    /// Failure when the step is invalid for the schedule.
+    pub fn fig1(step: f64) -> Result<Self, CliError> {
+        Ok(Self {
+            name: format!("fig1(step={step})"),
+            excitation: Excitation::fig1(step).map_err(CliError::from)?,
+        })
+    }
+
+    /// A triangular major loop.
+    ///
+    /// # Errors
+    ///
+    /// Failure when the parameters are invalid for the schedule.
+    pub fn major(peak: f64, step: f64, cycles: usize) -> Result<Self, CliError> {
+        Ok(Self {
+            name: format!("major(peak={peak},step={step},cycles={cycles})"),
+            excitation: Excitation::major_loop(peak, step, cycles).map_err(CliError::from)?,
+        })
+    }
+
+    /// A biased minor loop.
+    ///
+    /// # Errors
+    ///
+    /// Failure when the parameters are invalid for the schedule.
+    pub fn biased(bias: f64, amplitude: f64, cycles: usize, step: f64) -> Result<Self, CliError> {
+        Ok(Self {
+            name: format!("biased(bias={bias},amplitude={amplitude},cycles={cycles},step={step})"),
+            excitation: Excitation::biased_minor_loop(bias, amplitude, cycles, step)
+                .map_err(CliError::from)?,
+        })
+    }
+}
+
+/// The scenario-key config-axis name for a `ΔH_max` value (`dh10`,
+/// `dh2.5`, …), matching the convention of the workspace's grids.
+pub fn config_name(dh_max: f64) -> String {
+    format!("dh{dh_max}")
+}
+
+/// Prepends the shared envelope (`schema_version`, `kind`) to the fields of
+/// a serialised scenario outcome, producing a flat single-outcome report.
+pub fn enveloped_outcome(kind: &str, outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
+    let mut doc = report::report_envelope(kind);
+    if let JsonValue::Object(fields) = report::outcome_value(outcome, timings) {
+        for (key, value) in fields {
+            doc.push(key, value);
+        }
+    }
+    doc
+}
+
+/// Writes a BH trajectory as CSV (columns `h`, `b`, `m`) to `--out PATH`
+/// or stdout — the one serialization `ja sweep` and `ja inverse` share.
+///
+/// # Errors
+///
+/// Failure when CSV formatting or the output write fails.
+pub fn write_curve_csv(out: Option<&str>, curve: &magnetics::bh::BhCurve) -> Result<(), CliError> {
+    let mut trace = waveform::trace::Trace::new(["h", "b", "m"]);
+    for point in curve.points() {
+        trace
+            .push_row(&[point.h.value(), point.b.as_tesla(), point.m.value()])
+            .expect("three values per row");
+    }
+    let mut buf = Vec::new();
+    waveform::export::write_csv(&trace, &mut buf)
+        .map_err(|err| CliError::failure(err.to_string()))?;
+    write_output(out, &String::from_utf8(buf).expect("CSV is UTF-8"))
+}
+
+/// Writes `content` to `--out PATH`, or to stdout when no path was given.
+///
+/// # Errors
+///
+/// Failure when the file cannot be written.
+pub fn write_output(out: Option<&str>, content: &str) -> Result<(), CliError> {
+    match out {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, content)
+            .map_err(|err| CliError::failure(format!("cannot write `{path}`: {err}"))),
+    }
+}
+
+/// Reads a whole input file.
+///
+/// # Errors
+///
+/// Failure when the file cannot be read.
+pub fn read_input(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|err| CliError::failure(format!("cannot read `{path}`: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_and_backend_lookup() {
+        for name in MATERIALS {
+            assert!(material_by_name(name).is_ok(), "{name}");
+        }
+        assert!(material_by_name("mu-metal").is_err());
+        assert_eq!(
+            backend_by_name("direct").unwrap(),
+            BackendKind::DirectTimeless
+        );
+        assert_eq!(
+            backend_by_name("systemc-event-kernel").unwrap(),
+            BackendKind::SystemC
+        );
+        assert!(backend_by_name("verilog").is_err());
+        assert_eq!(backend_set_by_name("all").unwrap().len(), 4);
+        assert_eq!(backend_set_by_name("timeless").unwrap().len(), 3);
+        assert_eq!(backend_set_by_name("ams").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn excitation_names_are_stable() {
+        assert_eq!(
+            NamedExcitation::major(10_000.0, 100.0, 1).unwrap().name,
+            "major(peak=10000,step=100,cycles=1)"
+        );
+        assert_eq!(NamedExcitation::fig1(50.0).unwrap().name, "fig1(step=50)");
+        assert_eq!(
+            NamedExcitation::biased(1_000.0, 500.0, 2, 10.0)
+                .unwrap()
+                .name,
+            "biased(bias=1000,amplitude=500,cycles=2,step=10)"
+        );
+        assert_eq!(config_name(10.0), "dh10");
+        assert_eq!(config_name(2.5), "dh2.5");
+    }
+
+    #[test]
+    fn invalid_excitations_are_reported() {
+        assert!(NamedExcitation::major(10_000.0, -1.0, 1).is_err());
+        assert!(NamedExcitation::fig1(0.0).is_err());
+    }
+}

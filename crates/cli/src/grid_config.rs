@@ -1,0 +1,227 @@
+//! The `ja batch` grid-config format: a line-oriented `key = value` TOML
+//! subset describing a [`ScenarioGrid`].
+//!
+//! ```text
+//! # Axes accumulate: repeat a key to add a value, the grid is the
+//! # cartesian product of all axes (empty axes fall back to defaults).
+//! material   = date2006                            # see `ja help batch`
+//! backend    = direct                              # direct|systemc|ams|time-domain|all|timeless
+//! dh_max     = 10                                  # one model config per value (A/m)
+//! excitation = major peak=10000 step=100 cycles=1  # triangular major loop
+//! excitation = fig1 step=50                        # paper's Fig. 1 stimulus
+//! excitation = biased bias=1000 amplitude=500 cycles=1 step=10
+//! ```
+//!
+//! `#` starts a comment, blank lines are ignored.  Only axes live in the
+//! file; execution knobs (`--workers`, `--fail-fast`) stay on the command
+//! line so the same grid can be run under different policies.
+
+use std::collections::BTreeMap;
+
+use hdl_models::scenario::ScenarioGrid;
+use ja_hysteresis::config::JaConfig;
+
+use crate::common::{backend_set_by_name, config_name, material_by_name, NamedExcitation};
+use crate::CliError;
+
+/// Parses grid-config text into a [`ScenarioGrid`].
+///
+/// # Errors
+///
+/// Usage error naming the offending line for unknown keys, malformed
+/// values, unknown excitation kinds/parameters or invalid `dh_max`.
+pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
+    let mut grid = ScenarioGrid::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line = match raw_line.split_once('#') {
+            Some((content, _comment)) => content.trim(),
+            None => raw_line.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = index + 1;
+        let at = |message: String| CliError::usage(format!("grid config line {lineno}: {message}"));
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "material" => {
+                let params = material_by_name(value).map_err(|err| at(err.message))?;
+                grid = grid.material(value, params);
+            }
+            "backend" => {
+                let backends = backend_set_by_name(value).map_err(|err| at(err.message))?;
+                grid = grid.backends(backends);
+            }
+            "dh_max" => {
+                let dh_max: f64 = value
+                    .parse()
+                    .map_err(|_| at(format!("`{value}` is not a number")))?;
+                let config = JaConfig::default().with_dh_max(dh_max);
+                config.validate().map_err(|err| at(err.to_string()))?;
+                grid = grid.config(config_name(dh_max), config);
+            }
+            "excitation" => {
+                let named = parse_excitation(value).map_err(|err| at(err.message))?;
+                grid = grid.excitation(named.name, named.excitation);
+            }
+            other => {
+                return Err(at(format!(
+                    "unknown key `{other}` (expected material | backend | dh_max | excitation)"
+                )))
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Parses an excitation spec: a kind token followed by `key=value`
+/// parameters, e.g. `major peak=10000 step=100 cycles=1`.
+fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> {
+    let mut tokens = spec.split_whitespace();
+    let kind = tokens
+        .next()
+        .ok_or_else(|| CliError::usage("empty excitation spec".to_owned()))?;
+    let mut params: BTreeMap<&str, &str> = BTreeMap::new();
+    for token in tokens {
+        let (key, value) = token.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("excitation parameter `{token}` is not `key=value`"))
+        })?;
+        if params.insert(key, value).is_some() {
+            return Err(CliError::usage(format!(
+                "excitation parameter `{key}` given twice"
+            )));
+        }
+    }
+    fn f64_param(
+        params: &mut BTreeMap<&str, &str>,
+        name: &str,
+        default: f64,
+    ) -> Result<f64, CliError> {
+        match params.remove(name) {
+            None => Ok(default),
+            Some(text) => text.parse::<f64>().map_err(|_| {
+                CliError::usage(format!(
+                    "excitation parameter `{name}={text}` is not a number"
+                ))
+            }),
+        }
+    }
+    // Cycle counts are whole numbers: parse as usize directly so `cycles=1.9`
+    // is rejected instead of silently truncated (and `cycles=1e20` instead of
+    // saturating into a capacity-overflow panic downstream).
+    fn cycles_param(params: &mut BTreeMap<&str, &str>) -> Result<usize, CliError> {
+        match params.remove("cycles") {
+            None => Ok(1),
+            Some(text) => text.parse::<usize>().map_err(|_| {
+                CliError::usage(format!(
+                    "excitation parameter `cycles={text}` is not an unsigned integer"
+                ))
+            }),
+        }
+    }
+    let named = match kind {
+        "major" => {
+            let cycles = cycles_param(&mut params)?;
+            let peak = f64_param(&mut params, "peak", 10_000.0)?;
+            let step = f64_param(&mut params, "step", 10.0)?;
+            NamedExcitation::major(peak, step, cycles)?
+        }
+        "fig1" => {
+            let step = f64_param(&mut params, "step", 10.0)?;
+            NamedExcitation::fig1(step)?
+        }
+        "biased" => {
+            let cycles = cycles_param(&mut params)?;
+            let bias = f64_param(&mut params, "bias", 1_000.0)?;
+            let amplitude = f64_param(&mut params, "amplitude", 500.0)?;
+            let step = f64_param(&mut params, "step", 10.0)?;
+            NamedExcitation::biased(bias, amplitude, cycles, step)?
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown excitation kind `{other}` (expected major | fig1 | biased)"
+            )))
+        }
+    };
+    if let Some((stray, _)) = params.iter().next() {
+        return Err(CliError::usage(format!(
+            "excitation kind `{kind}` does not take parameter `{stray}`"
+        )));
+    }
+    Ok(named)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_grid() {
+        let grid = parse_grid(
+            "# demo grid\n\
+             material = date2006\n\
+             material = soft-ferrite   # second material axis value\n\
+             backend = timeless\n\
+             dh_max = 10\n\
+             dh_max = 25\n\
+             excitation = major peak=10000 step=200 cycles=1\n\
+             excitation = fig1 step=100\n",
+        )
+        .unwrap();
+        // 2 excitations x 3 backends x 2 configs x 2 materials.
+        assert_eq!(grid.len(), 24);
+        let scenarios = grid.scenarios().unwrap();
+        assert!(scenarios[0]
+            .name
+            .starts_with("major(peak=10000,step=200,cycles=1)/"));
+        assert!(scenarios.iter().any(|s| s.name.contains("/dh25/")));
+        assert!(scenarios.iter().any(|s| s.name.ends_with("/soft-ferrite")));
+    }
+
+    #[test]
+    fn axes_fall_back_to_defaults() {
+        let grid = parse_grid("excitation = fig1 step=100\n").unwrap();
+        assert_eq!(grid.len(), 1);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(
+            scenarios[0].name,
+            "fig1(step=100)/direct-timeless/default/date2006"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("material\n", "line 1"),
+            ("material = mu-metal\n", "unknown material"),
+            ("backend = verilog\n", "unknown backend"),
+            ("dh_max = fast\n", "not a number"),
+            ("dh_max = -1\n", "dh_max"),
+            ("speed = 9\n", "unknown key `speed`"),
+            ("excitation = sawtooth step=1\n", "unknown excitation kind"),
+            ("excitation = major step\n", "not `key=value`"),
+            ("excitation = major step=a\n", "not a number"),
+            ("excitation = major step=1 step=2\n", "given twice"),
+            ("excitation = major cycles=1.9\n", "not an unsigned integer"),
+            (
+                "excitation = major cycles=1e20\n",
+                "not an unsigned integer",
+            ),
+            ("excitation = fig1 peak=10\n", "does not take parameter"),
+            ("\nexcitation = major step=0\n", "line 2"),
+        ] {
+            let err = parse_grid(text).expect_err(text);
+            assert!(err.message.contains(needle), "`{text}` -> {}", err.message);
+            assert_eq!(err.code, 2, "{text}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let grid = parse_grid("\n  # only a comment\nexcitation = fig1 step=250 # tail\n").unwrap();
+        assert_eq!(grid.len(), 1);
+    }
+}

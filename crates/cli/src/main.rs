@@ -1,0 +1,248 @@
+//! `ja` — the executable front door of the timeless Jiles–Atherton
+//! reproduction (Al-Junaid & Kazmierski, DATE 2006).
+//!
+//! The library crates already provide the machinery (scenario grids, the
+//! parallel batch runner, fitting, the inverse solve, CSV/ASCII export);
+//! this binary exposes it behind a stable command-line and one versioned,
+//! machine-readable JSON report format that CI and services can consume.
+//! The `REPORT SCHEMA` section of [`GLOBAL_HELP`] is the schema's
+//! human-readable source of truth; the constants live in
+//! `ja_hysteresis::json`.
+
+mod commands;
+mod common;
+mod grid_config;
+mod opts;
+
+use std::process::ExitCode;
+
+/// A CLI failure: what to print and which exit code to use.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message printed to stderr (prefixed with `ja:`).
+    pub message: String,
+    /// Process exit code: 2 for usage errors, 1 for runtime failures.
+    pub code: u8,
+}
+
+impl CliError {
+    /// A usage error (exit code 2): the invocation itself is wrong.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A runtime failure (exit code 1): the invocation was fine, the work
+    /// failed.
+    pub fn failure(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl From<ja_hysteresis::error::JaError> for CliError {
+    fn from(err: ja_hysteresis::error::JaError) -> Self {
+        CliError::failure(err.to_string())
+    }
+}
+
+/// Global help text.  The `REPORT SCHEMA` section doubles as the
+/// authoritative field-by-field description of the machine-readable report
+/// format (`ja_hysteresis::json::SCHEMA_VERSION` = 1); the README's schema
+/// table is derived from it, and the CLI's integration tests assert the
+/// emitted documents against these fields.
+pub const GLOBAL_HELP: &str = "\
+ja — timeless Jiles–Atherton hysteresis toolkit (DATE 2006 reproduction)
+
+USAGE:
+    ja <SUBCOMMAND> [OPTIONS]
+    ja help <SUBCOMMAND>
+
+SUBCOMMANDS:
+    sweep       Run one scenario and export the BH trace (ascii | csv | json)
+    batch       Run a scenario grid in parallel, emit a batch report (JSON)
+    fit         Fit JA parameters to a measured BH loop (CSV in, JSON out)
+    inverse     Flux-driven solve: target B trace in, required H trace out
+    compare     Backend-agreement table across implementation styles
+    bench-gate  Diff two bench reports, fail on perf regressions
+
+OPTIONS:
+    -h, --help      This help (per-subcommand: `ja help <SUBCOMMAND>`)
+    -V, --version   Version
+
+REPORT SCHEMA (schema_version 1)
+  Every JSON report opens with the shared envelope:
+    schema_version  int     1; bumped on any breaking schema change
+    kind            string  batch | sweep | fit | inverse | compare | bench
+
+  kind=batch (ja batch):
+    scenarios   int    grid size
+    succeeded   int    entries with status ok
+    failed      int    errors + cancellations
+    entries     array  one object per scenario, in input order:
+      scenario    string       \"<excitation>/<backend>/<config>/<material>\"
+      status      string       ok | error | cancelled
+      error       string       failure message     (status != ok only)
+      backend     string       backend label       (status = ok only)
+      samples     int          BH-trace length     (status = ok only)
+      metrics     object|null  loop metrics; null when the trace does not
+                               form a closable loop (status = ok only)
+      stats       object       backend cost counters (status = ok only)
+    timing      object  ONLY with --timings: workers, elapsed_ns,
+                        serial_ns, speedup (plus per-entry wall_clock_ns /
+                        runtime_ns).  Omitted by default so reports are
+                        byte-identical across --workers values.
+
+  metrics object (keys from magnetics::LoopMetrics::named_values):
+    b_max_t, h_max_a_per_m, coercivity_a_per_m, remanence_t,
+    loop_area_j_per_m3, negative_slope_samples
+
+  stats object (keys mirror ja_hysteresis::model::JaStatistics):
+    samples, updates, slope_evaluations, negative_slope_events,
+    rejected_updates
+
+  kind=sweep (ja sweep --format json): envelope + one entry (fields as in
+    a batch entry).
+  kind=fit (ja fit): input_samples, h_peak_a_per_m, measured (metrics
+    object), params {m_sat_a_per_m, a_a_per_m, a2_a_per_m, k_a_per_m,
+    alpha, c}, cost, evaluations.
+  kind=inverse (ja inverse --format json): samples, h_peak_a_per_m,
+    b_peak_t, metrics (object|null).
+  kind=compare (ja compare --format json): max_abs_diff_b_t,
+    relative_diff, worst_pair (array of 2 labels | null), outcomes (array
+    of entries).
+  kind=bench (criterion stand-in --json, consumed by ja bench-gate):
+    benches {bench id -> median ns/iteration}.
+
+EXIT STATUS: 0 success; 1 runtime failure (including batch scenario
+failures and bench-gate regressions); 2 usage error.";
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(subcommand) = args.first() else {
+        return Err(CliError::usage(format!(
+            "missing subcommand\n\n{GLOBAL_HELP}"
+        )));
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "-h" | "--help" => {
+            println!("{GLOBAL_HELP}");
+            Ok(())
+        }
+        "-V" | "--version" => {
+            println!("ja {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
+        "help" => {
+            let topic = rest.first().map(String::as_str);
+            let text = match topic {
+                None => GLOBAL_HELP,
+                Some("sweep") => commands::sweep::HELP,
+                Some("batch") => commands::batch::HELP,
+                Some("fit") => commands::fit::HELP,
+                Some("inverse") => commands::inverse::HELP,
+                Some("compare") => commands::compare::HELP,
+                Some("bench-gate") => commands::bench_gate::HELP,
+                Some(other) => {
+                    return Err(CliError::usage(format!("unknown subcommand `{other}`")))
+                }
+            };
+            println!("{text}");
+            Ok(())
+        }
+        command if wants_help(rest) => {
+            let text = match command {
+                "sweep" => commands::sweep::HELP,
+                "batch" => commands::batch::HELP,
+                "fit" => commands::fit::HELP,
+                "inverse" => commands::inverse::HELP,
+                "compare" => commands::compare::HELP,
+                "bench-gate" => commands::bench_gate::HELP,
+                other => return Err(CliError::usage(format!("unknown subcommand `{other}`"))),
+            };
+            println!("{text}");
+            Ok(())
+        }
+        "sweep" => commands::sweep::run(rest),
+        "batch" => commands::batch::run(rest),
+        "fit" => commands::fit::run(rest),
+        "inverse" => commands::inverse::run(rest),
+        "compare" => commands::compare::run(rest),
+        "bench-gate" => commands::bench_gate::run(rest),
+        other => Err(CliError::usage(format!(
+            "unknown subcommand `{other}` (see `ja --help`)"
+        ))),
+    }
+}
+
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|arg| arg == "-h" || arg == "--help")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("ja: {}", err.message);
+            ExitCode::from(err.code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error() {
+        let err = run(&["transmogrify".to_owned()]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("transmogrify"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn help_text_documents_the_schema() {
+        // The help is the schema's source of truth: every envelope kind and
+        // every metrics/stats key must appear in it.
+        for needle in [
+            "schema_version",
+            "batch | sweep | fit | inverse | compare | bench",
+            "b_max_t",
+            "h_max_a_per_m",
+            "coercivity_a_per_m",
+            "remanence_t",
+            "loop_area_j_per_m3",
+            "negative_slope_samples",
+            "slope_evaluations",
+            "rejected_updates",
+            "wall_clock_ns",
+            "m_sat_a_per_m",
+        ] {
+            assert!(GLOBAL_HELP.contains(needle), "missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn schema_keys_in_help_match_the_library() {
+        use magnetics::loop_analysis::loop_metrics;
+        // Generate real metrics and confirm every key the library emits is
+        // documented in the help text.
+        let outcome = hdl_models::scenario::Scenario::fig1(
+            hdl_models::scenario::BackendKind::DirectTimeless,
+            250.0,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let metrics = loop_metrics(&outcome.curve).unwrap();
+        for (key, _) in metrics.named_values() {
+            assert!(GLOBAL_HELP.contains(key), "undocumented metric key `{key}`");
+        }
+    }
+}

@@ -40,6 +40,40 @@ impl Default for FitOptions {
     }
 }
 
+impl FitOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] when `passes` is zero (the search
+    /// would silently return the unrefined initial guess), or
+    /// `initial_step`/`sweep_step` is not finite and strictly positive.
+    pub fn validate(&self) -> Result<(), JaError> {
+        if self.passes == 0 {
+            return Err(JaError::InvalidConfig {
+                name: "passes",
+                value: 0.0,
+                requirement: ">= 1 coordinate-search pass",
+            });
+        }
+        if !self.initial_step.is_finite() || self.initial_step <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "initial_step",
+                value: self.initial_step,
+                requirement: "finite and > 0",
+            });
+        }
+        if !self.sweep_step.is_finite() || self.sweep_step <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "sweep_step",
+                value: self.sweep_step,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Result of a fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitResult {
@@ -58,7 +92,8 @@ pub struct FitResult {
 ///
 /// # Errors
 ///
-/// Returns [`JaError::Material`] when the measured loop is too short or has
+/// Returns [`JaError::InvalidConfig`] for invalid `options`,
+/// [`JaError::Material`] when the measured loop is too short or has
 /// no crossings (not a loop), and propagates sweep errors for pathological
 /// candidates.
 pub fn fit_major_loop(
@@ -66,6 +101,7 @@ pub fn fit_major_loop(
     h_peak: f64,
     options: &FitOptions,
 ) -> Result<FitResult, JaError> {
+    options.validate()?;
     let target = loop_metrics(measured)?;
 
     // Physically motivated initial guess:
@@ -204,6 +240,54 @@ mod tests {
             curve.push_raw(h, (h / 5000.0).tanh(), 0.0);
         }
         assert!(fit_major_loop(&curve, 1_000.0, &FitOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_empty_measured_loop() {
+        let err = fit_major_loop(&BhCurve::new(), 1_000.0, &FitOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JaError::Material(magnetics::MagneticsError::InsufficientSamples { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fit_rejects_zero_passes() {
+        let options = FitOptions {
+            passes: 0,
+            ..FitOptions::default()
+        };
+        // Options are checked before the measured loop, so even a valid
+        // loop is irrelevant here.
+        let err = fit_major_loop(&BhCurve::new(), 1_000.0, &options).unwrap_err();
+        assert!(
+            matches!(err, JaError::InvalidConfig { name: "passes", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_steps() {
+        for (initial_step, sweep_step, name) in [
+            (0.0, 50.0, "initial_step"),
+            (f64::NAN, 50.0, "initial_step"),
+            (0.4, -50.0, "sweep_step"),
+            (0.4, f64::INFINITY, "sweep_step"),
+        ] {
+            let options = FitOptions {
+                passes: 1,
+                initial_step,
+                sweep_step,
+            };
+            let err = fit_major_loop(&BhCurve::new(), 1_000.0, &options).unwrap_err();
+            match err {
+                JaError::InvalidConfig { name: got, .. } => assert_eq!(got, name),
+                other => panic!("expected InvalidConfig for {name}, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,40 @@ impl Default for InverseOptions {
     }
 }
 
+impl InverseOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] when `b_tolerance` or `h_limit`
+    /// is not finite and strictly positive, or `max_iterations` is zero
+    /// (bisection would never refine the bracket).
+    pub fn validate(&self) -> Result<(), JaError> {
+        if !self.b_tolerance.is_finite() || self.b_tolerance <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "b_tolerance",
+                value: self.b_tolerance,
+                requirement: "finite and > 0",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(JaError::InvalidConfig {
+                name: "max_iterations",
+                value: 0.0,
+                requirement: ">= 1 bisection iteration",
+            });
+        }
+        if !self.h_limit.is_finite() || self.h_limit <= 0.0 {
+            return Err(JaError::InvalidConfig {
+                name: "h_limit",
+                value: self.h_limit,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// A flux-driven wrapper around [`JilesAtherton`].
 #[derive(Debug, Clone)]
 pub struct FluxDrivenJa {
@@ -78,9 +112,11 @@ impl FluxDrivenJa {
     /// # Errors
     ///
     /// Returns [`JaError::NonFiniteField`] for a non-finite target and
-    /// [`JaError::InvalidConfig`] when the target cannot be reached within
-    /// the configured field limit (beyond saturation).
+    /// [`JaError::InvalidConfig`] for invalid [`InverseOptions`] or when
+    /// the target cannot be reached within the configured field limit
+    /// (beyond saturation).
     pub fn apply_flux_density(&mut self, b_target: f64) -> Result<f64, JaError> {
+        self.options.validate()?;
         if !b_target.is_finite() {
             return Err(JaError::NonFiniteField { value: b_target });
         }
@@ -242,6 +278,84 @@ mod tests {
             rising.h.value(),
             falling.h.value()
         );
+    }
+
+    #[test]
+    fn unreachable_target_reports_the_target_value() {
+        let mut inv = flux_driven().with_options(InverseOptions {
+            h_limit: 20_000.0,
+            ..InverseOptions::default()
+        });
+        // Beyond-saturation target: B_sat for the paper's material is ~2 T,
+        // so 3 T cannot be reached no matter the field budget — the solver
+        // must stop at the field limit and name the offending target.
+        match inv.apply_flux_density(3.0).unwrap_err() {
+            JaError::InvalidConfig { name, value, .. } => {
+                assert_eq!(name, "b_target");
+                assert_eq!(value, 3.0);
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        // The failed solve committed nothing: the model is still usable and
+        // a reachable target still converges.
+        assert!(inv.apply_flux_density(1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_before_solving() {
+        for (options, name) in [
+            (
+                InverseOptions {
+                    b_tolerance: 0.0,
+                    ..InverseOptions::default()
+                },
+                "b_tolerance",
+            ),
+            (
+                InverseOptions {
+                    b_tolerance: f64::NAN,
+                    ..InverseOptions::default()
+                },
+                "b_tolerance",
+            ),
+            (
+                InverseOptions {
+                    max_iterations: 0,
+                    ..InverseOptions::default()
+                },
+                "max_iterations",
+            ),
+            (
+                InverseOptions {
+                    h_limit: -1.0,
+                    ..InverseOptions::default()
+                },
+                "h_limit",
+            ),
+        ] {
+            let mut inv = flux_driven().with_options(options);
+            match inv.apply_flux_density(0.5).unwrap_err() {
+                JaError::InvalidConfig { name: got, .. } => assert_eq!(got, name),
+                other => panic!("expected InvalidConfig for {name}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_target_sequence_yields_an_empty_trace() {
+        let mut inv = flux_driven();
+        let curve = inv.follow_flux_density(std::iter::empty()).unwrap();
+        assert!(curve.is_empty());
+    }
+
+    #[test]
+    fn follow_flux_density_propagates_solver_errors() {
+        let mut inv = flux_driven().with_options(InverseOptions {
+            h_limit: 20_000.0,
+            ..InverseOptions::default()
+        });
+        // Second target is unreachable -> the whole follow fails.
+        assert!(inv.follow_flux_density([0.5, 3.0]).is_err());
     }
 
     #[test]

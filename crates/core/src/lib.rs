@@ -39,7 +39,10 @@
 //!   into a [`magnetics::bh::BhCurve`];
 //! * [`backend`] — the [`backend::HysteresisBackend`] trait unifying every
 //!   implementation style (direct, time-domain, and the HDL models of the
-//!   `hdl-models` crate) behind one polymorphic driving API.
+//!   `hdl-models` crate) behind one polymorphic driving API;
+//! * [`json`] — the hand-rolled JSON document model behind the versioned
+//!   machine-readable run reports (the environment has no registry access,
+//!   so no `serde_json`), including [`json::SCHEMA_VERSION`].
 //!
 //! # Quickstart
 //!
@@ -69,6 +72,7 @@ pub mod config;
 pub mod error;
 pub mod fitting;
 pub mod inverse;
+pub mod json;
 pub mod model;
 pub mod params;
 pub mod slope;

@@ -13,12 +13,31 @@
 //! * `--smoke` — caps every benchmark at 2 samples (overriding group
 //!   `sample_size` settings), so a full bench run completes in seconds and
 //!   merely proves the targets still execute;
-//! * `--json <path>` — writes a flat JSON object `{"bench id": median_ns}`
-//!   when [`Criterion::final_summary`] runs, seeding the perf-trajectory
-//!   artifact the CI pipeline uploads.
+//! * `--json <path>` — when [`Criterion::final_summary`] runs, writes the
+//!   collected medians in the workspace's versioned report format
+//!
+//!   ```json
+//!   {
+//!     "schema_version": 1,
+//!     "kind": "bench",
+//!     "benches": {"bench id": median_ns, ...}
+//!   }
+//!   ```
+//!
+//!   seeding the perf-trajectory artifact the CI pipeline uploads and the
+//!   `ja bench-gate` regression gate consumes.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Version of the shared report schema the `--json` output follows.
+///
+/// This crate is an offline stand-in and must not depend on the workspace's
+/// library crates, so the constant is replicated here; it MUST match
+/// `ja_hysteresis::json::SCHEMA_VERSION`.  Drift is caught at consumption
+/// time: `ja bench-gate` rejects bench reports whose `schema_version`
+/// differs from the library's.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// Opaque value barrier preventing the optimiser from deleting benchmarked
 /// work.
@@ -123,21 +142,28 @@ impl Criterion {
         println!("\nbenchmarks complete (offline criterion stub: wall-clock timing only)");
     }
 
-    /// The collected results as a JSON object mapping bench id to median
-    /// nanoseconds per iteration, with entries sorted by id.
+    /// The collected results in the versioned report envelope
+    /// (`schema_version`, `kind: "bench"`, then a `benches` object mapping
+    /// bench id to median nanoseconds per iteration, sorted by id).
     fn results_json(&self) -> String {
         let mut sorted: Vec<&(String, f64)> = self.results.iter().collect();
         sorted.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"kind\": \"bench\",\n  \"benches\": {{"
+        ));
         for (i, (id, median_ns)) in sorted.iter().enumerate() {
             let comma = if i + 1 < sorted.len() { "," } else { "" };
             out.push_str(&format!(
-                "  \"{}\": {:.1}{comma}\n",
+                "\n    \"{}\": {:.1}{comma}",
                 json_escape(id),
                 median_ns
             ));
         }
-        out.push_str("}\n");
+        if !sorted.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
         out
     }
 
@@ -363,7 +389,7 @@ mod tests {
     }
 
     #[test]
-    fn json_output_is_sorted_and_escaped() {
+    fn json_output_is_sorted_escaped_and_enveloped() {
         let mut criterion = Criterion::default();
         criterion.results.push(("z/bench".to_owned(), 1234.56));
         criterion.results.push(("a\"quote".to_owned(), 7.0));
@@ -372,6 +398,20 @@ mod tests {
         let z = json.find("z/bench").expect("second id present");
         assert!(a < z, "entries must be sorted by id:\n{json}");
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        // Versioned envelope, in order: schema_version, kind, benches.
+        let version = json
+            .find(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"))
+            .expect("schema_version present");
+        let kind = json.find("\"kind\": \"bench\"").expect("kind present");
+        let benches = json.find("\"benches\"").expect("benches present");
+        assert!(version < kind && kind < benches, "{json}");
+    }
+
+    #[test]
+    fn empty_results_still_emit_a_valid_envelope() {
+        let criterion = Criterion::default();
+        let json = criterion.results_json();
+        assert!(json.contains("\"benches\": {}\n"), "{json}");
     }
 
     #[test]

@@ -156,7 +156,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Number of elements for [`vec`]: a fixed size or a size range.
+    /// Number of elements for [`vec()`]: a fixed size or a size range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

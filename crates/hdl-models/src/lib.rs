@@ -24,6 +24,8 @@
 //! * [`exec`] — the parallel batch executor behind `run_batch`:
 //!   [`exec::BatchRunner`] distributes a scenario grid over scoped worker
 //!   threads with deterministic, input-ordered reports;
+//! * [`report`] — versioned JSON serialization of batch/outcome/agreement
+//!   results (the machine-readable interface the `ja` CLI and CI consume);
 //! * [`comparison`] — the experiment drivers used by the benches and
 //!   integration tests (Fig. 1 reproduction, implementation equivalence,
 //!   turning-point stability, runtime comparisons), now thin wrappers over
@@ -36,6 +38,7 @@ pub mod ams;
 pub mod circuit_adapter;
 pub mod comparison;
 pub mod exec;
+pub mod report;
 pub mod scenario;
 pub mod systemc;
 

@@ -1,0 +1,332 @@
+//! Versioned, machine-readable serialization of scenario/batch results.
+//!
+//! This module turns the scenario engine's in-memory results
+//! ([`BatchReport`], [`ScenarioOutcome`], [`AgreementReport`]) into the
+//! workspace's shared JSON report format (see [`ja_hysteresis::json`]): an
+//! envelope of `schema_version` + `kind` followed by kind-specific fields.
+//! The `ja` CLI emits these documents and CI consumes them, so two
+//! properties are load-bearing:
+//!
+//! * **Determinism.** By default every timing-dependent field (wall-clock,
+//!   worker count, speedup) is omitted, so the same scenario grid produces
+//!   byte-identical reports regardless of worker count or machine load —
+//!   `ja batch --workers 1` and `--workers 8` are asserted identical in the
+//!   CLI's tests.  Passing `timings: true` opts into a `timing` object and
+//!   per-entry `*_ns` fields for profiling consumers.
+//! * **Stable keys.** Metric keys come from
+//!   [`LoopMetrics::named_values`], statistics keys mirror
+//!   [`JaStatistics`] field names; both are part of the schema and only
+//!   change with a [`SCHEMA_VERSION`] bump.
+
+use std::time::Duration;
+
+use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
+use ja_hysteresis::model::JaStatistics;
+use magnetics::loop_analysis::LoopMetrics;
+
+use crate::scenario::{AgreementReport, BatchEntry, BatchReport, ScenarioOutcome};
+
+/// A fresh report object carrying the shared envelope: `schema_version`
+/// first, then `kind`.
+pub fn report_envelope(kind: &str) -> JsonValue {
+    JsonValue::object()
+        .with(SCHEMA_VERSION_KEY, SCHEMA_VERSION)
+        .with("kind", kind)
+}
+
+/// Serialises loop metrics with the schema's unit-suffixed keys.
+///
+/// `negative_slope_samples` is written as an integer; the other five
+/// metrics as floats.
+pub fn metrics_value(metrics: &LoopMetrics) -> JsonValue {
+    let mut obj = JsonValue::object();
+    for (key, value) in metrics.named_values() {
+        if key == "negative_slope_samples" {
+            obj.push(key, value as i64);
+        } else {
+            obj.push(key, value);
+        }
+    }
+    obj
+}
+
+/// Serialises the backend cost counters (keys mirror the
+/// [`JaStatistics`] field names).
+pub fn stats_value(stats: &JaStatistics) -> JsonValue {
+    JsonValue::object()
+        .with("samples", stats.samples)
+        .with("updates", stats.updates)
+        .with("slope_evaluations", stats.slope_evaluations)
+        .with("negative_slope_events", stats.negative_slope_events)
+        .with("rejected_updates", stats.rejected_updates)
+}
+
+/// A [`Duration`] as integer nanoseconds (saturating at `i64::MAX`, which
+/// is ~292 years — no real run gets there).
+pub fn duration_ns(duration: Duration) -> JsonValue {
+    JsonValue::Int(i64::try_from(duration.as_nanos()).unwrap_or(i64::MAX))
+}
+
+/// Serialises one successful scenario outcome.
+///
+/// Always present: `scenario`, `status: "ok"`, `backend`, `samples`,
+/// `metrics` (object or `null` for traces that do not form a closable
+/// loop) and `stats`.  With `timings`, adds `runtime_ns` (sweep only).
+pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
+    let mut obj = JsonValue::object()
+        .with("scenario", outcome.name.as_str())
+        .with("status", "ok")
+        .with("backend", outcome.backend.label())
+        .with("samples", outcome.curve.len())
+        .with(
+            "metrics",
+            outcome
+                .metrics
+                .as_ref()
+                .map_or(JsonValue::Null, metrics_value),
+        )
+        .with("stats", stats_value(&outcome.stats));
+    if timings {
+        obj.push("runtime_ns", duration_ns(outcome.runtime));
+    }
+    obj
+}
+
+/// Serialises one batch entry (outcome or failure).
+///
+/// Failed entries get `status: "error"` (or `"cancelled"` for entries a
+/// fail-fast batch never ran) and an `error` message instead of the
+/// outcome fields.  With `timings`, adds `wall_clock_ns` (backend
+/// construction + sweep + metric extraction on the worker).
+pub fn entry_value(entry: &BatchEntry, timings: bool) -> JsonValue {
+    let mut obj = match &entry.outcome {
+        Ok(outcome) => outcome_value(outcome, timings),
+        Err(err) => JsonValue::object()
+            .with("scenario", entry.scenario.name.as_str())
+            .with(
+                "status",
+                if matches!(err, ja_hysteresis::error::JaError::Cancelled) {
+                    "cancelled"
+                } else {
+                    "error"
+                },
+            )
+            .with("error", err.to_string()),
+    };
+    if timings {
+        obj.push("wall_clock_ns", duration_ns(entry.wall_clock));
+    }
+    obj
+}
+
+/// Serialises a whole batch run as a `kind: "batch"` report.
+///
+/// Deterministic fields: `scenarios`, `succeeded`, `failed` and the
+/// input-ordered `entries`.  With `timings`, a trailing `timing` object
+/// adds `workers`, `elapsed_ns`, `serial_ns` and `speedup` (all of which
+/// vary run to run, which is why they are opt-in).
+pub fn batch_report_value(report: &BatchReport, timings: bool) -> JsonValue {
+    let mut obj = report_envelope("batch")
+        .with("scenarios", report.entries.len())
+        .with("succeeded", report.successes().count())
+        .with("failed", report.entries.len() - report.successes().count())
+        .with(
+            "entries",
+            JsonValue::Array(
+                report
+                    .entries
+                    .iter()
+                    .map(|entry| entry_value(entry, timings))
+                    .collect(),
+            ),
+        );
+    if timings {
+        obj.push(
+            "timing",
+            JsonValue::object()
+                .with("workers", report.workers)
+                .with("elapsed_ns", duration_ns(report.elapsed))
+                .with("serial_ns", duration_ns(report.serial_runtime()))
+                .with("speedup", report.speedup()),
+        );
+    }
+    obj
+}
+
+/// Serialises a backend-agreement comparison as a `kind: "compare"` report:
+/// worst pairwise |ΔB| (absolute and relative to peak |B|), the worst pair,
+/// and one outcome entry per backend.
+pub fn agreement_value(report: &AgreementReport, timings: bool) -> JsonValue {
+    report_envelope("compare")
+        .with("max_abs_diff_b_t", report.max_abs_diff_b)
+        .with("relative_diff", report.relative_diff)
+        .with(
+            "worst_pair",
+            report.worst_pair.map_or(JsonValue::Null, |(a, b)| {
+                JsonValue::Array(vec![a.label().into(), b.label().into()])
+            }),
+        )
+        .with(
+            "outcomes",
+            JsonValue::Array(
+                report
+                    .outcomes
+                    .iter()
+                    .map(|outcome| outcome_value(outcome, timings))
+                    .collect(),
+            ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BatchRunner;
+    use crate::scenario::{backend_agreement, BackendKind, Excitation, Scenario, ScenarioGrid};
+    use ja_hysteresis::config::JaConfig;
+    use magnetics::material::JaParameters;
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .backends(BackendKind::TIMELESS)
+            .config("dh10", JaConfig::default())
+            .excitation(
+                "major",
+                Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+            )
+    }
+
+    #[test]
+    fn batch_report_is_byte_identical_across_worker_counts() {
+        let scenarios = grid().scenarios().expect("grid");
+        let serial = BatchRunner::new().workers(1).run(scenarios.clone());
+        let parallel = BatchRunner::new().workers(4).run(scenarios);
+        let a = batch_report_value(&serial, false).to_pretty_string();
+        let b = batch_report_value(&parallel, false).to_pretty_string();
+        assert_eq!(a, b);
+        // The opt-in timing block is what breaks the identity.
+        let timed = batch_report_value(&serial, true).to_pretty_string();
+        assert!(timed.contains("\"timing\""));
+        assert!(timed.contains("\"workers\": 1"));
+        assert!(!a.contains("workers"));
+        assert!(!a.contains("_ns"));
+    }
+
+    #[test]
+    fn batch_report_has_envelope_and_entry_fields() {
+        let report = BatchRunner::new()
+            .workers(1)
+            .run(grid().scenarios().unwrap());
+        let value = batch_report_value(&report, false);
+        assert_eq!(
+            value.get(SCHEMA_VERSION_KEY).and_then(JsonValue::as_i64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(value.get("kind").and_then(JsonValue::as_str), Some("batch"));
+        assert_eq!(value.get("scenarios").and_then(JsonValue::as_i64), Some(3));
+        assert_eq!(value.get("succeeded").and_then(JsonValue::as_i64), Some(3));
+        assert_eq!(value.get("failed").and_then(JsonValue::as_i64), Some(0));
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        for entry in entries {
+            assert_eq!(entry.get("status").and_then(JsonValue::as_str), Some("ok"));
+            assert!(entry.get("scenario").is_some());
+            let metrics = entry.get("metrics").unwrap().as_object().unwrap();
+            let expected: Vec<&str> = LoopMetrics::named_values(
+                &magnetics::loop_analysis::loop_metrics(
+                    &Scenario::fig1(BackendKind::DirectTimeless, 100.0)
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                        .curve,
+                )
+                .unwrap(),
+            )
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+            let got: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(got, expected, "metric keys match LoopMetrics::named_values");
+            let stats = entry.get("stats").unwrap().as_object().unwrap();
+            assert_eq!(stats[0].0, "samples");
+            assert_eq!(stats.len(), 5);
+        }
+        // The serialized document parses back.
+        let text = value.to_pretty_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn failed_and_cancelled_entries_are_distinguished() {
+        let bad = Scenario::new(
+            "bad",
+            JaParameters::date2006(),
+            JaConfig::default().with_dh_max(-1.0),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 250.0, 1).unwrap(),
+        );
+        let good = Scenario::fig1(BackendKind::DirectTimeless, 250.0).unwrap();
+        let report = BatchRunner::new().workers(1).fail_fast().run([bad, good]);
+        let value = batch_report_value(&report, false);
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(
+            entries[0].get("status").and_then(JsonValue::as_str),
+            Some("error")
+        );
+        assert!(entries[0].get("error").is_some());
+        assert!(entries[0].get("metrics").is_none());
+        assert_eq!(
+            entries[1].get("status").and_then(JsonValue::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(value.get("failed").and_then(JsonValue::as_i64), Some(2));
+    }
+
+    #[test]
+    fn non_loop_metrics_serialise_as_null() {
+        // A biased minor loop never crosses B = 0 -> metrics are None.
+        let scenario = Scenario::new(
+            "biased",
+            JaParameters::date2006(),
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            Excitation::biased_minor_loop(9_000.0, 500.0, 1, 50.0).unwrap(),
+        );
+        let outcome = scenario.run().unwrap();
+        assert!(outcome.metrics.is_none());
+        let value = outcome_value(&outcome, false);
+        assert_eq!(value.get("metrics"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn agreement_report_serialises_with_envelope() {
+        let report = backend_agreement(
+            JaParameters::date2006(),
+            JaConfig::default(),
+            &Excitation::major_loop(10_000.0, 250.0, 1).unwrap(),
+            &BackendKind::TIMELESS,
+        )
+        .unwrap();
+        let value = agreement_value(&report, false);
+        assert_eq!(
+            value.get("kind").and_then(JsonValue::as_str),
+            Some("compare")
+        );
+        assert!(value
+            .get("max_abs_diff_b_t")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+        let pair = value.get("worst_pair").unwrap().as_array().unwrap();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(value.get("outcomes").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn duration_ns_saturates() {
+        assert_eq!(
+            duration_ns(Duration::from_nanos(1500)),
+            JsonValue::Int(1500)
+        );
+        assert_eq!(duration_ns(Duration::MAX), JsonValue::Int(i64::MAX));
+    }
+}

@@ -33,6 +33,28 @@ pub struct LoopMetrics {
     pub negative_slope_samples: usize,
 }
 
+impl LoopMetrics {
+    /// The metrics as `(key, value)` pairs, in the order and with the
+    /// unit-suffixed key names of the machine-readable report schema
+    /// (`schema_version` 1).  This is the single source of the metric keys:
+    /// the CLI's JSON reports and the README's schema table are built from
+    /// (and asserted against) this list, so a renamed or added metric shows
+    /// up as a compile/test failure rather than silent schema drift.
+    ///
+    /// `negative_slope_samples` is a count, exactly representable as `f64`
+    /// for any realistic trace length.
+    pub fn named_values(&self) -> [(&'static str, f64); 6] {
+        [
+            ("b_max_t", self.b_max.as_tesla()),
+            ("h_max_a_per_m", self.h_max.value()),
+            ("coercivity_a_per_m", self.coercivity.value()),
+            ("remanence_t", self.remanence.as_tesla()),
+            ("loop_area_j_per_m3", self.loop_area),
+            ("negative_slope_samples", self.negative_slope_samples as f64),
+        ]
+    }
+}
+
 /// Computes the full set of [`LoopMetrics`] for a trace that contains at
 /// least one complete loop.
 ///
@@ -331,6 +353,26 @@ mod tests {
         assert!(m.remanence.as_tesla() > 1.0);
         assert!(m.loop_area > 0.0);
         assert_eq!(m.negative_slope_samples, 0);
+    }
+
+    #[test]
+    fn named_values_mirror_the_struct() {
+        let curve = synthetic_loop(10_000.0, 1000.0, 1.8, 1000);
+        let m = loop_metrics(&curve).unwrap();
+        let named = m.named_values();
+        assert_eq!(named[0], ("b_max_t", m.b_max.as_tesla()));
+        assert_eq!(named[1], ("h_max_a_per_m", m.h_max.value()));
+        assert_eq!(named[2], ("coercivity_a_per_m", m.coercivity.value()));
+        assert_eq!(named[3], ("remanence_t", m.remanence.as_tesla()));
+        assert_eq!(named[4], ("loop_area_j_per_m3", m.loop_area));
+        assert_eq!(
+            named[5],
+            ("negative_slope_samples", m.negative_slope_samples as f64)
+        );
+        // Keys are unique (an accidental duplicate would corrupt reports).
+        for (i, (key, _)) in named.iter().enumerate() {
+            assert!(named.iter().skip(i + 1).all(|(other, _)| other != key));
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Trace export: CSV writing and a terminal ASCII scatter plot.
+//! Trace export/import: CSV writing and reading, and a terminal ASCII
+//! scatter plot.
 //!
 //! The ASCII plot is the reproduction's stand-in for the paper's plotted
 //! Fig. 1 — it lets a user eyeball the BH loop (major loop plus nested minor
@@ -13,6 +14,13 @@ use crate::trace::Trace;
 /// sample row) to any [`Write`] sink.  A `&mut Vec<u8>` or a `File` both
 /// work; remember that a `&mut W` can be passed where `W: Write` is needed.
 ///
+/// Values are formatted with `{:e}` — the shortest exponent-notation
+/// decimal that parses back to the identical `f64` — so a written CSV
+/// [`read_csv`]s back bit-for-bit.  (An earlier version formatted every
+/// column with a fixed `{:.9e}`, which quantised inputs round-tripped
+/// through external tools — e.g. a time column or a measured loop fed back
+/// into the fitter.)
+///
 /// # Errors
 ///
 /// Returns [`WaveformError::Export`] when the underlying writer fails.
@@ -22,12 +30,69 @@ pub fn write_csv<W: Write>(trace: &Trace, mut sink: W) -> Result<(), WaveformErr
         let row = trace.row(i).expect("index within len");
         let line = row
             .iter()
-            .map(|v| format!("{v:.9e}"))
+            .map(|v| format!("{v:e}"))
             .collect::<Vec<_>>()
             .join(",");
         writeln!(sink, "{line}")?;
     }
     Ok(())
+}
+
+/// Parses CSV text (as produced by [`write_csv`], or any header + numeric
+/// rows file) back into a [`Trace`].
+///
+/// The first non-empty line is the header naming the columns; every
+/// following non-empty line must hold exactly one finite number per column.
+/// Whitespace around fields is tolerated, quoting is not supported (column
+/// names in this workspace are plain identifiers).
+///
+/// # Errors
+///
+/// Returns [`WaveformError::Export`] with the offending line number for a
+/// missing header, a ragged row or an unparsable/non-finite value.
+pub fn read_csv(text: &str) -> Result<Trace, WaveformError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| WaveformError::Export("CSV input has no header row".into()))?;
+    let names: Vec<String> = header
+        .split(',')
+        .map(|name| name.trim().to_owned())
+        .collect();
+    let mut trace = Trace::new(names.clone());
+    let mut row = Vec::with_capacity(names.len());
+    for (index, line) in lines {
+        row.clear();
+        for field in line.split(',') {
+            let value: f64 = field.trim().parse().map_err(|_| {
+                WaveformError::Export(format!(
+                    "line {}: `{}` is not a number",
+                    index + 1,
+                    field.trim()
+                ))
+            })?;
+            if !value.is_finite() {
+                return Err(WaveformError::Export(format!(
+                    "line {}: non-finite value `{}`",
+                    index + 1,
+                    field.trim()
+                )));
+            }
+            row.push(value);
+        }
+        trace.push_row(&row).map_err(|_| {
+            WaveformError::Export(format!(
+                "line {}: expected {} fields, found {}",
+                index + 1,
+                names.len(),
+                row.len()
+            ))
+        })?;
+    }
+    Ok(trace)
 }
 
 /// Renders a scatter plot of `y` against `x` on a `width × height` character
@@ -151,7 +216,57 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "h,b");
-        assert!(lines[2].starts_with("1.0"));
+        assert_eq!(lines[2], "1e1,1.5e0");
+    }
+
+    #[test]
+    fn csv_round_trips_bit_for_bit() {
+        // Values chosen to be quantised by the old fixed `{:.9e}` format:
+        // a fine time axis, a 17-significant-digit flux value, extremes.
+        let mut trace = Trace::new(["t", "h", "b"]);
+        trace
+            .push_row(&[1.0e-9 + 1.0e-18, 0.1, 2.006_543_210_987_654])
+            .unwrap();
+        trace
+            .push_row(&[2.0 / 3.0, -12_345.678_901_234_567, 1.0e-300])
+            .unwrap();
+        trace
+            .push_row(&[f64::MIN_POSITIVE, f64::MAX, -0.0])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let parsed = read_csv(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(parsed.names(), trace.names());
+        assert_eq!(parsed.len(), trace.len());
+        for i in 0..trace.len() {
+            for (a, b) in parsed.row(i).unwrap().iter().zip(trace.row(i).unwrap()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_csv_tolerates_whitespace_and_blank_lines() {
+        let trace = read_csv("\n h , b \n 1.0 , 2.5 \n\n 3e0 , -4.5e-1 \n").unwrap();
+        assert_eq!(trace.names(), ["h", "b"]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.column("h").unwrap(), &[1.0, 3.0]);
+        assert_eq!(trace.column("b").unwrap(), &[2.5, -0.45]);
+    }
+
+    #[test]
+    fn read_csv_rejects_malformed_input() {
+        assert!(matches!(read_csv(""), Err(WaveformError::Export(_))));
+        assert!(matches!(read_csv("   \n  "), Err(WaveformError::Export(_))));
+        // Ragged row.
+        let err = read_csv("a,b\n1.0\n").unwrap_err();
+        assert!(err.to_string().contains("expected 2 fields"), "{err}");
+        // Not a number.
+        let err = read_csv("a,b\n1.0,oops\n").unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
+        // Non-finite.
+        let err = read_csv("a\ninf\n").unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! * [`hdl_kernel`] — SystemC-like discrete-event kernel.
 //! * [`analog_solver`] — MNA analogue solver substrate.
 //! * [`hdl_models`] — the SystemC-style and AMS-style model implementations.
+//!
+//! The executable front door is the `ja` binary in `crates/cli` (`cargo run
+//! --release -p ja-cli -- --help`): sweeps, scenario batches, fitting,
+//! inverse solves, backend comparison and the CI bench-regression gate,
+//! emitting the versioned JSON report format of [`ja_hysteresis::json`].
 
 pub use analog_solver;
 pub use hdl_kernel;
