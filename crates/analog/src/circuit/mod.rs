@@ -11,8 +11,10 @@
 //!   and the behavioural [`elements::NonlinearInductor`];
 //! * [`MagneticCoreModel`] — the hook a hysteresis model implements to sit
 //!   inside the nonlinear inductor;
-//! * [`transient`] — fixed-step transient analysis with per-step Newton
-//!   iteration and convergence statistics.
+//! * [`transient`] — transient analysis with per-step Newton iteration,
+//!   convergence statistics and a pluggable step controller
+//!   ([`StepControl`]): index-arithmetic fixed stepping or an adaptive
+//!   LTE-controlled variable step.
 
 pub mod core_model;
 pub mod elements;
@@ -22,7 +24,7 @@ pub use core_model::{LinearCore, MagneticCoreModel};
 pub use elements::{
     Capacitor, CurrentSource, Element, Inductor, NonlinearInductor, Resistor, VoltageSource,
 };
-pub use transient::{TransientAnalysis, TransientResult, TransientStats};
+pub use transient::{StepControl, TransientAnalysis, TransientResult, TransientStats};
 
 use crate::error::SolverError;
 

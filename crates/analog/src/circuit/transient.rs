@@ -1,14 +1,53 @@
-//! Fixed-step transient analysis with per-step Newton iteration.
+//! Transient analysis with per-step Newton iteration and a pluggable step
+//! controller.
+//!
+//! Two controllers are available through [`StepControl`]:
+//!
+//! * [`StepControl::Fixed`] — march `ceil(t_end / dt)` equal steps.  Time
+//!   points are derived from the step *index* (`t_k = k·dt`, last step
+//!   clamped to `t_end`), never from `t += dt` float accumulation, so the
+//!   final time is exactly `t_end` and long runs do not drift.
+//! * [`StepControl::Adaptive`] — a variable-step controller reusing
+//!   [`AdaptiveOptions`] from the ODE layer.  Each step is accepted or
+//!   rejected on a backward-Euler local-truncation-error estimate (half the
+//!   tolerance-weighted per-step solution change), and the Newton iteration
+//!   count feeds back into the step-size choice: a step that fails to
+//!   converge or converges only near the iteration limit is barred from
+//!   growing.  A guard recognises h-independent residuals (the quantised
+//!   magnetisation updates of the timeless JA core produce companion
+//!   voltages that *grow* as the step shrinks) and climbs out of them
+//!   instead of refining into a noise floor; `min_step` acts as the
+//!   resolution floor of the run, not a failure threshold.  This is the
+//!   solver behaviour the paper's analogue-simulator experiments rely on:
+//!   large steps through the flat, saturated stretches of the B–H loop,
+//!   small steps around the knees and turning points where the magnetising
+//!   current spikes.
 
 use crate::circuit::elements::{CommitContext, StampContext};
 use crate::circuit::{Circuit, Node};
 use crate::error::SolverError;
 use crate::linalg::Matrix;
+use crate::ode::adaptive::AdaptiveOptions;
+
+/// How [`TransientAnalysis`] chooses its time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StepControl {
+    /// Equal steps of [`TransientAnalysis::dt`], with index-based time
+    /// arithmetic (the final time point is exactly `t_end`).
+    #[default]
+    Fixed,
+    /// Variable steps controlled by a local-truncation-error estimate and
+    /// Newton-iteration-count feedback.  `initial_step` seeds the first
+    /// step; `min_step`/`max_step` bound the controller; `rel_tol`/
+    /// `abs_tol` weight the per-unknown error estimate.
+    Adaptive(AdaptiveOptions),
+}
 
 /// Configuration of a transient run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientAnalysis {
-    /// Time-step size in seconds.
+    /// Time-step size in seconds (fixed control), or ignored in favour of
+    /// the controller's `initial_step` under adaptive control.
     pub dt: f64,
     /// End time in seconds (the run starts at `t = 0`).
     pub t_end: f64,
@@ -17,11 +56,13 @@ pub struct TransientAnalysis {
     /// Convergence tolerance on the solution update (per unknown, relative
     /// to `1 + |x|`).
     pub tolerance: f64,
+    /// The step controller.
+    pub control: StepControl,
 }
 
 impl TransientAnalysis {
-    /// Creates a transient analysis from a step size and an end time, with
-    /// default Newton settings (50 iterations, 1e-9 tolerance).
+    /// Creates a fixed-step transient analysis from a step size and an end
+    /// time, with default Newton settings (50 iterations, 1e-9 tolerance).
     ///
     /// # Errors
     ///
@@ -45,7 +86,39 @@ impl TransientAnalysis {
             t_end,
             max_newton_iterations: 50,
             tolerance: 1e-9,
+            control: StepControl::Fixed,
         })
+    }
+
+    /// Creates an adaptive transient analysis from step-control options and
+    /// an end time, with default Newton settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidStep`] for invalid options
+    /// (`initial_step`/`min_step` not finite and positive,
+    /// `max_step < min_step`) or a non-finite/non-positive `t_end`.
+    pub fn adaptive(options: AdaptiveOptions, t_end: f64) -> Result<Self, SolverError> {
+        options.validate()?;
+        if !t_end.is_finite() || t_end <= 0.0 {
+            return Err(SolverError::InvalidStep {
+                name: "t_end",
+                value: t_end,
+            });
+        }
+        Ok(Self {
+            dt: options.initial_step,
+            t_end,
+            max_newton_iterations: 50,
+            tolerance: 1e-9,
+            control: StepControl::Adaptive(options),
+        })
+    }
+
+    /// Overrides the step controller.
+    pub fn with_step_control(mut self, control: StepControl) -> Self {
+        self.control = control;
+        self
     }
 
     /// Overrides the Newton iteration limit.
@@ -69,16 +142,338 @@ impl TransientAnalysis {
     /// Returns [`SolverError::InvalidCircuit`] for an empty circuit,
     /// [`SolverError::SingularMatrix`] when the MNA matrix cannot be
     /// factorised (floating node, inconsistent sources) and propagates any
-    /// other solver error.
+    /// other solver error.  The adaptive controller itself cannot fail: at
+    /// `min_step` it accepts the best available step (counting Newton
+    /// non-convergence in the statistics) instead of erroring.
     pub fn run(&self, circuit: &mut Circuit) -> Result<TransientResult, SolverError> {
+        let layout = SystemLayout::of(circuit)?;
+        match self.control {
+            StepControl::Fixed => self.run_fixed(circuit, &layout),
+            StepControl::Adaptive(options) => self.run_adaptive(circuit, &layout, options),
+        }
+    }
+
+    fn run_fixed(
+        &self,
+        circuit: &mut Circuit,
+        layout: &SystemLayout,
+    ) -> Result<TransientResult, SolverError> {
+        let steps = fixed_step_count(self.dt, self.t_end);
+        let mut workspace = Workspace::new(layout.n_unknowns);
+        let mut stats = TransientStats::default();
+        let mut x_prev = vec![0.0; layout.n_unknowns];
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut solutions = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        solutions.push(x_prev.clone());
+
+        // Per-step index arithmetic: t_k = k·dt with the final index pinned
+        // to t_end, so no float accumulation can drift the grid and the run
+        // always ends exactly at t_end.
+        let mut t = 0.0;
+        for k in 0..steps {
+            let t_next = if k + 1 == steps {
+                self.t_end
+            } else {
+                (k + 1) as f64 * self.dt
+            };
+            let h = t_next - t;
+            let solve = self.newton_solve(
+                circuit,
+                layout,
+                &mut workspace,
+                &x_prev,
+                x_prev.clone(),
+                t_next,
+                h,
+                &mut stats,
+            )?;
+            if !solve.converged {
+                stats.non_converged_steps += 1;
+            }
+            commit_elements(circuit, layout, &solve.x, t_next, h);
+            stats.accepted_steps += 1;
+            x_prev = solve.x;
+            t = t_next;
+            times.push(t);
+            solutions.push(x_prev.clone());
+        }
+
+        Ok(TransientResult {
+            times,
+            solutions,
+            node_count: layout.node_count,
+            branch_offsets: layout.branch_offsets.clone(),
+            stats,
+            max_lte_estimate: None,
+        })
+    }
+
+    fn run_adaptive(
+        &self,
+        circuit: &mut Circuit,
+        layout: &SystemLayout,
+        options: AdaptiveOptions,
+    ) -> Result<TransientResult, SolverError> {
+        // `TransientAnalysis::adaptive` validates on construction, but the
+        // controller can also be injected through `with_step_control`.
+        options.validate()?;
+
+        let mut workspace = Workspace::new(layout.n_unknowns);
+        let mut stats = TransientStats::default();
+        let mut x_prev = vec![0.0; layout.n_unknowns];
+        let mut times = vec![0.0];
+        let mut solutions = vec![x_prev.clone()];
+        let mut max_lte: f64 = 0.0;
+
+        let mut t = 0.0;
+        let mut h = options.initial_step.min(options.max_step).min(self.t_end);
+        let mut first_step = true;
+        // Error norm and step size of the previous rejected attempt at the
+        // *same* time point.  Truncation error shrinks at least linearly
+        // with h; when a ≥2x shrink fails to reduce the estimate, the
+        // residual is a model discontinuity (e.g. the quantised
+        // magnetisation updates of the timeless JA core, whose companion
+        // voltage N·A·ΔB/h *grows* as h shrinks), and the controller
+        // accepts instead of chasing an unreachable tolerance downward.
+        // Such noise shrinks *relative to the real per-step change* as h
+        // grows, so the accept also restores the pre-shrink step and climbs
+        // from there — otherwise every reject-then-accept pair would net a
+        // shrink and pin h at the noise floor.
+        let mut last_rejected: Option<(f64, f64)> = None;
+
+        while t < self.t_end {
+            // A working step below the ulp of t cannot advance the grid
+            // (t + h == t in f64): floor it there, whatever min_step says,
+            // so a zero-length "accepted" step can never stall the loop or
+            // break the strictly-increasing-times invariant.
+            let ulp = (2.0 * t.abs() * f64::EPSILON).max(f64::MIN_POSITIVE);
+            h = h.max(ulp);
+            // Land exactly on t_end instead of overshooting or creeping up
+            // to it through float residue.  The final sliver may legally be
+            // shorter than min_step.
+            let (t_next, h_step) = if self.t_end - t <= h {
+                (self.t_end, self.t_end - t)
+            } else {
+                (t + h, h)
+            };
+
+            let solve = self.newton_solve(
+                circuit,
+                layout,
+                &mut workspace,
+                &x_prev,
+                x_prev.clone(),
+                t_next,
+                h_step,
+                &mut stats,
+            )?;
+
+            // Backward-Euler LTE estimate: the local error is −h²/2·x″ +
+            // O(h³); half the per-step solution change (h·x′ to first
+            // order) bounds it conservatively wherever the solution varies,
+            // which is exactly where the estimate must bite.  `error_norm`
+            // weighs the estimate against the controller tolerances;
+            // `step_lte` is the tolerance-independent record kept for
+            // diagnostics and the tolerance-halving property test.
+            let mut error_norm: f64 = 0.0;
+            let mut step_lte: f64 = 0.0;
+            for (new, old) in solve.x.iter().zip(&x_prev) {
+                let lte = 0.5 * (new - old).abs();
+                let magnitude = new.abs().max(old.abs());
+                let scale = options.abs_tol + options.rel_tol * magnitude;
+                error_norm = error_norm.max(lte / scale);
+                step_lte = step_lte.max(lte / (1.0 + magnitude));
+            }
+
+            // Acceptance.  Three ways past the plain `error_norm <= 1`
+            // test, each of which keeps the controller out of a regime
+            // where refinement cannot succeed:
+            //
+            // * the very first step — at t = 0 the algebraic unknowns jump
+            //   from the all-zero initial guess to the operating point the
+            //   sources impose, and that jump is not a truncation error
+            //   (keep `initial_step` small);
+            // * a "noise" step — shrinking did not reduce the estimate
+            //   (see `last_rejected` above);
+            // * the floor — a step already at `min_step` is taken rather
+            //   than refined further; `min_step` is the resolution floor
+            //   of the run, not a failure threshold.
+            //
+            // Newton non-convergence is NOT a rejection: shrinking the step
+            // raises the companion gain N·A/h of a quantised core and makes
+            // the corrector *less* likely to converge, so the best iterate
+            // is accepted and counted (exactly what fixed stepping has
+            // always done), while the LTE test above polices its quality —
+            // a limit-cycling garbage iterate shows up as a large solution
+            // change and is rejected on error, not on iteration count.
+            let noise_accept =
+                last_rejected.is_some_and(|(previous, _)| error_norm >= 0.9 * previous);
+            let floor_accept = h_step <= options.min_step;
+            if first_step || noise_accept || floor_accept || error_norm <= 1.0 {
+                // The LTE record tracks truncation error only: start-up
+                // jumps and discontinuity-noise accepts are excluded.
+                if !first_step && error_norm <= 1.0 {
+                    max_lte = max_lte.max(step_lte);
+                }
+                if !solve.converged {
+                    stats.non_converged_steps += 1;
+                }
+                commit_elements(circuit, layout, &solve.x, t_next, h_step);
+                stats.accepted_steps += 1;
+                let rejected_h = last_rejected.map(|(_, h)| h);
+                last_rejected = None;
+                x_prev = solve.x;
+                t = t_next;
+                times.push(t);
+                solutions.push(x_prev.clone());
+
+                h = if noise_accept {
+                    // h-independent residual: climb from the step size the
+                    // rejection started at, not from the shrunken retry.
+                    rejected_h.unwrap_or(h_step).max(h_step) * 1.2
+                } else {
+                    // First-order controller: the estimate scales
+                    // ~linearly with h, so the optimal next step is
+                    // h/error_norm with a safety factor; growth is capped
+                    // at 2x per step.  Newton-iteration-count feedback: a
+                    // corrector that did not converge, or needed more than
+                    // half its iteration budget, bars growth.
+                    let mut factor = if error_norm > 0.0 {
+                        (0.8 / error_norm).min(2.0)
+                    } else {
+                        2.0
+                    };
+                    if !solve.converged || 2 * solve.iterations > self.max_newton_iterations {
+                        factor = factor.min(1.0);
+                    }
+                    h_step * factor.max(0.25)
+                }
+                .clamp(options.min_step, options.max_step);
+                first_step = false;
+            } else {
+                stats.rejected_steps += 1;
+                last_rejected = Some((error_norm, h_step));
+                // The shrink is floored at 4x: one noisy estimate must not
+                // dive the step so deep that the controller spends many
+                // noise-accepts climbing back out.
+                h = (h_step * (0.8 / error_norm).clamp(0.25, 0.5)).max(options.min_step);
+            }
+        }
+
+        Ok(TransientResult {
+            times,
+            solutions,
+            node_count: layout.node_count,
+            branch_offsets: layout.branch_offsets.clone(),
+            stats,
+            max_lte_estimate: Some(max_lte),
+        })
+    }
+
+    /// One backward-Euler step: assembles and solves the Newton iteration
+    /// for the system at `t_next` with step `h`, starting from `x_start`.
+    /// Does not mutate element state — rejection is free.
+    #[allow(clippy::too_many_arguments)]
+    fn newton_solve(
+        &self,
+        circuit: &Circuit,
+        layout: &SystemLayout,
+        workspace: &mut Workspace,
+        x_prev: &[f64],
+        x_start: Vec<f64>,
+        t_next: f64,
+        h: f64,
+        stats: &mut TransientStats,
+    ) -> Result<NewtonSolve, SolverError> {
+        let mut x_guess = x_start;
+        for iteration in 0..self.max_newton_iterations {
+            workspace.matrix.clear();
+            workspace.rhs.iter_mut().for_each(|v| *v = 0.0);
+            for (element, &offset) in circuit.elements().iter().zip(&layout.branch_offsets) {
+                let mut ctx = StampContext {
+                    matrix: &mut workspace.matrix,
+                    rhs: &mut workspace.rhs,
+                    x_guess: &x_guess,
+                    x_prev,
+                    node_count: layout.node_count,
+                    branch_offset: offset,
+                    time: t_next,
+                    dt: h,
+                };
+                element.stamp(&mut ctx);
+            }
+            let x_new = workspace.matrix.solve(&workspace.rhs)?;
+            stats.lu_solves += 1;
+            stats.newton_iterations += 1;
+
+            let mut max_delta: f64 = 0.0;
+            for (new, old) in x_new.iter().zip(&x_guess) {
+                let scale = 1.0 + new.abs().max(old.abs());
+                max_delta = max_delta.max((new - old).abs() / scale);
+            }
+            x_guess = x_new;
+            if max_delta <= self.tolerance && iteration > 0 {
+                return Ok(NewtonSolve {
+                    x: x_guess,
+                    converged: true,
+                    iterations: iteration + 1,
+                });
+            }
+            // A purely linear circuit converges after the first solve;
+            // detect that cheaply by checking the delta directly.
+            if max_delta <= self.tolerance * 1e-3 {
+                return Ok(NewtonSolve {
+                    x: x_guess,
+                    converged: true,
+                    iterations: iteration + 1,
+                });
+            }
+        }
+        Ok(NewtonSolve {
+            x: x_guess,
+            converged: false,
+            iterations: self.max_newton_iterations,
+        })
+    }
+}
+
+/// Number of fixed steps covering `[0, t_end]` in strides of `dt`: the
+/// smallest count whose penultimate time index stays strictly below
+/// `t_end`, guarding against `ceil` rounding an exact ratio up and
+/// producing a zero-length (or negative) final step.
+fn fixed_step_count(dt: f64, t_end: f64) -> usize {
+    let steps = ((t_end / dt).ceil() as usize).max(1);
+    if steps > 1 && (steps - 1) as f64 * dt >= t_end {
+        steps - 1
+    } else {
+        steps
+    }
+}
+
+/// Outcome of one Newton solve.
+struct NewtonSolve {
+    x: Vec<f64>,
+    converged: bool,
+    iterations: usize,
+}
+
+/// Unknown-vector layout of a circuit: node voltages first, then one slot
+/// per element branch current.
+struct SystemLayout {
+    node_count: usize,
+    branch_offsets: Vec<usize>,
+    n_unknowns: usize,
+}
+
+impl SystemLayout {
+    fn of(circuit: &Circuit) -> Result<Self, SolverError> {
         let node_count = circuit.node_count();
         if circuit.element_count() == 0 {
             return Err(SolverError::InvalidCircuit {
                 reason: "circuit has no elements".into(),
             });
         }
-
-        // Assign branch offsets.
         let mut branch_offsets = Vec::with_capacity(circuit.element_count());
         let mut total_branches = 0usize;
         for element in circuit.elements() {
@@ -91,92 +486,43 @@ impl TransientAnalysis {
                 reason: "circuit has no unknowns (only ground)".into(),
             });
         }
-
-        let steps = (self.t_end / self.dt).ceil() as usize;
-        let mut x_prev = vec![0.0; n_unknowns];
-        let mut matrix = Matrix::zeros(n_unknowns, n_unknowns);
-        let mut rhs = vec![0.0; n_unknowns];
-
-        let mut times = Vec::with_capacity(steps + 1);
-        let mut solutions = Vec::with_capacity(steps + 1);
-        times.push(0.0);
-        solutions.push(x_prev.clone());
-
-        let mut stats = TransientStats::default();
-        let mut t = 0.0;
-
-        for _ in 0..steps {
-            let h = self.dt.min(self.t_end - t);
-            let t_next = t + h;
-            let mut x_guess = x_prev.clone();
-            let mut converged = false;
-
-            for iteration in 0..self.max_newton_iterations {
-                matrix.clear();
-                rhs.iter_mut().for_each(|v| *v = 0.0);
-                for (element, &offset) in circuit.elements().iter().zip(&branch_offsets) {
-                    let mut ctx = StampContext {
-                        matrix: &mut matrix,
-                        rhs: &mut rhs,
-                        x_guess: &x_guess,
-                        x_prev: &x_prev,
-                        node_count,
-                        branch_offset: offset,
-                        time: t_next,
-                        dt: h,
-                    };
-                    element.stamp(&mut ctx);
-                }
-                let x_new = matrix.solve(&rhs)?;
-                stats.lu_solves += 1;
-                stats.newton_iterations += 1;
-
-                let mut max_delta: f64 = 0.0;
-                for (new, old) in x_new.iter().zip(&x_guess) {
-                    let scale = 1.0 + new.abs().max(old.abs());
-                    max_delta = max_delta.max((new - old).abs() / scale);
-                }
-                x_guess = x_new;
-                if max_delta <= self.tolerance && iteration > 0 {
-                    converged = true;
-                    break;
-                }
-                // A purely linear circuit converges after the first solve;
-                // detect that cheaply by checking the delta directly.
-                if max_delta <= self.tolerance * 1e-3 {
-                    converged = true;
-                    break;
-                }
-            }
-            if !converged {
-                stats.non_converged_steps += 1;
-            }
-
-            // Commit element states.
-            for (element, &offset) in circuit.elements_mut().iter_mut().zip(&branch_offsets) {
-                let ctx = CommitContext {
-                    x: &x_guess,
-                    node_count,
-                    branch_offset: offset,
-                    time: t_next,
-                    dt: h,
-                };
-                element.commit(&ctx);
-            }
-
-            x_prev = x_guess;
-            t = t_next;
-            times.push(t);
-            solutions.push(x_prev.clone());
-        }
-
-        Ok(TransientResult {
-            times,
-            solutions,
+        Ok(Self {
             node_count,
             branch_offsets,
-            stats,
+            n_unknowns,
         })
+    }
+}
+
+/// Reused per-run assembly scratch.
+struct Workspace {
+    matrix: Matrix,
+    rhs: Vec<f64>,
+}
+
+impl Workspace {
+    fn new(n: usize) -> Self {
+        Self {
+            matrix: Matrix::zeros(n, n),
+            rhs: vec![0.0; n],
+        }
+    }
+}
+
+fn commit_elements(circuit: &mut Circuit, layout: &SystemLayout, x: &[f64], t_next: f64, h: f64) {
+    for (element, &offset) in circuit
+        .elements_mut()
+        .iter_mut()
+        .zip(&layout.branch_offsets)
+    {
+        let ctx = CommitContext {
+            x,
+            node_count: layout.node_count,
+            branch_offset: offset,
+            time: t_next,
+            dt: h,
+        };
+        element.commit(&ctx);
     }
 }
 
@@ -184,12 +530,23 @@ impl TransientAnalysis {
 /// baseline-comparison experiments report.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TransientStats {
-    /// Total Newton iterations over all steps.
+    /// Total Newton iterations over all steps (including rejected steps).
     pub newton_iterations: usize,
     /// Total LU factorisations + solves.
     pub lu_solves: usize,
     /// Steps that hit the Newton iteration limit without converging.
+    /// Both controllers accept such steps with the best iterate and count
+    /// them here (shrinking the step raises a quantised core's companion
+    /// gain and makes the corrector *less* likely to converge, so there is
+    /// no convergence-driven retry); under adaptive stepping the LTE test
+    /// still polices the iterate's quality, and non-convergence bars the
+    /// next step from growing.
     pub non_converged_steps: usize,
+    /// Steps accepted into the result trace.
+    pub accepted_steps: usize,
+    /// Steps rejected (and retried smaller) by the adaptive controller —
+    /// always zero under fixed stepping.
+    pub rejected_steps: usize,
 }
 
 /// Result of a transient run.
@@ -200,10 +557,11 @@ pub struct TransientResult {
     node_count: usize,
     branch_offsets: Vec<usize>,
     stats: TransientStats,
+    max_lte_estimate: Option<f64>,
 }
 
 impl TransientResult {
-    /// The time points (starting at 0).
+    /// The time points (starting at 0; the last one is exactly `t_end`).
     pub fn times(&self) -> &[f64] {
         &self.times
     }
@@ -222,6 +580,19 @@ impl TransientResult {
     /// Solver statistics.
     pub fn stats(&self) -> TransientStats {
         self.stats
+    }
+
+    /// Largest local-truncation-error estimate over the accepted steps
+    /// that passed the LTE test (normalised per unknown by `1 + |x|`,
+    /// independent of the controller tolerances).  `None` for fixed-step
+    /// runs, which do not estimate the LTE.  Excluded from the record:
+    /// the start-up step (its "error" is the t = 0 source turn-on, not
+    /// truncation) and noise-/floor-accepted steps, whose residual is a
+    /// model discontinuity rather than truncation error — so this value
+    /// tracks how tightly the controller met its tolerance where meeting
+    /// it was possible, not a global error bound.
+    pub fn max_lte_estimate(&self) -> Option<f64> {
+        self.max_lte_estimate
     }
 
     /// Voltage series of a node.
@@ -275,6 +646,7 @@ mod tests {
     };
     use magnetics::constants::MU0;
     use waveform::generator::Constant;
+    use waveform::sine::Sine;
 
     #[test]
     fn analysis_validation() {
@@ -282,6 +654,32 @@ mod tests {
         assert!(TransientAnalysis::new(1e-3, 0.0).is_err());
         assert!(TransientAnalysis::new(2.0, 1.0).is_err());
         assert!(TransientAnalysis::new(1e-3, 1.0).is_ok());
+        assert!(TransientAnalysis::adaptive(
+            AdaptiveOptions {
+                initial_step: 0.0,
+                ..AdaptiveOptions::default()
+            },
+            1.0
+        )
+        .is_err());
+        assert!(TransientAnalysis::adaptive(
+            AdaptiveOptions {
+                max_step: 1e-16,
+                ..AdaptiveOptions::default()
+            },
+            1.0
+        )
+        .is_err());
+        assert!(TransientAnalysis::adaptive(
+            AdaptiveOptions {
+                abs_tol: 0.0,
+                ..AdaptiveOptions::default()
+            },
+            1.0
+        )
+        .is_err());
+        assert!(TransientAnalysis::adaptive(AdaptiveOptions::default(), 0.0).is_err());
+        assert!(TransientAnalysis::adaptive(AdaptiveOptions::default(), 1e-3).is_ok());
     }
 
     #[test]
@@ -291,8 +689,7 @@ mod tests {
         assert!(analysis.run(&mut c).is_err());
     }
 
-    #[test]
-    fn resistive_divider() {
+    fn divider() -> (Circuit, Node) {
         let mut c = Circuit::new();
         let vin = c.node();
         let vout = c.node();
@@ -302,6 +699,12 @@ mod tests {
             .unwrap();
         c.add("R2", Resistor::new(vout, Node::GROUND, 1000.0).unwrap())
             .unwrap();
+        (c, vout)
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let (mut c, vout) = divider();
         let result = TransientAnalysis::new(1e-4, 1e-3)
             .unwrap()
             .run(&mut c)
@@ -312,6 +715,49 @@ mod tests {
         assert!(result.voltage(Node(9)).is_err());
         assert!(!result.is_empty());
         assert!(result.stats().non_converged_steps == 0);
+        assert_eq!(result.stats().accepted_steps, result.len() - 1);
+        assert_eq!(result.stats().rejected_steps, 0);
+        assert_eq!(result.max_lte_estimate(), None);
+    }
+
+    #[test]
+    fn fixed_final_time_is_exact_even_when_dt_does_not_divide_t_end() {
+        // 0.1 is not representable in binary: 10 accumulated additions end
+        // at 0.9999999999999999, and 7 steps of 0.3 overshoot 2.0.  The
+        // index-based grid must end exactly at t_end in both cases.
+        for (dt, t_end) in [
+            (0.1, 1.0),
+            (0.3, 2.0),
+            (1e-5, 1e-3),
+            (2e-6, 2e-3),
+            (7e-7, 1.3e-3),
+        ] {
+            let (mut c, _) = divider();
+            let result = TransientAnalysis::new(dt, t_end)
+                .unwrap()
+                .run(&mut c)
+                .unwrap();
+            assert_eq!(
+                *result.times().last().unwrap(),
+                t_end,
+                "dt = {dt}, t_end = {t_end}"
+            );
+            // And the time grid is strictly increasing: no zero-length or
+            // negative final step from ceil() rounding.
+            for pair in result.times().windows(2) {
+                assert!(pair[1] > pair[0], "dt = {dt}: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_step_count_handles_ratio_rounding() {
+        assert_eq!(fixed_step_count(0.1, 1.0), 10);
+        assert_eq!(fixed_step_count(0.3, 2.0), 7);
+        assert_eq!(fixed_step_count(1.0, 1.0), 1);
+        assert_eq!(fixed_step_count(1e-5, 1e-3), 100);
+        // 0.06 / 5e-5 = 1200 exactly in f64.
+        assert_eq!(fixed_step_count(5e-5, 0.06), 1200);
     }
 
     #[test]
@@ -336,6 +782,103 @@ mod tests {
         // After 1 tau it should be ~63%.
         let idx_tau = (1e-3 / 1e-5) as usize;
         assert!((v[idx_tau] - 0.632).abs() < 0.02, "v(tau) = {}", v[idx_tau]);
+    }
+
+    #[test]
+    fn adaptive_rc_matches_the_analytic_curve_with_fewer_steps() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node();
+            let vc = c.node();
+            c.add("V1", VoltageSource::new(vin, Node::GROUND, Constant(1.0)))
+                .unwrap();
+            c.add("R1", Resistor::new(vin, vc, 1000.0).unwrap())
+                .unwrap();
+            c.add("C1", Capacitor::new(vc, Node::GROUND, 1e-6).unwrap())
+                .unwrap();
+            (c, vc)
+        };
+
+        let options = AdaptiveOptions {
+            rel_tol: 8e-3,
+            abs_tol: 1e-3,
+            initial_step: 1e-7,
+            min_step: 1e-12,
+            max_step: 1e-3,
+        };
+        let (mut c, vc) = build();
+        let adaptive = TransientAnalysis::adaptive(options, 5e-3)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
+        let (mut c_fixed, _) = build();
+        let fixed = TransientAnalysis::new(1e-5, 5e-3)
+            .unwrap()
+            .run(&mut c_fixed)
+            .unwrap();
+
+        // The adaptive grid ends exactly at t_end too.
+        assert_eq!(*adaptive.times().last().unwrap(), 5e-3);
+        // Accuracy against the analytic RC charging curve at every accepted
+        // time point.
+        let v = adaptive.voltage(vc).unwrap();
+        let worst = adaptive
+            .times()
+            .iter()
+            .zip(&v)
+            .map(|(&t, &v)| (v - (1.0 - (-t / 1e-3_f64).exp())).abs())
+            .fold(0.0_f64, f64::max);
+        // The 500-step fixed run's backward-Euler global error on this
+        // circuit is ~5e-3; the adaptive run must be no worse.
+        assert!(worst < 8e-3, "worst analytic error {worst}");
+        // Fewer accepted steps than the 500-step fixed run; growth toward
+        // max_step in the settled tail is the win.
+        assert!(
+            adaptive.stats().accepted_steps < fixed.stats().accepted_steps / 2,
+            "adaptive {} vs fixed {}",
+            adaptive.stats().accepted_steps,
+            fixed.stats().accepted_steps
+        );
+        assert!(adaptive.max_lte_estimate().unwrap() > 0.0);
+        assert_eq!(adaptive.stats().non_converged_steps, 0);
+    }
+
+    #[test]
+    fn adaptive_concentrates_steps_where_the_solution_moves() {
+        // A sine-driven RC: steps should bunch around the fast slews and
+        // stretch near the crests.  Compare the shortest and longest
+        // accepted step after the start-up phase.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vc = c.node();
+        c.add(
+            "V1",
+            VoltageSource::new(vin, Node::GROUND, Sine::new(1.0, 50.0).unwrap()),
+        )
+        .unwrap();
+        c.add("R1", Resistor::new(vin, vc, 1000.0).unwrap())
+            .unwrap();
+        c.add("C1", Capacitor::new(vc, Node::GROUND, 1e-6).unwrap())
+            .unwrap();
+        let options = AdaptiveOptions {
+            rel_tol: 1e-3,
+            abs_tol: 1e-6,
+            initial_step: 1e-6,
+            min_step: 1e-12,
+            max_step: 2e-3,
+        };
+        let result = TransientAnalysis::adaptive(options, 0.04)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
+        let steps: Vec<f64> = result.times().windows(2).map(|w| w[1] - w[0]).collect();
+        let tail = &steps[steps.len() / 4..];
+        let min = tail.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = tail.iter().copied().fold(0.0_f64, f64::max);
+        assert!(
+            max / min > 3.0,
+            "steps should vary with the waveform: min {min}, max {max}"
+        );
     }
 
     #[test]
@@ -419,15 +962,8 @@ mod tests {
 
     #[test]
     fn singular_circuit_reported() {
-        // A floating node: capacitor chain with no DC path is fine for BE,
-        // so instead build two voltage sources in parallel with different
-        // values -> inconsistent, still solvable (they fight through branch
-        // currents) ... use a node connected to nothing but a current
-        // source? Simplest singular case: node with no element connection is
-        // impossible through the API, so use two ideal voltage sources in
-        // series loop with no resistance, which yields a singular MNA matrix
-        // only when shorted; instead verify that a lone capacitor with both
-        // terminals on the same node is rejected as singular.
+        // A node allocated but never connected leaves a zero row/column in
+        // the MNA matrix — the factorisation must report it.
         let mut c = Circuit::new();
         let n1 = c.node();
         let _n_floating = c.node(); // allocated but never connected

@@ -36,6 +36,45 @@ impl Default for AdaptiveOptions {
     }
 }
 
+impl AdaptiveOptions {
+    /// Validates the options, naming the offending field — the one rule
+    /// set shared by every adaptive consumer ([`Rkf45`] and the circuit
+    /// transient engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidStep`] naming the first invalid
+    /// field: `initial_step`/`min_step`/`abs_tol` must be finite and
+    /// positive, `max_step >= min_step`, `rel_tol` finite and
+    /// non-negative.
+    pub fn validate(&self) -> Result<(), SolverError> {
+        fn positive(value: f64) -> bool {
+            value.is_finite() && value > 0.0
+        }
+        let checks: [(&'static str, f64, bool); 5] = [
+            (
+                "initial_step",
+                self.initial_step,
+                positive(self.initial_step),
+            ),
+            ("min_step", self.min_step, positive(self.min_step)),
+            ("max_step", self.max_step, self.max_step >= self.min_step),
+            ("abs_tol", self.abs_tol, positive(self.abs_tol)),
+            (
+                "rel_tol",
+                self.rel_tol,
+                self.rel_tol.is_finite() && self.rel_tol >= 0.0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(SolverError::InvalidStep { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Result of an adaptive run: the trajectory plus step-control statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveResult {
@@ -119,12 +158,7 @@ impl Rkf45 {
             });
         }
         let opts = &self.options;
-        if !(opts.initial_step > 0.0 && opts.min_step > 0.0 && opts.max_step >= opts.min_step) {
-            return Err(SolverError::InvalidStep {
-                name: "initial_step/min_step/max_step",
-                value: opts.initial_step,
-            });
-        }
+        opts.validate()?;
         if t_end < t0 || !t0.is_finite() || !t_end.is_finite() {
             return Err(SolverError::InvalidStep {
                 name: "t_end",

@@ -1,0 +1,83 @@
+//! Property tests of the adaptive transient step controller.
+//!
+//! The controller accepts a step only when its local-truncation-error
+//! estimate fits inside the tolerance-weighted scale, so tightening the
+//! tolerances must tighten the realised error: halving `rel_tol` and
+//! `abs_tol` must never increase the largest recorded LTE estimate, and
+//! must never make the controller take fewer accepted steps.
+
+use analog_solver::circuit::elements::{Capacitor, Resistor, VoltageSource};
+use analog_solver::circuit::{Circuit, Node, TransientAnalysis, TransientResult};
+use analog_solver::ode::adaptive::AdaptiveOptions;
+use proptest::prelude::*;
+
+/// One RC charging circuit: `volts` into `r_kohm`·1kΩ and `c_uf`·1µF.
+fn run_rc(volts: f64, r_kohm: f64, c_uf: f64, options: AdaptiveOptions) -> TransientResult {
+    let mut circuit = Circuit::new();
+    let vin = circuit.node();
+    let vc = circuit.node();
+    circuit
+        .add(
+            "V1",
+            VoltageSource::new(vin, Node::GROUND, waveform::generator::Constant(volts)),
+        )
+        .expect("source");
+    circuit
+        .add("R1", Resistor::new(vin, vc, r_kohm * 1e3).expect("R"))
+        .expect("resistor");
+    circuit
+        .add(
+            "C1",
+            Capacitor::new(vc, Node::GROUND, c_uf * 1e-6).expect("C"),
+        )
+        .expect("capacitor");
+    // Five time constants: the run covers both the fast charge and the
+    // settled tail where the controller stretches toward max_step.
+    let t_end = 5.0 * r_kohm * 1e3 * c_uf * 1e-6;
+    TransientAnalysis::adaptive(options, t_end)
+        .expect("analysis")
+        .run(&mut circuit)
+        .expect("transient run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn halving_the_tolerance_never_increases_the_lte(
+        volts in 0.5_f64..20.0,
+        r_kohm in 0.2_f64..5.0,
+        c_uf in 0.2_f64..5.0,
+        rel_tol in 1e-3_f64..2e-2,
+    ) {
+        let base = AdaptiveOptions {
+            rel_tol,
+            abs_tol: rel_tol * 0.1,
+            initial_step: 1e-7,
+            min_step: 1e-13,
+            max_step: 1e-3,
+        };
+        let halved = AdaptiveOptions {
+            rel_tol: base.rel_tol * 0.5,
+            abs_tol: base.abs_tol * 0.5,
+            ..base
+        };
+        let loose = run_rc(volts, r_kohm, c_uf, base);
+        let tight = run_rc(volts, r_kohm, c_uf, halved);
+
+        let lte_loose = loose.max_lte_estimate().expect("adaptive run records LTE");
+        let lte_tight = tight.max_lte_estimate().expect("adaptive run records LTE");
+        prop_assert!(
+            lte_tight <= lte_loose,
+            "halving the tolerance increased the LTE: {lte_tight} > {lte_loose}"
+        );
+        prop_assert!(
+            tight.stats().accepted_steps >= loose.stats().accepted_steps,
+            "halving the tolerance reduced the step count: {} < {}",
+            tight.stats().accepted_steps,
+            loose.stats().accepted_steps
+        );
+        // Both runs land exactly on t_end.
+        prop_assert_eq!(loose.times().last(), tight.times().last());
+    }
+}

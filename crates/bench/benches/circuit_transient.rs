@@ -1,0 +1,86 @@
+//! Circuit-driven transient: the JA core inside the MNA solver, fixed-step
+//! versus adaptive step control.
+//!
+//! Reproduces the paper's "model inside an analogue solver" setting as a
+//! scenario workload: the magnetising-inrush circuit (sine source → 1 Ω →
+//! 200-turn winding on the paper's core) is solved by the transient engine
+//! and the solver-chosen field trajectory drives the direct timeless
+//! backend.  The experiment table reports the step/Newton economics — the
+//! adaptive controller must reach the fixed-step loop accuracy in fewer
+//! accepted steps (asserted by `hdl_models::scenario` tests; measured
+//! here).
+
+use criterion::{black_box, Criterion};
+use hdl_models::scenario::{BackendKind, CircuitExcitation, Excitation, Scenario, StepControl};
+use ja_hysteresis::config::JaConfig;
+use magnetics::material::JaParameters;
+
+fn scenario(control: StepControl) -> Scenario {
+    Scenario::new(
+        "circuit-inrush",
+        JaParameters::date2006(),
+        JaConfig::default(),
+        BackendKind::DirectTimeless,
+        Excitation::Circuit(CircuitExcitation::inrush().with_step_control(control)),
+    )
+}
+
+fn controls() -> [(&'static str, StepControl); 2] {
+    [
+        ("fixed_step", StepControl::Fixed),
+        (
+            "adaptive",
+            StepControl::Adaptive(CircuitExcitation::adaptive_defaults()),
+        ),
+    ]
+}
+
+fn print_experiment() {
+    println!("== circuit transient: inrush circuit, fixed vs adaptive step control ==");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "control", "accepted", "rejected", "newton", "nonconv", "peakB[T]", "time[ms]"
+    );
+    for (label, control) in controls() {
+        let outcome = scenario(control).run().expect("scenario");
+        let stats = outcome.transient.expect("circuit scenario stats");
+        let peak_b = outcome
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.b.as_tesla().abs())
+            .fold(0.0, f64::max);
+        println!(
+            "{label:<12} {:>9} {:>9} {:>9} {:>9} {:>10.4} {:>10.3}",
+            stats.accepted_steps,
+            stats.rejected_steps,
+            stats.newton_iterations,
+            stats.non_converged_steps,
+            peak_b,
+            outcome.runtime.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "\n(equal-accuracy step economy is asserted by the scenario tests; this\n\
+         bench tracks the wall-clock of both controllers)\n"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_transient");
+    group.sample_size(10);
+    for (label, control) in controls() {
+        let scenario = scenario(control);
+        group.bench_function(label, move |b| {
+            b.iter(|| black_box(scenario.run().expect("scenario")))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_experiment();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

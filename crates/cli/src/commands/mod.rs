@@ -6,3 +6,4 @@ pub mod compare;
 pub mod fit;
 pub mod inverse;
 pub mod sweep;
+pub mod transient;

@@ -2,7 +2,9 @@
 //! report envelopes and output writing.
 
 use hdl_models::report;
-use hdl_models::scenario::{BackendKind, Excitation, ScenarioOutcome};
+use hdl_models::scenario::{
+    BackendKind, CircuitExcitation, Excitation, ScenarioOutcome, SourceWaveform, StepControl,
+};
 use ja_hysteresis::json::JsonValue;
 use magnetics::material::JaParameters;
 
@@ -107,6 +109,132 @@ impl NamedExcitation {
                 .map_err(CliError::from)?,
         })
     }
+}
+
+/// Raw circuit-excitation parameters as they arrive from the command line
+/// or a grid-config line, before validation by the scenario layer.  Every
+/// parameter is optional; `None` falls back to the corresponding field of
+/// the [`CircuitExcitation::inrush`] preset, so the CLI defaults and the
+/// library preset can never diverge.
+#[derive(Default)]
+pub struct CircuitSpecArgs<'a> {
+    /// Source waveform kind: `sine` or `triangular`.
+    pub source: Option<&'a str>,
+    /// Source peak voltage (V).
+    pub amplitude: Option<f64>,
+    /// Source frequency (Hz).
+    pub frequency: Option<f64>,
+    /// Series resistance (Ω).
+    pub resistance: Option<f64>,
+    /// Winding turns.
+    pub turns: Option<f64>,
+    /// Core cross-section (m²).
+    pub area: Option<f64>,
+    /// Magnetic path length (m).
+    pub path: Option<f64>,
+    /// Transient end time (s).
+    pub t_end: Option<f64>,
+    /// Fixed-step size (s); under the adaptive controller it seeds the
+    /// initial step instead.
+    pub dt: Option<f64>,
+    /// Use the adaptive step controller instead of fixed `dt`.
+    pub adaptive: bool,
+    /// Adaptive relative-tolerance override.
+    pub rel_tol: Option<f64>,
+    /// Adaptive absolute-tolerance override.
+    pub abs_tol: Option<f64>,
+    /// Adaptive step-ceiling override.
+    pub max_step: Option<f64>,
+}
+
+/// Builds a named circuit excitation from raw parameters, defaulting every
+/// omitted field to the [`CircuitExcitation::inrush`] preset.  The name
+/// derives from every parameter (control included), so identical circuits
+/// always land under the same scenario key and reports stay diffable.
+///
+/// # Errors
+///
+/// Usage error for an unknown source kind, adaptive-only tuning knobs
+/// given without adaptive control (`adaptive_hint` names the surface's
+/// way of enabling it), or parameters the scenario layer rejects.
+pub fn circuit_excitation(
+    args: &CircuitSpecArgs<'_>,
+    adaptive_hint: &str,
+) -> Result<NamedExcitation, CliError> {
+    if !args.adaptive
+        && (args.rel_tol.is_some() || args.abs_tol.is_some() || args.max_step.is_some())
+    {
+        return Err(CliError::usage(format!(
+            "rel_tol/abs_tol/max_step tune the adaptive controller; {adaptive_hint}"
+        )));
+    }
+    let defaults = CircuitExcitation::inrush();
+    let amplitude = args
+        .amplitude
+        .unwrap_or_else(|| defaults.source.amplitude());
+    let frequency = args
+        .frequency
+        .unwrap_or_else(|| defaults.source.frequency());
+    let source = match args.source.unwrap_or_else(|| defaults.source.label()) {
+        "sine" => SourceWaveform::Sine {
+            amplitude,
+            frequency,
+        },
+        "triangular" => SourceWaveform::Triangular {
+            amplitude,
+            frequency,
+        },
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown source `{other}` (expected sine | triangular)"
+            )))
+        }
+    };
+    let resistance = args.resistance.unwrap_or(defaults.series_resistance);
+    let turns = args.turns.unwrap_or(defaults.turns);
+    let area = args.area.unwrap_or(defaults.area);
+    let path = args.path.unwrap_or(defaults.path_length);
+    let t_end = args.t_end.unwrap_or(defaults.t_end);
+    let dt = args.dt.unwrap_or(defaults.dt);
+    let mut spec = CircuitExcitation::new(source, resistance, turns, area, path, t_end, dt)
+        .map_err(|err| CliError::usage(err.to_string()))?;
+    let control_name = if args.adaptive {
+        let mut options = CircuitExcitation::adaptive_defaults();
+        if let Some(rel_tol) = args.rel_tol {
+            options.rel_tol = rel_tol;
+        }
+        if let Some(abs_tol) = args.abs_tol {
+            options.abs_tol = abs_tol;
+        }
+        if let Some(max_step) = args.max_step {
+            options.max_step = max_step;
+        }
+        // An explicit dt under adaptive control is not ignored: it seeds
+        // the controller's first step.
+        if let Some(dt) = args.dt {
+            options.initial_step = dt;
+        }
+        // Reject bad controller values here, as a usage error naming the
+        // field — not as a runtime solver failure from inside the batch.
+        options
+            .validate()
+            .map_err(|err| CliError::usage(err.to_string()))?;
+        spec = spec.with_step_control(StepControl::Adaptive(options));
+        format!(
+            "adaptive(rel={},abs={},max={},init={})",
+            options.rel_tol, options.abs_tol, options.max_step, options.initial_step
+        )
+    } else {
+        format!("fixed(dt={dt})")
+    };
+    Ok(NamedExcitation {
+        name: format!(
+            "circuit({}(amplitude={amplitude},frequency={frequency}),r={resistance},\
+             turns={turns},area={area},path={path},t_end={t_end},{control_name})",
+            source.label(),
+        ),
+        excitation: Excitation::Circuit(spec),
+    })
 }
 
 /// The scenario-key config-axis name for a `ΔH_max` value (`dh10`,

@@ -10,7 +10,12 @@
 //! excitation = major peak=10000 step=100 cycles=1  # triangular major loop
 //! excitation = fig1 step=50                        # paper's Fig. 1 stimulus
 //! excitation = biased bias=1000 amplitude=500 cycles=1 step=10
+//! excitation = circuit source=sine amplitude=30 frequency=50 r=1 \
+//!              turns=200 area=1e-4 path=0.1 t_end=0.04 dt=5e-5 control=fixed
 //! ```
+//!
+//! (`excitation = circuit` takes its parameters on one line; the backslash
+//! continuation above is for readability only.)
 //!
 //! `#` starts a comment, blank lines are ignored.  Only axes live in the
 //! file; execution knobs (`--workers`, `--fail-fast`) stay on the command
@@ -21,7 +26,10 @@ use std::collections::BTreeMap;
 use hdl_models::scenario::ScenarioGrid;
 use ja_hysteresis::config::JaConfig;
 
-use crate::common::{backend_set_by_name, config_name, material_by_name, NamedExcitation};
+use crate::common::{
+    backend_set_by_name, circuit_excitation, config_name, material_by_name, CircuitSpecArgs,
+    NamedExcitation,
+};
 use crate::CliError;
 
 /// Parses grid-config text into a [`ScenarioGrid`].
@@ -109,6 +117,19 @@ fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> {
             }),
         }
     }
+    fn optional_f64_param(
+        params: &mut BTreeMap<&str, &str>,
+        name: &str,
+    ) -> Result<Option<f64>, CliError> {
+        match params.remove(name) {
+            None => Ok(None),
+            Some(text) => text.parse::<f64>().map(Some).map_err(|_| {
+                CliError::usage(format!(
+                    "excitation parameter `{name}={text}` is not a number"
+                ))
+            }),
+        }
+    }
     // Cycle counts are whole numbers: parse as usize directly so `cycles=1.9`
     // is rejected instead of silently truncated (and `cycles=1e20` instead of
     // saturating into a capacity-overflow panic downstream).
@@ -140,9 +161,41 @@ fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> {
             let step = f64_param(&mut params, "step", 10.0)?;
             NamedExcitation::biased(bias, amplitude, cycles, step)?
         }
+        "circuit" => {
+            let source = params.remove("source");
+            let control = params.remove("control").unwrap_or("fixed");
+            let adaptive = match control {
+                "fixed" => false,
+                "adaptive" => true,
+                other => {
+                    return Err(CliError::usage(format!(
+                        "excitation parameter `control={other}` must be fixed | adaptive"
+                    )))
+                }
+            };
+            // Omitted parameters fall back to the inrush preset inside
+            // `circuit_excitation` — the defaults live in exactly one
+            // place (`CircuitExcitation::inrush`).
+            let args = CircuitSpecArgs {
+                source,
+                amplitude: optional_f64_param(&mut params, "amplitude")?,
+                frequency: optional_f64_param(&mut params, "frequency")?,
+                resistance: optional_f64_param(&mut params, "r")?,
+                turns: optional_f64_param(&mut params, "turns")?,
+                area: optional_f64_param(&mut params, "area")?,
+                path: optional_f64_param(&mut params, "path")?,
+                t_end: optional_f64_param(&mut params, "t_end")?,
+                dt: optional_f64_param(&mut params, "dt")?,
+                adaptive,
+                rel_tol: optional_f64_param(&mut params, "rel_tol")?,
+                abs_tol: optional_f64_param(&mut params, "abs_tol")?,
+                max_step: optional_f64_param(&mut params, "max_step")?,
+            };
+            circuit_excitation(&args, "set control=adaptive")?
+        }
         other => {
             return Err(CliError::usage(format!(
-                "unknown excitation kind `{other}` (expected major | fig1 | biased)"
+                "unknown excitation kind `{other}` (expected major | fig1 | biased | circuit)"
             )))
         }
     };
@@ -216,6 +269,35 @@ mod tests {
             let err = parse_grid(text).expect_err(text);
             assert!(err.message.contains(needle), "`{text}` -> {}", err.message);
             assert_eq!(err.code, 2, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_circuit_excitations() {
+        let grid = parse_grid(
+            "excitation = circuit source=sine amplitude=30 frequency=50 r=1 \
+             turns=200 area=1e-4 path=0.1 t_end=0.04 dt=5e-5 control=fixed\n\
+             excitation = circuit control=adaptive rel_tol=0.05\n",
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 2);
+        let scenarios = grid.scenarios().unwrap();
+        assert!(scenarios[0]
+            .name
+            .starts_with("circuit(sine(amplitude=30,frequency=50),r=1,turns=200,"));
+        assert!(scenarios[0].name.contains("fixed(dt=0.00005)"));
+        assert!(scenarios[1].name.contains("adaptive(rel=0.05,abs=0.1,"));
+
+        for (text, needle) in [
+            ("excitation = circuit source=square\n", "unknown source"),
+            ("excitation = circuit control=maybe\n", "fixed | adaptive"),
+            ("excitation = circuit dt=0\n", "dt"),
+            ("excitation = circuit r=zero\n", "not a number"),
+            ("excitation = circuit rel_tol=0.1\n", "control=adaptive"),
+            ("excitation = circuit cycles=2\n", "does not take parameter"),
+        ] {
+            let err = parse_grid(text).expect_err(text);
+            assert!(err.message.contains(needle), "`{text}` -> {}", err.message);
         }
     }
 

@@ -64,6 +64,7 @@ USAGE:
 
 SUBCOMMANDS:
     sweep       Run one scenario and export the BH trace (ascii | csv | json)
+    transient   Run one circuit-driven scenario through the transient engine
     batch       Run a scenario grid in parallel, emit a batch report (JSON)
     fit         Fit JA parameters to a measured BH loop (CSV in, JSON out)
     inverse     Flux-driven solve: target B trace in, required H trace out
@@ -77,7 +78,8 @@ OPTIONS:
 REPORT SCHEMA (schema_version 1)
   Every JSON report opens with the shared envelope:
     schema_version  int     1; bumped on any breaking schema change
-    kind            string  batch | sweep | fit | inverse | compare | bench
+    kind            string  batch | sweep | transient | fit | inverse |
+                            compare | bench
 
   kind=batch (ja batch):
     scenarios   int    grid size
@@ -92,6 +94,10 @@ REPORT SCHEMA (schema_version 1)
       metrics     object|null  loop metrics; null when the trace does not
                                form a closable loop (status = ok only)
       stats       object       backend cost counters (status = ok only)
+      transient   object       transient-engine counters; present only for
+                               circuit-driven scenarios.  Deterministic
+                               step-control outcomes, NOT timings, so they
+                               are never gated behind --timings.
     timing      object  ONLY with --timings: workers, elapsed_ns,
                         serial_ns, speedup (plus per-entry wall_clock_ns /
                         runtime_ns).  Omitted by default so reports are
@@ -105,8 +111,14 @@ REPORT SCHEMA (schema_version 1)
     samples, updates, slope_evaluations, negative_slope_events,
     rejected_updates
 
+  transient object (keys mirror analog_solver::circuit::TransientStats):
+    accepted_steps, rejected_steps, newton_iterations, lu_solves,
+    non_converged_steps
+
   kind=sweep (ja sweep --format json): envelope + one entry (fields as in
     a batch entry).
+  kind=transient (ja transient --format json): envelope + one entry
+    (fields as in a batch entry, transient object included).
   kind=fit (ja fit): input_samples, h_peak_a_per_m, measured (metrics
     object), params {m_sat_a_per_m, a_a_per_m, a2_a_per_m, k_a_per_m,
     alpha, c}, cost, evaluations.
@@ -142,6 +154,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let text = match topic {
                 None => GLOBAL_HELP,
                 Some("sweep") => commands::sweep::HELP,
+                Some("transient") => commands::transient::HELP,
                 Some("batch") => commands::batch::HELP,
                 Some("fit") => commands::fit::HELP,
                 Some("inverse") => commands::inverse::HELP,
@@ -157,6 +170,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         command if wants_help(rest) => {
             let text = match command {
                 "sweep" => commands::sweep::HELP,
+                "transient" => commands::transient::HELP,
                 "batch" => commands::batch::HELP,
                 "fit" => commands::fit::HELP,
                 "inverse" => commands::inverse::HELP,
@@ -168,6 +182,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "sweep" => commands::sweep::run(rest),
+        "transient" => commands::transient::run(rest),
         "batch" => commands::batch::run(rest),
         "fit" => commands::fit::run(rest),
         "inverse" => commands::inverse::run(rest),
@@ -212,7 +227,10 @@ mod tests {
         // every metrics/stats key must appear in it.
         for needle in [
             "schema_version",
-            "batch | sweep | fit | inverse | compare | bench",
+            "batch | sweep | transient | fit | inverse |",
+            "compare | bench",
+            "accepted_steps",
+            "non_converged_steps",
             "b_max_t",
             "h_max_a_per_m",
             "coercivity_a_per_m",

@@ -97,6 +97,134 @@ fn batch_reports_are_byte_identical_across_worker_counts() {
     }
 }
 
+const TRANSIENT_KEYS: [&str; 5] = [
+    "accepted_steps",
+    "rejected_steps",
+    "newton_iterations",
+    "lu_solves",
+    "non_converged_steps",
+];
+
+#[test]
+fn mixed_batch_reports_are_byte_identical_across_worker_counts() {
+    // The acceptance gate of the circuit-scenario work: a grid mixing
+    // field-driven and circuit-driven (fixed + adaptive) scenarios must
+    // stay byte-identical across worker counts, with the deterministic
+    // transient counters present on circuit entries only.
+    let config = fixture("grid_mixed.conf");
+    let config = config.to_str().unwrap();
+    let one = ja_ok(&["batch", "--config", config, "--workers", "1"]);
+    let eight = ja_ok(&["batch", "--config", config, "--workers", "8"]);
+    assert_eq!(
+        one, eight,
+        "mixed batch report must not depend on --workers"
+    );
+
+    let doc = parse_report(&one, "batch");
+    assert_eq!(doc.get("scenarios").and_then(JsonValue::as_i64), Some(3));
+    assert_eq!(doc.get("succeeded").and_then(JsonValue::as_i64), Some(3));
+    let entries = doc.get("entries").unwrap().as_array().unwrap();
+    let field_entry = &entries[0];
+    assert!(field_entry
+        .get("scenario")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .starts_with("major("));
+    assert!(
+        field_entry.get("transient").is_none(),
+        "field-driven entries carry no transient object"
+    );
+    let mut accepted = Vec::new();
+    for entry in &entries[1..] {
+        assert!(entry
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .starts_with("circuit("));
+        let transient = entry.get("transient").unwrap().as_object().unwrap();
+        let keys: Vec<&str> = transient.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, TRANSIENT_KEYS);
+        accepted.push(
+            entry
+                .get("transient")
+                .and_then(|t| t.get("accepted_steps"))
+                .and_then(JsonValue::as_i64)
+                .unwrap(),
+        );
+    }
+    // grid_mixed.conf runs the same circuit fixed then adaptive: the
+    // adaptive controller must finish in fewer accepted steps.
+    assert!(
+        accepted[1] < accepted[0],
+        "adaptive {} vs fixed {}",
+        accepted[1],
+        accepted[0]
+    );
+}
+
+#[test]
+fn transient_emits_all_three_formats() {
+    let json = ja_ok(&["transient", "--t-end", "0.02", "--format", "json"]);
+    let doc = parse_report(&json, "transient");
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    let transient = doc.get("transient").unwrap().as_object().unwrap();
+    let keys: Vec<&str> = transient.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, TRANSIENT_KEYS);
+    assert!(
+        doc.get("scenario")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .starts_with("circuit(sine(amplitude=30,frequency=50)"),
+        "stable scenario key"
+    );
+
+    let adaptive = ja_ok(&[
+        "transient",
+        "--adaptive",
+        "--t-end",
+        "0.02",
+        "--format",
+        "json",
+    ]);
+    let adaptive_doc = parse_report(&adaptive, "transient");
+    let steps = |doc: &JsonValue| {
+        doc.get("transient")
+            .and_then(|t| t.get("accepted_steps"))
+            .and_then(JsonValue::as_i64)
+            .unwrap()
+    };
+    assert!(
+        steps(&adaptive_doc) < steps(&doc),
+        "adaptive {} vs fixed {}",
+        steps(&adaptive_doc),
+        steps(&doc)
+    );
+
+    let csv = ja_ok(&["transient", "--t-end", "0.02", "--format", "csv"]);
+    assert_eq!(csv.lines().next(), Some("h,b,m"));
+    assert!(csv.lines().count() > 100);
+
+    let ascii = ja_ok(&["transient", "--t-end", "0.02"]);
+    assert!(ascii.contains('*'));
+    assert!(ascii.contains("accepted_steps"));
+}
+
+#[test]
+fn transient_usage_errors() {
+    for args in [
+        &["transient", "--source", "square"] as &[&str],
+        &["transient", "--rel-tol", "0.5"],
+        &["transient", "--dt", "0"],
+        &["transient", "--adaptive", "--abs-tol", "0"],
+        &["transient", "--adaptive", "--max-step", "1e-15"],
+        &["transient", "--format", "xml", "--t-end", "0.001"],
+    ] {
+        let output = ja(args);
+        assert_eq!(output.status.code(), Some(2), "ja {args:?}");
+        assert!(!output.stderr.is_empty());
+    }
+}
+
 #[test]
 fn batch_timings_flag_adds_the_timing_block() {
     let config = fixture("grid.conf");
@@ -354,7 +482,15 @@ fn help_prints_the_schema_and_exits_zero() {
     assert!(help.contains("REPORT SCHEMA"));
     assert!(help.contains("schema_version"));
     assert!(help.contains("bench-gate"));
-    for sub in ["sweep", "batch", "fit", "inverse", "compare", "bench-gate"] {
+    for sub in [
+        "sweep",
+        "transient",
+        "batch",
+        "fit",
+        "inverse",
+        "compare",
+        "bench-gate",
+    ] {
         let text = ja_ok(&["help", sub]);
         assert!(text.contains(sub), "help for {sub}");
     }

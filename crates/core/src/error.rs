@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use analog_solver::SolverError;
 use magnetics::MagneticsError;
 use waveform::WaveformError;
 
@@ -14,6 +15,12 @@ pub enum JaError {
     /// Invalid excitation or trace handling (propagated from the waveform
     /// crate).
     Waveform(WaveformError),
+    /// An analogue-solver failure (propagated from the `analog-solver`
+    /// crate) — circuit-driven scenarios surface transient-engine errors
+    /// (singular MNA matrix, Newton non-convergence, adaptive step-size
+    /// underflow) through this variant instead of ad-hoc string mapping at
+    /// each call site.
+    Solver(SolverError),
     /// A model configuration value is out of range.
     InvalidConfig {
         /// Name of the offending option.
@@ -61,6 +68,7 @@ impl fmt::Display for JaError {
         match self {
             JaError::Material(err) => write!(f, "material error: {err}"),
             JaError::Waveform(err) => write!(f, "waveform error: {err}"),
+            JaError::Solver(err) => write!(f, "solver error: {err}"),
             JaError::InvalidConfig {
                 name,
                 value,
@@ -100,6 +108,7 @@ impl Error for JaError {
         match self {
             JaError::Material(err) => Some(err),
             JaError::Waveform(err) => Some(err),
+            JaError::Solver(err) => Some(err),
             _ => None,
         }
     }
@@ -114,6 +123,12 @@ impl From<MagneticsError> for JaError {
 impl From<WaveformError> for JaError {
     fn from(err: WaveformError) -> Self {
         JaError::Waveform(err)
+    }
+}
+
+impl From<SolverError> for JaError {
+    fn from(err: SolverError) -> Self {
+        JaError::Solver(err)
     }
 }
 
@@ -137,6 +152,15 @@ mod tests {
     fn waveform_error_converts() {
         let err: JaError = WaveformError::InvalidBreakpoints { reason: "too few" }.into();
         assert!(matches!(err, JaError::Waveform(_)));
+    }
+
+    #[test]
+    fn solver_error_converts_and_sources() {
+        let err: JaError = SolverError::SingularMatrix { column: 2 }.into();
+        assert!(matches!(err, JaError::Solver(_)));
+        assert!(err.to_string().contains("solver error"));
+        assert!(err.to_string().contains("column 2"));
+        assert!(err.source().is_some());
     }
 
     #[test]

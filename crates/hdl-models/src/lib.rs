@@ -20,7 +20,10 @@
 //!   (material × excitation × backend × config) experiment, run uniformly
 //!   through the [`ja_hysteresis::backend::HysteresisBackend`] trait, with
 //!   [`scenario::ScenarioGrid`] and [`scenario::run_batch`] for whole
-//!   experiment grids;
+//!   experiment grids.  Excitations may be field-driven (schedules, raw
+//!   samples) or circuit-driven ([`scenario::CircuitExcitation`]): a
+//!   declarative source→R→wound-core netlist whose transient solution —
+//!   fixed-step or adaptive — supplies the applied-field trajectory;
 //! * [`exec`] — the parallel batch executor behind `run_batch`:
 //!   [`exec::BatchRunner`] distributes a scenario grid over scoped worker
 //!   threads with deterministic, input-ordered reports;
@@ -45,5 +48,8 @@ pub mod systemc;
 pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
 pub use circuit_adapter::JaCoreAdapter;
 pub use exec::{BatchRunner, ErrorPolicy, RunScratch};
-pub use scenario::{BackendKind, Excitation, Scenario, ScenarioGrid, ScenarioOutcome};
+pub use scenario::{
+    BackendKind, CircuitExcitation, CircuitRun, Excitation, Scenario, ScenarioGrid,
+    ScenarioOutcome, SourceWaveform,
+};
 pub use systemc::SystemCJaCore;

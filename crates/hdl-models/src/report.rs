@@ -24,7 +24,7 @@ use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
 use ja_hysteresis::model::JaStatistics;
 use magnetics::loop_analysis::LoopMetrics;
 
-use crate::scenario::{AgreementReport, BatchEntry, BatchReport, ScenarioOutcome};
+use crate::scenario::{AgreementReport, BatchEntry, BatchReport, ScenarioOutcome, TransientStats};
 
 /// A fresh report object carrying the shared envelope: `schema_version`
 /// first, then `kind`.
@@ -61,6 +61,20 @@ pub fn stats_value(stats: &JaStatistics) -> JsonValue {
         .with("rejected_updates", stats.rejected_updates)
 }
 
+/// Serialises the transient engine's step/Newton counters (keys mirror the
+/// [`TransientStats`] field names).  Present only on circuit-driven
+/// scenario entries; the counters are pure float-arithmetic step-control
+/// outcomes — deterministic across worker counts and machines — so they
+/// are NOT gated behind the opt-in timing fields.
+pub fn transient_value(stats: &TransientStats) -> JsonValue {
+    JsonValue::object()
+        .with("accepted_steps", stats.accepted_steps)
+        .with("rejected_steps", stats.rejected_steps)
+        .with("newton_iterations", stats.newton_iterations)
+        .with("lu_solves", stats.lu_solves)
+        .with("non_converged_steps", stats.non_converged_steps)
+}
+
 /// A [`Duration`] as integer nanoseconds (saturating at `i64::MAX`, which
 /// is ~292 years — no real run gets there).
 pub fn duration_ns(duration: Duration) -> JsonValue {
@@ -71,7 +85,9 @@ pub fn duration_ns(duration: Duration) -> JsonValue {
 ///
 /// Always present: `scenario`, `status: "ok"`, `backend`, `samples`,
 /// `metrics` (object or `null` for traces that do not form a closable
-/// loop) and `stats`.  With `timings`, adds `runtime_ns` (sweep only).
+/// loop) and `stats`.  Circuit-driven outcomes add a `transient` object
+/// (see [`transient_value`]).  With `timings`, adds `runtime_ns` (sweep
+/// only).
 pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
     let mut obj = JsonValue::object()
         .with("scenario", outcome.name.as_str())
@@ -86,6 +102,9 @@ pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
                 .map_or(JsonValue::Null, metrics_value),
         )
         .with("stats", stats_value(&outcome.stats));
+    if let Some(transient) = &outcome.transient {
+        obj.push("transient", transient_value(transient));
+    }
     if timings {
         obj.push("runtime_ns", duration_ns(outcome.runtime));
     }
@@ -280,6 +299,66 @@ mod tests {
             Some("cancelled")
         );
         assert_eq!(value.get("failed").and_then(JsonValue::as_i64), Some(2));
+    }
+
+    #[test]
+    fn circuit_entries_carry_transient_stats_and_stay_deterministic() {
+        use crate::scenario::{CircuitExcitation, StepControl};
+        // A mixed grid: one field-driven and two circuit-driven scenarios
+        // (fixed and adaptive control).  The report must be byte-identical
+        // across worker counts — the transient counters are deterministic
+        // step-control outcomes, not timings.
+        let adaptive = CircuitExcitation::inrush()
+            .with_step_control(StepControl::Adaptive(CircuitExcitation::adaptive_defaults()));
+        let grid = ScenarioGrid::new()
+            .backend(BackendKind::DirectTimeless)
+            .excitation("major", Excitation::major_loop(10_000.0, 250.0, 1).unwrap())
+            .excitation(
+                "inrush-fixed",
+                Excitation::Circuit(CircuitExcitation::inrush()),
+            )
+            .excitation("inrush-adaptive", Excitation::Circuit(adaptive));
+        let scenarios = grid.scenarios().unwrap();
+        let serial = BatchRunner::new().workers(1).run(scenarios.clone());
+        let parallel = BatchRunner::new().workers(4).run(scenarios);
+        let a = batch_report_value(&serial, false).to_pretty_string();
+        let b = batch_report_value(&parallel, false).to_pretty_string();
+        assert_eq!(a, b, "mixed batch reports must not depend on workers");
+
+        let value = batch_report_value(&serial, false);
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(
+            entries[0].get("transient").is_none(),
+            "field-driven entries carry no transient object"
+        );
+        for entry in &entries[1..] {
+            let transient = entry.get("transient").unwrap().as_object().unwrap();
+            let keys: Vec<&str> = transient.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                [
+                    "accepted_steps",
+                    "rejected_steps",
+                    "newton_iterations",
+                    "lu_solves",
+                    "non_converged_steps"
+                ]
+            );
+            assert!(
+                transient[0].1.as_i64().unwrap() > 0,
+                "accepted_steps present and positive"
+            );
+        }
+        // The adaptive entry took fewer steps than the fixed one.
+        let steps = |entry: &JsonValue| {
+            entry
+                .get("transient")
+                .and_then(|t| t.get("accepted_steps"))
+                .and_then(JsonValue::as_i64)
+                .unwrap()
+        };
+        assert!(steps(&entries[2]) < steps(&entries[1]));
     }
 
     #[test]

@@ -12,12 +12,13 @@
 use std::error::Error;
 
 use ja_repro::analog_solver::circuit::elements::{NonlinearInductor, Resistor, VoltageSource};
-use ja_repro::analog_solver::circuit::{Circuit, Node, TransientAnalysis};
+use ja_repro::analog_solver::circuit::{Circuit, Node, StepControl, TransientAnalysis};
 use ja_repro::hdl_models::circuit_adapter::JaCoreAdapter;
+use ja_repro::hdl_models::scenario::CircuitExcitation;
 use ja_repro::waveform::export::ascii_plot;
 use ja_repro::waveform::sine::Sine;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn build_circuit() -> Result<(Circuit, usize, Node), Box<dyn Error>> {
     let mut circuit = Circuit::new();
     let v_in = circuit.node();
     let v_core = circuit.node();
@@ -38,16 +39,41 @@ fn main() -> Result<(), Box<dyn Error>> {
             JaCoreAdapter::date2006()?,
         )?,
     )?;
+    Ok((circuit, core_index, v_core))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let (mut circuit, core_index, v_core) = build_circuit()?;
 
     let analysis = TransientAnalysis::new(2e-5, 0.1)?; // five 50 Hz cycles
     let result = analysis.run(&mut circuit)?;
 
     let stats = result.stats();
-    println!("== transient statistics ==");
+    println!("== transient statistics (fixed 20 µs steps) ==");
     println!("  time points        = {}", result.len());
     println!("  newton iterations  = {}", stats.newton_iterations);
     println!("  LU solves          = {}", stats.lu_solves);
     println!("  non-converged steps= {}", stats.non_converged_steps);
+
+    // The same circuit under the adaptive controller: the LTE estimate
+    // stretches the step through the saturated stretches and tightens it
+    // around the magnetising-current spikes.
+    let (mut adaptive_circuit, _, _) = build_circuit()?;
+    let adaptive = TransientAnalysis::new(2e-5, 0.1)?
+        .with_step_control(StepControl::Adaptive(CircuitExcitation::adaptive_defaults()))
+        .run(&mut adaptive_circuit)?;
+    println!("\n== transient statistics (adaptive step control) ==");
+    println!("  accepted steps     = {}", adaptive.stats().accepted_steps);
+    println!("  rejected steps     = {}", adaptive.stats().rejected_steps);
+    println!(
+        "  newton iterations  = {}",
+        adaptive.stats().newton_iterations
+    );
+    println!(
+        "  step economy       = {} accepted vs {} fixed",
+        adaptive.stats().accepted_steps,
+        result.len() - 1
+    );
 
     let current = result.branch_current(core_index, 0)?;
     let voltage = result.voltage(v_core)?;

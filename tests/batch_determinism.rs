@@ -5,7 +5,9 @@
 //! differ between runs.
 
 use ja_repro::hdl_models::exec::BatchRunner;
-use ja_repro::hdl_models::scenario::{BackendKind, BatchReport, Excitation, ScenarioGrid};
+use ja_repro::hdl_models::scenario::{
+    BackendKind, BatchReport, CircuitExcitation, Excitation, ScenarioGrid, StepControl,
+};
 use ja_repro::ja_hysteresis::config::JaConfig;
 
 fn grid() -> ScenarioGrid {
@@ -18,6 +20,26 @@ fn grid() -> ScenarioGrid {
             "major",
             Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
         )
+}
+
+/// The mixed grid of the acceptance criterion: field-driven and
+/// circuit-driven scenarios (fixed and adaptive stepping) side by side on
+/// one backend.
+fn mixed_grid() -> ScenarioGrid {
+    let mut inrush_fixed = CircuitExcitation::inrush();
+    inrush_fixed.t_end = 0.02;
+    let inrush_adaptive = inrush_fixed
+        .clone()
+        .with_step_control(StepControl::Adaptive(CircuitExcitation::adaptive_defaults()));
+    ScenarioGrid::new()
+        .backend(BackendKind::DirectTimeless)
+        .config("dh10", JaConfig::default())
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        )
+        .excitation("inrush-fixed", Excitation::Circuit(inrush_fixed))
+        .excitation("inrush-adaptive", Excitation::Circuit(inrush_adaptive))
 }
 
 /// Everything in a report that must be reproducible, with the
@@ -36,6 +58,7 @@ struct OutcomeBits {
     slope_evaluations: u64,
     curve_bits: Vec<(u64, u64, u64)>,
     metric_bits: Option<(u64, u64, u64, u64)>,
+    transient: Option<(u64, u64, u64)>,
 }
 
 fn fingerprint(report: &BatchReport) -> Vec<Fingerprint> {
@@ -68,6 +91,13 @@ fn fingerprint(report: &BatchReport) -> Vec<Fingerprint> {
                             m.coercivity.value().to_bits(),
                             m.remanence.as_tesla().to_bits(),
                             m.loop_area.to_bits(),
+                        )
+                    }),
+                    transient: outcome.transient.map(|t| {
+                        (
+                            t.accepted_steps as u64,
+                            t.rejected_steps as u64,
+                            t.newton_iterations as u64,
                         )
                     }),
                 }),
@@ -106,4 +136,32 @@ fn run_batch_default_matches_single_worker() {
     let single = BatchRunner::new().workers(1).run(scenarios);
     assert_eq!(fingerprint(&default_run), fingerprint(&single));
     assert!(default_run.workers >= 1);
+}
+
+#[test]
+fn mixed_field_and_circuit_batch_is_bit_identical_across_worker_counts() {
+    let scenarios = mixed_grid().scenarios().expect("non-empty grid");
+    assert_eq!(scenarios.len(), 3);
+
+    let single = BatchRunner::new().workers(1).run(scenarios.clone());
+    assert_eq!(single.failures().count(), 0);
+    let reference = fingerprint(&single);
+    // The circuit entries carry transient counters, the field entry none.
+    assert!(reference.iter().any(|f| matches!(
+        &f.payload,
+        Ok(bits) if bits.transient.is_some()
+    )));
+    assert!(reference.iter().any(|f| matches!(
+        &f.payload,
+        Ok(bits) if bits.transient.is_none()
+    )));
+
+    for workers in [2, 8] {
+        let parallel = BatchRunner::new().workers(workers).run(scenarios.clone());
+        assert_eq!(
+            fingerprint(&parallel),
+            reference,
+            "{workers}-worker mixed report diverged from the single-worker report"
+        );
+    }
 }
