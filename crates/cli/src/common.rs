@@ -237,6 +237,25 @@ pub fn circuit_excitation(
     })
 }
 
+/// Iterates the meaningful lines of a `key = value` config file: strips
+/// `#` comments and surrounding whitespace, skips blank lines, and yields
+/// 1-based `(line_number, content)` pairs for error reporting.  Shared by
+/// the `ja batch` grid config and the `ja fit` library config, so the two
+/// formats can never drift on lexing.
+pub fn config_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(index, raw_line)| {
+        let line = match raw_line.split_once('#') {
+            Some((content, _comment)) => content.trim(),
+            None => raw_line.trim(),
+        };
+        if line.is_empty() {
+            None
+        } else {
+            Some((index + 1, line))
+        }
+    })
+}
+
 /// The scenario-key config-axis name for a `ΔH_max` value (`dh10`,
 /// `dh2.5`, …), matching the convention of the workspace's grids.
 pub fn config_name(dh_max: f64) -> String {

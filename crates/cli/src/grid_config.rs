@@ -40,15 +40,7 @@ use crate::CliError;
 /// values, unknown excitation kinds/parameters or invalid `dh_max`.
 pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
     let mut grid = ScenarioGrid::new();
-    for (index, raw_line) in text.lines().enumerate() {
-        let line = match raw_line.split_once('#') {
-            Some((content, _comment)) => content.trim(),
-            None => raw_line.trim(),
-        };
-        if line.is_empty() {
-            continue;
-        }
-        let lineno = index + 1;
+    for (lineno, line) in crate::common::config_lines(text) {
         let at = |message: String| CliError::usage(format!("grid config line {lineno}: {message}"));
         let (key, value) = line
             .split_once('=')

@@ -119,9 +119,17 @@ REPORT SCHEMA (schema_version 1)
     a batch entry).
   kind=transient (ja transient --format json): envelope + one entry
     (fields as in a batch entry, transient object included).
-  kind=fit (ja fit): input_samples, h_peak_a_per_m, measured (metrics
-    object), params {m_sat_a_per_m, a_a_per_m, a2_a_per_m, k_a_per_m,
-    alpha, c}, cost, evaluations.
+  kind=fit (ja fit): starts, seed, then per fitted loop: loop (name),
+    input_samples, h_peak_a_per_m, measured (metrics object), entries
+    (array, one per starting point: start (params object), status
+    ok | error, cost, evaluations, params), best_start (int | null),
+    params {m_sat_a_per_m, a_a_per_m, a2_a_per_m, k_a_per_m, alpha, c}
+    (the best start's; null if every start failed), cost, evaluations
+    (total).  `ja fit --input` inlines its single loop's fields flat;
+    `ja fit --config` nests one such object per loop under `loops`.
+    Timing fields (per-start wall_clock_ns, trailing `timing` object)
+    appear only with --timings, so default reports are byte-identical
+    for any --workers value.
   kind=inverse (ja inverse --format json): samples, h_peak_a_per_m,
     b_peak_t, metrics (object|null).
   kind=compare (ja compare --format json): max_abs_diff_b_t,

@@ -320,6 +320,85 @@ fn fit_recovers_the_fixture_loop() {
 }
 
 #[test]
+fn fit_multistart_reports_are_byte_identical_across_worker_counts() {
+    let input = fixture("measured_loop.csv");
+    let input = input.to_str().unwrap();
+    let run = |workers: &str| {
+        ja_ok(&[
+            "fit",
+            "--input",
+            input,
+            "--starts",
+            "4",
+            "--seed",
+            "42",
+            "--passes",
+            "3",
+            "--workers",
+            workers,
+        ])
+    };
+    let one = run("1");
+    let eight = run("8");
+    assert_eq!(one, eight, "fit report must not depend on --workers");
+
+    let doc = parse_report(&one, "fit");
+    assert_eq!(doc.get("starts").and_then(JsonValue::as_i64), Some(4));
+    assert_eq!(doc.get("seed").and_then(JsonValue::as_i64), Some(42));
+    assert!(doc.get("timing").is_none(), "timing is opt-in");
+    let entries = doc.get("entries").unwrap().as_array().unwrap();
+    assert_eq!(entries.len(), 4);
+    let cost = |v: &JsonValue| v.get("cost").and_then(JsonValue::as_f64).unwrap();
+    let best = doc.get("best_start").and_then(JsonValue::as_i64).unwrap() as usize;
+    // Start 0 is the plain initial guess (the single-start fit), so the
+    // best-of selection can only match or improve on it.
+    assert!(cost(&entries[best]) <= cost(&entries[0]));
+    assert_eq!(
+        doc.get("cost").and_then(JsonValue::as_f64),
+        Some(cost(&entries[best]))
+    );
+}
+
+#[test]
+fn fit_config_fits_a_library_in_one_batch() {
+    let config = fixture("fit_library.conf");
+    let out = ja_ok(&[
+        "fit",
+        "--config",
+        config.to_str().unwrap(),
+        "--starts",
+        "2",
+        "--passes",
+        "2",
+        "--sweep-step",
+        "10",
+    ]);
+    let doc = parse_report(&out, "fit");
+    let loops = doc.get("loops").unwrap().as_array().unwrap();
+    assert_eq!(loops.len(), 2);
+    assert_eq!(
+        loops[0].get("loop").and_then(JsonValue::as_str),
+        Some("measured_loop")
+    );
+    assert_eq!(
+        loops[1].get("loop").and_then(JsonValue::as_str),
+        Some("soft-ferrite")
+    );
+    for loop_fit in loops {
+        assert!(loop_fit
+            .get("best_start")
+            .and_then(JsonValue::as_i64)
+            .is_some());
+        assert_eq!(
+            loop_fit.get("entries").unwrap().as_array().unwrap().len(),
+            2
+        );
+        let params = loop_fit.get("params").unwrap().as_object().unwrap();
+        assert_eq!(params.len(), 6);
+    }
+}
+
+#[test]
 fn inverse_follows_the_fixture_flux_targets() {
     let input = fixture("flux_targets.csv");
     let input = input.to_str().unwrap();
@@ -468,12 +547,19 @@ fn usage_errors_exit_with_code_2() {
     }
     // Invalid fit *options* are a bad invocation too, even with valid input.
     let input = fixture("measured_loop.csv");
-    let output = ja(&["fit", "--input", input.to_str().unwrap(), "--passes", "0"]);
-    assert_eq!(
-        output.status.code(),
-        Some(2),
-        "zero passes is a usage error, not a runtime failure"
-    );
+    let input = input.to_str().unwrap();
+    for args in [
+        &["fit", "--input", input, "--passes", "0"] as &[&str],
+        &["fit", "--input", input, "--starts", "0"],
+        &["fit", "--input", input, "--config", "x.conf"],
+    ] {
+        let output = ja(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "ja {args:?} is a usage error, not a runtime failure"
+        );
+    }
 }
 
 #[test]

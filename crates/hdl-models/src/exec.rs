@@ -16,6 +16,12 @@
 //! triple reuse the constructed backend through
 //! [`HysteresisBackend::reset`] instead of rebuilding it, so the parallel
 //! win is not eaten by per-scenario construction and allocator traffic.
+//!
+//! The distribution machinery itself (chunked claims over an atomic
+//! cursor, worker-local state, index-ordered results) is exposed as the
+//! generic [`parallel_map`], which also powers the multi-start fitting
+//! batches of [`crate::fit`] — any deterministic per-job workload with
+//! reusable worker scratch can ride the same pool.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,7 +33,7 @@ use ja_hysteresis::config::JaConfig;
 use ja_hysteresis::error::JaError;
 use magnetics::material::JaParameters;
 
-use crate::scenario::{BackendKind, BatchEntry, BatchReport, Scenario, ScenarioOutcome};
+use crate::scenario::{BackendKind, BatchEntry, BatchReport, Scenario};
 
 /// How a batch reacts to a failing scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,98 +112,44 @@ impl BatchRunner {
 
     /// The worker count the runner would use for `jobs` scenarios.
     pub fn resolved_workers(&self, jobs: usize) -> usize {
-        let configured = self.workers.map(NonZeroUsize::get).unwrap_or_else(|| {
-            thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        configured.min(jobs).max(1)
+        resolved_workers(self.workers.map_or(0, NonZeroUsize::get), jobs)
     }
 
     /// Runs every scenario and collects a [`BatchReport`] with one entry
     /// per scenario, in input order.
     pub fn run(&self, scenarios: impl IntoIterator<Item = Scenario>) -> BatchReport {
         let scenarios: Vec<Scenario> = scenarios.into_iter().collect();
-        let jobs = scenarios.len();
-        let workers = self.resolved_workers(jobs);
+        let workers = self.resolved_workers(scenarios.len());
         let chunk = self.chunk_size.map_or(1, NonZeroUsize::get);
         let started = Instant::now();
 
-        let mut results: Vec<Option<(Result<ScenarioOutcome, JaError>, Duration)>> =
-            (0..jobs).map(|_| None).collect();
-
-        if workers <= 1 {
-            let mut scratch = RunScratch::new();
-            let mut failed = false;
-            for (slot, scenario) in results.iter_mut().zip(&scenarios) {
-                *slot = Some(if failed && self.policy == ErrorPolicy::FailFast {
+        let abort = AtomicBool::new(false);
+        let results = parallel_map(
+            &scenarios,
+            workers,
+            chunk,
+            RunScratch::new,
+            |scenario, scratch| {
+                if self.policy == ErrorPolicy::FailFast && abort.load(Ordering::Relaxed) {
                     (Err(JaError::Cancelled), Duration::ZERO)
                 } else {
                     let t0 = Instant::now();
-                    let outcome = scenario.run_with_scratch(&mut scratch);
-                    failed |= outcome.is_err();
+                    let outcome = scenario.run_with_scratch(scratch);
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
                     (outcome, t0.elapsed())
-                });
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let abort = AtomicBool::new(false);
-            let shared = scenarios.as_slice();
-            let per_worker: Vec<_> = thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut scratch = RunScratch::new();
-                            let mut local = Vec::new();
-                            loop {
-                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= shared.len() {
-                                    break;
-                                }
-                                let end = start.saturating_add(chunk).min(shared.len());
-                                for (index, scenario) in
-                                    shared.iter().enumerate().take(end).skip(start)
-                                {
-                                    let entry = if self.policy == ErrorPolicy::FailFast
-                                        && abort.load(Ordering::Relaxed)
-                                    {
-                                        (Err(JaError::Cancelled), Duration::ZERO)
-                                    } else {
-                                        let t0 = Instant::now();
-                                        let outcome = scenario.run_with_scratch(&mut scratch);
-                                        if outcome.is_err() {
-                                            abort.store(true, Ordering::Relaxed);
-                                        }
-                                        (outcome, t0.elapsed())
-                                    };
-                                    local.push((index, entry));
-                                }
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("batch worker panicked"))
-                    .collect()
-            });
-            for (index, entry) in per_worker.into_iter().flatten() {
-                results[index] = Some(entry);
-            }
-        }
+                }
+            },
+        );
 
         let entries = scenarios
             .into_iter()
             .zip(results)
-            .map(|(scenario, result)| {
-                let (outcome, wall_clock) =
-                    result.expect("every scenario index produced exactly one result");
-                BatchEntry {
-                    scenario,
-                    outcome,
-                    wall_clock,
-                }
+            .map(|(scenario, (outcome, wall_clock))| BatchEntry {
+                scenario,
+                outcome,
+                wall_clock,
             })
             .collect();
         BatchReport {
@@ -206,6 +158,93 @@ impl BatchRunner {
             elapsed: started.elapsed(),
         }
     }
+}
+
+/// Resolves a configured worker count for `jobs` units of work: `0` means
+/// one worker per available core, and the result is clamped to the job
+/// count with a floor of 1.  The single worker-resolution policy shared by
+/// [`BatchRunner`] and the fitting batches of [`crate::fit`].
+pub fn resolved_workers(configured: usize, jobs: usize) -> usize {
+    let configured = if configured == 0 {
+        thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    } else {
+        configured
+    };
+    configured.min(jobs).max(1)
+}
+
+/// Runs `run` over every job on a pool of `workers` scoped threads and
+/// returns the results **in job order** — the generic core of
+/// [`BatchRunner`], also used by the multi-start fitting batches of
+/// [`crate::fit`].
+///
+/// Each worker claims `chunk` jobs at a time from a shared atomic cursor
+/// and keeps one instance of worker-local state (built by `make_state`)
+/// alive across all the jobs it executes — the scratch-reuse pattern that
+/// keeps per-job construction and allocator traffic off the hot path.
+/// Results are tagged with their job index and re-sorted, so as long as
+/// `run` is a pure function of the job (plus state that `run` fully resets
+/// or overwrites per job), the output is **deterministic**: identical for
+/// any worker count, including the inline `workers <= 1` path that spawns
+/// no threads at all.
+///
+/// Cross-job coordination (e.g. fail-fast abort) lives in the closure:
+/// capture an [`AtomicBool`] and consult it per job, as
+/// [`BatchRunner::run`] does.
+pub fn parallel_map<T, S, R, FS, F>(
+    jobs: &[T],
+    workers: usize,
+    chunk: usize,
+    make_state: FS,
+    run: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    if workers <= 1 {
+        let mut state = make_state();
+        return jobs.iter().map(|job| run(job, &mut state)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = make_state();
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= jobs.len() {
+                            break;
+                        }
+                        let end = start.saturating_add(chunk).min(jobs.len());
+                        for (index, job) in jobs.iter().enumerate().take(end).skip(start) {
+                            local.push((index, run(job, &mut state)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    let mut results: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    for (index, result) in per_worker.into_iter().flatten() {
+        results[index] = Some(result);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every job index produced exactly one result"))
+        .collect()
 }
 
 /// Worker-local reusable state for running scenarios.
@@ -419,6 +458,28 @@ mod tests {
             assert_eq!(outcome.backend, kind);
             assert!(outcome.stats.samples > 0);
         }
+    }
+
+    #[test]
+    fn parallel_map_orders_results_and_keeps_worker_state() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let double = |job: &usize, seen: &mut usize| {
+            *seen += 1;
+            (*job * 2, *seen)
+        };
+        let serial = parallel_map(&jobs, 1, 1, || 0usize, double);
+        let parallel = parallel_map(&jobs, 4, 3, || 0usize, double);
+        // Job-order results regardless of worker count or chunking...
+        let values = |r: &[(usize, usize)]| r.iter().map(|(v, _)| *v).collect::<Vec<_>>();
+        assert_eq!(values(&serial), values(&parallel));
+        assert_eq!(serial[7].0, 14);
+        // ...with worker-local state alive across a worker's jobs: the lone
+        // serial worker saw all 100, every parallel worker at most 100.
+        assert_eq!(serial.last().unwrap().1, 100);
+        assert!(parallel.iter().all(|(_, seen)| (1..=100).contains(seen)));
+        // Degenerate inputs.
+        assert!(parallel_map(&[] as &[usize], 4, 1, || (), |_, ()| ()).is_empty());
+        assert_eq!(parallel_map(&jobs, 8, 0, || (), |job, ()| *job).len(), 100);
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //!   fixed-step or adaptive — supplies the applied-field trajectory;
 //! * [`exec`] — the parallel batch executor behind `run_batch`:
 //!   [`exec::BatchRunner`] distributes a scenario grid over scoped worker
-//!   threads with deterministic, input-ordered reports;
+//!   threads with deterministic, input-ordered reports, and exposes the
+//!   generic [`exec::parallel_map`] pool underneath;
+//! * [`fit`] — multi-start parallel parameter extraction:
+//!   [`fit::fit_batch`] fans seeded starting points (and whole libraries
+//!   of measured loops) across the same worker pool and keeps the best
+//!   fit per loop;
 //! * [`report`] — versioned JSON serialization of batch/outcome/agreement
 //!   results (the machine-readable interface the `ja` CLI and CI consume);
 //! * [`comparison`] — the experiment drivers used by the benches and
@@ -41,6 +46,7 @@ pub mod ams;
 pub mod circuit_adapter;
 pub mod comparison;
 pub mod exec;
+pub mod fit;
 pub mod report;
 pub mod scenario;
 pub mod systemc;
@@ -48,6 +54,7 @@ pub mod systemc;
 pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
 pub use circuit_adapter::JaCoreAdapter;
 pub use exec::{BatchRunner, ErrorPolicy, RunScratch};
+pub use fit::{fit_batch, FitJob, FitReport, LoopFit, MultiStartOptions, StartFit};
 pub use scenario::{
     BackendKind, CircuitExcitation, CircuitRun, Excitation, Scenario, ScenarioGrid,
     ScenarioOutcome, SourceWaveform,

@@ -23,7 +23,9 @@ use std::time::Duration;
 use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
 use ja_hysteresis::model::JaStatistics;
 use magnetics::loop_analysis::LoopMetrics;
+use magnetics::material::JaParameters;
 
+use crate::fit::{FitReport, LoopFit, StartFit};
 use crate::scenario::{AgreementReport, BatchEntry, BatchReport, ScenarioOutcome, TransientStats};
 
 /// A fresh report object carrying the shared envelope: `schema_version`
@@ -197,6 +199,122 @@ pub fn agreement_value(report: &AgreementReport, timings: bool) -> JsonValue {
         )
 }
 
+/// Serialises a JA parameter set with the schema's unit-suffixed keys.
+pub fn params_value(params: &JaParameters) -> JsonValue {
+    JsonValue::object()
+        .with("m_sat_a_per_m", params.m_sat.value())
+        .with("a_a_per_m", params.a)
+        .with("a2_a_per_m", params.a2)
+        .with("k_a_per_m", params.k)
+        .with("alpha", params.alpha)
+        .with("c", params.c)
+}
+
+/// Serialises one starting point of a multi-start fit: the `start`
+/// parameters, `status` (`ok` | `error`), the `evaluations` this start
+/// consumed (counted for failed starts too — a failing evaluation still
+/// simulates), and on success the per-start `cost` and fitted `params`.
+/// With `timings`, adds `wall_clock_ns`.
+pub fn start_fit_value(entry: &StartFit, timings: bool) -> JsonValue {
+    let mut obj = JsonValue::object().with("start", params_value(&entry.start));
+    match &entry.result {
+        Ok(result) => {
+            obj.push("status", "ok");
+            obj.push("cost", result.cost);
+            obj.push("evaluations", entry.evaluations);
+            obj.push("params", params_value(&result.params));
+        }
+        Err(err) => {
+            obj.push("status", "error");
+            obj.push("error", err.to_string());
+            obj.push("evaluations", entry.evaluations);
+        }
+    }
+    if timings {
+        obj.push("wall_clock_ns", duration_ns(entry.wall_clock));
+    }
+    obj
+}
+
+/// Serialises one fitted loop: `loop` name, `input_samples`,
+/// `h_peak_a_per_m`, the `measured` metrics, the per-start `entries`,
+/// `best_start` (index | null) and the best start's `params`/`cost`
+/// (null when every start failed) plus the aggregate `evaluations`.
+pub fn loop_fit_value(loop_fit: &LoopFit, timings: bool) -> JsonValue {
+    let best = loop_fit.best_fit();
+    JsonValue::object()
+        .with("loop", loop_fit.name.as_str())
+        .with("input_samples", loop_fit.input_samples)
+        .with("h_peak_a_per_m", loop_fit.h_peak)
+        .with("measured", metrics_value(&loop_fit.measured))
+        .with(
+            "entries",
+            JsonValue::Array(
+                loop_fit
+                    .starts
+                    .iter()
+                    .map(|entry| start_fit_value(entry, timings))
+                    .collect(),
+            ),
+        )
+        .with(
+            "best_start",
+            loop_fit
+                .best
+                .map_or(JsonValue::Null, |i| JsonValue::Int(i as i64)),
+        )
+        .with(
+            "params",
+            best.map_or(JsonValue::Null, |r| params_value(&r.params)),
+        )
+        .with("cost", best.map_or(JsonValue::Null, |r| r.cost.into()))
+        .with("evaluations", loop_fit.evaluations())
+}
+
+/// Serialises a multi-start fit batch as a `kind: "fit"` report.
+///
+/// The envelope carries `starts` and `seed`; a single-loop report inlines
+/// that loop's fields flat (the shape `ja fit --input` has always emitted,
+/// now with the per-start `entries` added), while a library fit nests one
+/// object per loop under `loops`.  Timing fields are opt-in via `timings`,
+/// so the default report is byte-identical for any worker count.
+pub fn fit_report_value(report: &FitReport, timings: bool) -> JsonValue {
+    // The lossless cast is guaranteed by `MultiStartOptions::validate`,
+    // which rejects seeds beyond i64::MAX before a batch runs.
+    let mut obj = report_envelope("fit")
+        .with("starts", report.starts)
+        .with("seed", i64::try_from(report.seed).unwrap_or(i64::MAX));
+    if let [only] = report.loops.as_slice() {
+        if let JsonValue::Object(fields) = loop_fit_value(only, timings) {
+            for (key, value) in fields {
+                obj.push(key, value);
+            }
+        }
+    } else {
+        obj.push(
+            "loops",
+            JsonValue::Array(
+                report
+                    .loops
+                    .iter()
+                    .map(|loop_fit| loop_fit_value(loop_fit, timings))
+                    .collect(),
+            ),
+        );
+    }
+    if timings {
+        obj.push(
+            "timing",
+            JsonValue::object()
+                .with("workers", report.workers)
+                .with("elapsed_ns", duration_ns(report.elapsed))
+                .with("serial_ns", duration_ns(report.serial_runtime()))
+                .with("speedup", report.speedup()),
+        );
+    }
+    obj
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +477,102 @@ mod tests {
                 .unwrap()
         };
         assert!(steps(&entries[2]) < steps(&entries[1]));
+    }
+
+    #[test]
+    fn fit_report_inlines_single_loops_and_nests_libraries() {
+        use crate::fit::{fit_batch, FitJob, MultiStartOptions};
+        use ja_hysteresis::backend::HysteresisBackend;
+        use ja_hysteresis::fitting::FitOptions;
+        use ja_hysteresis::model::JilesAtherton;
+
+        let measured = |params: JaParameters| {
+            let mut model = JilesAtherton::new(params).unwrap();
+            model
+                .run_schedule(
+                    &waveform::schedule::FieldSchedule::major_loop(10_000.0, 250.0, 2).unwrap(),
+                )
+                .unwrap()
+        };
+        let options = MultiStartOptions {
+            starts: 3,
+            workers: 2,
+            fit: FitOptions {
+                passes: 1,
+                sweep_step: 500.0,
+                ..FitOptions::default()
+            },
+            ..MultiStartOptions::default()
+        };
+
+        // Single loop: flat fields, ja-fit compatible.
+        let single = fit_batch(
+            vec![FitJob::with_auto_peak(
+                "date2006",
+                measured(JaParameters::date2006()),
+            )],
+            &options,
+        )
+        .unwrap();
+        let value = fit_report_value(&single, false);
+        assert_eq!(value.get("kind").and_then(JsonValue::as_str), Some("fit"));
+        assert_eq!(value.get("starts").and_then(JsonValue::as_i64), Some(3));
+        assert_eq!(value.get("seed").and_then(JsonValue::as_i64), Some(42));
+        assert_eq!(
+            value.get("loop").and_then(JsonValue::as_str),
+            Some("date2006")
+        );
+        assert!(value.get("loops").is_none(), "single loop inlines flat");
+        assert!(value.get("h_peak_a_per_m").is_some());
+        assert!(value.get("measured").is_some());
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        for entry in entries {
+            assert_eq!(entry.get("status").and_then(JsonValue::as_str), Some("ok"));
+            assert!(entry.get("start").is_some());
+            assert!(entry.get("cost").and_then(JsonValue::as_f64).is_some());
+            let params = entry.get("params").unwrap().as_object().unwrap();
+            assert_eq!(params[0].0, "m_sat_a_per_m");
+            assert_eq!(params.len(), 6);
+            assert!(entry.get("wall_clock_ns").is_none(), "timings are opt-in");
+        }
+        let best = value.get("best_start").and_then(JsonValue::as_i64).unwrap();
+        let best_cost = entries[best as usize]
+            .get("cost")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(
+            value.get("cost").and_then(JsonValue::as_f64),
+            Some(best_cost)
+        );
+        assert!(value.get("timing").is_none());
+        // The document parses back.
+        let text = value.to_pretty_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), value);
+
+        // A library fit nests per-loop objects.
+        let library = fit_batch(
+            vec![
+                FitJob::with_auto_peak("date2006", measured(JaParameters::date2006())),
+                FitJob::with_auto_peak("hard-steel", measured(JaParameters::hard_steel())),
+            ],
+            &options,
+        )
+        .unwrap();
+        let value = fit_report_value(&library, true);
+        let loops = value.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(loops.len(), 2);
+        assert_eq!(
+            loops[1].get("loop").and_then(JsonValue::as_str),
+            Some("hard-steel")
+        );
+        assert!(
+            value.get("measured").is_none(),
+            "library form has no flat loop"
+        );
+        assert!(value.get("timing").is_some(), "--timings adds the block");
+        let entry = &loops[0].get("entries").unwrap().as_array().unwrap()[0];
+        assert!(entry.get("wall_clock_ns").is_some());
     }
 
     #[test]

@@ -536,24 +536,21 @@ impl Excitation {
         Ok(Excitation::Samples(samples))
     }
 
-    /// Number of *prescribed* field samples.  Circuit-driven excitations
-    /// prescribe none — their field sequence exists only after the
-    /// transient run (and depends on the scenario's material) — so they
-    /// report 0 here while still driving a full sweep.
-    pub fn len(&self) -> usize {
+    /// Number of prescribed field samples, or `None` when the count is
+    /// solver-determined: a circuit-driven excitation produces its field
+    /// sequence only at run time (and it depends on the scenario's
+    /// material), so it has no prescribed count — yet it still drives a
+    /// full sweep.
+    ///
+    /// This replaces the earlier `len()`/`is_empty()` pair, which violated
+    /// the standard invariant (`len() == 0` while `is_empty()` was `false`
+    /// for circuit excitations).  `Option` makes "no prescribed count"
+    /// unrepresentable as a misleading zero.
+    pub fn sample_count(&self) -> Option<usize> {
         match self {
-            Excitation::Schedule(schedule) => schedule.len(),
-            Excitation::Samples(samples) => samples.len(),
-            Excitation::Circuit(_) => 0,
-        }
-    }
-
-    /// Whether the stimulus drives no samples at all.  A circuit-driven
-    /// excitation is never empty: its samples are produced by the solver.
-    pub fn is_empty(&self) -> bool {
-        match self {
-            Excitation::Circuit(_) => false,
-            _ => self.len() == 0,
+            Excitation::Schedule(schedule) => Some(schedule.len()),
+            Excitation::Samples(samples) => Some(samples.len()),
+            Excitation::Circuit(_) => None,
         }
     }
 
@@ -1104,8 +1101,7 @@ mod tests {
     fn sampled_excitation_matches_waveform() {
         let waveform = waveform::triangular::Triangular::new(1_000.0, 1.0).unwrap();
         let excitation = Excitation::sampled(&waveform, 1.0, 0.25).unwrap();
-        assert_eq!(excitation.len(), 5);
-        assert!(!excitation.is_empty());
+        assert_eq!(excitation.sample_count(), Some(5));
         let samples = excitation.to_samples();
         assert!((samples[1] - 1_000.0).abs() < 1e-9); // peak at t = 0.25
         assert!(Excitation::sampled(&waveform, 1.0, 0.0).is_err());
@@ -1139,11 +1135,31 @@ mod tests {
     }
 
     #[test]
-    fn circuit_excitation_prescribes_no_samples_but_is_not_empty() {
-        let excitation = Excitation::Circuit(CircuitExcitation::inrush());
-        assert_eq!(excitation.len(), 0);
-        assert!(!excitation.is_empty());
-        assert!(excitation.to_samples().is_empty());
+    fn sample_count_distinguishes_prescribed_from_solver_determined() {
+        // Regression for the old len()/is_empty() API, which reported
+        // len() == 0 with is_empty() == false for circuit excitations —
+        // breaking the standard invariant.  A solver-determined count is
+        // now None, not a misleading zero.
+        let circuit = Excitation::Circuit(CircuitExcitation::inrush());
+        assert_eq!(circuit.sample_count(), None);
+        assert!(circuit.to_samples().is_empty());
+        // ...but the scenario still drives a full sweep.
+        let outcome = Scenario::new(
+            "inrush",
+            JaParameters::date2006(),
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            circuit,
+        )
+        .run()
+        .unwrap();
+        assert!(!outcome.curve.is_empty());
+
+        let schedule = Excitation::major_loop(10_000.0, 250.0, 1).unwrap();
+        assert_eq!(schedule.sample_count(), Some(schedule.to_samples().len()));
+        let samples = Excitation::Samples(vec![0.0, 100.0, 0.0]);
+        assert_eq!(samples.sample_count(), Some(3));
+        assert_eq!(Excitation::Samples(Vec::new()).sample_count(), Some(0));
     }
 
     #[test]
