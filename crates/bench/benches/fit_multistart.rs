@@ -42,6 +42,7 @@ fn options(workers: usize) -> MultiStartOptions {
             sweep_step: 200.0,
             ..FitOptions::default()
         },
+        ..MultiStartOptions::default()
     }
 }
 

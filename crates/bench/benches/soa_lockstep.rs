@@ -1,0 +1,141 @@
+//! Scalar vs structure-of-arrays lockstep execution.
+//!
+//! Steps N parameter sets through the same major-loop field schedule with
+//! (a) the scalar per-lane path — one `DirectTimeless` backend per lane,
+//! built and driven exactly as a grid entry would be — and (b) the
+//! [`SoaBatch`] lockstep kernel in f64 and f32 column modes, at lane counts
+//! 4, 16 and 64.  The f64 SoA output is bit-identical to the scalar path
+//! (asserted in `core::soa` and `tests/soa_equivalence.rs`); this bench
+//! covers the performance side and prints the scalar-vs-SoA speedup at 16
+//! lanes, the acceptance threshold tracked by the CI bench gate.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use hdl_models::scenario::BackendKind;
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::soa::{SoaBatch, SoaPrecision};
+use magnetics::bh::BhCurve;
+use magnetics::material::JaParameters;
+use magnetics::units::Magnetisation;
+use waveform::schedule::FieldSchedule;
+
+const LANE_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn schedule() -> FieldSchedule {
+    FieldSchedule::major_loop(10_000.0, 50.0, 2).expect("schedule")
+}
+
+/// Deterministic lane materials: the four presets, each nudged per lane so
+/// no two lanes are identical (the grid/fitting workloads this models never
+/// repeat a parameter set either).
+fn lane_materials(lanes: usize) -> Vec<JaParameters> {
+    let presets = [
+        JaParameters::date2006(),
+        JaParameters::jiles_atherton_1984(),
+        JaParameters::soft_ferrite(),
+        JaParameters::hard_steel(),
+    ];
+    (0..lanes)
+        .map(|lane| {
+            let mut params = presets[lane % presets.len()];
+            let scale = 1.0 + 0.01 * (lane / presets.len()) as f64;
+            params.m_sat = Magnetisation::new(params.m_sat.value() * scale);
+            params.k *= scale;
+            params
+        })
+        .collect()
+}
+
+/// The scalar grid path: one boxed backend per lane, one schedule sweep each.
+fn run_scalar(materials: &[JaParameters], schedule: &FieldSchedule) -> Vec<BhCurve> {
+    materials
+        .iter()
+        .map(|&params| {
+            let mut backend = BackendKind::DirectTimeless
+                .build(params, JaConfig::default())
+                .expect("backend");
+            backend.run_schedule(schedule).expect("sweep")
+        })
+        .collect()
+}
+
+/// The lockstep path: all lanes advanced through the shared sample sequence.
+fn run_soa(
+    batch: &mut SoaBatch,
+    materials: &[JaParameters],
+    samples: &[f64],
+    curves: &mut Vec<BhCurve>,
+) {
+    batch.assign(materials);
+    curves.resize_with(materials.len(), BhCurve::new);
+    batch.run_samples_into_curves(samples, curves);
+}
+
+fn print_speedup_line() {
+    let schedule = schedule();
+    let samples = schedule.to_samples();
+    let materials = lane_materials(16);
+    let mut batch = SoaBatch::new(JaConfig::default(), SoaPrecision::F64).expect("batch");
+    let mut curves = Vec::new();
+
+    let time = |mut run: Box<dyn FnMut()>| {
+        // One warm-up, then the median of 5 timed repetitions.
+        run();
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                run();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+
+    let scalar = time(Box::new(|| {
+        black_box(run_scalar(&materials, &schedule));
+    }));
+    let soa = time(Box::new(|| {
+        run_soa(&mut batch, &materials, &samples, &mut curves);
+        black_box(&curves);
+    }));
+    println!("== soa lockstep: 16 lanes, major loop ±10 kA/m ==");
+    println!(
+        "scalar {:.2} ms, soa(f64) {:.2} ms -> scalar-vs-SoA speedup {:.2}x at 16 lanes\n",
+        scalar * 1e3,
+        soa * 1e3,
+        scalar / soa
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let schedule = schedule();
+    let samples = schedule.to_samples();
+    let mut group = c.benchmark_group("soa_lockstep");
+    group.sample_size(10);
+    for lanes in LANE_COUNTS {
+        let materials = lane_materials(lanes);
+        group.bench_function(format!("scalar_lanes{lanes}"), |b| {
+            b.iter(|| black_box(run_scalar(&materials, &schedule)))
+        });
+        for (label, precision) in [("f64", SoaPrecision::F64), ("f32", SoaPrecision::F32)] {
+            let mut batch = SoaBatch::new(JaConfig::default(), precision).expect("batch");
+            let mut curves = Vec::new();
+            group.bench_function(format!("soa_{label}_lanes{lanes}"), |b| {
+                b.iter(|| {
+                    run_soa(&mut batch, &materials, &samples, &mut curves);
+                    black_box(&curves);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    print_speedup_line();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -18,6 +18,15 @@ OPTIONS:
     --workers N        worker threads; 0 = one per core        [default: 0]
     --fail-fast        stop scheduling after the first failure (unexecuted
                        scenarios are reported as status \"cancelled\")
+    --routing MODE     how same-shaped scenarios are executed [default: auto]
+                         auto    groups of >= 2 timeless non-circuit
+                                 scenarios sharing a config and excitation
+                                 run as one structure-of-arrays lockstep
+                                 sweep; everything else runs scalar
+                         soa     lockstep even for singleton groups
+                         scalar  always one scenario at a time
+                       Routing never changes report content: SoA f64 lanes
+                       are bit-identical to scalar runs.
     --timings          include the run-dependent timing fields (per-entry
                        wall_clock_ns/runtime_ns and a trailing `timing`
                        object with workers/elapsed_ns/serial_ns/speedup).
@@ -49,7 +58,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let parsed = opts::parse(
         args,
         &["fail-fast", "timings"],
-        &["config", "workers", "out"],
+        &["config", "workers", "routing", "out"],
     )?;
     parsed.no_positionals()?;
 
@@ -59,7 +68,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         .scenarios()
         .map_err(|err| CliError::usage(err.to_string()))?;
 
-    let mut runner = BatchRunner::new().workers(parsed.usize_or("workers", 0)?);
+    let mut runner = BatchRunner::new()
+        .workers(parsed.usize_or("workers", 0)?)
+        .soa_routing(crate::common::routing_by_name(
+            parsed.value("routing").unwrap_or("auto"),
+        )?);
     if parsed.flag("fail-fast") {
         runner = runner.fail_fast();
     }

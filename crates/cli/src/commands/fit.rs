@@ -38,6 +38,15 @@ OPTIONS:
                           guess; more escape local minima)   [default: 1]
     --seed S              starting-point seed                [default: 42]
     --workers W           worker threads; 0 = one per core   [default: 0]
+    --routing MODE        candidate evaluation routing       [default: auto]
+                            auto    loops with >= 2 starts descend in
+                                    lockstep: each cost call evaluates all
+                                    live candidates as lanes of one
+                                    structure-of-arrays sweep
+                            soa     lockstep even for a single start
+                            scalar  one independent descent per start
+                          Routing never changes report content: SoA f64
+                          lanes are bit-identical to scalar evaluation.
     --passes N            coordinate-search passes per start [default: 6]
     --initial-step FRAC   initial relative perturbation      [default: 0.4]
     --sweep-step A_PER_M  candidate-sweep field step         [default: 50]
@@ -185,6 +194,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "starts",
             "seed",
             "workers",
+            "routing",
             "passes",
             "initial-step",
             "sweep-step",
@@ -197,6 +207,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         starts: parsed.usize_or("starts", 1)?,
         seed: parsed.usize_or("seed", 42)? as u64,
         workers: parsed.usize_or("workers", 0)?,
+        routing: crate::common::routing_by_name(parsed.value("routing").unwrap_or("auto"))?,
         fit: FitOptions {
             passes: parsed.usize_or("passes", 6)?,
             initial_step: parsed.f64_or("initial-step", 0.4)?,

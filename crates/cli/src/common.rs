@@ -1,6 +1,7 @@
 //! Shared helpers: name → domain-object lookups, excitation construction,
 //! report envelopes and output writing.
 
+use hdl_models::exec::SoaRouting;
 use hdl_models::report;
 use hdl_models::scenario::{
     BackendKind, CircuitExcitation, Excitation, ScenarioOutcome, SourceWaveform, StepControl,
@@ -45,6 +46,24 @@ pub fn backend_by_name(name: &str) -> Result<BackendKind, CliError> {
         other => Err(CliError::usage(format!(
             "unknown backend `{other}` (expected direct | systemc | ams | time-domain, \
              or the full labels)"
+        ))),
+    }
+}
+
+/// Looks the lockstep routing policy up by its `--routing` name.  Routing
+/// never changes report content (the SoA `f64` lanes are bit-identical to
+/// scalar execution) — only how candidate work is scheduled.
+///
+/// # Errors
+///
+/// Usage error for an unknown name.
+pub fn routing_by_name(name: &str) -> Result<SoaRouting, CliError> {
+    match name {
+        "auto" => Ok(SoaRouting::Auto),
+        "soa" => Ok(SoaRouting::ForceSoa),
+        "scalar" => Ok(SoaRouting::ForceScalar),
+        other => Err(CliError::usage(format!(
+            "unknown routing `{other}` (expected auto | soa | scalar)"
         ))),
     }
 }

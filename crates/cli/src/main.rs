@@ -100,8 +100,13 @@ REPORT SCHEMA (schema_version 1)
                                are never gated behind --timings.
     timing      object  ONLY with --timings: workers, elapsed_ns,
                         serial_ns, speedup (plus per-entry wall_clock_ns /
-                        runtime_ns).  Omitted by default so reports are
-                        byte-identical across --workers values.
+                        runtime_ns, and for entries executed as a
+                        structure-of-arrays lockstep group,
+                        backend_routing: \"soa\" with lockstep_lanes).
+                        Omitted by default so reports are byte-identical
+                        across --workers values AND across --routing
+                        modes (SoA f64 lanes are bit-identical to scalar
+                        runs).
 
   metrics object (keys from magnetics::LoopMetrics::named_values):
     b_max_t, h_max_a_per_m, coercivity_a_per_m, remanence_t,
@@ -127,9 +132,10 @@ REPORT SCHEMA (schema_version 1)
     (the best start's; null if every start failed), cost, evaluations
     (total).  `ja fit --input` inlines its single loop's fields flat;
     `ja fit --config` nests one such object per loop under `loops`.
-    Timing fields (per-start wall_clock_ns, trailing `timing` object)
-    appear only with --timings, so default reports are byte-identical
-    for any --workers value.
+    Timing fields (per-start wall_clock_ns, trailing `timing` object —
+    for lockstep-routed fits with backend_routing: \"soa\" and
+    lockstep_lanes) appear only with --timings, so default reports are
+    byte-identical for any --workers value and any --routing mode.
   kind=inverse (ja inverse --format json): samples, h_peak_a_per_m,
     b_peak_t, metrics (object|null).
   kind=compare (ja compare --format json): max_abs_diff_b_t,
@@ -249,6 +255,8 @@ mod tests {
             "rejected_updates",
             "wall_clock_ns",
             "m_sat_a_per_m",
+            "backend_routing",
+            "lockstep_lanes",
         ] {
             assert!(GLOBAL_HELP.contains(needle), "missing `{needle}`");
         }

@@ -12,9 +12,21 @@
 //!   plain value type.  This is what makes fitting a batchable workload —
 //!   each worker of a multi-start fit keeps one objective alive across all
 //!   the candidates it evaluates (see `hdl_models::fit`).
+//! * [`BatchObjective`] — the same cost function over many candidates at
+//!   once.  Candidates are evaluated as lanes of a structure-of-arrays
+//!   lockstep sweep ([`crate::soa::SoaBatch`]), whose `f64` columns are
+//!   bit-identical to the scalar model — a batched cost is the same number
+//!   the scalar objective would have produced, just computed N lanes at a
+//!   time.  Like [`FitObjective`], it owns all its evaluation scratch
+//!   (sample vector, SoA columns, per-lane curve buffers), so a steady-state
+//!   cost call performs **no heap allocation** (asserted by
+//!   `tests/fit_allocation.rs` at the workspace root).
 //! * [`LocalOptimizer`] / [`CoordinateDescent`] — the pluggable local
 //!   search.  The default is the cyclic coordinate search with a shrinking
 //!   step; alternative optimisers only need to drive the objective.
+//!   [`CoordinateDescent::optimize_batch`] runs the same search over many
+//!   starting points in lockstep, batching each descent slot's surviving
+//!   candidates into one [`BatchObjective`] call.
 //! * [`initial_guess`] / [`starting_points`] — physically motivated start
 //!   plus seeded, deterministic latin-hypercube perturbations of it for
 //!   multi-start searches that escape local minima.
@@ -30,8 +42,10 @@ use magnetics::units::Magnetisation;
 use waveform::schedule::FieldSchedule;
 
 use crate::backend::HysteresisBackend;
+use crate::config::JaConfig;
 use crate::error::JaError;
 use crate::model::JilesAtherton;
+use crate::soa::{SoaBatch, SoaPrecision};
 
 /// Options of the coordinate-search fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,6 +194,109 @@ impl FitObjective {
     }
 }
 
+/// The fitting cost function over many candidates at once, evaluated as
+/// lanes of one structure-of-arrays lockstep sweep.
+///
+/// A [`costs`](BatchObjective::costs) call assigns the candidates to the
+/// lanes of an internal [`SoaBatch`] (always `f64` columns, which are
+/// bit-identical to the scalar model), runs the shared candidate schedule
+/// once across all lanes, and extracts each lane's metric mismatch — the
+/// exact value [`FitObjective::cost`] would have returned for that
+/// candidate, because both paths execute the same operation sequence per
+/// lane and the same metric extraction over bit-identical curves.
+///
+/// All evaluation scratch is owned and reused: the flattened sample vector,
+/// the SoA parameter/state columns, the per-lane curve buffers and the cost
+/// vector only ever grow to the high-water lane count.  After the first
+/// call at a given lane count, a cost call performs **no heap allocation**
+/// (metric extraction streams its crossings instead of collecting them) —
+/// asserted by the workspace's `tests/fit_allocation.rs`.
+#[derive(Debug, Clone)]
+pub struct BatchObjective {
+    target: LoopMetrics,
+    samples: Vec<f64>,
+    batch: SoaBatch,
+    curves: Vec<BhCurve>,
+    costs: Vec<Result<f64, JaError>>,
+    evaluations: usize,
+}
+
+impl BatchObjective {
+    /// Builds a batched objective from already-extracted target metrics;
+    /// the candidate sweep is the same two-cycle major loop a
+    /// [`FitObjective`] would use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] for invalid `options` and
+    /// [`JaError::Waveform`] for an invalid candidate schedule — the same
+    /// failures, for the same inputs, as [`FitObjective::from_target`].
+    pub fn from_target(
+        target: LoopMetrics,
+        h_peak: f64,
+        options: &FitOptions,
+    ) -> Result<Self, JaError> {
+        options.validate()?;
+        let schedule = FieldSchedule::major_loop(h_peak, options.sweep_step, 2)?;
+        let samples = schedule.to_samples();
+        // The scalar objective simulates with the default configuration
+        // (`JilesAtherton::new`); the lanes must match it exactly.
+        let batch = SoaBatch::new(JaConfig::default(), SoaPrecision::F64)?;
+        Ok(Self {
+            target,
+            samples,
+            batch,
+            curves: Vec::new(),
+            costs: Vec::new(),
+            evaluations: 0,
+        })
+    }
+
+    /// The measured metrics the fit is matching.
+    pub fn target(&self) -> &LoopMetrics {
+        &self.target
+    }
+
+    /// Number of candidate evaluations performed so far (every lane of
+    /// every call, failed lanes included).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Evaluates all candidates as one lockstep sweep and returns their
+    /// costs in candidate order, valid until the next call.
+    ///
+    /// Each lane's entry is exactly what [`FitObjective::cost`] would
+    /// return for that candidate: the bit-identical mismatch on success,
+    /// the same [`JaError`] on failure (an invalid candidate, a diverged
+    /// sweep, or a trace that does not form a closable loop).  Failed lanes
+    /// do not disturb their neighbours, and every lane counts towards
+    /// [`evaluations`](Self::evaluations).
+    pub fn costs(&mut self, candidates: &[JaParameters]) -> &[Result<f64, JaError>] {
+        let lanes = candidates.len();
+        self.evaluations += lanes;
+        self.batch.assign(candidates);
+        let capacity = self.samples.len();
+        if self.curves.len() < lanes {
+            self.curves
+                .resize_with(lanes, || BhCurve::with_capacity(capacity));
+        }
+        self.batch
+            .run_samples_into_curves(&self.samples, &mut self.curves[..lanes]);
+        self.costs.clear();
+        for lane in 0..lanes {
+            let cost = match self.batch.lane_error(lane) {
+                Some(err) => Err(err.clone()),
+                None => loop_metrics(&self.curves[lane])
+                    .map(|metrics| metric_mismatch(&metrics, &self.target))
+                    .map_err(JaError::from),
+            };
+            self.costs.push(cost);
+        }
+        &self.costs
+    }
+}
+
 /// A local search strategy over a [`FitObjective`].
 ///
 /// Implementations refine a starting parameter set into a local minimum of
@@ -232,6 +349,100 @@ impl CoordinateDescent {
             initial_step: options.initial_step,
             ..Self::default()
         }
+    }
+
+    /// Runs the coordinate search over many starting points in lockstep:
+    /// at every descent slot (pass × coordinate × factor) each live start
+    /// proposes its candidate, the surviving candidates are evaluated as
+    /// one [`BatchObjective::costs`] call, and each start's accept/reject
+    /// decision is applied independently.
+    ///
+    /// Because a cost is a pure function of its candidate — and the SoA
+    /// lanes are bit-identical to the scalar objective — every start's
+    /// trajectory, final parameters, cost bits and evaluation count are
+    /// exactly what [`LocalOptimizer::optimize`] would have produced for
+    /// that start alone.  The per-start skip rules carry over unchanged:
+    /// a perturbation that fails validation or clamps back onto the
+    /// incumbent is skipped, not evaluated.
+    ///
+    /// One entry per start, in start order: a start whose *initial*
+    /// evaluation fails yields that error (it consumed exactly one
+    /// evaluation); failures on perturbed candidates just reject the
+    /// candidate, as in the scalar search.
+    pub fn optimize_batch(
+        &self,
+        objective: &mut BatchObjective,
+        starts: &[JaParameters],
+    ) -> Vec<Result<FitResult, JaError>> {
+        struct Lane {
+            best: JaParameters,
+            best_cost: f64,
+            evaluations: usize,
+        }
+        if starts.is_empty() {
+            return Vec::new();
+        }
+        let mut lanes: Vec<Result<Lane, JaError>> = starts
+            .iter()
+            .zip(objective.costs(starts))
+            .map(|(start, cost)| match cost {
+                Ok(cost) => Ok(Lane {
+                    best: *start,
+                    best_cost: *cost,
+                    evaluations: 1,
+                }),
+                Err(err) => Err(err.clone()),
+            })
+            .collect();
+
+        let mut candidates: Vec<JaParameters> = Vec::with_capacity(starts.len());
+        let mut owners: Vec<usize> = Vec::with_capacity(starts.len());
+        let mut step = self.initial_step;
+        for _ in 0..self.passes {
+            for coordinate in 0..5 {
+                for &factor in &[1.0 + step, 1.0 / (1.0 + step)] {
+                    candidates.clear();
+                    owners.clear();
+                    for (index, lane) in lanes.iter().enumerate() {
+                        let Ok(lane) = lane else { continue };
+                        let Ok(candidate) = perturb(&lane.best, coordinate, factor) else {
+                            continue;
+                        };
+                        if candidate == lane.best {
+                            continue;
+                        }
+                        candidates.push(candidate);
+                        owners.push(index);
+                    }
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let costs = objective.costs(&candidates);
+                    for ((&index, candidate), cost) in owners.iter().zip(&candidates).zip(costs) {
+                        let lane = lanes[index].as_mut().expect("only live lanes propose");
+                        lane.evaluations += 1;
+                        if let Ok(cost) = cost {
+                            if *cost < lane.best_cost {
+                                lane.best_cost = *cost;
+                                lane.best = *candidate;
+                            }
+                        }
+                    }
+                }
+            }
+            step *= self.shrink;
+        }
+
+        lanes
+            .into_iter()
+            .map(|lane| {
+                lane.map(|lane| FitResult {
+                    params: lane.best,
+                    cost: lane.best_cost,
+                    evaluations: lane.evaluations,
+                })
+            })
+            .collect()
     }
 }
 
@@ -609,6 +820,87 @@ mod tests {
             "clamped candidate was evaluated: {} evaluations",
             result.evaluations
         );
+    }
+
+    #[test]
+    fn batch_objective_matches_scalar_costs_bitwise() {
+        let measured = measured_loop(250.0);
+        let target = loop_metrics(&measured).unwrap();
+        let options = FitOptions::default();
+        let mut scalar = FitObjective::from_target(target, 10_000.0, &options).unwrap();
+        let mut batched = BatchObjective::from_target(target, 10_000.0, &options).unwrap();
+
+        let mut bad = JaParameters::date2006();
+        bad.k = -1.0;
+        let candidates = [
+            JaParameters::date2006(),
+            JaParameters::hard_steel(),
+            bad,
+            JaParameters::soft_ferrite(),
+        ];
+        let batch_costs: Vec<Result<f64, JaError>> = batched.costs(&candidates).to_vec();
+        assert_eq!(batched.evaluations(), candidates.len());
+        for (candidate, batch_cost) in candidates.iter().zip(&batch_costs) {
+            match (scalar.cost(candidate), batch_cost) {
+                (Ok(s), Ok(b)) => assert_eq!(s.to_bits(), b.to_bits()),
+                (Err(s), Err(b)) => assert_eq!(&s, b),
+                (s, b) => panic!("cost kinds diverged: {s:?} vs {b:?}"),
+            }
+        }
+        // Repeat calls are bit-identical: the lane scratch fully resets.
+        let again = batched.costs(&candidates).to_vec();
+        for (a, b) in batch_costs.iter().zip(&again) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("repeat call changed a cost kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_descent_matches_scalar_descent_bitwise() {
+        let measured = measured_loop(250.0);
+        let target = loop_metrics(&measured).unwrap();
+        let options = FitOptions {
+            passes: 2,
+            sweep_step: 250.0,
+            ..FitOptions::default()
+        };
+        let mut starts = starting_points(&target, 5, 42).unwrap();
+        // One hopeless start: its very first evaluation fails, so the
+        // lockstep lane must report the same error and count 1 evaluation.
+        let mut bad = starts[1];
+        bad.k = -1.0;
+        starts.push(bad);
+
+        let optimizer = CoordinateDescent::from_options(&options);
+        let mut batched = BatchObjective::from_target(target, 10_000.0, &options).unwrap();
+        let lockstep = optimizer.optimize_batch(&mut batched, &starts);
+        assert_eq!(lockstep.len(), starts.len());
+
+        for (start, lockstep_result) in starts.iter().zip(&lockstep) {
+            let mut objective = FitObjective::from_target(target, 10_000.0, &options).unwrap();
+            match (optimizer.optimize(&mut objective, *start), lockstep_result) {
+                (Ok(scalar), Ok(lane)) => {
+                    assert_eq!(scalar.cost.to_bits(), lane.cost.to_bits());
+                    assert_eq!(scalar.params, lane.params);
+                    assert_eq!(scalar.evaluations, lane.evaluations);
+                }
+                (Err(scalar), Err(lane)) => {
+                    assert_eq!(&scalar, lane);
+                    assert_eq!(objective.evaluations(), 1);
+                }
+                (s, l) => panic!("descent outcomes diverged: {s:?} vs {l:?}"),
+            }
+        }
+        // The dead lane stopped proposing candidates after its start
+        // failed: total batch evaluations = live starts' work + 1.
+        let live: usize = lockstep
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|f| f.evaluations))
+            .sum();
+        assert_eq!(batched.evaluations(), live + 1);
     }
 
     #[test]

@@ -37,6 +37,9 @@
 //!   dH/dt`) used as the baseline the paper compares against;
 //! * [`sweep`] — DC-sweep driver turning a [`waveform::schedule::FieldSchedule`]
 //!   into a [`magnetics::bh::BhCurve`];
+//! * [`soa`] — [`soa::SoaBatch`], the structure-of-arrays lockstep kernel
+//!   stepping many parameter sets through one field sequence at once
+//!   (bit-identical to the scalar model in `f64` mode);
 //! * [`backend`] — the [`backend::HysteresisBackend`] trait unifying every
 //!   implementation style (direct, time-domain, and the HDL models of the
 //!   `hdl-models` crate) behind one polymorphic driving API;
@@ -76,6 +79,7 @@ pub mod json;
 pub mod model;
 pub mod params;
 pub mod slope;
+pub mod soa;
 pub mod state;
 pub mod sweep;
 pub mod time_domain;

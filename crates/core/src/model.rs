@@ -1,6 +1,6 @@
 //! The user-facing Jiles–Atherton model with timeless slope integration.
 
-use magnetics::anhysteretic::{Anhysteretic, AnhystereticKind};
+use magnetics::anhysteretic::AnhystereticKind;
 use magnetics::constants::MU0;
 use magnetics::material::JaParameters;
 use magnetics::units::{FieldStrength, FluxDensity, Magnetisation};
@@ -8,7 +8,7 @@ use magnetics::units::{FieldStrength, FluxDensity, Magnetisation};
 use crate::config::JaConfig;
 use crate::error::JaError;
 use crate::state::JaState;
-use crate::timeless::{integrate_field_increment, total_magnetisation};
+use crate::timeless::advance_state;
 
 /// One output sample of the model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,65 +141,14 @@ impl JilesAtherton {
     /// [`JaError::StateDiverged`] if the state stops being finite (possible
     /// only with the guards disabled).
     pub fn apply_field(&mut self, h: f64) -> Result<JaSample, JaError> {
-        if !h.is_finite() {
-            return Err(JaError::NonFiniteField { value: h });
-        }
-        self.stats.samples += 1;
-
-        // The paper's monitorH: only integrate when the accumulated field
-        // change exceeds the threshold.
-        let dh_accumulated = h - self.state.h_last_update;
-        if dh_accumulated.abs() >= self.config.dh_max {
-            let result = integrate_field_increment(
-                &self.params,
-                &self.anhysteretic,
-                &self.config,
-                self.state.m_irr,
-                self.state.m_total,
-                self.state.h_last_update,
-                h,
-            );
-            self.state.m_irr += result.dm_irr;
-            self.state.h_last_update = h;
-            self.state.updates += 1;
-            self.stats.updates += 1;
-            self.stats.slope_evaluations += u64::from(result.slope_evaluations);
-            self.stats.negative_slope_events += u64::from(result.negative_slope_events);
-            self.stats.rejected_updates += u64::from(result.rejected_updates);
-        }
-
-        // The paper's core(): effective field, anhysteretic, reversible and
-        // total magnetisation, flux density.  The SystemC process settles
-        // over delta cycles because `core()` re-evaluates when the total
-        // magnetisation it wrote changes; the same self-consistency is
-        // obtained here with a short fixed-point iteration (the map is a
-        // strong contraction for physical parameter sets).
-        self.state.h = h;
-        let m_sat = self.params.m_sat.value();
-        let mut m_total = self.state.m_total;
-        let mut m_an = self.state.m_an;
-        for _ in 0..8 {
-            let h_effective = h + self.params.alpha * m_sat * m_total;
-            m_an = self.anhysteretic.normalised(h_effective);
-            let next = total_magnetisation(
-                self.config.formulation,
-                self.params.c,
-                m_an,
-                self.state.m_irr,
-            );
-            let converged = (next - m_total).abs() < 1e-13;
-            m_total = next;
-            if converged {
-                break;
-            }
-        }
-        self.state.m_an = m_an;
-        self.state.m_total = m_total;
-        self.state.m_rev = self.state.m_total - self.state.m_irr;
-
-        if !self.state.is_finite() {
-            return Err(JaError::StateDiverged { at_field: h });
-        }
+        advance_state(
+            &self.params,
+            &self.anhysteretic,
+            &self.config,
+            &mut self.state,
+            &mut self.stats,
+            h,
+        )?;
         Ok(self.sample())
     }
 

@@ -1,0 +1,942 @@
+//! Structure-of-arrays lockstep execution of many parameter sets.
+//!
+//! A [`SoaBatch`] steps N Jiles–Atherton parameter sets ("lanes") through
+//! the **same** applied-field sequence, holding every state and parameter
+//! field in a flat column (one `Vec` per field) instead of N independent
+//! model objects.  Each lane advances through exactly the per-step
+//! increment math of the scalar model, so in the default
+//! [`SoaPrecision::F64`] mode every lane is **bit-identical** to a scalar
+//! [`JilesAtherton`](crate::model::JilesAtherton) run of the same
+//! parameters, configuration and samples.
+//!
+//! Two kernels implement that contract:
+//!
+//! * the **lockstep kernel** (arctangent anhysteretic laws, i.e. the
+//!   paper's modified Langevin and the two-parameter blend): all lanes walk
+//!   the sample sequence together, and the per-sample self-consistency
+//!   fixed point runs as a branch-light lane-inner loop over the flat
+//!   columns.  The heavy arctangents go through the shared polynomial
+//!   [`magnetics::fastmath::atan`], a fixed inlineable operation sequence,
+//!   so independent lanes pipeline and auto-vectorise instead of
+//!   serialising on an opaque libm call — this is where the SoA speedup
+//!   comes from.  Per lane the operation order is exactly the scalar
+//!   model's ([`advance_state`] shares the
+//!   same constants and increment routine), which keeps `f64` lanes
+//!   bitwise equal;
+//! * the **per-lane fallback** (classic Langevin law): each lane walks the
+//!   whole sequence delegating every step to
+//!   [`advance_state`] itself — trivially
+//!   bit-identical, without the lane-parallel throughput.
+//!
+//! On top of the kernel win, the batch removes everything around the math:
+//! per-sample dynamic dispatch, per-sample `Result`/sample-struct plumbing,
+//! per-lane schedule re-iteration and per-lane model construction.
+//!
+//! The optional [`SoaPrecision::F32`] mode stores the six state columns as
+//! `f32`: every step loads the rounded state, advances it in `f64` (the
+//! arithmetic itself never changes), and stores the result rounded back to
+//! `f32`.  Parameters stay in `f64` columns so the lanes still evaluate the
+//! exact requested parameter sets.  The rounding feeds back through the
+//! state, so the error against the scalar reference grows with the lane's
+//! susceptibility; the documented bound (asserted by
+//! `tests/soa_equivalence.rs`) is a relative flux-density error below
+//! `1e-4` of the loop's peak for the workspace's materials and schedules.
+//!
+//! Lanes are fully independent: a lane whose parameters fail validation or
+//! whose state diverges records its [`JaError`] and goes inactive without
+//! disturbing the other lanes — mirroring how each scenario of a scalar
+//! batch fails on its own.
+
+use magnetics::anhysteretic::AnhystereticKind;
+use magnetics::bh::BhCurve;
+use magnetics::constants::MU0;
+use magnetics::fastmath;
+use magnetics::material::JaParameters;
+use magnetics::units::Magnetisation;
+
+use crate::config::JaConfig;
+use crate::error::JaError;
+use crate::model::JaStatistics;
+use crate::params::AnhystereticChoice;
+use crate::state::JaState;
+use crate::timeless::{
+    advance_state, integrate_field_increment, total_magnetisation, FIXED_POINT_ITERATIONS,
+    FIXED_POINT_TOLERANCE,
+};
+
+/// Numeric storage of the per-lane state columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SoaPrecision {
+    /// `f64` state columns — bit-identical to the scalar model.
+    #[default]
+    F64,
+    /// `f32` state columns — halves the state footprint; the per-step
+    /// arithmetic stays `f64`, but results are rounded through `f32`
+    /// between steps (see the module docs for the documented tolerance).
+    F32,
+}
+
+/// A column element: converts losslessly (`f64`) or by rounding (`f32`)
+/// to and from the `f64` the step math runs in.
+trait ColumnScalar: Copy + Default {
+    fn from_f64(value: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl ColumnScalar for f64 {
+    #[inline]
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl ColumnScalar for f32 {
+    #[inline]
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// The six state fields of [`JaState`] as flat columns, plus the per-lane
+/// update counter.
+#[derive(Debug, Clone, Default)]
+struct StateColumns<T> {
+    m_irr: Vec<T>,
+    m_rev: Vec<T>,
+    m_total: Vec<T>,
+    m_an: Vec<T>,
+    h: Vec<T>,
+    h_last_update: Vec<T>,
+    updates: Vec<u64>,
+}
+
+impl<T: ColumnScalar> StateColumns<T> {
+    /// Resets every column to `lanes` demagnetised entries, reusing the
+    /// existing allocations.
+    fn reset(&mut self, lanes: usize) {
+        for column in [
+            &mut self.m_irr,
+            &mut self.m_rev,
+            &mut self.m_total,
+            &mut self.m_an,
+            &mut self.h,
+            &mut self.h_last_update,
+        ] {
+            column.clear();
+            column.resize(lanes, T::default());
+        }
+        self.updates.clear();
+        self.updates.resize(lanes, 0);
+    }
+
+    /// Gathers one lane into a scalar [`JaState`].
+    #[inline]
+    fn load(&self, lane: usize) -> JaState {
+        JaState {
+            m_irr: self.m_irr[lane].to_f64(),
+            m_rev: self.m_rev[lane].to_f64(),
+            m_total: self.m_total[lane].to_f64(),
+            m_an: self.m_an[lane].to_f64(),
+            h: self.h[lane].to_f64(),
+            h_last_update: self.h_last_update[lane].to_f64(),
+            updates: self.updates[lane],
+        }
+    }
+
+    /// Scatters a scalar [`JaState`] back into one lane.
+    #[inline]
+    fn store(&mut self, lane: usize, state: &JaState) {
+        self.m_irr[lane] = T::from_f64(state.m_irr);
+        self.m_rev[lane] = T::from_f64(state.m_rev);
+        self.m_total[lane] = T::from_f64(state.m_total);
+        self.m_an[lane] = T::from_f64(state.m_an);
+        self.h[lane] = T::from_f64(state.h);
+        self.h_last_update[lane] = T::from_f64(state.h_last_update);
+        self.updates[lane] = state.updates;
+    }
+}
+
+/// State columns in the precision selected at construction, dispatched once
+/// per sweep rather than once per step.
+#[derive(Debug, Clone)]
+enum LaneStore {
+    F64(StateColumns<f64>),
+    F32(StateColumns<f32>),
+}
+
+/// A batch of Jiles–Atherton lanes sharing one configuration and one
+/// applied-field sequence, laid out as structure-of-arrays columns.
+///
+/// Lifecycle: construct once per (configuration, precision), then
+/// repeatedly [`assign`](SoaBatch::assign) parameter sets and
+/// [`run_samples_into_curves`](SoaBatch::run_samples_into_curves).  All
+/// columns reuse their allocations across assignments, so steady-state
+/// re-evaluation (the multi-start fitting inner loop) performs no per-call
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct SoaBatch {
+    config: JaConfig,
+    precision: SoaPrecision,
+    // Parameter columns (always f64 — see the module docs).
+    m_sat: Vec<f64>,
+    a: Vec<f64>,
+    a2: Vec<f64>,
+    k: Vec<f64>,
+    alpha: Vec<f64>,
+    c: Vec<f64>,
+    anhysteretic: Vec<AnhystereticKind>,
+    store: LaneStore,
+    stats: Vec<JaStatistics>,
+    errors: Vec<Option<JaError>>,
+    scratch: LockstepScratch,
+}
+
+/// Reusable `f64` working buffers of the lockstep kernel: the state fields
+/// every lane carries across one sample, plus the per-lane convergence mask
+/// of the fixed point.  Kept on the batch so steady-state re-runs allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+struct LockstepScratch {
+    m_irr: Vec<f64>,
+    m_total: Vec<f64>,
+    m_an: Vec<f64>,
+    h_last: Vec<f64>,
+    done: Vec<bool>,
+}
+
+impl SoaBatch {
+    /// Creates an empty batch for the given configuration and precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] for an invalid configuration —
+    /// the same check (and error) a scalar
+    /// [`JilesAtherton::with_config`](crate::model::JilesAtherton::with_config)
+    /// performs.
+    pub fn new(config: JaConfig, precision: SoaPrecision) -> Result<Self, JaError> {
+        config.validate()?;
+        let store = match precision {
+            SoaPrecision::F64 => LaneStore::F64(StateColumns::default()),
+            SoaPrecision::F32 => LaneStore::F32(StateColumns::default()),
+        };
+        Ok(Self {
+            config,
+            precision,
+            m_sat: Vec::new(),
+            a: Vec::new(),
+            a2: Vec::new(),
+            k: Vec::new(),
+            alpha: Vec::new(),
+            c: Vec::new(),
+            anhysteretic: Vec::new(),
+            store,
+            stats: Vec::new(),
+            errors: Vec::new(),
+            scratch: LockstepScratch::default(),
+        })
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &JaConfig {
+        &self.config
+    }
+
+    /// The state-column precision.
+    pub fn precision(&self) -> SoaPrecision {
+        self.precision
+    }
+
+    /// Number of lanes currently assigned.
+    pub fn lanes(&self) -> usize {
+        self.m_sat.len()
+    }
+
+    /// Assigns one lane per parameter set, resetting every lane to the
+    /// demagnetised state and clearing its statistics.  Column capacity is
+    /// reused, so re-assigning the same lane count allocates nothing.
+    ///
+    /// A parameter set that fails validation marks its lane with the same
+    /// [`JaError::Material`] a scalar model construction would return; the
+    /// lane stays inactive for the following runs.
+    pub fn assign(&mut self, params: &[JaParameters]) {
+        let lanes = params.len();
+        for column in [
+            &mut self.m_sat,
+            &mut self.a,
+            &mut self.a2,
+            &mut self.k,
+            &mut self.alpha,
+            &mut self.c,
+        ] {
+            column.clear();
+            column.reserve(lanes);
+        }
+        self.anhysteretic.clear();
+        self.anhysteretic.reserve(lanes);
+        self.stats.clear();
+        self.stats.resize(lanes, JaStatistics::default());
+        self.errors.clear();
+        self.errors.resize(lanes, None);
+        for (lane, p) in params.iter().enumerate() {
+            self.m_sat.push(p.m_sat.value());
+            self.a.push(p.a);
+            self.a2.push(p.a2);
+            self.k.push(p.k);
+            self.alpha.push(p.alpha);
+            self.c.push(p.c);
+            match p.validate() {
+                Ok(()) => self.anhysteretic.push(self.config.anhysteretic.build(p)),
+                Err(err) => {
+                    // The lane is inactive; park a law built from the
+                    // (always valid) paper preset so the column stays
+                    // aligned without evaluating the invalid shape.
+                    self.errors[lane] = Some(JaError::Material(err));
+                    self.anhysteretic
+                        .push(self.config.anhysteretic.build(&JaParameters::date2006()));
+                }
+            }
+        }
+        match &mut self.store {
+            LaneStore::F64(columns) => columns.reset(lanes),
+            LaneStore::F32(columns) => columns.reset(lanes),
+        }
+    }
+
+    /// Reconstructs one lane's parameter set from the columns.
+    #[inline]
+    fn lane_params(&self, lane: usize) -> JaParameters {
+        JaParameters {
+            m_sat: magnetics::units::Magnetisation::new(self.m_sat[lane]),
+            a: self.a[lane],
+            a2: self.a2[lane],
+            k: self.k[lane],
+            alpha: self.alpha[lane],
+            c: self.c[lane],
+        }
+    }
+
+    /// Steps every active lane through `samples` in lockstep, appending one
+    /// `(h, b, m)` point per sample to the lane's curve in `curves` (which
+    /// must hold exactly [`lanes`](SoaBatch::lanes) curves; each is cleared
+    /// first and its capacity reused).  A lane whose state diverges records
+    /// its error and stops; the remaining lanes continue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `curves.len()` differs from the assigned lane count.
+    pub fn run_samples_into_curves(&mut self, samples: &[f64], curves: &mut [BhCurve]) {
+        assert_eq!(
+            curves.len(),
+            self.lanes(),
+            "one output curve per lane is required"
+        );
+        let Self {
+            config,
+            m_sat,
+            a,
+            a2,
+            k,
+            alpha,
+            c,
+            anhysteretic,
+            store,
+            stats,
+            errors,
+            scratch,
+            ..
+        } = self;
+        let params: [&Vec<f64>; 6] = [&*m_sat, &*a, &*a2, &*k, &*alpha, &*c];
+        let law = lockstep_law(config, anhysteretic, a, a2, errors);
+        match store {
+            LaneStore::F64(columns) => run_columns(
+                columns,
+                config,
+                anhysteretic,
+                &params,
+                law.as_ref(),
+                scratch,
+                stats,
+                errors,
+                samples,
+                curves,
+            ),
+            LaneStore::F32(columns) => run_columns(
+                columns,
+                config,
+                anhysteretic,
+                &params,
+                law.as_ref(),
+                scratch,
+                stats,
+                errors,
+                samples,
+                curves,
+            ),
+        }
+    }
+
+    /// The cumulative statistics of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_statistics(&self, lane: usize) -> JaStatistics {
+        self.stats[lane]
+    }
+
+    /// The error that deactivated a lane, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_error(&self, lane: usize) -> Option<&JaError> {
+        self.errors[lane].as_ref()
+    }
+
+    /// The reconstructed parameter set of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_parameters(&self, lane: usize) -> JaParameters {
+        self.lane_params(lane)
+    }
+}
+
+/// The per-lane normalised anhysteretic evaluation of the lockstep kernel.
+/// Implementations must reproduce the corresponding
+/// [`Anhysteretic::normalised`](magnetics::anhysteretic::Anhysteretic)
+/// operation sequence exactly — that equivalence is what keeps the kernel
+/// bit-identical to the scalar model, and [`lockstep_law`] verifies the
+/// lane shapes against the built laws before selecting a kernel.
+trait LockstepMan {
+    /// Number of lanes the law's shape columns cover; the kernel asserts
+    /// this equals the batch width so lane indexing is provably in bounds.
+    fn lanes(&self) -> usize;
+    fn m_an(&self, lane: usize, h_effective: f64) -> f64;
+}
+
+/// The paper's modified Langevin, `(2/π)·atan(H_e/a)`, over a lane column.
+struct SingleAtanLanes<'x> {
+    a: &'x [f64],
+}
+
+impl LockstepMan for SingleAtanLanes<'_> {
+    #[inline(always)]
+    fn lanes(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline(always)]
+    fn m_an(&self, lane: usize, h_effective: f64) -> f64 {
+        std::f64::consts::FRAC_2_PI * fastmath::atan(h_effective / self.a[lane])
+    }
+}
+
+/// The two-parameter arctangent blend over lane columns.
+struct BlendAtanLanes<'x> {
+    a: &'x [f64],
+    a2: &'x [f64],
+    weight: f64,
+}
+
+impl LockstepMan for BlendAtanLanes<'_> {
+    #[inline(always)]
+    fn lanes(&self) -> usize {
+        self.a.len().min(self.a2.len())
+    }
+
+    #[inline(always)]
+    fn m_an(&self, lane: usize, h_effective: f64) -> f64 {
+        let t1 = fastmath::atan(h_effective / self.a[lane]);
+        let t2 = fastmath::atan(h_effective / self.a2[lane]);
+        std::f64::consts::FRAC_2_PI * (self.weight * t1 + (1.0 - self.weight) * t2)
+    }
+}
+
+/// The anhysteretic law the lockstep kernel will use, or `None` when the
+/// batch must take the per-lane fallback (classic Langevin, or any lane
+/// whose built law does not match its parameter columns — impossible for
+/// batches built by [`SoaBatch::assign`], but checked rather than assumed
+/// because bit-identity rides on it).
+enum LockstepLaw<'x> {
+    Single(SingleAtanLanes<'x>),
+    Blend(BlendAtanLanes<'x>),
+}
+
+fn lockstep_law<'x>(
+    config: &JaConfig,
+    anhysteretic: &[AnhystereticKind],
+    a: &'x [f64],
+    a2: &'x [f64],
+    errors: &[Option<JaError>],
+) -> Option<LockstepLaw<'x>> {
+    match config.anhysteretic {
+        AnhystereticChoice::ModifiedLangevin => {
+            for (lane, kind) in anhysteretic.iter().enumerate() {
+                let matches = matches!(kind, AnhystereticKind::ModifiedLangevin(f)
+                    if f.a().to_bits() == a[lane].to_bits());
+                if !matches && errors[lane].is_none() {
+                    return None;
+                }
+            }
+            Some(LockstepLaw::Single(SingleAtanLanes { a }))
+        }
+        AnhystereticChoice::DoubleArctan => {
+            let weight = 0.5_f64;
+            for (lane, kind) in anhysteretic.iter().enumerate() {
+                let matches = matches!(kind, AnhystereticKind::DoubleArctan(f)
+                    if f.a().to_bits() == a[lane].to_bits()
+                        && f.a2().to_bits() == a2[lane].to_bits()
+                        && f.weight().to_bits() == weight.to_bits());
+                if !matches && errors[lane].is_none() {
+                    return None;
+                }
+            }
+            Some(LockstepLaw::Blend(BlendAtanLanes { a, a2, weight }))
+        }
+        AnhystereticChoice::Langevin => None,
+    }
+}
+
+/// Runs one precision's columns through the kernel selected by
+/// [`lockstep_law`].
+#[allow(clippy::too_many_arguments)]
+fn run_columns<T: ColumnScalar>(
+    columns: &mut StateColumns<T>,
+    config: &JaConfig,
+    anhysteretic: &[AnhystereticKind],
+    params: &[&Vec<f64>; 6],
+    law: Option<&LockstepLaw<'_>>,
+    scratch: &mut LockstepScratch,
+    stats: &mut [JaStatistics],
+    errors: &mut [Option<JaError>],
+    samples: &[f64],
+    curves: &mut [BhCurve],
+) {
+    match law {
+        Some(LockstepLaw::Single(man)) => run_lanes_lockstep(
+            columns,
+            config,
+            anhysteretic,
+            params,
+            man,
+            scratch,
+            stats,
+            errors,
+            samples,
+            curves,
+        ),
+        Some(LockstepLaw::Blend(man)) => run_lanes_lockstep(
+            columns,
+            config,
+            anhysteretic,
+            params,
+            man,
+            scratch,
+            stats,
+            errors,
+            samples,
+            curves,
+        ),
+        None => run_lanes(
+            columns,
+            config,
+            anhysteretic,
+            params,
+            stats,
+            errors,
+            samples,
+            curves,
+        ),
+    }
+}
+
+/// The lockstep kernel: all lanes advance through each sample together.
+///
+/// Per sample, three phases mirror [`advance_state`] exactly:
+///
+/// 1. **gate + irreversible update** (per lane): when the shared field has
+///    moved by `ΔH_max` since the lane's last update, the lane's
+///    irreversible magnetisation advances through the *same*
+///    [`integrate_field_increment`] routine the scalar model calls;
+/// 2. **self-consistency fixed point** (lane-inner, branch-light): the
+///    [`FIXED_POINT_ITERATIONS`]-capped iteration runs over the flat
+///    columns with a per-lane convergence mask replacing the scalar early
+///    `break` — converged lanes keep their values through selects, so per
+///    lane the applied operation sequence is unchanged while the loop body
+///    stays free of data-dependent branches and the polynomial arctangents
+///    of adjacent lanes pipeline/vectorise;
+/// 3. **finalise** (per lane): rebuild the reversible part, store through
+///    the column precision (`f32` mode rounds here, exactly like the
+///    fallback path), detect divergence and append the lane's curve point
+///    from the post-rounding column values.
+#[allow(clippy::too_many_arguments)]
+fn run_lanes_lockstep<T: ColumnScalar, M: LockstepMan>(
+    columns: &mut StateColumns<T>,
+    config: &JaConfig,
+    anhysteretic: &[AnhystereticKind],
+    params: &[&Vec<f64>; 6],
+    man: &M,
+    work: &mut LockstepScratch,
+    stats: &mut [JaStatistics],
+    errors: &mut [Option<JaError>],
+    samples: &[f64],
+    curves: &mut [BhCurve],
+) {
+    let lanes = stats.len();
+    assert_eq!(man.lanes(), lanes, "lockstep law must cover every lane");
+    // Exactly-sized slices let the optimiser prove every `[lane]` access in
+    // the hot fixed-point loop is in bounds, which is what allows it to
+    // vectorise the loop across lanes.
+    let [m_sat, a, a2, k, alpha, c] = params;
+    let m_sat = &m_sat[..lanes];
+    let a = &a[..lanes];
+    let a2 = &a2[..lanes];
+    let k = &k[..lanes];
+    let alpha = &alpha[..lanes];
+    let c = &c[..lanes];
+
+    for buffer in [
+        &mut work.m_irr,
+        &mut work.m_total,
+        &mut work.m_an,
+        &mut work.h_last,
+    ] {
+        buffer.clear();
+        buffer.reserve(lanes);
+    }
+    for lane in 0..lanes {
+        work.m_irr.push(columns.m_irr[lane].to_f64());
+        work.m_total.push(columns.m_total[lane].to_f64());
+        work.m_an.push(columns.m_an[lane].to_f64());
+        work.h_last.push(columns.h_last_update[lane].to_f64());
+    }
+    work.done.clear();
+    work.done.resize(lanes, false);
+    let LockstepScratch {
+        m_irr: w_m_irr,
+        m_total: w_m_total,
+        m_an: w_m_an,
+        h_last: w_h_last,
+        done: w_done,
+    } = work;
+    let w_m_irr = &mut w_m_irr[..lanes];
+    let w_m_total = &mut w_m_total[..lanes];
+    let w_m_an = &mut w_m_an[..lanes];
+    let w_h_last = &mut w_h_last[..lanes];
+    let w_done = &mut w_done[..lanes];
+
+    for (lane, curve) in curves.iter_mut().enumerate() {
+        curve.clear();
+        if errors[lane].is_none() {
+            curve.reserve(samples.len());
+        }
+    }
+
+    for &h in samples {
+        if !h.is_finite() {
+            // Every live lane fails this sample exactly like the scalar
+            // model: no statistics, no state change, curve truncated here.
+            for error in errors.iter_mut() {
+                if error.is_none() {
+                    *error = Some(JaError::NonFiniteField { value: h });
+                }
+            }
+            break;
+        }
+
+        // Phase 1 — the paper's monitorH gate and irreversible update.
+        for lane in 0..lanes {
+            if errors[lane].is_some() {
+                continue;
+            }
+            stats[lane].samples += 1;
+            let h_last = w_h_last[lane];
+            let dh_accumulated = h - h_last;
+            if dh_accumulated.abs() >= config.dh_max {
+                let lane_params = JaParameters {
+                    m_sat: Magnetisation::new(m_sat[lane]),
+                    a: a[lane],
+                    a2: a2[lane],
+                    k: k[lane],
+                    alpha: alpha[lane],
+                    c: c[lane],
+                };
+                let result = integrate_field_increment(
+                    &lane_params,
+                    &anhysteretic[lane],
+                    config,
+                    w_m_irr[lane],
+                    w_m_total[lane],
+                    h_last,
+                    h,
+                );
+                w_m_irr[lane] += result.dm_irr;
+                w_h_last[lane] = h;
+                columns.updates[lane] += 1;
+                let lane_stats = &mut stats[lane];
+                lane_stats.updates += 1;
+                lane_stats.slope_evaluations += u64::from(result.slope_evaluations);
+                lane_stats.negative_slope_events += u64::from(result.negative_slope_events);
+                lane_stats.rejected_updates += u64::from(result.rejected_updates);
+            }
+        }
+
+        // Phase 2 — the paper's core(): the self-consistency fixed point,
+        // in lockstep.  The convergence mask replaces the scalar early
+        // break; a converged lane carries its values unchanged, so the
+        // per-lane operation sequence matches `advance_state` bit for bit.
+        for done in w_done.iter_mut() {
+            *done = false;
+        }
+        for _ in 0..FIXED_POINT_ITERATIONS {
+            for lane in 0..lanes {
+                let m_total = w_m_total[lane];
+                let h_effective = h + alpha[lane] * m_sat[lane] * m_total;
+                let m_an = man.m_an(lane, h_effective);
+                let next = total_magnetisation(config.formulation, c[lane], m_an, w_m_irr[lane]);
+                let converged = (next - m_total).abs() < FIXED_POINT_TOLERANCE;
+                let done = w_done[lane];
+                w_m_an[lane] = if done { w_m_an[lane] } else { m_an };
+                w_m_total[lane] = if done { m_total } else { next };
+                w_done[lane] = done || converged;
+            }
+        }
+
+        // Phase 3 — finalise, store through the column precision, emit.
+        for lane in 0..lanes {
+            if errors[lane].is_some() {
+                continue;
+            }
+            let state = JaState {
+                m_irr: w_m_irr[lane],
+                m_rev: w_m_total[lane] - w_m_irr[lane],
+                m_total: w_m_total[lane],
+                m_an: w_m_an[lane],
+                h,
+                h_last_update: w_h_last[lane],
+                updates: columns.updates[lane],
+            };
+            columns.store(lane, &state);
+            if !state.is_finite() {
+                errors[lane] = Some(JaError::StateDiverged { at_field: h });
+                continue;
+            }
+            // The next sample starts from the stored state (rounded in f32
+            // mode), exactly like the fallback path's per-sample load.
+            w_m_irr[lane] = columns.m_irr[lane].to_f64();
+            w_m_total[lane] = columns.m_total[lane].to_f64();
+            w_m_an[lane] = columns.m_an[lane].to_f64();
+            w_h_last[lane] = columns.h_last_update[lane].to_f64();
+            let h_out = columns.h[lane].to_f64();
+            let m_total_out = columns.m_total[lane].to_f64();
+            let sat = m_sat[lane];
+            curves[lane].push_raw(h_out, MU0 * (h_out + m_total_out * sat), m_total_out * sat);
+        }
+    }
+}
+
+/// The per-lane fallback sweep: every active lane walks the whole sample
+/// sequence with its state held in locals, delegating each step to the
+/// shared [`advance_state`].  Lane-major order keeps the per-lane state and
+/// the curve append stream hot; the per-lane operation sequence is exactly
+/// the scalar model's, which is what makes `f64` lanes bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_lanes<T: ColumnScalar>(
+    columns: &mut StateColumns<T>,
+    config: &JaConfig,
+    anhysteretic: &[AnhystereticKind],
+    params: &[&Vec<f64>; 6],
+    stats: &mut [JaStatistics],
+    errors: &mut [Option<JaError>],
+    samples: &[f64],
+    curves: &mut [BhCurve],
+) {
+    let [m_sat, a, a2, k, alpha, c] = params;
+    for lane in 0..stats.len() {
+        let curve = &mut curves[lane];
+        curve.clear();
+        if errors[lane].is_some() {
+            continue;
+        }
+        curve.reserve(samples.len());
+        let lane_params = JaParameters {
+            m_sat: magnetics::units::Magnetisation::new(m_sat[lane]),
+            a: a[lane],
+            a2: a2[lane],
+            k: k[lane],
+            alpha: alpha[lane],
+            c: c[lane],
+        };
+        let lane_anhysteretic = &anhysteretic[lane];
+        let mut lane_stats = stats[lane];
+        let sat = lane_params.m_sat.value();
+        for &h in samples {
+            let mut state = columns.load(lane);
+            let step = advance_state(
+                &lane_params,
+                lane_anhysteretic,
+                config,
+                &mut state,
+                &mut lane_stats,
+                h,
+            );
+            columns.store(lane, &state);
+            if let Err(err) = step {
+                errors[lane] = Some(err);
+                break;
+            }
+            // The same expressions as the scalar `JilesAtherton::sample`,
+            // read back through the columns so the curve reflects exactly
+            // what the lane stores (in f64 mode the round trip is the
+            // identity).
+            let h_out = columns.h[lane].to_f64();
+            let m_total = columns.m_total[lane].to_f64();
+            curve.push_raw(h_out, MU0 * (h_out + m_total * sat), m_total * sat);
+        }
+        stats[lane] = lane_stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::HysteresisBackend;
+    use crate::model::JilesAtherton;
+    use waveform::schedule::FieldSchedule;
+
+    fn materials() -> Vec<JaParameters> {
+        vec![
+            JaParameters::date2006(),
+            JaParameters::jiles_atherton_1984(),
+            JaParameters::soft_ferrite(),
+            JaParameters::hard_steel(),
+        ]
+    }
+
+    fn curve_bits(curve: &BhCurve) -> Vec<(u64, u64, u64)> {
+        curve
+            .points()
+            .iter()
+            .map(|p| {
+                (
+                    p.h.value().to_bits(),
+                    p.b.as_tesla().to_bits(),
+                    p.m.value().to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f64_lanes_are_bit_identical_to_scalar_models() {
+        let schedule = FieldSchedule::major_loop(10_000.0, 100.0, 2).expect("schedule");
+        let samples = schedule.to_samples();
+        let params = materials();
+        let config = JaConfig::default();
+
+        let mut batch = SoaBatch::new(config, SoaPrecision::F64).expect("valid config");
+        batch.assign(&params);
+        let mut curves = vec![BhCurve::new(); params.len()];
+        batch.run_samples_into_curves(&samples, &mut curves);
+
+        for (lane, p) in params.iter().enumerate() {
+            let mut scalar = JilesAtherton::with_config(*p, config).expect("valid");
+            let reference = scalar.run_samples(&samples).expect("scalar run");
+            assert!(batch.lane_error(lane).is_none());
+            assert_eq!(
+                curve_bits(&curves[lane]),
+                curve_bits(&reference),
+                "lane {lane} diverges from scalar bitwise"
+            );
+            assert_eq!(batch.lane_statistics(lane), scalar.statistics());
+        }
+    }
+
+    #[test]
+    fn reassignment_reuses_lanes_and_resets_state() {
+        let schedule = FieldSchedule::major_loop(5_000.0, 100.0, 1).expect("schedule");
+        let samples = schedule.to_samples();
+        let mut batch = SoaBatch::new(JaConfig::default(), SoaPrecision::F64).expect("config");
+        let mut curves = vec![BhCurve::new(); 2];
+
+        batch.assign(&[JaParameters::date2006(), JaParameters::hard_steel()]);
+        batch.run_samples_into_curves(&samples, &mut curves);
+        let first = curve_bits(&curves[0]);
+
+        // Re-assigning the same parameters must reproduce the run exactly
+        // (the state reset is part of `assign`).
+        batch.assign(&[JaParameters::date2006(), JaParameters::hard_steel()]);
+        batch.run_samples_into_curves(&samples, &mut curves);
+        assert_eq!(curve_bits(&curves[0]), first);
+        assert_eq!(batch.lanes(), 2);
+    }
+
+    #[test]
+    fn invalid_lane_reports_material_error_and_others_run() {
+        let mut bad = JaParameters::date2006();
+        bad.k = -1.0;
+        let mut batch = SoaBatch::new(JaConfig::default(), SoaPrecision::F64).expect("config");
+        batch.assign(&[JaParameters::date2006(), bad]);
+        let samples = [0.0, 100.0, 200.0];
+        let mut curves = vec![BhCurve::new(); 2];
+        batch.run_samples_into_curves(&samples, &mut curves);
+        assert!(batch.lane_error(0).is_none());
+        assert!(matches!(batch.lane_error(1), Some(JaError::Material(_))));
+        assert_eq!(curves[0].len(), 3);
+        assert!(curves[1].is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let bad = JaConfig::default().with_dh_max(0.0);
+        assert!(matches!(
+            SoaBatch::new(bad, SoaPrecision::F64),
+            Err(JaError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_mode_tracks_scalar_within_tolerance() {
+        let schedule = FieldSchedule::major_loop(10_000.0, 100.0, 2).expect("schedule");
+        let samples = schedule.to_samples();
+        let params = materials();
+        let config = JaConfig::default();
+
+        let mut batch = SoaBatch::new(config, SoaPrecision::F32).expect("valid config");
+        batch.assign(&params);
+        let mut curves = vec![BhCurve::new(); params.len()];
+        batch.run_samples_into_curves(&samples, &mut curves);
+
+        for (lane, p) in params.iter().enumerate() {
+            let mut scalar = JilesAtherton::with_config(*p, config).expect("valid");
+            let reference = scalar.run_samples(&samples).expect("scalar run");
+            let b_peak = reference
+                .points()
+                .iter()
+                .map(|p| p.b.as_tesla().abs())
+                .fold(0.0, f64::max);
+            let worst = curves[lane]
+                .points()
+                .iter()
+                .zip(reference.points())
+                .map(|(lhs, rhs)| (lhs.b.as_tesla() - rhs.b.as_tesla()).abs())
+                .fold(0.0, f64::max);
+            // The documented f32-mode bound: relative B error under 1e-4 of
+            // the loop peak.
+            assert!(
+                worst <= 1e-4 * b_peak,
+                "lane {lane}: |ΔB| = {worst} exceeds 1e-4 × {b_peak}"
+            );
+        }
+    }
+}

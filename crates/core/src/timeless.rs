@@ -9,11 +9,14 @@
 //! discretisation ablation, as is optional sub-division of increments larger
 //! than `ΔH_max`.
 
-use magnetics::anhysteretic::AnhystereticKind;
+use magnetics::anhysteretic::{Anhysteretic, AnhystereticKind};
 use magnetics::material::JaParameters;
 
 use crate::config::{Formulation, JaConfig, SlopeIntegration};
+use crate::error::JaError;
+use crate::model::JaStatistics;
 use crate::slope::{evaluate_irreversible_slope, reject_opposing_update, FieldDirection};
+use crate::state::JaState;
 
 /// Outcome of integrating one field increment.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -29,8 +32,18 @@ pub struct IncrementResult {
     pub rejected_updates: u32,
 }
 
+/// Iteration cap of the per-sample self-consistency fixed point, shared by
+/// [`advance_state`] and the lockstep kernel of [`crate::soa`] (the two must
+/// agree for the paths to stay bit-identical).
+pub(crate) const FIXED_POINT_ITERATIONS: usize = 8;
+
+/// Convergence tolerance of the per-sample self-consistency fixed point,
+/// shared by [`advance_state`] and the lockstep kernel of [`crate::soa`].
+pub(crate) const FIXED_POINT_TOLERANCE: f64 = 1e-13;
+
 /// Combines the irreversible magnetisation and the anhysteretic value into
 /// the total normalised magnetisation for the given formulation.
+#[inline]
 pub fn total_magnetisation(formulation: Formulation, c: f64, m_an: f64, m_irr: f64) -> f64 {
     match formulation {
         Formulation::Date2006 => c * m_an / (1.0 + c) + m_irr,
@@ -144,6 +157,89 @@ pub fn integrate_field_increment(
 
     result.dm_irr = m_irr_local - m_irr;
     result
+}
+
+/// Advances one magnetisation state by one applied-field sample — the whole
+/// "timeless" loop of the paper, factored out of
+/// [`JilesAtherton::apply_field`](crate::model::JilesAtherton::apply_field)
+/// so the scalar model and the lockstep [`SoaBatch`](crate::soa::SoaBatch)
+/// share one definition of the per-step increment math (and therefore stay
+/// bit-identical by construction).
+///
+/// If the field has moved by at least `ΔH_max` since the last update, the
+/// irreversible magnetisation is advanced by integrating the slope across
+/// the increment; the reversible part is then recomputed algebraically via
+/// a short fixed-point iteration.
+///
+/// # Errors
+///
+/// Returns [`JaError::NonFiniteField`] for a NaN/infinite field and
+/// [`JaError::StateDiverged`] if the state stops being finite (possible
+/// only with the guards disabled).
+#[inline]
+pub fn advance_state(
+    params: &JaParameters,
+    anhysteretic: &AnhystereticKind,
+    config: &JaConfig,
+    state: &mut JaState,
+    stats: &mut JaStatistics,
+    h: f64,
+) -> Result<(), JaError> {
+    if !h.is_finite() {
+        return Err(JaError::NonFiniteField { value: h });
+    }
+    stats.samples += 1;
+
+    // The paper's monitorH: only integrate when the accumulated field
+    // change exceeds the threshold.
+    let dh_accumulated = h - state.h_last_update;
+    if dh_accumulated.abs() >= config.dh_max {
+        let result = integrate_field_increment(
+            params,
+            anhysteretic,
+            config,
+            state.m_irr,
+            state.m_total,
+            state.h_last_update,
+            h,
+        );
+        state.m_irr += result.dm_irr;
+        state.h_last_update = h;
+        state.updates += 1;
+        stats.updates += 1;
+        stats.slope_evaluations += u64::from(result.slope_evaluations);
+        stats.negative_slope_events += u64::from(result.negative_slope_events);
+        stats.rejected_updates += u64::from(result.rejected_updates);
+    }
+
+    // The paper's core(): effective field, anhysteretic, reversible and
+    // total magnetisation, flux density.  The SystemC process settles
+    // over delta cycles because `core()` re-evaluates when the total
+    // magnetisation it wrote changes; the same self-consistency is
+    // obtained here with a short fixed-point iteration (the map is a
+    // strong contraction for physical parameter sets).
+    state.h = h;
+    let m_sat = params.m_sat.value();
+    let mut m_total = state.m_total;
+    let mut m_an = state.m_an;
+    for _ in 0..FIXED_POINT_ITERATIONS {
+        let h_effective = h + params.alpha * m_sat * m_total;
+        m_an = anhysteretic.normalised(h_effective);
+        let next = total_magnetisation(config.formulation, params.c, m_an, state.m_irr);
+        let converged = (next - m_total).abs() < FIXED_POINT_TOLERANCE;
+        m_total = next;
+        if converged {
+            break;
+        }
+    }
+    state.m_an = m_an;
+    state.m_total = m_total;
+    state.m_rev = state.m_total - state.m_irr;
+
+    if !state.is_finite() {
+        return Err(JaError::StateDiverged { at_field: h });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -14,8 +14,18 @@
 //! Workers keep a [`RunScratch`] alive across the scenarios they execute:
 //! consecutive scenarios sharing a (backend, material, configuration)
 //! triple reuse the constructed backend through
-//! [`HysteresisBackend::reset`] instead of rebuilding it, so the parallel
-//! win is not eaten by per-scenario construction and allocator traffic.
+//! [`HysteresisBackend::reset`] instead of rebuilding it, and the flattened
+//! sample vector of the current excitation is cached by excitation
+//! identity, so the parallel win is not eaten by per-scenario construction
+//! and allocator traffic.
+//!
+//! Direct-timeless scenarios that share a (configuration, excitation) pair
+//! are additionally routed — per [`SoaRouting`], default on — through the
+//! structure-of-arrays lockstep batch ([`SoaBatch`]): the whole group runs
+//! as one SoA sweep, one lane per scenario, and the per-lane results fan
+//! back into ordinary per-entry report slots.  SoA `f64` lanes are
+//! bit-identical to the scalar model, so routing never changes report
+//! content, only throughput.
 //!
 //! The distribution machinery itself (chunked claims over an atomic
 //! cursor, worker-local state, index-ordered results) is exposed as the
@@ -31,9 +41,14 @@ use std::time::{Duration, Instant};
 use ja_hysteresis::backend::HysteresisBackend;
 use ja_hysteresis::config::JaConfig;
 use ja_hysteresis::error::JaError;
+use ja_hysteresis::soa::{SoaBatch, SoaPrecision};
+use magnetics::bh::BhCurve;
+use magnetics::loop_analysis;
 use magnetics::material::JaParameters;
 
-use crate::scenario::{BackendKind, BatchEntry, BatchReport, Scenario};
+use crate::scenario::{
+    BackendKind, BatchEntry, BatchReport, Excitation, Scenario, ScenarioOutcome,
+};
 
 /// How a batch reacts to a failing scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +62,28 @@ pub enum ErrorPolicy {
     /// scenarios get cancelled depends on worker timing, so fail-fast
     /// reports are only deterministic for a single worker.
     FailFast,
+}
+
+/// How the runner maps [`BackendKind::DirectTimeless`] scenarios onto the
+/// structure-of-arrays lockstep batch ([`SoaBatch`]).
+///
+/// Scenarios are **groupable** when they share a (configuration,
+/// excitation) pair, use the direct-timeless backend and have a prescribed
+/// (non-circuit) stimulus; a group runs as one SoA sweep with one lane per
+/// scenario.  In `f64` column mode every lane is bit-identical to the
+/// scalar run of the same scenario, so the routing decision never changes
+/// report content — only the timing fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SoaRouting {
+    /// Route every groupable set of two or more scenarios through the
+    /// lockstep batch; everything else runs scalar.  The default.
+    #[default]
+    Auto,
+    /// Route every groupable scenario through the lockstep batch, even
+    /// alone in its group (useful for exercising the SoA path).
+    ForceSoa,
+    /// Run every scenario through the scalar path.
+    ForceScalar,
 }
 
 /// Builder-style executor for scenario batches.
@@ -69,6 +106,7 @@ pub struct BatchRunner {
     workers: Option<NonZeroUsize>,
     chunk_size: Option<NonZeroUsize>,
     policy: ErrorPolicy,
+    routing: SoaRouting,
 }
 
 impl BatchRunner {
@@ -110,6 +148,14 @@ impl BatchRunner {
         self.error_policy(ErrorPolicy::FailFast)
     }
 
+    /// Sets how direct-timeless scenario groups are executed (see
+    /// [`SoaRouting`]; the default is [`SoaRouting::Auto`]).
+    #[must_use]
+    pub fn soa_routing(mut self, routing: SoaRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// The worker count the runner would use for `jobs` scenarios.
     pub fn resolved_workers(&self, jobs: usize) -> usize {
         resolved_workers(self.workers.map_or(0, NonZeroUsize::get), jobs)
@@ -117,39 +163,69 @@ impl BatchRunner {
 
     /// Runs every scenario and collects a [`BatchReport`] with one entry
     /// per scenario, in input order.
+    ///
+    /// Under the default [`SoaRouting::Auto`], scenarios sharing a
+    /// (configuration, excitation) pair on the direct-timeless backend run
+    /// as one structure-of-arrays lockstep sweep instead of one scalar
+    /// sweep each — with bit-identical per-entry results, since the SoA
+    /// `f64` lanes reproduce the scalar operation sequence exactly.
     pub fn run(&self, scenarios: impl IntoIterator<Item = Scenario>) -> BatchReport {
         let scenarios: Vec<Scenario> = scenarios.into_iter().collect();
         let workers = self.resolved_workers(scenarios.len());
         let chunk = self.chunk_size.map_or(1, NonZeroUsize::get);
         let started = Instant::now();
 
+        let jobs = route_jobs(&scenarios, self.routing);
         let abort = AtomicBool::new(false);
-        let results = parallel_map(
-            &scenarios,
-            workers,
-            chunk,
-            RunScratch::new,
-            |scenario, scratch| {
-                if self.policy == ErrorPolicy::FailFast && abort.load(Ordering::Relaxed) {
-                    (Err(JaError::Cancelled), Duration::ZERO)
-                } else {
-                    let t0 = Instant::now();
-                    let outcome = scenario.run_with_scratch(scratch);
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    (outcome, t0.elapsed())
+        let job_results = parallel_map(&jobs, workers, chunk, RunScratch::new, |job, scratch| {
+            let cancelled = self.policy == ErrorPolicy::FailFast && abort.load(Ordering::Relaxed);
+            match job {
+                Job::Scalar(index) => {
+                    let result = if cancelled {
+                        (Err(JaError::Cancelled), Duration::ZERO)
+                    } else {
+                        let t0 = Instant::now();
+                        let outcome = scenarios[*index].run_with_scratch(scratch);
+                        if outcome.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        (outcome, t0.elapsed())
+                    };
+                    vec![(*index, result)]
                 }
-            },
-        );
+                Job::Lockstep(members) => {
+                    if cancelled {
+                        members
+                            .iter()
+                            .map(|&index| (index, (Err(JaError::Cancelled), Duration::ZERO)))
+                            .collect()
+                    } else {
+                        let results = run_lockstep_group(&scenarios, members, scratch);
+                        if results.iter().any(|(outcome, _)| outcome.is_err()) {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        members.iter().copied().zip(results).collect()
+                    }
+                }
+            }
+        });
 
+        let mut slots: Vec<Option<(Result<ScenarioOutcome, JaError>, Duration)>> =
+            (0..scenarios.len()).map(|_| None).collect();
+        for (index, result) in job_results.into_iter().flatten() {
+            slots[index] = Some(result);
+        }
         let entries = scenarios
             .into_iter()
-            .zip(results)
-            .map(|(scenario, (outcome, wall_clock))| BatchEntry {
-                scenario,
-                outcome,
-                wall_clock,
+            .zip(slots)
+            .map(|(scenario, slot)| {
+                let (outcome, wall_clock) =
+                    slot.expect("every scenario produced exactly one result");
+                BatchEntry {
+                    scenario,
+                    outcome,
+                    wall_clock,
+                }
             })
             .collect();
         BatchReport {
@@ -158,6 +234,141 @@ impl BatchRunner {
             elapsed: started.elapsed(),
         }
     }
+}
+
+/// One unit of parallel work: a single scenario on the scalar path, or a
+/// group of scenario indices sharing one SoA lockstep sweep.
+#[derive(Debug)]
+enum Job {
+    Scalar(usize),
+    Lockstep(Vec<usize>),
+}
+
+/// Partitions the scenario list into jobs according to the routing policy.
+/// Jobs are ordered by their first scenario index, so a single-worker
+/// fail-fast run still cancels in input order.
+fn route_jobs(scenarios: &[Scenario], routing: SoaRouting) -> Vec<Job> {
+    if routing == SoaRouting::ForceScalar {
+        return (0..scenarios.len()).map(Job::Scalar).collect();
+    }
+    let mut scalar: Vec<usize> = Vec::new();
+    // (representative index, members): few distinct (config, excitation)
+    // pairs per grid, so a linear scan beats hashing the float-laden keys.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        let groupable = scenario.backend == BackendKind::DirectTimeless
+            && !matches!(scenario.excitation, Excitation::Circuit(_));
+        if !groupable {
+            scalar.push(index);
+            continue;
+        }
+        match groups.iter_mut().find(|(representative, _)| {
+            let other = &scenarios[*representative];
+            other.config == scenario.config && other.excitation == scenario.excitation
+        }) {
+            Some((_, members)) => members.push(index),
+            None => groups.push((index, vec![index])),
+        }
+    }
+    let mut jobs: Vec<Job> = scalar.into_iter().map(Job::Scalar).collect();
+    for (_, members) in groups {
+        if members.len() >= 2 || routing == SoaRouting::ForceSoa {
+            jobs.push(Job::Lockstep(members));
+        } else {
+            jobs.extend(members.into_iter().map(Job::Scalar));
+        }
+    }
+    jobs.sort_by_key(|job| match job {
+        Job::Scalar(index) => *index,
+        Job::Lockstep(members) => members[0],
+    });
+    jobs
+}
+
+/// Runs one groupable scenario set as a single SoA lockstep sweep, one lane
+/// per scenario, and fans the per-lane results back out in member order.
+///
+/// Lane outcomes are bit-identical to the scalar path (the batch runs `f64`
+/// columns); only the timing fields differ — each member is attributed an
+/// equal share of the group's wall clock, since the lanes genuinely ran
+/// together.  A group whose shared configuration fails validation falls
+/// back to the scalar path, which reports the same per-scenario error the
+/// group would have masked.
+fn run_lockstep_group(
+    scenarios: &[Scenario],
+    members: &[usize],
+    scratch: &mut RunScratch,
+) -> Vec<(Result<ScenarioOutcome, JaError>, Duration)> {
+    let first = &scenarios[members[0]];
+    let reusable = scratch
+        .soa
+        .as_ref()
+        .is_some_and(|batch| *batch.config() == first.config);
+    if !reusable {
+        match SoaBatch::new(first.config, SoaPrecision::F64) {
+            Ok(batch) => scratch.soa = Some(batch),
+            Err(_) => {
+                // Invalid shared configuration: every member fails the same
+                // way; the scalar path produces the exact error.
+                return members
+                    .iter()
+                    .map(|&index| {
+                        let t0 = Instant::now();
+                        let outcome = scenarios[index].run_with_scratch(scratch);
+                        (outcome, t0.elapsed())
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let RunScratch {
+        samples,
+        soa,
+        lane_params,
+        lane_curves,
+        ..
+    } = scratch;
+    let hit = samples
+        .as_ref()
+        .is_some_and(|(key, _)| key == &first.excitation);
+    if !hit {
+        *samples = Some((first.excitation.clone(), first.excitation.to_samples()));
+    }
+    let samples = &samples.as_ref().expect("cached above").1;
+    let batch = soa.as_mut().expect("constructed above");
+
+    lane_params.clear();
+    lane_params.extend(members.iter().map(|&index| scenarios[index].params));
+    batch.assign(lane_params);
+    lane_curves.resize_with(members.len(), BhCurve::new);
+    lane_curves.truncate(members.len());
+    batch.run_samples_into_curves(samples, &mut lane_curves[..members.len()]);
+    let share = t0.elapsed() / members.len() as u32;
+
+    members
+        .iter()
+        .enumerate()
+        .map(|(lane, &index)| match batch.lane_error(lane) {
+            Some(err) => (Err(err.clone()), share),
+            None => {
+                let curve = std::mem::take(&mut lane_curves[lane]);
+                let metrics = loop_analysis::loop_metrics(&curve).ok();
+                let outcome = ScenarioOutcome {
+                    name: scenarios[index].name.clone(),
+                    backend: scenarios[index].backend,
+                    curve,
+                    metrics,
+                    stats: batch.lane_statistics(lane),
+                    transient: None,
+                    runtime: share,
+                    lockstep_lanes: Some(members.len()),
+                };
+                (Ok(outcome), share)
+            }
+        })
+        .collect()
 }
 
 /// Resolves a configured worker count for `jobs` units of work: `0` means
@@ -255,9 +466,18 @@ where
 /// Reset returns a backend to the demagnetised state with cleared
 /// statistics, so a reused run is bit-identical to a fresh one (asserted by
 /// the executor's tests).
+///
+/// The scratch also caches the flattened sample vector of the most recent
+/// prescribed excitation (grids repeat one excitation across many
+/// scenarios, so re-flattening per run was pure waste), the worker's SoA
+/// lockstep batch and its lane parameter/curve buffers.
 #[derive(Default)]
 pub struct RunScratch {
     cached: Option<CachedBackend>,
+    samples: Option<(Excitation, Vec<f64>)>,
+    soa: Option<SoaBatch>,
+    lane_params: Vec<JaParameters>,
+    lane_curves: Vec<BhCurve>,
 }
 
 struct CachedBackend {
@@ -265,6 +485,34 @@ struct CachedBackend {
     params: JaParameters,
     config: JaConfig,
     backend: Box<dyn HysteresisBackend>,
+}
+
+/// The backend-cache lookup of [`RunScratch::backend_for`], free-standing so
+/// callers can keep borrowing the scratch's other fields alongside the
+/// returned backend.
+fn cached_backend_for<'s>(
+    cached: &'s mut Option<CachedBackend>,
+    scenario: &Scenario,
+) -> Result<&'s mut dyn HysteresisBackend, JaError> {
+    let reusable = cached.as_ref().is_some_and(|cached| {
+        cached.kind == scenario.backend
+            && cached.params == scenario.params
+            && cached.config == scenario.config
+    });
+    let cached = if reusable {
+        let cached = cached.as_mut().expect("checked above");
+        cached.backend.reset()?;
+        cached
+    } else {
+        let backend = scenario.backend.build(scenario.params, scenario.config)?;
+        cached.insert(CachedBackend {
+            kind: scenario.backend,
+            params: scenario.params,
+            config: scenario.config,
+            backend,
+        })
+    };
+    Ok(cached.backend.as_mut())
 }
 
 impl RunScratch {
@@ -283,25 +531,37 @@ impl RunScratch {
         &mut self,
         scenario: &Scenario,
     ) -> Result<&mut dyn HysteresisBackend, JaError> {
-        let reusable = self.cached.as_ref().is_some_and(|cached| {
-            cached.kind == scenario.backend
-                && cached.params == scenario.params
-                && cached.config == scenario.config
-        });
-        let cached = if reusable {
-            let cached = self.cached.as_mut().expect("checked above");
-            cached.backend.reset()?;
-            cached
-        } else {
-            let backend = scenario.backend.build(scenario.params, scenario.config)?;
-            self.cached.insert(CachedBackend {
-                kind: scenario.backend,
-                params: scenario.params,
-                config: scenario.config,
-                backend,
-            })
-        };
-        Ok(cached.backend.as_mut())
+        cached_backend_for(&mut self.cached, scenario)
+    }
+
+    /// Like [`RunScratch::backend_for`], plus the scenario's flattened
+    /// sample vector from the excitation cache (recomputed only when the
+    /// excitation changed; empty for circuit-driven excitations, whose
+    /// field sequence is material-dependent and solver-determined).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction or reset failures.
+    pub fn backend_and_samples(
+        &mut self,
+        scenario: &Scenario,
+    ) -> Result<(&mut dyn HysteresisBackend, &[f64]), JaError> {
+        if matches!(scenario.excitation, Excitation::Circuit(_)) {
+            let backend = cached_backend_for(&mut self.cached, scenario)?;
+            return Ok((backend, &[]));
+        }
+        let hit = self
+            .samples
+            .as_ref()
+            .is_some_and(|(key, _)| key == &scenario.excitation);
+        if !hit {
+            self.samples = Some((
+                scenario.excitation.clone(),
+                scenario.excitation.to_samples(),
+            ));
+        }
+        let backend = cached_backend_for(&mut self.cached, scenario)?;
+        Ok((backend, &self.samples.as_ref().expect("cached above").1))
     }
 }
 
@@ -480,6 +740,88 @@ mod tests {
         // Degenerate inputs.
         assert!(parallel_map(&[] as &[usize], 4, 1, || (), |_, ()| ()).is_empty());
         assert_eq!(parallel_map(&jobs, 8, 0, || (), |job, ()| *job).len(), 100);
+    }
+
+    fn multi_material_grid() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .material("date2006", JaParameters::date2006())
+            .material("ja1984", JaParameters::jiles_atherton_1984())
+            .material("hard-steel", JaParameters::hard_steel())
+            .backend(BackendKind::DirectTimeless)
+            .config("dh10", JaConfig::default())
+            .excitation(
+                "major",
+                Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+            )
+    }
+
+    #[test]
+    fn soa_routing_is_bit_identical_to_scalar() {
+        let scenarios = multi_material_grid().scenarios().expect("grid");
+        let scalar = BatchRunner::new()
+            .workers(1)
+            .soa_routing(SoaRouting::ForceScalar)
+            .run(scenarios.clone());
+        let auto = BatchRunner::new().workers(1).run(scenarios.clone());
+        let forced = BatchRunner::new()
+            .workers(2)
+            .soa_routing(SoaRouting::ForceSoa)
+            .run(scenarios);
+        assert_outcomes_bitwise_equal(&scalar, &auto);
+        assert_outcomes_bitwise_equal(&scalar, &forced);
+        // Auto groups the three same-shaped scenarios into one lockstep
+        // sweep; the forced-scalar run never does.
+        for entry in &auto.entries {
+            assert_eq!(entry.outcome.as_ref().expect("ok").lockstep_lanes, Some(3));
+        }
+        for entry in &scalar.entries {
+            assert_eq!(entry.outcome.as_ref().expect("ok").lockstep_lanes, None);
+        }
+    }
+
+    #[test]
+    fn auto_routing_keeps_singleton_groups_scalar() {
+        // Each (config, excitation) cell of the small grid has exactly one
+        // DirectTimeless member — nothing to batch under Auto, but
+        // ForceSoa runs even singleton groups in lockstep.
+        let scenarios = small_grid().scenarios().expect("grid");
+        let auto = BatchRunner::new().workers(1).run(scenarios.clone());
+        for entry in &auto.entries {
+            assert_eq!(entry.outcome.as_ref().expect("ok").lockstep_lanes, None);
+        }
+        let forced = BatchRunner::new()
+            .workers(1)
+            .soa_routing(SoaRouting::ForceSoa)
+            .run(scenarios);
+        assert_outcomes_bitwise_equal(&auto, &forced);
+        for entry in &forced.entries {
+            let outcome = entry.outcome.as_ref().expect("ok");
+            let expected = match outcome.backend {
+                BackendKind::DirectTimeless => Some(1),
+                _ => None,
+            };
+            assert_eq!(outcome.lockstep_lanes, expected, "{}", entry.scenario.name);
+        }
+    }
+
+    #[test]
+    fn lockstep_fan_back_preserves_input_order() {
+        // Mixed grid: every backend over three materials.  Only the
+        // DirectTimeless scenarios group into lockstep sweeps; the report
+        // must still come back in exact input order.
+        let scenarios = multi_material_grid()
+            .backends(BackendKind::ALL)
+            .scenarios()
+            .expect("grid");
+        let names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        let report = BatchRunner::new().workers(3).run(scenarios);
+        let reported: Vec<String> = report
+            .entries
+            .iter()
+            .map(|e| e.scenario.name.clone())
+            .collect();
+        assert_eq!(names, reported);
+        assert_eq!(report.successes().count(), names.len());
     }
 
     #[test]

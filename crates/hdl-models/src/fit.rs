@@ -10,10 +10,17 @@
 //!
 //! The parallelism follows the same rules as scenario batches:
 //!
-//! * **Worker-local scratch.**  Each worker keeps one [`FitObjective`]
-//!   alive (preallocated candidate schedule and curve buffer) and rebuilds
-//!   it only when it crosses into a different measured loop's work, so a
-//!   start costs zero allocations beyond its own arithmetic.
+//! * **Worker-local scratch.**  Each worker keeps one objective alive
+//!   (preallocated candidate schedule and curve buffers) and rebuilds it
+//!   only when it crosses into a different measured loop's work, so a
+//!   start costs zero steady-state allocations beyond its own arithmetic.
+//! * **Lockstep routing.**  Under the default [`SoaRouting::Auto`], all of
+//!   a loop's live starts descend together: every cost call evaluates the
+//!   slot's surviving candidates as lanes of one structure-of-arrays sweep
+//!   ([`CoordinateDescent::optimize_batch`]).  The `f64` lanes are
+//!   bit-identical to the scalar objective, so routing never changes the
+//!   report — only the throughput (asserted scalar-vs-SoA byte-identical
+//!   by `tests/fit_determinism.rs`).
 //! * **Determinism.**  Starting points are derived from `(seed, loop
 //!   index)` before any thread spawns, every start is a pure function of
 //!   its parameters, and results are re-sorted into (loop, start) order —
@@ -24,13 +31,14 @@ use std::time::{Duration, Instant};
 
 use ja_hysteresis::error::JaError;
 use ja_hysteresis::fitting::{
-    starting_points, CoordinateDescent, FitObjective, FitOptions, FitResult, LocalOptimizer,
+    starting_points, BatchObjective, CoordinateDescent, FitObjective, FitOptions, FitResult,
+    LocalOptimizer,
 };
 use magnetics::bh::BhCurve;
 use magnetics::loop_analysis::{loop_metrics, LoopMetrics};
 use magnetics::material::JaParameters;
 
-use crate::exec::parallel_map;
+use crate::exec::{parallel_map, SoaRouting};
 
 /// Options of a multi-start fit batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +55,14 @@ pub struct MultiStartOptions {
     pub workers: usize,
     /// The per-start local-search options.
     pub fit: FitOptions,
+    /// How candidate evaluation is routed (see [`SoaRouting`]).  Under the
+    /// default [`SoaRouting::Auto`], a loop with two or more starts runs
+    /// its descents in lockstep — each cost call evaluates all live
+    /// candidates as lanes of one structure-of-arrays sweep — with results
+    /// bit-identical to the scalar path.  [`SoaRouting::ForceScalar`]
+    /// restores one-objective-per-start scalar evaluation;
+    /// [`SoaRouting::ForceSoa`] batches even a single start.
+    pub routing: SoaRouting,
 }
 
 impl Default for MultiStartOptions {
@@ -56,6 +72,7 @@ impl Default for MultiStartOptions {
             seed: 42,
             workers: 0,
             fit: FitOptions::default(),
+            routing: SoaRouting::Auto,
         }
     }
 }
@@ -182,6 +199,12 @@ pub struct FitReport {
     pub workers: usize,
     /// Wall-clock time of the whole batch.
     pub elapsed: Duration,
+    /// `Some(lane count per loop)` when the batch ran through the
+    /// structure-of-arrays lockstep path, `None` for the scalar path.
+    /// Routing never changes result content (the `f64` lanes are
+    /// bit-identical to scalar evaluation), so this is reported only in
+    /// the opt-in timing block.
+    pub lockstep_lanes: Option<usize>,
 }
 
 impl FitReport {
@@ -208,16 +231,24 @@ impl FitReport {
     }
 }
 
-/// One (loop, start) unit of work.
+/// One (loop, start) unit of scalar work.
 struct FitTask {
     job: usize,
     params: JaParameters,
 }
 
-/// Worker-local scratch: the current job's [`FitObjective`], rebuilt only
-/// on a job change (tasks are job-major, so a worker crosses loops rarely).
+/// Worker-local scratch of the scalar path: the current job's
+/// [`FitObjective`], rebuilt only on a job change (tasks are job-major, so
+/// a worker crosses loops rarely).
 struct FitScratch {
     cached: Option<(usize, FitObjective)>,
+}
+
+/// Worker-local scratch of the lockstep path: the current job's
+/// [`BatchObjective`] — schedule samples, SoA columns and per-lane curve
+/// buffers shared by every cost call of that loop's descents.
+struct SoaFitScratch {
+    cached: Option<(usize, BatchObjective)>,
 }
 
 /// Fits every measured loop with `options.starts` seeded starting points,
@@ -240,52 +271,45 @@ pub fn fit_batch(jobs: Vec<FitJob>, options: &MultiStartOptions) -> Result<FitRe
     // deterministic starting points.  Seeds are decorrelated per loop so a
     // library fit does not reuse one loop's perturbations for the next.
     let mut targets = Vec::with_capacity(jobs.len());
-    let mut tasks = Vec::with_capacity(jobs.len() * options.starts);
+    let mut loop_starts: Vec<Vec<JaParameters>> = Vec::with_capacity(jobs.len());
     for (index, job) in jobs.iter().enumerate() {
         let target = loop_metrics(&job.measured)?;
         let seed = options
             .seed
             .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        for params in starting_points(&target, options.starts, seed)? {
-            tasks.push(FitTask { job: index, params });
-        }
+        loop_starts.push(starting_points(&target, options.starts, seed)?);
         targets.push(target);
     }
 
-    let workers = crate::exec::resolved_workers(options.workers, tasks.len());
+    let lockstep = match options.routing {
+        SoaRouting::ForceScalar => false,
+        SoaRouting::ForceSoa => true,
+        // A single start has no lane parallelism to harvest; keep the
+        // scalar path's per-start work distribution.
+        SoaRouting::Auto => options.starts >= 2,
+    };
+    // The report's worker count is resolved against the start count under
+    // both routings, so a scalar and a lockstep run of the same batch stay
+    // report-identical (the lockstep path simply caps its pool at one
+    // worker per loop).
+    let workers = crate::exec::resolved_workers(options.workers, jobs.len() * options.starts);
     let optimizer = CoordinateDescent::from_options(&options.fit);
     let started = Instant::now();
-    let results = parallel_map(
-        &tasks,
-        workers,
-        1,
-        || FitScratch { cached: None },
-        |task, scratch| {
-            let t0 = Instant::now();
-            let (result, evaluations) =
-                match objective_for(scratch, task.job, &jobs, &targets, options) {
-                    Ok(objective) => {
-                        let before = objective.evaluations();
-                        let result = optimizer.optimize(objective, task.params);
-                        (result, objective.evaluations() - before)
-                    }
-                    Err(err) => (Err(err), 0),
-                };
-            (result, evaluations, t0.elapsed())
-        },
-    );
+    let results = if lockstep {
+        run_lockstep(&jobs, &targets, &loop_starts, options, workers, &optimizer)
+    } else {
+        run_scalar(&jobs, &targets, &loop_starts, options, workers, &optimizer)
+    };
     let elapsed = started.elapsed();
 
-    let mut start_entries =
-        tasks
-            .iter()
-            .zip(results)
-            .map(|(task, (result, evaluations, wall_clock))| StartFit {
-                start: task.params,
-                result,
-                evaluations,
-                wall_clock,
-            });
+    let mut start_entries = loop_starts.iter().flatten().zip(results).map(
+        |(params, (result, evaluations, wall_clock))| StartFit {
+            start: *params,
+            result,
+            evaluations,
+            wall_clock,
+        },
+    );
     let loops = jobs
         .into_iter()
         .zip(targets)
@@ -314,7 +338,92 @@ pub fn fit_batch(jobs: Vec<FitJob>, options: &MultiStartOptions) -> Result<FitRe
         seed: options.seed,
         workers,
         elapsed,
+        lockstep_lanes: if lockstep { Some(options.starts) } else { None },
     })
+}
+
+/// Scalar routing: one `(loop, start)` task per worker slot, each start a
+/// fully independent coordinate descent.  Results come back flattened in
+/// (loop, start) order.
+fn run_scalar(
+    jobs: &[FitJob],
+    targets: &[LoopMetrics],
+    loop_starts: &[Vec<JaParameters>],
+    options: &MultiStartOptions,
+    workers: usize,
+    optimizer: &CoordinateDescent,
+) -> Vec<(Result<FitResult, JaError>, usize, Duration)> {
+    let mut tasks = Vec::with_capacity(jobs.len() * options.starts);
+    for (index, starts) in loop_starts.iter().enumerate() {
+        for &params in starts {
+            tasks.push(FitTask { job: index, params });
+        }
+    }
+    parallel_map(
+        &tasks,
+        workers,
+        1,
+        || FitScratch { cached: None },
+        |task, scratch| {
+            let t0 = Instant::now();
+            let (result, evaluations) =
+                match objective_for(scratch, task.job, jobs, targets, options) {
+                    Ok(objective) => {
+                        let before = objective.evaluations();
+                        let result = optimizer.optimize(objective, task.params);
+                        (result, objective.evaluations() - before)
+                    }
+                    Err(err) => (Err(err), 0),
+                };
+            (result, evaluations, t0.elapsed())
+        },
+    )
+}
+
+/// Lockstep routing: one task per *loop*; all of the loop's starts descend
+/// together through [`CoordinateDescent::optimize_batch`], each cost call
+/// evaluating the live candidates as lanes of one structure-of-arrays
+/// sweep.  Per-start results and evaluation counts match the scalar path
+/// bit-for-bit; the loop's wall-clock is split evenly across its starts so
+/// the report's serial-runtime estimate stays comparable.
+fn run_lockstep(
+    jobs: &[FitJob],
+    targets: &[LoopMetrics],
+    loop_starts: &[Vec<JaParameters>],
+    options: &MultiStartOptions,
+    workers: usize,
+    optimizer: &CoordinateDescent,
+) -> Vec<(Result<FitResult, JaError>, usize, Duration)> {
+    let tasks: Vec<usize> = (0..jobs.len()).collect();
+    let per_loop = parallel_map(
+        &tasks,
+        workers.min(jobs.len()),
+        1,
+        || SoaFitScratch { cached: None },
+        |&job, scratch| {
+            let starts = &loop_starts[job];
+            let t0 = Instant::now();
+            let (results, built) = match batch_objective_for(scratch, job, jobs, targets, options) {
+                Ok(objective) => (optimizer.optimize_batch(objective, starts), true),
+                Err(err) => (starts.iter().map(|_| Err(err.clone())).collect(), false),
+            };
+            let share = t0.elapsed() / starts.len().max(1) as u32;
+            results
+                .into_iter()
+                .map(|result| {
+                    // A start that failed its initial evaluation consumed
+                    // exactly one evaluation — same accounting as scalar; a
+                    // batch that never built its objective consumed none.
+                    let evaluations = match &result {
+                        Ok(fit) => fit.evaluations,
+                        Err(_) => usize::from(built),
+                    };
+                    (result, evaluations, share)
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    per_loop.into_iter().flatten().collect()
 }
 
 /// The objective for `job`, rebuilt only when the worker's cached one
@@ -335,6 +444,30 @@ fn objective_for<'s>(
     };
     if stale {
         let objective = FitObjective::from_target(targets[job], jobs[job].h_peak, &options.fit)?;
+        scratch.cached = Some((job, objective));
+    }
+    Ok(&mut scratch.cached.as_mut().expect("just filled").1)
+}
+
+/// The lockstep analogue of [`objective_for`]: the [`BatchObjective`] for
+/// `job`, rebuilt only when the worker's cached one belongs to a different
+/// loop.  Within a loop the cached objective's schedule samples, SoA
+/// columns and per-lane curve buffers are shared by every cost call of the
+/// descents, so the steady state allocates nothing per call.
+fn batch_objective_for<'s>(
+    scratch: &'s mut SoaFitScratch,
+    job: usize,
+    jobs: &[FitJob],
+    targets: &[LoopMetrics],
+    options: &MultiStartOptions,
+) -> Result<&'s mut BatchObjective, JaError> {
+    // (match instead of `Option::is_none_or`: the workspace MSRV is 1.78.)
+    let stale = match &scratch.cached {
+        Some((cached, _)) => *cached != job,
+        None => true,
+    };
+    if stale {
+        let objective = BatchObjective::from_target(targets[job], jobs[job].h_peak, &options.fit)?;
         scratch.cached = Some((job, objective));
     }
     Ok(&mut scratch.cached.as_mut().expect("just filled").1)

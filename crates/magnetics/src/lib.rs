@@ -9,6 +9,9 @@
 //! * anhysteretic magnetisation functions ([`anhysteretic`]): the classic
 //!   Langevin function and the modified (arctangent) form used by the paper,
 //!   plus a two-parameter variant for the `a2` parameter the paper mentions;
+//! * branch-light polynomial math ([`fastmath`]): the inlineable
+//!   arctangent the arctangent laws evaluate, shared by the scalar and
+//!   lockstep (SoA) execution paths so both stay bit-identical;
 //! * Jiles–Atherton material parameter sets ([`material`]) with validation
 //!   and presets, including the exact parameter set of the paper;
 //! * BH-curve containers ([`bh`]) and loop analysis ([`loop_analysis`]):
@@ -40,6 +43,7 @@ pub mod anhysteretic;
 pub mod bh;
 pub mod constants;
 pub mod error;
+pub mod fastmath;
 pub mod geometry;
 pub mod loop_analysis;
 pub mod losses;

@@ -87,16 +87,13 @@ pub fn loop_metrics(curve: &BhCurve) -> Result<LoopMetrics, MagneticsError> {
 /// Returns [`MagneticsError::MissingCrossing`] when the trace never crosses
 /// `B = 0` away from the origin.
 pub fn coercivity(curve: &BhCurve) -> Result<FieldStrength, MagneticsError> {
-    let crossings = level_crossings(
+    let mean = mean_abs_level_crossings(
         curve.points().iter().map(|p| (p.b.as_tesla(), p.h.value())),
         |h| h.abs() > f64::EPSILON,
-    );
-    if crossings.is_empty() {
-        return Err(MagneticsError::MissingCrossing {
-            what: "B = 0 away from the origin (coercivity)",
-        });
-    }
-    let mean = crossings.iter().map(|h| h.abs()).sum::<f64>() / crossings.len() as f64;
+    )
+    .ok_or(MagneticsError::MissingCrossing {
+        what: "B = 0 away from the origin (coercivity)",
+    })?;
     Ok(FieldStrength::new(mean))
 }
 
@@ -108,16 +105,13 @@ pub fn coercivity(curve: &BhCurve) -> Result<FieldStrength, MagneticsError> {
 /// Returns [`MagneticsError::MissingCrossing`] when the trace never crosses
 /// `H = 0` away from the origin.
 pub fn remanence(curve: &BhCurve) -> Result<FluxDensity, MagneticsError> {
-    let crossings = level_crossings(
+    let mean = mean_abs_level_crossings(
         curve.points().iter().map(|p| (p.h.value(), p.b.as_tesla())),
         |b| b.abs() > f64::EPSILON,
-    );
-    if crossings.is_empty() {
-        return Err(MagneticsError::MissingCrossing {
-            what: "H = 0 away from the origin (remanence)",
-        });
-    }
-    let mean = crossings.iter().map(|b| b.abs()).sum::<f64>() / crossings.len() as f64;
+    )
+    .ok_or(MagneticsError::MissingCrossing {
+        what: "H = 0 away from the origin (remanence)",
+    })?;
     Ok(FluxDensity::new(mean))
 }
 
@@ -177,14 +171,22 @@ pub fn monotone_branches(curve: &BhCurve) -> Vec<(usize, usize)> {
     branches
 }
 
-/// Finds the values of `ordinate` at which `abscissa` crosses zero, using
-/// linear interpolation between the bracketing samples.  `keep` filters out
-/// degenerate crossings (e.g. the origin).
-fn level_crossings<I>(samples: I, keep: impl Fn(f64) -> bool) -> Vec<f64>
+/// The mean |value| of `ordinate` at the points where `abscissa` crosses
+/// zero (linear interpolation between the bracketing samples), or `None`
+/// when no crossing survives the `keep` filter (which screens out
+/// degenerate crossings, e.g. the origin).
+///
+/// Crossings are folded into a running sum in trace order instead of being
+/// collected — `loop_metrics` is on the fitting hot path, where a
+/// per-candidate allocation would defeat the objective's zero-allocation
+/// contract.  The streaming mean adds |value| in exactly the order the old
+/// collect-then-average implementation did, so the result is bit-identical.
+fn mean_abs_level_crossings<I>(samples: I, keep: impl Fn(f64) -> bool) -> Option<f64>
 where
     I: IntoIterator<Item = (f64, f64)>,
 {
-    let mut crossings = Vec::new();
+    let mut sum = 0.0_f64;
+    let mut count = 0_usize;
     let mut prev: Option<(f64, f64)> = None;
     for (x, y) in samples {
         if let Some((px, py)) = prev {
@@ -200,13 +202,14 @@ where
                 };
                 let value = py + t * (y - py);
                 if keep(value) {
-                    crossings.push(value);
+                    sum += value.abs();
+                    count += 1;
                 }
             }
         }
         prev = Some((x, y));
     }
-    crossings
+    (count > 0).then(|| sum / count as f64)
 }
 
 #[cfg(test)]

@@ -4,11 +4,12 @@
 //! timing fields (`wall_clock`, `elapsed`, `ScenarioOutcome::runtime`) may
 //! differ between runs.
 
-use ja_repro::hdl_models::exec::BatchRunner;
+use ja_repro::hdl_models::exec::{BatchRunner, SoaRouting};
 use ja_repro::hdl_models::scenario::{
     BackendKind, BatchReport, CircuitExcitation, Excitation, ScenarioGrid, StepControl,
 };
 use ja_repro::ja_hysteresis::config::JaConfig;
+use ja_repro::magnetics::material::JaParameters;
 
 fn grid() -> ScenarioGrid {
     ScenarioGrid::new()
@@ -126,6 +127,59 @@ fn batch_report_is_bit_identical_across_worker_counts() {
             reference,
             "{workers}-worker report diverged from the single-worker report"
         );
+    }
+}
+
+/// A grid whose (config, excitation) cells hold several `DirectTimeless`
+/// scenarios — the shape the Auto routing batches into structure-of-arrays
+/// lockstep groups.
+fn groupable_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .material("date2006", JaParameters::date2006())
+        .material("ja1984", JaParameters::jiles_atherton_1984())
+        .material("soft-ferrite", JaParameters::soft_ferrite())
+        .material("hard-steel", JaParameters::hard_steel())
+        .backend(BackendKind::DirectTimeless)
+        .config("dh10", JaConfig::default())
+        .excitation("fig1", Excitation::fig1(500.0).expect("excitation"))
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        )
+}
+
+#[test]
+fn batch_report_is_bit_identical_across_soa_routing_and_worker_counts() {
+    // Lockstep routing is a scheduling decision, not a result decision:
+    // the SoA f64 lanes are bit-identical to scalar runs, so forcing
+    // either routing at any worker count must reproduce the same report.
+    let scenarios = groupable_grid().scenarios().expect("non-empty grid");
+    assert_eq!(scenarios.len(), 8); // 4 materials x 1 backend x 2 excitations
+
+    let scalar = BatchRunner::new()
+        .workers(1)
+        .soa_routing(SoaRouting::ForceScalar)
+        .run(scenarios.clone());
+    assert_eq!(scalar.failures().count(), 0);
+    let reference = fingerprint(&scalar);
+
+    for routing in [SoaRouting::Auto, SoaRouting::ForceSoa] {
+        for workers in [1, 2, 8] {
+            let routed = BatchRunner::new()
+                .workers(workers)
+                .soa_routing(routing)
+                .run(scenarios.clone());
+            assert_eq!(
+                fingerprint(&routed),
+                reference,
+                "{routing:?} report at {workers} workers diverged from the scalar report"
+            );
+            // And it really did run in lockstep: 4 lanes per group.
+            for entry in &routed.entries {
+                let outcome = entry.outcome.as_ref().expect("ok");
+                assert_eq!(outcome.lockstep_lanes, Some(4), "{}", entry.scenario.name);
+            }
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 //! fitting workload.  Also asserts the multi-start acceptance property:
 //! best-of-N cost is never worse than the single-start cost.
 
+use ja_repro::hdl_models::exec::SoaRouting;
 use ja_repro::hdl_models::fit::{fit_batch, FitJob, MultiStartOptions};
 use ja_repro::hdl_models::report::fit_report_value;
 use ja_repro::ja_hysteresis::backend::HysteresisBackend;
@@ -37,6 +38,7 @@ fn options(workers: usize) -> MultiStartOptions {
             sweep_step: 200.0,
             ..FitOptions::default()
         },
+        ..MultiStartOptions::default()
     }
 }
 
@@ -58,6 +60,50 @@ fn fit_reports_are_byte_identical_at_1_2_and_8_workers() {
     assert!(timed.contains("\"timing\""));
     assert!(!reference.contains("\"timing\""));
     assert!(!reference.contains("_ns"));
+}
+
+#[test]
+fn fit_reports_are_byte_identical_across_scalar_and_soa_routing() {
+    // Candidate-evaluation routing is a scheduling decision, not a result
+    // decision: the SoA f64 lanes are bit-identical to scalar evaluation,
+    // so the default report must not change — across routings AND worker
+    // counts at once.
+    let reference = fit_report_value(
+        &fit_batch(
+            jobs(),
+            &MultiStartOptions {
+                routing: SoaRouting::ForceScalar,
+                ..options(1)
+            },
+        )
+        .expect("fit"),
+        false,
+    )
+    .to_pretty_string();
+    for routing in [SoaRouting::ForceSoa, SoaRouting::Auto] {
+        for workers in [1, 2, 8] {
+            let report = fit_batch(
+                jobs(),
+                &MultiStartOptions {
+                    routing,
+                    ..options(workers)
+                },
+            )
+            .expect("fit");
+            assert_eq!(report.lockstep_lanes, Some(4));
+            let serialised = fit_report_value(&report, false).to_pretty_string();
+            assert_eq!(
+                reference, serialised,
+                "{routing:?} report at {workers} workers differs from the scalar run"
+            );
+            assert!(!serialised.contains("backend_routing"));
+        }
+    }
+    // The routing marker rides with the opt-in timing block only.
+    let timed =
+        fit_report_value(&fit_batch(jobs(), &options(2)).expect("fit"), true).to_pretty_string();
+    assert!(timed.contains("\"backend_routing\": \"soa\""));
+    assert!(timed.contains("\"lockstep_lanes\": 4"));
 }
 
 #[test]

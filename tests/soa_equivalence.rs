@@ -1,0 +1,179 @@
+//! Cross-crate equivalence tests of the structure-of-arrays lockstep
+//! kernel (`ja_hysteresis::soa`): in `f64` mode every lane must be
+//! **bit-identical** to a scalar [`JilesAtherton`] run of the same
+//! parameters, configuration and samples; in `f32` state mode the flux
+//! density must stay within the documented tolerance of the scalar
+//! reference.
+
+use ja_repro::ja_hysteresis::backend::HysteresisBackend;
+use ja_repro::ja_hysteresis::config::JaConfig;
+use ja_repro::ja_hysteresis::model::JilesAtherton;
+use ja_repro::ja_hysteresis::params::AnhystereticChoice;
+use ja_repro::ja_hysteresis::soa::{SoaBatch, SoaPrecision};
+use ja_repro::magnetics::bh::BhCurve;
+use ja_repro::magnetics::material::JaParameters;
+use ja_repro::magnetics::units::Magnetisation;
+use ja_repro::waveform::schedule::FieldSchedule;
+use proptest::prelude::*;
+
+/// The scalar reference: one model object walking the same samples.
+fn scalar_curve(params: JaParameters, config: JaConfig, samples: &[f64]) -> BhCurve {
+    let mut model = JilesAtherton::with_config(params, config).expect("valid material");
+    model.run_samples(samples).expect("scalar sweep")
+}
+
+fn assert_curves_bit_identical(soa: &BhCurve, scalar: &BhCurve, label: &str) {
+    assert_eq!(soa.len(), scalar.len(), "{label}: sample count");
+    for (i, (p, q)) in soa.points().iter().zip(scalar.points()).enumerate() {
+        assert_eq!(
+            p.h.value().to_bits(),
+            q.h.value().to_bits(),
+            "{label}: H at sample {i}"
+        );
+        assert_eq!(
+            p.b.as_tesla().to_bits(),
+            q.b.as_tesla().to_bits(),
+            "{label}: B at sample {i}"
+        );
+        assert_eq!(
+            p.m.value().to_bits(),
+            q.m.value().to_bits(),
+            "{label}: M at sample {i}"
+        );
+    }
+}
+
+fn arbitrary_material() -> impl Strategy<Value = JaParameters> {
+    (
+        5.0e5_f64..2.0e6,    // m_sat
+        200.0_f64..5_000.0,  // a
+        500.0_f64..20_000.0, // k
+        1.0e-4_f64..5.0e-3,  // alpha
+        0.01_f64..0.8,       // c
+    )
+        .prop_map(|(m_sat, a, k, alpha, c)| {
+            JaParameters::builder()
+                .m_sat(Magnetisation::new(m_sat))
+                .a(a)
+                .a2(a * 1.75)
+                .k(k)
+                .alpha(alpha)
+                .c(c)
+                .build()
+                .expect("generated parameters are in range")
+        })
+}
+
+/// Every anhysteretic law: the two arctangent laws run the lockstep
+/// kernel, the classic Langevin runs the per-lane fallback.
+const LAWS: [AnhystereticChoice; 3] = [
+    AnhystereticChoice::ModifiedLangevin,
+    AnhystereticChoice::DoubleArctan,
+    AnhystereticChoice::Langevin,
+];
+
+/// The excitation shapes the workspace exercises everywhere: the paper's
+/// Fig. 1 double cycle, a plain major loop, and a biased minor loop.
+fn schedule(kind: usize, peak: f64, step: f64) -> FieldSchedule {
+    match kind {
+        0 => FieldSchedule::major_loop(peak, step, 2).expect("schedule"),
+        1 => FieldSchedule::nested_minor_loops(peak, &[peak / 2.0, peak / 5.0], step)
+            .expect("schedule"),
+        _ => FieldSchedule::biased_minor_loop(peak / 4.0, peak / 8.0, 2, step).expect("schedule"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// f64 lanes are bitwise equal to the scalar model, for random
+    /// materials, every anhysteretic law and every schedule shape.
+    #[test]
+    fn f64_lanes_are_bit_identical_to_scalar(
+        materials in proptest::collection::vec(arbitrary_material(), 2..6),
+        law in 0usize..3,
+        kind in 0usize..3,
+        peak in 2_000.0_f64..30_000.0,
+        step in 25.0_f64..250.0,
+    ) {
+        let config = JaConfig::default().with_anhysteretic(LAWS[law]);
+        let samples = schedule(kind, peak, step).to_samples();
+
+        let mut batch = SoaBatch::new(config, SoaPrecision::F64).expect("config");
+        batch.assign(&materials);
+        let mut curves = vec![BhCurve::new(); materials.len()];
+        batch.run_samples_into_curves(&samples, &mut curves);
+
+        for (lane, (params, curve)) in materials.iter().zip(&curves).enumerate() {
+            prop_assert!(batch.lane_error(lane).is_none());
+            let scalar = scalar_curve(*params, config, &samples);
+            assert_curves_bit_identical(curve, &scalar, &format!("lane {lane} law {law} kind {kind}"));
+        }
+    }
+}
+
+#[test]
+fn f32_state_mode_stays_within_documented_tolerance() {
+    // The documented bound (see `ja_hysteresis::soa`): relative B error
+    // below 1e-4 of the loop's peak flux density, for the workspace's
+    // materials and schedules.
+    let materials = [
+        JaParameters::date2006(),
+        JaParameters::jiles_atherton_1984(),
+        JaParameters::soft_ferrite(),
+        JaParameters::hard_steel(),
+    ];
+    for kind in 0..3 {
+        let samples = schedule(kind, 10_000.0, 50.0).to_samples();
+        let config = JaConfig::default();
+        let mut batch = SoaBatch::new(config, SoaPrecision::F32).expect("config");
+        batch.assign(&materials);
+        let mut curves = vec![BhCurve::new(); materials.len()];
+        batch.run_samples_into_curves(&samples, &mut curves);
+
+        for (lane, params) in materials.iter().enumerate() {
+            assert!(batch.lane_error(lane).is_none());
+            let scalar = scalar_curve(*params, config, &samples);
+            let b_peak = scalar
+                .points()
+                .iter()
+                .fold(0.0_f64, |acc, p| acc.max(p.b.as_tesla().abs()));
+            assert!(b_peak > 0.0);
+            let worst = curves[lane]
+                .points()
+                .iter()
+                .zip(scalar.points())
+                .fold(0.0_f64, |acc, (p, q)| {
+                    acc.max((p.b.as_tesla() - q.b.as_tesla()).abs())
+                });
+            assert!(
+                worst <= 1e-4 * b_peak,
+                "lane {lane} kind {kind}: worst |dB| {worst:e} exceeds 1e-4 of peak {b_peak}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_failing_lane_does_not_disturb_its_neighbours() {
+    let mut bad = JaParameters::date2006();
+    bad.k = -1.0;
+    let materials = [JaParameters::date2006(), bad, JaParameters::hard_steel()];
+    let samples = FieldSchedule::major_loop(10_000.0, 100.0, 2)
+        .expect("schedule")
+        .to_samples();
+    let config = JaConfig::default();
+
+    let mut batch = SoaBatch::new(config, SoaPrecision::F64).expect("config");
+    batch.assign(&materials);
+    let mut curves = vec![BhCurve::new(); materials.len()];
+    batch.run_samples_into_curves(&samples, &mut curves);
+
+    assert!(batch.lane_error(0).is_none());
+    assert!(batch.lane_error(1).is_some());
+    assert!(batch.lane_error(2).is_none());
+    for lane in [0, 2] {
+        let scalar = scalar_curve(materials[lane], config, &samples);
+        assert_curves_bit_identical(&curves[lane], &scalar, &format!("lane {lane}"));
+    }
+}
