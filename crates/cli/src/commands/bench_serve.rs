@@ -1,0 +1,315 @@
+//! `ja bench-serve` — localhost load generator for the `ja serve`
+//! daemon: requests/sec and latency percentiles for cache misses
+//! (full evaluation) and cache hits (content-addressed O(1) lookups).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hdl_models::serve::{serve, ResultCache, ServerOptions};
+use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
+
+use crate::common::write_output;
+use crate::{opts, serve_api, CliError};
+
+/// Per-subcommand help (see `ja help bench-serve`).
+pub const HELP: &str = "\
+ja bench-serve — load-generate against the scenario-evaluation service
+
+USAGE:
+    ja bench-serve [OPTIONS]
+
+OPTIONS:
+    --requests N     requests per phase                     [default: 64]
+    --clients N      concurrent client connections          [default: 4]
+    --addr HOST:PORT target an already-running server instead of the
+                     default in-process one (the in-process server is
+                     spawned on 127.0.0.1:0 and drained afterwards)
+    --smoke          quick CI mode: 8 requests, 2 clients
+    --json PATH      also write a kind:\"bench\" report with the median
+                     per-request latency under the ids
+                     serve/batch_miss and serve/batch_hit (merged into
+                     BENCH_pr.json by CI's bench-smoke job)
+    --out PATH       write the human-readable table to PATH
+
+PHASES (each one batch_request per request, cache_info on):
+    batch_miss   every request unique (the major-loop peak varies), so
+                 each one evaluates a scenario — measures the full
+                 parse + dispatch + evaluate + serialize path
+    batch_hit    one warm-up, then identical requests — measures the
+                 content-addressed cache path; every response must
+                 arrive with X-Ja-Cache: hit
+
+EXIT STATUS: 0 on success; 1 when any request fails or a batch_hit
+response was not served from the cache.";
+
+/// One phase's request template. `{peak}` is substituted per request in
+/// the miss phase; the hit phase uses a fixed peak no miss request uses.
+fn batch_request_body(peak: usize) -> String {
+    format!(
+        concat!(
+            "{{\"schema_version\": 1, \"kind\": \"batch_request\", ",
+            "\"grid\": {{\"material\": [\"date2006\"], \"backend\": [\"direct\"], ",
+            "\"dh_max\": [10], ",
+            "\"excitation\": [{{\"kind\": \"major\", \"peak\": {peak}, \"step\": 100, ",
+            "\"cycles\": 1}}]}}, ",
+            "\"options\": {{\"cache_info\": true}}}}"
+        ),
+        peak = peak
+    )
+}
+
+/// A minimal blocking HTTP/1.1 client: one connection per request
+/// (mirroring the server's `Connection: close` framing).
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> Result<Response, CliError> {
+    let failure = |err: std::io::Error| CliError::failure(format!("request to {addr}: {err}"));
+    let mut stream = TcpStream::connect(addr).map_err(failure)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(failure)?;
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(failure)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(failure)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CliError::failure(format!("malformed response from {addr}")))?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| CliError::failure(format!("malformed status line from {addr}")))?;
+    let cache_marker = head.lines().find_map(|line| {
+        line.strip_prefix("X-Ja-Cache: ")
+            .map(|value| value.to_owned())
+    });
+    Ok(Response {
+        status,
+        cache_marker,
+        body: body.to_owned(),
+    })
+}
+
+struct Response {
+    status: u16,
+    cache_marker: Option<String>,
+    body: String,
+}
+
+struct PhaseResult {
+    requests: usize,
+    elapsed: Duration,
+    /// Per-request latencies in nanoseconds, sorted ascending.
+    latencies_ns: Vec<u64>,
+}
+
+impl PhaseResult {
+    fn requests_per_second(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_ns(&self, percent: usize) -> u64 {
+        let index = (self.latencies_ns.len() - 1) * percent / 100;
+        self.latencies_ns[index]
+    }
+}
+
+/// Runs one phase: `clients` threads drain a shared request counter.
+/// `body_for(i)` builds request `i`'s document; `expect_hit` asserts the
+/// cache marker on every response.
+fn run_phase(
+    addr: SocketAddr,
+    requests: usize,
+    clients: usize,
+    expect_hit: bool,
+    body_for: &(dyn Fn(usize) -> String + Sync),
+) -> Result<PhaseResult, CliError> {
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests));
+    let first_error: Mutex<Option<CliError>> = Mutex::new(None);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= requests || first_error.lock().unwrap().is_some() {
+                    break;
+                }
+                let body = body_for(index);
+                let request_started = Instant::now();
+                let outcome = http_post(addr, "/v1/eval", &body).and_then(|response| {
+                    if response.status != 200 {
+                        return Err(CliError::failure(format!(
+                            "request {index}: status {} ({})",
+                            response.status,
+                            response.body.trim()
+                        )));
+                    }
+                    if expect_hit && response.cache_marker.as_deref() != Some("hit") {
+                        return Err(CliError::failure(format!(
+                            "request {index}: expected a cache hit, got marker {:?}",
+                            response.cache_marker
+                        )));
+                    }
+                    Ok(())
+                });
+                match outcome {
+                    Ok(()) => {
+                        let nanos =
+                            u64::try_from(request_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        latencies.lock().unwrap().push(nanos);
+                    }
+                    Err(err) => {
+                        first_error.lock().unwrap().get_or_insert(err);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(err) = first_error.into_inner().unwrap() {
+        return Err(err);
+    }
+    let mut latencies_ns = latencies.into_inner().unwrap();
+    latencies_ns.sort_unstable();
+    Ok(PhaseResult {
+        requests,
+        elapsed: started.elapsed(),
+        latencies_ns,
+    })
+}
+
+fn run_load(
+    addr: SocketAddr,
+    requests: usize,
+    clients: usize,
+) -> Result<Vec<(String, PhaseResult)>, CliError> {
+    // Misses: peaks 1000, 1001, ... are unique per request. The hit
+    // phase's peak 999 is outside that range, warmed exactly once.
+    let miss = run_phase(addr, requests, clients, false, &|index| {
+        batch_request_body(1000 + index)
+    })?;
+    let warm = http_post(addr, "/v1/eval", &batch_request_body(999))?;
+    if warm.status != 200 {
+        return Err(CliError::failure(format!(
+            "warm-up request failed with status {}",
+            warm.status
+        )));
+    }
+    let hit = run_phase(addr, requests, clients, true, &|_| batch_request_body(999))?;
+    Ok(vec![
+        ("batch_miss".to_owned(), miss),
+        ("batch_hit".to_owned(), hit),
+    ])
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors for bad options; failures when the server cannot start,
+/// any request fails, or a hit-phase response bypassed the cache.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = opts::parse(
+        args,
+        &["smoke"],
+        &["requests", "clients", "addr", "json", "out"],
+    )?;
+    parsed.no_positionals()?;
+
+    let smoke = parsed.flag("smoke");
+    let requests = parsed.usize_or("requests", if smoke { 8 } else { 64 })?;
+    let clients = parsed.usize_or("clients", if smoke { 2 } else { 4 })?;
+    if requests == 0 {
+        return Err(CliError::usage("--requests must be at least 1".to_owned()));
+    }
+
+    let phases = match parsed.value("addr") {
+        // External server: just generate load.
+        Some(addr) => {
+            let addr: SocketAddr = addr
+                .parse()
+                .map_err(|_| CliError::usage(format!("--addr `{addr}` is not HOST:PORT")))?;
+            run_load(addr, requests, clients)?
+        }
+        // Default: spawn an in-process server on an ephemeral port and
+        // drain it afterwards — the bench needs no running daemon.
+        None => {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|err| CliError::failure(format!("cannot bind 127.0.0.1:0: {err}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|err| CliError::failure(err.to_string()))?;
+            let options = ServerOptions {
+                workers: clients.max(1),
+                // Deep enough that the bench never measures its own 503s.
+                queue_depth: requests.max(16),
+                max_body_bytes: 1024 * 1024,
+                io_timeout: Duration::from_secs(30),
+            };
+            let shutdown = AtomicBool::new(false);
+            let state = serve_api::ServeState {
+                shutdown: &shutdown,
+                cache: ResultCache::new(64 * 1024 * 1024),
+                // Bench scenarios are tiny; a one-thread evaluation pool
+                // keeps the measurement about serving, not thread spawn.
+                eval_workers: 1,
+            };
+            thread::scope(|scope| {
+                let server = scope.spawn(|| {
+                    serve(listener, &options, &shutdown, |request| {
+                        serve_api::handle_request(&state, request)
+                    })
+                });
+                let phases = run_load(addr, requests, clients);
+                shutdown.store(true, Ordering::Release);
+                server
+                    .join()
+                    .expect("server thread")
+                    .map_err(|err| CliError::failure(format!("serve: {err}")))?;
+                phases
+            })?
+        }
+    };
+
+    let mut table = format!(
+        "ja bench-serve: {requests} requests/phase, {clients} clients\n\
+         {:<12} {:>10} {:>12} {:>12}\n",
+        "phase", "req/s", "p50 ms", "p99 ms"
+    );
+    for (name, result) in &phases {
+        table.push_str(&format!(
+            "{:<12} {:>10.1} {:>12.3} {:>12.3}\n",
+            name,
+            result.requests_per_second(),
+            result.percentile_ns(50) as f64 / 1e6,
+            result.percentile_ns(99) as f64 / 1e6,
+        ));
+    }
+    write_output(parsed.value("out"), &table)?;
+
+    if let Some(path) = parsed.value("json") {
+        let mut benches = JsonValue::object();
+        for (name, result) in &phases {
+            benches.push(format!("serve/{name}"), result.percentile_ns(50) as f64);
+        }
+        let doc = JsonValue::object()
+            .with(SCHEMA_VERSION_KEY, SCHEMA_VERSION)
+            .with("kind", "bench")
+            .with("benches", benches);
+        std::fs::write(path, doc.to_pretty_string())
+            .map_err(|err| CliError::failure(format!("cannot write `{path}`: {err}")))?;
+    }
+    Ok(())
+}

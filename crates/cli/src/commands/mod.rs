@@ -2,8 +2,10 @@
 
 pub mod batch;
 pub mod bench_gate;
+pub mod bench_serve;
 pub mod compare;
 pub mod fit;
 pub mod inverse;
+pub mod serve;
 pub mod sweep;
 pub mod transient;

@@ -1,0 +1,144 @@
+//! `ja serve` — the persistent scenario-evaluation daemon.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use hdl_models::serve::{serve, ResultCache, ServerOptions};
+
+use crate::{opts, serve_api, CliError};
+
+/// Per-subcommand help (see `ja help serve`).
+pub const HELP: &str = "\
+ja serve — long-running scenario-evaluation service over HTTP/1.1
+
+USAGE:
+    ja serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT    listen address; port 0 picks an ephemeral port
+                        [default: 127.0.0.1:7878]
+    --workers N         request workers = max in-flight requests [default: 2]
+    --queue N           accepted requests that may wait beyond the in-flight
+                        ones; when full, new requests get an immediate 503
+                        [default: 16]
+    --eval-workers N    threads evaluating ONE request (the batch/fit
+                        pools); 0 = one per core.  A server policy, not a
+                        request field: reports are byte-identical for any
+                        value                                   [default: 0]
+    --cache-bytes N     result-cache byte budget; 0 disables caching
+                        [default: 67108864]
+    --port-file PATH    write the bound address to PATH after binding
+                        (lets scripts use --addr 127.0.0.1:0)
+
+ENDPOINTS (wire protocol spec: docs/PROTOCOL.md):
+    POST /v1/eval       evaluate a schema_version-1 request document
+                        (batch_request | fit_request | sweep_request |
+                        transient_request); the response body is
+                        byte-identical to the offline subcommand's report
+    GET  /v1/health     liveness + cache counters
+    POST /v1/shutdown   drain and exit (SIGINT/SIGTERM do the same)
+
+Responses are cached content-addressed: an identical request (any JSON
+key order; routing/cache_info differences ignored) is answered from the
+cache with the identical bytes.  Set `options.cache_info: true` to get
+the X-Ja-Cache: hit|miss marker headers.
+
+Logs go to stderr; stdout stays clean.  Exit status 0 after a graceful
+drain.";
+
+/// Set by the SIGINT/SIGTERM handler and by `POST /v1/shutdown`; the
+/// accept loop polls it and drains when it flips.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handler() {
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn request_shutdown(_signal: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        // libc is already linked through std; declaring `signal` directly
+        // avoids a crate dependency the offline container cannot fetch.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` only installs the handler, and the handler body is
+    // a single atomic store — async-signal-safe by construction.
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handler() {
+    // No handler: ctrl-c terminates the process without draining, and
+    // POST /v1/shutdown remains the graceful path.
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors for bad options; failures for bind/port-file/socket
+/// errors.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = opts::parse(
+        args,
+        &[],
+        &[
+            "addr",
+            "workers",
+            "queue",
+            "eval-workers",
+            "cache-bytes",
+            "port-file",
+        ],
+    )?;
+    parsed.no_positionals()?;
+
+    let addr = parsed.value("addr").unwrap_or("127.0.0.1:7878");
+    let listener = TcpListener::bind(addr)
+        .map_err(|err| CliError::failure(format!("cannot bind `{addr}`: {err}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|err| CliError::failure(err.to_string()))?;
+    if let Some(path) = parsed.value("port-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|err| CliError::failure(format!("cannot write `{path}`: {err}")))?;
+    }
+
+    let options = ServerOptions {
+        workers: parsed.usize_or("workers", 2)?,
+        queue_depth: parsed.usize_or("queue", 16)?,
+        max_body_bytes: 4 * 1024 * 1024,
+        io_timeout: Duration::from_secs(10),
+    };
+    let state = serve_api::ServeState {
+        shutdown: &SHUTDOWN,
+        cache: ResultCache::new(parsed.usize_or("cache-bytes", 64 * 1024 * 1024)?),
+        eval_workers: parsed.usize_or("eval-workers", 0)?,
+    };
+    install_signal_handler();
+
+    eprintln!(
+        "ja serve: listening on http://{local} ({} request workers, queue {}, cache budget {} \
+         bytes); SIGINT or POST /v1/shutdown drains",
+        options.workers,
+        options.queue_depth,
+        state.cache.stats().budget_bytes,
+    );
+    let summary = serve(listener, &options, &SHUTDOWN, |request| {
+        serve_api::handle_request(&state, request)
+    })
+    .map_err(|err| CliError::failure(format!("serve: {err}")))?;
+    let stats = state.cache.stats();
+    eprintln!(
+        "ja serve: drained ({} served, {} rejected; cache: {} hits, {} misses, {} evictions)",
+        summary.served, summary.rejected, stats.hits, stats.misses, stats.evictions,
+    );
+    Ok(())
+}

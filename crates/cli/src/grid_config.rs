@@ -78,8 +78,11 @@ pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
 }
 
 /// Parses an excitation spec: a kind token followed by `key=value`
-/// parameters, e.g. `major peak=10000 step=100 cycles=1`.
-fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> {
+/// parameters, e.g. `major peak=10000 step=100 cycles=1`.  Also the
+/// backbone of the serve API's excitation objects (`serve_api` renders
+/// them to this exact format), so the two surfaces can never drift on
+/// parameter names, defaults, or scenario-key naming.
+pub(crate) fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> {
     let mut tokens = spec.split_whitespace();
     let kind = tokens
         .next()

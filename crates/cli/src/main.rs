@@ -13,6 +13,7 @@ mod commands;
 mod common;
 mod grid_config;
 mod opts;
+mod serve_api;
 
 use std::process::ExitCode;
 
@@ -70,6 +71,9 @@ SUBCOMMANDS:
     inverse     Flux-driven solve: target B trace in, required H trace out
     compare     Backend-agreement table across implementation styles
     bench-gate  Diff two bench reports, fail on perf regressions
+    serve       Long-running evaluation service with a content-addressed
+                result cache (wire protocol: docs/PROTOCOL.md)
+    bench-serve Load-generate against the service (req/s, p50/p99)
 
 OPTIONS:
     -h, --help      This help (per-subcommand: `ja help <SUBCOMMAND>`)
@@ -79,7 +83,12 @@ REPORT SCHEMA (schema_version 1)
   Every JSON report opens with the shared envelope:
     schema_version  int     1; bumped on any breaking schema change
     kind            string  batch | sweep | transient | fit | inverse |
-                            compare | bench
+                            compare | bench, plus the serve-only documents
+                            error | health | shutdown and the request kinds
+                            batch_request | fit_request | sweep_request |
+                            transient_request (docs/PROTOCOL.md has the
+                            serve side; docs/SCHEMA.md consolidates all of
+                            it in one table)
 
   kind=batch (ja batch):
     scenarios   int    grid size
@@ -141,8 +150,18 @@ REPORT SCHEMA (schema_version 1)
   kind=compare (ja compare --format json): max_abs_diff_b_t,
     relative_diff, worst_pair (array of 2 labels | null), outcomes (array
     of entries).
-  kind=bench (criterion stand-in --json, consumed by ja bench-gate):
-    benches {bench id -> median ns/iteration}.
+  kind=bench (criterion stand-in --json and ja bench-serve --json,
+    consumed by ja bench-gate): benches {bench id -> median ns/iteration}.
+
+  Served documents (ja serve; wire framing in docs/PROTOCOL.md):
+    kind=error (any non-200 response): status (int, mirrors the HTTP
+      status), error (string message).
+    kind=health (GET /v1/health): status \"ok\", eval_workers, cache
+      {entries, bytes, budget_bytes, hits, misses, evictions}.
+    kind=shutdown (POST /v1/shutdown): draining true.
+    POST /v1/eval request kinds batch_request | fit_request |
+      sweep_request | transient_request produce byte-identical bodies to
+      the offline batch | fit | sweep | transient reports above.
 
 EXIT STATUS: 0 success; 1 runtime failure (including batch scenario
 failures and bench-gate regressions); 2 usage error.";
@@ -174,6 +193,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 Some("inverse") => commands::inverse::HELP,
                 Some("compare") => commands::compare::HELP,
                 Some("bench-gate") => commands::bench_gate::HELP,
+                Some("serve") => commands::serve::HELP,
+                Some("bench-serve") => commands::bench_serve::HELP,
                 Some(other) => {
                     return Err(CliError::usage(format!("unknown subcommand `{other}`")))
                 }
@@ -190,6 +211,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 "inverse" => commands::inverse::HELP,
                 "compare" => commands::compare::HELP,
                 "bench-gate" => commands::bench_gate::HELP,
+                "serve" => commands::serve::HELP,
+                "bench-serve" => commands::bench_serve::HELP,
                 other => return Err(CliError::usage(format!("unknown subcommand `{other}`"))),
             };
             println!("{text}");
@@ -202,6 +225,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "inverse" => commands::inverse::run(rest),
         "compare" => commands::compare::run(rest),
         "bench-gate" => commands::bench_gate::run(rest),
+        "serve" => commands::serve::run(rest),
+        "bench-serve" => commands::bench_serve::run(rest),
         other => Err(CliError::usage(format!(
             "unknown subcommand `{other}` (see `ja --help`)"
         ))),

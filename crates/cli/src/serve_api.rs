@@ -1,0 +1,931 @@
+//! The `ja serve` request layer: strict parsing of versioned request
+//! documents, content-addressed cache keys, and dispatch onto the same
+//! engines the offline subcommands use.
+//!
+//! The wire contract is specified in `docs/PROTOCOL.md`; the short
+//! version: `POST /v1/eval` takes a `schema_version: 1` request document
+//! (`batch_request` | `fit_request` | `sweep_request` |
+//! `transient_request`), and the response body is **byte-identical** to
+//! what the corresponding offline subcommand (`ja batch`, `ja fit`,
+//! `ja sweep --format json`, `ja transient --format json`) would write
+//! for the same inputs. That identity is load-bearing: it is what makes
+//! the [`ResultCache`] correct (a cached body *is* the answer) and it is
+//! asserted by CI's cli-smoke job with `cmp`.
+//!
+//! To guarantee it, requests reuse the offline code paths rather than
+//! reimplementing them: excitation objects are rendered to the grid
+//! config's `kind key=value` spec format and parsed by
+//! [`grid_config::parse_excitation`], materials/backends/routing go
+//! through [`crate::common`]'s lookup tables, and reports are built by
+//! [`hdl_models::report`] with timings off (the serve layer never emits
+//! run-dependent fields).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use hdl_models::exec::{BatchRunner, SoaRouting};
+use hdl_models::fit::{fit_batch, FitJob, MultiStartOptions};
+use hdl_models::report::{batch_report_value, fit_report_value};
+use hdl_models::scenario::{Excitation, Scenario, ScenarioGrid};
+use hdl_models::serve::{error_response, HttpRequest, HttpResponse, ResultCache};
+use ja_hysteresis::config::JaConfig;
+use ja_hysteresis::fitting::FitOptions;
+use ja_hysteresis::json::{content_hash, JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
+use magnetics::bh::BhCurve;
+
+use crate::common::{
+    backend_by_name, backend_set_by_name, config_name, enveloped_outcome, material_by_name,
+    routing_by_name,
+};
+use crate::grid_config;
+
+/// Everything the request handler needs across requests.
+pub struct ServeState<'a> {
+    /// The drain flag shared with the accept loop; `POST /v1/shutdown`
+    /// sets it.
+    pub shutdown: &'a AtomicBool,
+    /// The content-addressed response cache.
+    pub cache: ResultCache,
+    /// Worker threads used to *evaluate* one request (the batch/fit
+    /// pools), as opposed to the server's request workers. `0` = one per
+    /// core. A server policy, deliberately not part of the request
+    /// schema: reports are byte-identical for any value.
+    pub eval_workers: usize,
+}
+
+/// A request failure: the HTTP status it maps to and the message for the
+/// `kind:"error"` document.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    /// `400` — the request document itself is wrong.
+    fn bad(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// `422` — the request was well-formed but the evaluation failed.
+    fn unprocessable(message: impl Into<String>) -> Self {
+        Self {
+            status: 422,
+            message: message.into(),
+        }
+    }
+}
+
+/// Routes one parsed HTTP request. This is the handler closure `ja
+/// serve` injects into [`hdl_models::serve::serve`].
+pub fn handle_request(state: &ServeState<'_>, request: &HttpRequest) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/health") => health_response(state),
+        ("POST", "/v1/eval") => match eval(state, &request.body) {
+            Ok(response) => response,
+            Err(err) => error_response(err.status, &err.message),
+        },
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            let doc = JsonValue::object()
+                .with(SCHEMA_VERSION_KEY, SCHEMA_VERSION)
+                .with("kind", "shutdown")
+                .with("draining", true);
+            HttpResponse::json(200, doc.to_pretty_string())
+        }
+        (_, "/v1/health" | "/v1/eval" | "/v1/shutdown") => error_response(
+            405,
+            &format!(
+                "method {} is not allowed on {} (GET /v1/health, POST /v1/eval, POST /v1/shutdown)",
+                request.method, request.path
+            ),
+        ),
+        (_, path) => error_response(
+            404,
+            &format!("unknown path `{path}` (GET /v1/health, POST /v1/eval, POST /v1/shutdown)"),
+        ),
+    }
+}
+
+fn health_response(state: &ServeState<'_>) -> HttpResponse {
+    let stats = state.cache.stats();
+    let doc = JsonValue::object()
+        .with(SCHEMA_VERSION_KEY, SCHEMA_VERSION)
+        .with("kind", "health")
+        .with("status", "ok")
+        .with("eval_workers", state.eval_workers)
+        .with(
+            "cache",
+            JsonValue::object()
+                .with("entries", stats.entries)
+                .with("bytes", stats.bytes)
+                .with("budget_bytes", stats.budget_bytes)
+                .with("hits", stats.hits)
+                .with("misses", stats.misses)
+                .with("evictions", stats.evictions),
+        );
+    HttpResponse::json(200, doc.to_pretty_string())
+}
+
+/// Per-request options shared by every request kind (each kind allows a
+/// subset — see [`eval`]). Defaults mirror the offline CLI defaults, so
+/// an empty `options` object evaluates exactly like the bare subcommand.
+struct RequestOptions {
+    routing: SoaRouting,
+    cache_info: bool,
+    starts: usize,
+    seed: u64,
+    passes: usize,
+    initial_step: f64,
+    sweep_step: f64,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        Self {
+            routing: SoaRouting::Auto,
+            cache_info: false,
+            starts: 1,
+            seed: 42,
+            passes: 6,
+            initial_step: 0.4,
+            sweep_step: 50.0,
+        }
+    }
+}
+
+fn eval(state: &ServeState<'_>, body: &[u8]) -> Result<HttpResponse, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad("request body is not UTF-8 text"))?;
+    let doc =
+        JsonValue::parse(text).map_err(|err| ApiError::bad(format!("invalid JSON: {err}")))?;
+    if doc.as_object().is_none() {
+        return Err(ApiError::bad("request document must be a JSON object"));
+    }
+    match doc.get(SCHEMA_VERSION_KEY).and_then(JsonValue::as_i64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(other) => {
+            return Err(ApiError::bad(format!(
+                "unsupported schema_version {other} (this server speaks {SCHEMA_VERSION})"
+            )))
+        }
+        None => {
+            return Err(ApiError::bad(format!(
+                "request must carry `{SCHEMA_VERSION_KEY}: {SCHEMA_VERSION}`"
+            )))
+        }
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ApiError::bad("request must carry a string `kind`"))?
+        // Borrow-free copy: `doc` is consumed by the handlers below.
+        .to_owned();
+
+    // Envelope and options are validated *before* the cache lookup, so a
+    // malformed request is rejected identically whether or not an entry
+    // for its well-formed twin exists.
+    let (envelope_keys, option_keys): (&[&str], &[&str]) = match kind.as_str() {
+        "batch_request" => (
+            &[SCHEMA_VERSION_KEY, "kind", "grid", "options"],
+            &["routing", "cache_info"],
+        ),
+        "fit_request" => (
+            &[SCHEMA_VERSION_KEY, "kind", "loops", "options"],
+            &[
+                "routing",
+                "cache_info",
+                "starts",
+                "seed",
+                "passes",
+                "initial_step",
+                "sweep_step",
+            ],
+        ),
+        "sweep_request" | "transient_request" => (
+            &[
+                SCHEMA_VERSION_KEY,
+                "kind",
+                "material",
+                "backend",
+                "dh_max",
+                "excitation",
+                "options",
+            ],
+            &["cache_info"],
+        ),
+        other => {
+            return Err(ApiError::bad(format!(
+                "unknown request kind `{other}` (expected batch_request | fit_request | \
+                 sweep_request | transient_request)"
+            )))
+        }
+    };
+    check_keys(&doc, envelope_keys, &kind)?;
+    let options = parse_options(&doc, option_keys, &kind)?;
+
+    let key = cache_key(&doc);
+    if let Some(cached) = state.cache.get(key) {
+        return Ok(with_cache_marker(
+            HttpResponse::json_shared(200, cached),
+            options.cache_info,
+            key,
+            true,
+        ));
+    }
+
+    let report = match kind.as_str() {
+        "batch_request" => batch_eval(state, &doc, &options)?,
+        "fit_request" => fit_eval(state, &doc, &options)?,
+        "sweep_request" => single_eval(&doc, "sweep")?,
+        "transient_request" => single_eval(&doc, "transient")?,
+        _ => unreachable!("kind was validated above"),
+    };
+    let body = state.cache.insert(key, report);
+    Ok(with_cache_marker(
+        HttpResponse::json_shared(200, body),
+        options.cache_info,
+        key,
+        false,
+    ))
+}
+
+/// Appends the opt-in cache marker headers. They ride as headers, not
+/// body fields, precisely so the body stays byte-identical to the
+/// offline report whether the answer was evaluated or recalled.
+fn with_cache_marker(
+    response: HttpResponse,
+    cache_info: bool,
+    key: u128,
+    hit: bool,
+) -> HttpResponse {
+    if !cache_info {
+        return response;
+    }
+    response
+        .with_header("X-Ja-Cache", if hit { "hit" } else { "miss" })
+        .with_header("X-Ja-Cache-Key", format!("{key:032x}"))
+}
+
+/// The content address of a request: [`content_hash`] of the document
+/// with the fields that cannot affect the response bytes removed.
+///
+/// `options.routing` is dropped because routing is a scheduling decision
+/// (SoA f64 lanes are bit-identical to scalar runs) and `options.cache_info`
+/// because it only toggles response *headers* — both are documented as
+/// cache-neutral in `docs/PROTOCOL.md`. Everything else, including
+/// `schema_version` and `kind`, participates in the key. The hash is
+/// computed over the canonical JSON form, so clients may order fields
+/// freely and still share a cache entry.
+pub fn cache_key(doc: &JsonValue) -> u128 {
+    content_hash(&normalized_request(doc))
+}
+
+fn normalized_request(doc: &JsonValue) -> JsonValue {
+    let JsonValue::Object(fields) = doc else {
+        return doc.clone();
+    };
+    let mut kept = Vec::with_capacity(fields.len());
+    for (key, value) in fields {
+        if key == "options" {
+            if let JsonValue::Object(options) = value {
+                let neutral = |name: &str| name == "routing" || name == "cache_info";
+                let remaining: Vec<(String, JsonValue)> = options
+                    .iter()
+                    .filter(|(name, _)| !neutral(name))
+                    .cloned()
+                    .collect();
+                // An `options` object left empty hashes like no options
+                // at all: both evaluate to the same bytes.
+                if !remaining.is_empty() {
+                    kept.push((key.clone(), JsonValue::Object(remaining)));
+                }
+                continue;
+            }
+        }
+        kept.push((key.clone(), value.clone()));
+    }
+    JsonValue::Object(kept)
+}
+
+/// Rejects fields outside `allowed` — the serve schema is as strict as
+/// `core::json`'s parser: a typo must not silently change an experiment.
+fn check_keys(value: &JsonValue, allowed: &[&str], what: &str) -> Result<(), ApiError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| ApiError::bad(format!("`{what}` must be a JSON object")))?;
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad(format!(
+                "`{what}` does not take field `{key}` (expected: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_options(
+    doc: &JsonValue,
+    allowed: &[&str],
+    kind: &str,
+) -> Result<RequestOptions, ApiError> {
+    let mut options = RequestOptions::default();
+    let Some(value) = doc.get("options") else {
+        return Ok(options);
+    };
+    let fields = value
+        .as_object()
+        .ok_or_else(|| ApiError::bad("`options` must be a JSON object"))?;
+    for (key, value) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad(format!(
+                "`{kind}` does not take option `{key}` (expected: {})",
+                allowed.join(", ")
+            )));
+        }
+        match key.as_str() {
+            "routing" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad("`options.routing` must be a string"))?;
+                options.routing =
+                    routing_by_name(name).map_err(|err| ApiError::bad(err.message))?;
+            }
+            "cache_info" => {
+                options.cache_info = match value {
+                    JsonValue::Bool(flag) => *flag,
+                    _ => return Err(ApiError::bad("`options.cache_info` must be a boolean")),
+                };
+            }
+            "starts" => options.starts = usize_field(value, "options.starts")?,
+            "seed" => options.seed = u64_field(value, "options.seed")?,
+            "passes" => options.passes = usize_field(value, "options.passes")?,
+            "initial_step" => options.initial_step = f64_field(value, "options.initial_step")?,
+            "sweep_step" => options.sweep_step = f64_field(value, "options.sweep_step")?,
+            _ => unreachable!("allowed keys are the match arms"),
+        }
+    }
+    Ok(options)
+}
+
+fn f64_field(value: &JsonValue, what: &str) -> Result<f64, ApiError> {
+    match value.as_f64() {
+        Some(v) if v.is_finite() => Ok(v),
+        _ => Err(ApiError::bad(format!("`{what}` must be a finite number"))),
+    }
+}
+
+fn usize_field(value: &JsonValue, what: &str) -> Result<usize, ApiError> {
+    match value.as_i64() {
+        Some(v) if v >= 0 => Ok(v as usize),
+        _ => Err(ApiError::bad(format!(
+            "`{what}` must be a non-negative integer"
+        ))),
+    }
+}
+
+fn u64_field(value: &JsonValue, what: &str) -> Result<u64, ApiError> {
+    match value.as_i64() {
+        Some(v) if v >= 0 => Ok(v as u64),
+        _ => Err(ApiError::bad(format!(
+            "`{what}` must be a non-negative integer"
+        ))),
+    }
+}
+
+/// Renders an excitation object to the grid config's `kind key=value`
+/// spec format, e.g. `{"kind": "major", "peak": 10000, "step": 100}` →
+/// `major peak=10000 step=100`. [`grid_config::parse_excitation`] then
+/// does the real parsing — names, defaults, validation, and scenario-key
+/// naming are shared with the offline CLI by construction (the `Display`
+/// form of a JSON number round-trips through the text parser onto the
+/// same `f64`, so scenario names — and therefore report bytes — match).
+fn excitation_spec(value: &JsonValue) -> Result<String, ApiError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| ApiError::bad("`excitation` must be a JSON object"))?;
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ApiError::bad("`excitation` must carry a string `kind`"))?;
+    let mut spec = kind.to_owned();
+    for (key, value) in fields {
+        if key == "kind" {
+            continue;
+        }
+        let text = match value {
+            JsonValue::Int(v) => v.to_string(),
+            JsonValue::Number(v) if v.is_finite() => format!("{v}"),
+            JsonValue::String(s) => s.clone(),
+            _ => {
+                return Err(ApiError::bad(format!(
+                    "excitation parameter `{key}` must be a finite number or a string"
+                )))
+            }
+        };
+        if text.is_empty() || text.contains(char::is_whitespace) || text.contains('=') {
+            return Err(ApiError::bad(format!(
+                "excitation parameter `{key}` has an unusable value `{text}`"
+            )));
+        }
+        spec.push(' ');
+        spec.push_str(key);
+        spec.push('=');
+        spec.push_str(&text);
+    }
+    Ok(spec)
+}
+
+fn str_axis<'doc>(grid: &'doc JsonValue, key: &str) -> Result<Vec<&'doc str>, ApiError> {
+    let Some(value) = grid.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| ApiError::bad(format!("`grid.{key}` must be an array")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .ok_or_else(|| ApiError::bad(format!("`grid.{key}` entries must be strings")))
+        })
+        .collect()
+}
+
+fn f64_axis(grid: &JsonValue, key: &str) -> Result<Vec<f64>, ApiError> {
+    let Some(value) = grid.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| ApiError::bad(format!("`grid.{key}` must be an array")))?;
+    items
+        .iter()
+        .map(|item| f64_field(item, &format!("grid.{key}")))
+        .collect()
+}
+
+/// `kind:"batch_request"` → the exact bytes of `ja batch --config` on an
+/// equivalent grid config. Axis arrays accumulate in order like repeated
+/// config lines; omitted axes fall back to the same defaults.
+fn batch_eval(
+    state: &ServeState<'_>,
+    doc: &JsonValue,
+    options: &RequestOptions,
+) -> Result<String, ApiError> {
+    let grid_doc = doc
+        .get("grid")
+        .ok_or_else(|| ApiError::bad("`batch_request` requires a `grid` object"))?;
+    check_keys(
+        grid_doc,
+        &["material", "backend", "dh_max", "excitation"],
+        "grid",
+    )?;
+    let mut grid = ScenarioGrid::new();
+    for name in str_axis(grid_doc, "material")? {
+        let params = material_by_name(name).map_err(|err| ApiError::bad(err.message))?;
+        grid = grid.material(name, params);
+    }
+    for name in str_axis(grid_doc, "backend")? {
+        let backends = backend_set_by_name(name).map_err(|err| ApiError::bad(err.message))?;
+        grid = grid.backends(backends);
+    }
+    for dh_max in f64_axis(grid_doc, "dh_max")? {
+        let config = JaConfig::default().with_dh_max(dh_max);
+        config
+            .validate()
+            .map_err(|err| ApiError::bad(err.to_string()))?;
+        grid = grid.config(config_name(dh_max), config);
+    }
+    let excitations = grid_doc
+        .get("excitation")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ApiError::bad("`grid.excitation` must be an array of excitation objects"))?;
+    for value in excitations {
+        let named = grid_config::parse_excitation(&excitation_spec(value)?)
+            .map_err(|err| ApiError::bad(err.message))?;
+        grid = grid.excitation(named.name, named.excitation);
+    }
+    let scenarios = grid
+        .scenarios()
+        .map_err(|err| ApiError::bad(err.to_string()))?;
+    let report = BatchRunner::new()
+        .workers(state.eval_workers)
+        .soa_routing(options.routing)
+        .run(scenarios);
+    // Per-scenario failures are data, not a request failure: the report
+    // carries their status — exactly like the offline exit-1-after-write.
+    Ok(batch_report_value(&report, false).to_pretty_string())
+}
+
+/// `kind:"fit_request"` → the exact bytes of `ja fit` on equivalent
+/// loops (measured samples inline instead of CSV files).
+fn fit_eval(
+    state: &ServeState<'_>,
+    doc: &JsonValue,
+    options: &RequestOptions,
+) -> Result<String, ApiError> {
+    let loops = doc
+        .get("loops")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ApiError::bad("`fit_request` requires a `loops` array"))?;
+    if loops.is_empty() {
+        return Err(ApiError::bad("`loops` must contain at least one loop"));
+    }
+    let mut jobs = Vec::with_capacity(loops.len());
+    for (index, loop_doc) in loops.iter().enumerate() {
+        let what = format!("loops[{index}]");
+        check_keys(loop_doc, &["name", "h", "b", "h_peak"], &what)?;
+        let name = loop_doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ApiError::bad(format!("`{what}` requires a string `name`")))?;
+        let h = sample_array(loop_doc, "h", &what)?;
+        let b = sample_array(loop_doc, "b", &what)?;
+        if h.len() != b.len() {
+            return Err(ApiError::bad(format!(
+                "`{what}`: `h` has {} samples but `b` has {}",
+                h.len(),
+                b.len()
+            )));
+        }
+        let mut curve = BhCurve::with_capacity(h.len());
+        for (&h, &b) in h.iter().zip(&b) {
+            curve.push_raw(h, b, 0.0);
+        }
+        let h_peak = match loop_doc.get("h_peak") {
+            None => None,
+            Some(value) => Some(f64_field(value, &format!("{what}.h_peak"))?),
+        };
+        jobs.push(match h_peak {
+            Some(h_peak) => FitJob::new(name, curve, h_peak),
+            None => FitJob::with_auto_peak(name, curve),
+        });
+    }
+    let multi_start = MultiStartOptions {
+        starts: options.starts,
+        seed: options.seed,
+        workers: state.eval_workers,
+        routing: options.routing,
+        fit: FitOptions {
+            passes: options.passes,
+            initial_step: options.initial_step,
+            sweep_step: options.sweep_step,
+        },
+    };
+    multi_start
+        .validate()
+        .map_err(|err| ApiError::bad(err.to_string()))?;
+    let report = fit_batch(jobs, &multi_start).map_err(|err| {
+        ApiError::unprocessable(format!(
+            "fit failed: {err} (is every input a closed BH loop?)"
+        ))
+    })?;
+    Ok(fit_report_value(&report, false).to_pretty_string())
+}
+
+fn sample_array(loop_doc: &JsonValue, key: &str, what: &str) -> Result<Vec<f64>, ApiError> {
+    let items = loop_doc
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ApiError::bad(format!("`{what}` requires a `{key}` array of numbers")))?;
+    items
+        .iter()
+        .map(|item| f64_field(item, &format!("{what}.{key}")))
+        .collect()
+}
+
+/// `kind:"sweep_request"` / `kind:"transient_request"` → the exact bytes
+/// of `ja sweep --format json` / `ja transient --format json`: one
+/// scenario, one enveloped outcome.
+fn single_eval(doc: &JsonValue, report_kind: &str) -> Result<String, ApiError> {
+    let material_name = match doc.get("material") {
+        None => "date2006",
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| ApiError::bad("`material` must be a string"))?,
+    };
+    let params = material_by_name(material_name).map_err(|err| ApiError::bad(err.message))?;
+    let backend_name = match doc.get("backend") {
+        None => "direct",
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| ApiError::bad("`backend` must be a string"))?,
+    };
+    let backend = backend_by_name(backend_name).map_err(|err| ApiError::bad(err.message))?;
+    let dh_max = match doc.get("dh_max") {
+        None => 10.0,
+        Some(value) => f64_field(value, "dh_max")?,
+    };
+    let config = JaConfig::default().with_dh_max(dh_max);
+    config
+        .validate()
+        .map_err(|err| ApiError::bad(err.to_string()))?;
+    let excitation_doc = doc.get("excitation").ok_or_else(|| {
+        ApiError::bad(format!(
+            "`{report_kind}_request` requires an `excitation` object"
+        ))
+    })?;
+    let named = grid_config::parse_excitation(&excitation_spec(excitation_doc)?)
+        .map_err(|err| ApiError::bad(err.message))?;
+    let is_circuit = matches!(named.excitation, Excitation::Circuit(_));
+    if report_kind == "transient" && !is_circuit {
+        return Err(ApiError::bad(
+            "`transient_request` requires a `circuit` excitation (use `sweep_request` for \
+             field-driven stimuli)",
+        ));
+    }
+    if report_kind == "sweep" && is_circuit {
+        return Err(ApiError::bad(
+            "`sweep_request` takes field-driven stimuli (use `transient_request` for `circuit`)",
+        ));
+    }
+    let scenario = Scenario::new(
+        format!(
+            "{}/{}/{}/{material_name}",
+            named.name,
+            backend.label(),
+            config_name(dh_max)
+        ),
+        params,
+        config,
+        backend,
+        named.excitation,
+    );
+    let outcome = scenario
+        .run()
+        .map_err(|err| ApiError::unprocessable(err.to_string()))?;
+    Ok(enveloped_outcome(report_kind, &outcome, false).to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> JsonValue {
+        JsonValue::parse(text).expect("test document parses")
+    }
+
+    fn state(cache_bytes: usize) -> (&'static AtomicBool, ServeState<'static>) {
+        // Tests leak one flag each — fine for a handful of unit tests,
+        // and it keeps `ServeState` free of test-only generics.
+        let shutdown: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        (
+            shutdown,
+            ServeState {
+                shutdown,
+                cache: ResultCache::new(cache_bytes),
+                eval_workers: 1,
+            },
+        )
+    }
+
+    fn post_eval(state: &ServeState<'_>, body: &str) -> HttpResponse {
+        handle_request(
+            state,
+            &HttpRequest {
+                method: "POST".into(),
+                path: "/v1/eval".into(),
+                headers: Vec::new(),
+                body: body.as_bytes().to_vec(),
+            },
+        )
+    }
+
+    const BATCH_REQUEST: &str = r#"{
+        "schema_version": 1,
+        "kind": "batch_request",
+        "grid": {
+            "material": ["date2006"],
+            "backend": ["direct"],
+            "dh_max": [10],
+            "excitation": [{"kind": "fig1", "step": 500}]
+        },
+        "options": {"routing": "auto", "cache_info": true}
+    }"#;
+
+    #[test]
+    fn cache_key_ignores_key_order_and_cache_neutral_options() {
+        let base = parse(BATCH_REQUEST);
+        let reordered = parse(
+            r#"{
+                "kind": "batch_request",
+                "options": {"cache_info": true, "routing": "auto"},
+                "grid": {
+                    "excitation": [{"step": 500, "kind": "fig1"}],
+                    "dh_max": [10],
+                    "backend": ["direct"],
+                    "material": ["date2006"]
+                },
+                "schema_version": 1
+            }"#,
+        );
+        assert_eq!(cache_key(&base), cache_key(&reordered));
+
+        // routing / cache_info never change response bytes, so they must
+        // not split the cache; dropping `options` entirely is the same
+        // request again.
+        for options in [
+            r#""options": {"routing": "scalar", "cache_info": false}"#,
+            r#""options": {"routing": "soa"}"#,
+            r#""options": {}"#,
+        ] {
+            let variant = parse(&BATCH_REQUEST.replace(
+                r#""options": {"routing": "auto", "cache_info": true}"#,
+                options,
+            ));
+            assert_eq!(cache_key(&base), cache_key(&variant), "{options}");
+        }
+        let no_options = parse(
+            &BATCH_REQUEST
+                .replace(r#","options": {"routing": "auto", "cache_info": true}"#, "")
+                .replace(
+                    r#"},
+        "options": {"routing": "auto", "cache_info": true}"#,
+                    "}",
+                ),
+        );
+        assert_eq!(cache_key(&base), cache_key(&no_options));
+    }
+
+    #[test]
+    fn cache_key_changes_with_every_request_axis() {
+        let base = cache_key(&parse(BATCH_REQUEST));
+        for (from, to) in [
+            (r#""schema_version": 1"#, r#""schema_version": 2"#),
+            (r#""kind": "batch_request""#, r#""kind": "fit_request""#),
+            (r#""material": ["date2006"]"#, r#""material": ["ja1984"]"#),
+            (r#""backend": ["direct"]"#, r#""backend": ["ams"]"#),
+            (r#""dh_max": [10]"#, r#""dh_max": [25]"#),
+            (r#""step": 500"#, r#""step": 250"#),
+            (r#""kind": "fig1""#, r#""kind": "major""#),
+        ] {
+            let mutated = cache_key(&parse(&BATCH_REQUEST.replace(from, to)));
+            assert_ne!(base, mutated, "{from} -> {to} must change the key");
+        }
+    }
+
+    #[test]
+    fn batch_request_evaluates_then_hits_the_cache_with_identical_bytes() {
+        let (_, state) = state(1 << 20);
+        let first = post_eval(&state, BATCH_REQUEST);
+        assert_eq!(first.status(), 200, "{}", first.body());
+        assert!(first.body().contains("\"kind\": \"batch\""));
+        assert!(first
+            .body()
+            .contains("fig1(step=500)/direct-timeless/dh10/date2006"));
+        let marker = |response: &HttpResponse| {
+            let raw = {
+                let mut out = Vec::new();
+                response.write_to(&mut out).unwrap();
+                String::from_utf8(out).unwrap()
+            };
+            raw.lines()
+                .find_map(|line| line.strip_prefix("X-Ja-Cache: ").map(str::to_owned))
+        };
+        assert_eq!(marker(&first).as_deref(), Some("miss"));
+
+        let second = post_eval(&state, BATCH_REQUEST);
+        assert_eq!(second.status(), 200);
+        assert_eq!(marker(&second).as_deref(), Some("hit"));
+        assert_eq!(
+            first.body(),
+            second.body(),
+            "hit must return identical bytes"
+        );
+        assert_eq!(state.cache.stats().hits, 1);
+
+        // Reordered fields and a different routing land on the same entry.
+        let routed = post_eval(
+            &state,
+            &BATCH_REQUEST.replace(r#""routing": "auto""#, r#""routing": "scalar""#),
+        );
+        assert_eq!(marker(&routed).as_deref(), Some("hit"));
+        assert_eq!(routed.body(), first.body());
+
+        // Without cache_info the marker disappears but the bytes do not.
+        let silent = post_eval(
+            &state,
+            &BATCH_REQUEST.replace(r#""cache_info": true"#, r#""cache_info": false"#),
+        );
+        assert_eq!(marker(&silent), None);
+        assert_eq!(silent.body(), first.body());
+    }
+
+    #[test]
+    fn malformed_eval_requests_are_400s() {
+        let (_, state) = state(0);
+        for (body, fragment) in [
+            ("not json", "invalid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            (r#"{"kind": "batch_request"}"#, "schema_version"),
+            (
+                r#"{"schema_version": 9, "kind": "batch_request"}"#,
+                "unsupported schema_version 9",
+            ),
+            (r#"{"schema_version": 1}"#, "string `kind`"),
+            (
+                r#"{"schema_version": 1, "kind": "guess"}"#,
+                "unknown request kind",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request", "grids": {}}"#,
+                "does not take field `grids`",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request", "options": {"workers": 4}}"#,
+                "does not take option `workers`",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request"}"#,
+                "requires a `grid` object",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request",
+                   "grid": {"excitation": [{"kind": "sawtooth"}]}}"#,
+                "unknown excitation kind",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request",
+                   "grid": {"material": ["mu-metal"], "excitation": [{"kind": "fig1"}]}}"#,
+                "unknown material",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "fit_request", "loops": []}"#,
+                "at least one loop",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "fit_request",
+                   "loops": [{"name": "l", "h": [1, 2], "b": [1]}]}"#,
+                "`h` has 2 samples but `b` has 1",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "transient_request",
+                   "excitation": {"kind": "fig1", "step": 500}}"#,
+                "requires a `circuit` excitation",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "sweep_request",
+                   "excitation": {"kind": "circuit"}}"#,
+                "field-driven stimuli",
+            ),
+        ] {
+            let response = post_eval(&state, body);
+            assert_eq!(response.status(), 400, "{body} -> {}", response.body());
+            assert!(
+                response.body().contains(fragment),
+                "{body}: response {} should mention {fragment:?}",
+                response.body()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_request_matches_the_offline_sweep_report() {
+        let (_, state) = state(0);
+        let response = post_eval(
+            &state,
+            r#"{"schema_version": 1, "kind": "sweep_request",
+               "excitation": {"kind": "major", "peak": 5000, "step": 250, "cycles": 1}}"#,
+        );
+        assert_eq!(response.status(), 200, "{}", response.body());
+        assert!(response.body().contains("\"kind\": \"sweep\""));
+        assert!(response
+            .body()
+            .contains("major(peak=5000,step=250,cycles=1)/direct-timeless/dh10/date2006"));
+    }
+
+    #[test]
+    fn health_and_shutdown_routes_work() {
+        let (flag, state) = state(0);
+        let get = |method: &str, path: &str| {
+            handle_request(
+                &state,
+                &HttpRequest {
+                    method: method.into(),
+                    path: path.into(),
+                    headers: Vec::new(),
+                    body: Vec::new(),
+                },
+            )
+        };
+        let health = get("GET", "/v1/health");
+        assert_eq!(health.status(), 200);
+        assert!(health.body().contains("\"kind\": \"health\""));
+        assert!(health.body().contains("\"budget_bytes\": 0"));
+
+        assert_eq!(get("POST", "/v1/health").status(), 405);
+        assert_eq!(get("GET", "/v1/nope").status(), 404);
+
+        assert!(!flag.load(Ordering::Acquire));
+        let shutdown = get("POST", "/v1/shutdown");
+        assert_eq!(shutdown.status(), 200);
+        assert!(shutdown.body().contains("\"draining\": true"));
+        assert!(
+            flag.load(Ordering::Acquire),
+            "shutdown must set the drain flag"
+        );
+    }
+}

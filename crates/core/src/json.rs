@@ -205,6 +205,59 @@ impl JsonValue {
         }
     }
 
+    /// Serialises the document in **canonical form**: object keys sorted
+    /// bytewise at every nesting level, no whitespace, the same number and
+    /// string formatting as the pretty writer.  Two documents that carry
+    /// the same data — regardless of the order their object fields were
+    /// written or parsed in — produce identical canonical strings, which is
+    /// what makes [`content_hash`] usable as a content address: a client
+    /// may emit its request fields in any order and still land on the same
+    /// cache entry.
+    ///
+    /// Duplicate keys (the document model allows them; the strict parser
+    /// does not reject them) keep their relative order after the stable
+    /// sort, so even degenerate documents canonicalise deterministically.
+    pub fn canonical_string(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            JsonValue::Null | JsonValue::Bool(_) | JsonValue::Int(_) | JsonValue::Number(_) => {
+                // Scalars have no layout, so the pretty writer's forms are
+                // already canonical.
+                self.write_indented(out, 0);
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                let mut order: Vec<&(String, JsonValue)> = fields.iter().collect();
+                order.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('{');
+                for (i, (key, value)) in order.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     ///
@@ -311,6 +364,36 @@ pub fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// A stable 128-bit content address of a JSON document: the FNV-1a hash of
+/// its [canonical form](JsonValue::canonical_string).
+///
+/// Properties the serving cache relies on:
+///
+/// * **Key-order independence.** Reordering object fields anywhere in the
+///   document does not change the hash (canonicalisation sorts keys).
+/// * **Content sensitivity.** Changing any value, adding or removing any
+///   field, or changing a number's value changes the canonical bytes and
+///   therefore the hash.
+/// * **Stability.** The hash is a pure function of the document — no
+///   randomised hasher state — so it is identical across processes, runs
+///   and machines, which lets cache keys appear in logs, reports and
+///   tests.
+///
+/// 128 bits make accidental collisions implausible for any realistic cache
+/// population (the birthday bound at 2^64 entries), which matters because
+/// the result cache serves hits **without** re-checking the request.
+pub fn content_hash(value: &JsonValue) -> u128 {
+    // FNV-1a, 128-bit variant (offset basis and prime from the FNV spec).
+    const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut hash = OFFSET_BASIS;
+    for byte in value.canonical_string().bytes() {
+        hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 /// A parse failure: what went wrong and where.
@@ -719,6 +802,64 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn push_on_non_object_panics() {
         JsonValue::Null.push("key", 1i64);
+    }
+
+    #[test]
+    fn canonical_form_sorts_keys_and_strips_whitespace() {
+        let doc = JsonValue::parse(r#"{"b": [1, {"z": null, "a": 2.5}], "a": "x"}"#).unwrap();
+        assert_eq!(
+            doc.canonical_string(),
+            r#"{"a":"x","b":[1,{"a":2.5,"z":null}]}"#
+        );
+        // Canonical text is itself valid JSON carrying the same data.
+        let reparsed = JsonValue::parse(&doc.canonical_string()).unwrap();
+        assert_eq!(reparsed.canonical_string(), doc.canonical_string());
+    }
+
+    #[test]
+    fn content_hash_ignores_key_order_at_every_level() {
+        let a = JsonValue::parse(
+            r#"{"kind": "batch_request", "schema_version": 1,
+                "grid": {"dh_max": [10], "excitation": [{"kind": "fig1", "step": 100}]}}"#,
+        )
+        .unwrap();
+        let b = JsonValue::parse(
+            r#"{"grid": {"excitation": [{"step": 100, "kind": "fig1"}], "dh_max": [10]},
+                "schema_version": 1, "kind": "batch_request"}"#,
+        )
+        .unwrap();
+        assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn content_hash_changes_with_any_axis() {
+        let base = r#"{"kind": "batch_request", "schema_version": 1,
+            "grid": {"material": ["date2006"], "dh_max": [10],
+                     "excitation": [{"kind": "major", "peak": 10000, "step": 100}]}}"#;
+        let hash = |text: &str| content_hash(&JsonValue::parse(text).unwrap());
+        let baseline = hash(base);
+        for changed in [
+            // A different schema version is a different cache universe.
+            base.replace("\"schema_version\": 1", "\"schema_version\": 2"),
+            base.replace("date2006", "hard-steel"),
+            base.replace("\"dh_max\": [10]", "\"dh_max\": [25]"),
+            base.replace("\"step\": 100", "\"step\": 50"),
+            base.replace("\"peak\": 10000", "\"peak\": 10001"),
+            base.replace("\"kind\": \"major\"", "\"kind\": \"fig1\""),
+            // An added field changes the address too.
+            base.replace("\"dh_max\": [10]", "\"dh_max\": [10, 25]"),
+        ] {
+            assert_ne!(baseline, hash(&changed), "{changed}");
+        }
+        // Array order is data, not layout: a reordered axis is a
+        // different grid (the cartesian expansion order changes).
+        assert_ne!(
+            hash(r#"{"dh_max": [10, 25]}"#),
+            hash(r#"{"dh_max": [25, 10]}"#)
+        );
+        // The hash is a pure function of the content: stable across calls
+        // (and across processes — no randomised hasher state).
+        assert_eq!(baseline, hash(base));
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!   fit per loop;
 //! * [`report`] — versioned JSON serialization of batch/outcome/agreement
 //!   results (the machine-readable interface the `ja` CLI and CI consume);
+//! * [`serve`] — the dependency-free serving layer behind `ja serve`:
+//!   a strict hand-rolled HTTP/1.1 parser/writer over [`std::net`], a
+//!   bounded-queue accept loop with worker threads, 503 admission
+//!   control, graceful drain, and the content-addressed
+//!   [`serve::ResultCache`] that turns repeated requests into O(1)
+//!   byte-identical responses;
 //! * [`comparison`] — the experiment drivers used by the benches and
 //!   integration tests (Fig. 1 reproduction, implementation equivalence,
 //!   turning-point stability, runtime comparisons), now thin wrappers over
@@ -49,6 +55,7 @@ pub mod exec;
 pub mod fit;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod systemc;
 
 pub use ams::{AmsTimelessModel, SolverIntegratedBaseline, SolverMethod};
