@@ -1,0 +1,175 @@
+//! Experiment E9: streaming execution decouples peak memory from grid
+//! size.
+//!
+//! The stored path (`BatchRunner::run`) retains every scenario's curve
+//! until the monolithic report is serialized, so its peak heap grows
+//! linearly with the number of grid entries. The streaming path
+//! (`report::write_ndjson_batch`) renders each entry to one NDJSON
+//! record as it completes and drops the outcome immediately, so its peak
+//! stays flat — only the in-flight scenarios and the reorder buffer are
+//! ever resident. A counting `#[global_allocator]` makes both peaks
+//! observable; the timed benchmarks show the throughput cost of
+//! streaming is negligible (same engine, same records rendered once).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{black_box, Criterion};
+use hdl_models::exec::BatchRunner;
+use hdl_models::report::write_ndjson_batch;
+use hdl_models::scenario::{BackendKind, Excitation, Scenario, ScenarioGrid};
+use ja_hysteresis::config::JaConfig;
+
+/// A [`System`]-backed allocator that tracks live and peak heap bytes.
+/// Relaxed atomics are fine: the measured sections run their workload to
+/// completion before reading the counters, and worker threads join
+/// inside the workload.
+struct CountingAllocator {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator {
+    live: AtomicUsize::new(0),
+    peak: AtomicUsize::new(0),
+};
+
+// SAFETY: delegates every allocation verbatim to `System`; the counter
+// updates never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = self.live.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.live.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+impl CountingAllocator {
+    fn live(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Restarts peak tracking from the current live size and returns the
+    /// baseline, so `peak() - baseline` is the workload's own high-water
+    /// mark.
+    fn reset_peak(&self) -> usize {
+        let live = self.live();
+        self.peak.store(live, Ordering::Relaxed);
+        live
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A grid of `entries` scenarios that differ only in `ΔH_max`, so entry
+/// count scales freely without changing the per-entry work shape.
+fn grid(entries: usize) -> Vec<Scenario> {
+    let mut grid = ScenarioGrid::new()
+        .backend(BackendKind::DirectTimeless)
+        .excitation("fig1", Excitation::fig1(500.0).expect("excitation"));
+    for i in 0..entries {
+        let dh_max = 10.0 + i as f64 * 0.001;
+        grid = grid.config(
+            format!("dh{dh_max}"),
+            JaConfig::default().with_dh_max(dh_max),
+        );
+    }
+    grid.scenarios().expect("non-empty grid")
+}
+
+fn stored_peak(scenarios: &[Scenario]) -> usize {
+    let runner = BatchRunner::new().workers(2);
+    let baseline = ALLOC.reset_peak();
+    let report = runner.run(scenarios.to_vec());
+    let peak = ALLOC.peak() - baseline;
+    black_box(&report);
+    peak
+}
+
+fn streamed_peak(scenarios: &[Scenario]) -> usize {
+    let runner = BatchRunner::new().workers(2);
+    let baseline = ALLOC.reset_peak();
+    let state = write_ndjson_batch(
+        &runner,
+        scenarios,
+        None,
+        &mut std::io::sink(),
+        |_, _| Ok(()),
+    )
+    .expect("sink stream cannot fail");
+    let peak = ALLOC.peak() - baseline;
+    assert_eq!(state.failed, 0, "grid must succeed");
+    peak
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn print_experiment(smoke: bool) {
+    println!("== E9: peak heap of stored vs streamed grid execution (fig1 sweep per entry) ==\n");
+    println!(
+        "{:>8}  {:>16}  {:>16}  {:>14}",
+        "entries", "stored peak MiB", "streamed peak MiB", "stored/streamed"
+    );
+    // The smoke sizes merely prove the measurement runs; the full sizes
+    // show the 10x-entries contrast the streaming path exists for.
+    let sizes: &[usize] = if smoke {
+        &[200, 1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    for &entries in sizes {
+        let scenarios = grid(entries);
+        let stored = stored_peak(&scenarios);
+        let streamed = streamed_peak(&scenarios);
+        println!(
+            "{:>8}  {:>16.2}  {:>16.2}  {:>14.1}",
+            entries,
+            mib(stored),
+            mib(streamed),
+            stored as f64 / streamed as f64
+        );
+    }
+    println!(
+        "\nstored peaks scale with the entry count; streamed peaks track only the\nin-flight scenarios, so the ratio widens as the grid grows.\n"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let scenarios = grid(512);
+    let mut group = c.benchmark_group("stream_grid");
+    group.sample_size(10);
+    group.bench_function("stored", |b| {
+        b.iter(|| black_box(BatchRunner::new().workers(2).run(scenarios.clone())))
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let runner = BatchRunner::new().workers(2);
+            write_ndjson_batch(&runner, &scenarios, None, &mut std::io::sink(), |_, _| {
+                Ok(())
+            })
+            .expect("sink stream cannot fail")
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    print_experiment(smoke);
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -35,14 +35,20 @@ ENDPOINTS (wire protocol spec: docs/PROTOCOL.md):
     POST /v1/eval       evaluate a schema_version-1 request document
                         (batch_request | fit_request | sweep_request |
                         transient_request); the response body is
-                        byte-identical to the offline subcommand's report
+                        byte-identical to the offline subcommand's report.
+                        A batch_request with `options.stream: true` is
+                        answered as an application/x-ndjson stream instead:
+                        one record per grid entry as it completes, then a
+                        final batch_manifest line — byte-identical to the
+                        `ja batch --format ndjson` file for the same grid
     GET  /v1/health     liveness + cache counters
     POST /v1/shutdown   drain and exit (SIGINT/SIGTERM do the same)
 
 Responses are cached content-addressed: an identical request (any JSON
 key order; routing/cache_info differences ignored) is answered from the
 cache with the identical bytes.  Set `options.cache_info: true` to get
-the X-Ja-Cache: hit|miss marker headers.
+the X-Ja-Cache: hit|miss marker headers.  Streamed responses bypass the
+cache (there is no complete body to store) and carry no cache markers.
 
 Logs go to stderr; stdout stays clean.  Exit status 0 after a graceful
 drain.";

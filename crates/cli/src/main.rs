@@ -83,9 +83,11 @@ REPORT SCHEMA (schema_version 1)
   Every JSON report opens with the shared envelope:
     schema_version  int     1; bumped on any breaking schema change
     kind            string  batch | sweep | transient | fit | inverse |
-                            compare | bench, plus the serve-only documents
-                            error | health | shutdown and the request kinds
-                            batch_request | fit_request | sweep_request |
+                            compare | bench, the streaming documents
+                            batch_manifest | batch_checkpoint, plus the
+                            serve-only documents error | health | shutdown
+                            and the request kinds batch_request |
+                            fit_request | sweep_request |
                             transient_request (docs/PROTOCOL.md has the
                             serve side; docs/SCHEMA.md consolidates all of
                             it in one table)
@@ -116,6 +118,27 @@ REPORT SCHEMA (schema_version 1)
                         across --workers values AND across --routing
                         modes (SoA f64 lanes are bit-identical to scalar
                         runs).
+
+  Streamed batch NDJSON (ja batch --format ndjson; served batch_request
+  with options.stream true — both surfaces share one writer, so the
+  bytes are identical):
+    one compact record line per grid entry, in index order (so the
+    stream is byte-identical across --workers values), each the batch
+    entry object above prefixed with
+      index       int    the entry's position in the grid
+    and NEVER carrying timings; sealed by a final manifest line:
+    kind=batch_manifest: scenarios, succeeded, failed, entries_digest
+      (32 hex digits: 128-bit FNV-1a over every preceding record line's
+      bytes — equal manifests imply byte-identical streams; a stream
+      without a final manifest line is truncated).
+    kind=batch_checkpoint (the --output sidecar file, written atomically
+      every --checkpoint-every records and deleted on completion;
+      consumed by --resume): grid_digest (32 hex digits; refuses a
+      foreign grid), entries, byte_offset (the output is truncated back
+      to this offset on resume, discarding a torn trailing record),
+      succeeded, failed, digest_state (suspended digest, so the resumed
+      run's entries_digest still covers every record from entry 0).
+      A resumed run's output is byte-identical to an uninterrupted one.
 
   metrics object (keys from magnetics::LoopMetrics::named_values):
     b_max_t, h_max_a_per_m, coercivity_a_per_m, remanence_t,
@@ -282,6 +305,11 @@ mod tests {
             "m_sat_a_per_m",
             "backend_routing",
             "lockstep_lanes",
+            "batch_manifest",
+            "entries_digest",
+            "batch_checkpoint",
+            "grid_digest",
+            "digest_state",
         ] {
             assert!(GLOBAL_HELP.contains(needle), "missing `{needle}`");
         }

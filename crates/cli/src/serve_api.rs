@@ -8,7 +8,10 @@
 //! `transient_request`), and the response body is **byte-identical** to
 //! what the corresponding offline subcommand (`ja batch`, `ja fit`,
 //! `ja sweep --format json`, `ja transient --format json`) would write
-//! for the same inputs. That identity is load-bearing: it is what makes
+//! for the same inputs. A `batch_request` with `options.stream` instead
+//! answers with an `application/x-ndjson` stream whose bytes equal the
+//! `ja batch --format ndjson` file — same writer, no cache (see
+//! [`batch_stream_response`]). That identity is load-bearing: it is what makes
 //! the [`ResultCache`] correct (a cached body *is* the answer) and it is
 //! asserted by CI's cli-smoke job with `cmp`.
 //!
@@ -24,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use hdl_models::exec::{BatchRunner, SoaRouting};
 use hdl_models::fit::{fit_batch, FitJob, MultiStartOptions};
-use hdl_models::report::{batch_report_value, fit_report_value};
+use hdl_models::report::{batch_report_value, fit_report_value, write_ndjson_batch};
 use hdl_models::scenario::{Excitation, Scenario, ScenarioGrid};
 use hdl_models::serve::{error_response, HttpRequest, HttpResponse, ResultCache};
 use ja_hysteresis::config::JaConfig;
@@ -134,6 +137,7 @@ fn health_response(state: &ServeState<'_>) -> HttpResponse {
 struct RequestOptions {
     routing: SoaRouting,
     cache_info: bool,
+    stream: bool,
     starts: usize,
     seed: u64,
     passes: usize,
@@ -146,6 +150,7 @@ impl Default for RequestOptions {
         Self {
             routing: SoaRouting::Auto,
             cache_info: false,
+            stream: false,
             starts: 1,
             seed: 42,
             passes: 6,
@@ -189,7 +194,7 @@ fn eval(state: &ServeState<'_>, body: &[u8]) -> Result<HttpResponse, ApiError> {
     let (envelope_keys, option_keys): (&[&str], &[&str]) = match kind.as_str() {
         "batch_request" => (
             &[SCHEMA_VERSION_KEY, "kind", "grid", "options"],
-            &["routing", "cache_info"],
+            &["routing", "cache_info", "stream"],
         ),
         "fit_request" => (
             &[SCHEMA_VERSION_KEY, "kind", "loops", "options"],
@@ -224,6 +229,14 @@ fn eval(state: &ServeState<'_>, body: &[u8]) -> Result<HttpResponse, ApiError> {
     };
     check_keys(&doc, envelope_keys, &kind)?;
     let options = parse_options(&doc, option_keys, &kind)?;
+
+    // A streamed response has no complete body to cache (and its bytes
+    // are NDJSON, not the pretty report), so `options.stream` bypasses
+    // the result cache entirely — no lookup, no insert.
+    if options.stream {
+        debug_assert_eq!(kind, "batch_request", "only batch_request allows `stream`");
+        return batch_stream_response(state, &doc, &options);
+    }
 
     let key = cache_key(&doc);
     if let Some(cached) = state.cache.get(key) {
@@ -359,6 +372,12 @@ fn parse_options(
                     _ => return Err(ApiError::bad("`options.cache_info` must be a boolean")),
                 };
             }
+            "stream" => {
+                options.stream = match value {
+                    JsonValue::Bool(flag) => *flag,
+                    _ => return Err(ApiError::bad("`options.stream` must be a boolean")),
+                };
+            }
             "starts" => options.starts = usize_field(value, "options.starts")?,
             "seed" => options.seed = u64_field(value, "options.seed")?,
             "passes" => options.passes = usize_field(value, "options.passes")?,
@@ -467,14 +486,10 @@ fn f64_axis(grid: &JsonValue, key: &str) -> Result<Vec<f64>, ApiError> {
         .collect()
 }
 
-/// `kind:"batch_request"` → the exact bytes of `ja batch --config` on an
-/// equivalent grid config. Axis arrays accumulate in order like repeated
-/// config lines; omitted axes fall back to the same defaults.
-fn batch_eval(
-    state: &ServeState<'_>,
-    doc: &JsonValue,
-    options: &RequestOptions,
-) -> Result<String, ApiError> {
+/// Builds the scenario list of a `batch_request`'s `grid` object. Axis
+/// arrays accumulate in order like repeated config lines; omitted axes
+/// fall back to the same defaults as the offline grid config.
+fn batch_scenarios(doc: &JsonValue) -> Result<Vec<Scenario>, ApiError> {
     let grid_doc = doc
         .get("grid")
         .ok_or_else(|| ApiError::bad("`batch_request` requires a `grid` object"))?;
@@ -508,9 +523,18 @@ fn batch_eval(
             .map_err(|err| ApiError::bad(err.message))?;
         grid = grid.excitation(named.name, named.excitation);
     }
-    let scenarios = grid
-        .scenarios()
-        .map_err(|err| ApiError::bad(err.to_string()))?;
+    grid.scenarios()
+        .map_err(|err| ApiError::bad(err.to_string()))
+}
+
+/// `kind:"batch_request"` → the exact bytes of `ja batch --config` on an
+/// equivalent grid config.
+fn batch_eval(
+    state: &ServeState<'_>,
+    doc: &JsonValue,
+    options: &RequestOptions,
+) -> Result<String, ApiError> {
+    let scenarios = batch_scenarios(doc)?;
     let report = BatchRunner::new()
         .workers(state.eval_workers)
         .soa_routing(options.routing)
@@ -518,6 +542,29 @@ fn batch_eval(
     // Per-scenario failures are data, not a request failure: the report
     // carries their status — exactly like the offline exit-1-after-write.
     Ok(batch_report_value(&report, false).to_pretty_string())
+}
+
+/// `kind:"batch_request"` with `options.stream` → the exact bytes of
+/// `ja batch --format ndjson` on an equivalent grid config, produced one
+/// record at a time onto the connection.
+///
+/// Grid validation still happens up front, so a malformed request is a
+/// regular `400` document; once the `200` headers are out, per-scenario
+/// failures ride inside the stream as `status:"error"` records (they are
+/// data, exactly like the buffered report) and only an I/O failure can
+/// truncate the stream — detectable by the missing final manifest line.
+fn batch_stream_response(
+    state: &ServeState<'_>,
+    doc: &JsonValue,
+    options: &RequestOptions,
+) -> Result<HttpResponse, ApiError> {
+    let scenarios = batch_scenarios(doc)?;
+    let runner = BatchRunner::new()
+        .workers(state.eval_workers)
+        .soa_routing(options.routing);
+    Ok(HttpResponse::ndjson_stream(move |out| {
+        write_ndjson_batch(&runner, &scenarios, None, out, |_, _| Ok(())).map(|_| ())
+    }))
 }
 
 /// `kind:"fit_request"` → the exact bytes of `ja fit` on equivalent
@@ -815,6 +862,44 @@ mod tests {
     }
 
     #[test]
+    fn stream_option_streams_ndjson_and_bypasses_the_cache() {
+        let (_, state) = state(1 << 20);
+        let request = BATCH_REQUEST.replace(
+            r#""options": {"routing": "auto", "cache_info": true}"#,
+            r#""options": {"stream": true}"#,
+        );
+        let response = post_eval(&state, &request);
+        assert_eq!(response.status(), 200);
+        assert!(response.is_streamed());
+        let mut raw = Vec::new();
+        response.write_to(&mut raw).unwrap();
+        let raw = String::from_utf8(raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Content-Type: application/x-ndjson"));
+        assert!(!head.contains("Content-Length"), "{head}");
+
+        // The streamed bytes are exactly what `ja batch --format ndjson`
+        // writes offline for the equivalent grid: both call
+        // `report::write_ndjson_batch`.
+        let scenarios = batch_scenarios(&parse(&request))
+            .unwrap_or_else(|err| panic!("grid builds: {}", err.message));
+        let runner = BatchRunner::new().workers(1);
+        let mut reference = Vec::new();
+        write_ndjson_batch(&runner, &scenarios, None, &mut reference, |_, _| Ok(())).unwrap();
+        assert_eq!(body, String::from_utf8(reference).unwrap());
+        assert!(body
+            .lines()
+            .last()
+            .expect("stream has lines")
+            .contains("\"kind\":\"batch_manifest\""));
+
+        // Streaming never touches the result cache.
+        let stats = state.cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits + stats.misses, 0);
+    }
+
+    #[test]
     fn malformed_eval_requests_are_400s() {
         let (_, state) = state(0);
         for (body, fragment) in [
@@ -837,6 +922,14 @@ mod tests {
             (
                 r#"{"schema_version": 1, "kind": "batch_request", "options": {"workers": 4}}"#,
                 "does not take option `workers`",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "fit_request", "options": {"stream": true}}"#,
+                "does not take option `stream`",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request", "options": {"stream": 1}}"#,
+                "`options.stream` must be a boolean",
             ),
             (
                 r#"{"schema_version": 1, "kind": "batch_request"}"#,

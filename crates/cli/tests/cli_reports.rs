@@ -252,6 +252,160 @@ fn batch_timings_flag_adds_the_timing_block() {
 }
 
 #[test]
+fn batch_ndjson_streams_identically_across_workers_and_resume() {
+    let config = fixture("grid.conf");
+    let config = config.to_str().unwrap();
+    let one = ja_ok(&["batch", "--config", config, "--format", "ndjson"]);
+    let eight = ja_ok(&[
+        "batch",
+        "--config",
+        config,
+        "--format",
+        "ndjson",
+        "--workers",
+        "8",
+    ]);
+    assert_eq!(one, eight, "NDJSON stream must not depend on --workers");
+
+    let lines: Vec<&str> = one.lines().collect();
+    assert_eq!(lines.len(), 9, "8 records + 1 manifest line");
+    for (index, line) in lines[..8].iter().enumerate() {
+        let record = JsonValue::parse(line).expect("record parses");
+        assert_eq!(
+            record.get("index").and_then(JsonValue::as_i64),
+            Some(index as i64)
+        );
+        assert_eq!(record.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert!(record.get("wall_clock_ns").is_none(), "no timings, ever");
+    }
+    let manifest = JsonValue::parse(lines[8]).expect("manifest parses");
+    assert_eq!(
+        manifest.get("kind").and_then(JsonValue::as_str),
+        Some("batch_manifest")
+    );
+    assert_eq!(
+        manifest.get("succeeded").and_then(JsonValue::as_i64),
+        Some(8)
+    );
+
+    // --output writes the same bytes and cleans its checkpoint up.
+    let out = scratch("stream.ndjson");
+    let out_path = out.to_str().unwrap();
+    ja_ok(&[
+        "batch",
+        "--config",
+        config,
+        "--format",
+        "ndjson",
+        "--output",
+        out_path,
+        "--checkpoint-every",
+        "1",
+    ]);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), one);
+    let checkpoint = format!("{out_path}.checkpoint");
+    assert!(
+        !Path::new(&checkpoint).exists(),
+        "completed runs delete their checkpoint"
+    );
+
+    // Kill a checkpointing run mid-grid, resume it, and demand the final
+    // file be byte-identical to the uninterrupted stream. If the run wins
+    // the race and completes before the kill, its checkpoint is already
+    // gone and the file must stand on its own.
+    let out = scratch("stream_resumed.ndjson");
+    let out_path = out.to_str().unwrap();
+    let checkpoint = format!("{out_path}.checkpoint");
+    let _ = std::fs::remove_file(&checkpoint);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ja"))
+        .args([
+            "batch",
+            "--config",
+            config,
+            "--format",
+            "ndjson",
+            "--workers",
+            "1",
+            "--output",
+            out_path,
+            "--checkpoint-every",
+            "1",
+        ])
+        .spawn()
+        .expect("spawn ja");
+    for _ in 0..5000 {
+        if Path::new(&checkpoint).exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    if Path::new(&checkpoint).exists() {
+        ja_ok(&[
+            "batch",
+            "--config",
+            config,
+            "--format",
+            "ndjson",
+            "--workers",
+            "8",
+            "--output",
+            out_path,
+            "--resume",
+            &checkpoint,
+        ]);
+    }
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        one,
+        "resumed file diverged from the uninterrupted stream"
+    );
+    assert!(!Path::new(&checkpoint).exists());
+}
+
+#[test]
+fn batch_ndjson_usage_errors() {
+    let config = fixture("grid.conf");
+    let config = config.to_str().unwrap();
+    for args in [
+        &["batch", "--config", config, "--format", "xml"] as &[&str],
+        &[
+            "batch",
+            "--config",
+            config,
+            "--format",
+            "ndjson",
+            "--timings",
+        ],
+        &[
+            "batch",
+            "--config",
+            config,
+            "--format",
+            "ndjson",
+            "--resume",
+            "x.checkpoint",
+        ],
+        &[
+            "batch",
+            "--config",
+            config,
+            "--format",
+            "ndjson",
+            "--checkpoint-every",
+            "4",
+        ],
+        &["batch", "--config", config, "--resume", "x.checkpoint"],
+        &["batch", "--config", config, "--out", "a", "--output", "b"],
+    ] {
+        let output = ja(args);
+        assert_eq!(output.status.code(), Some(2), "ja {args:?}");
+        assert!(!output.stderr.is_empty(), "ja {args:?} explains itself");
+    }
+}
+
+#[test]
 fn sweep_emits_all_three_formats() {
     let json = ja_ok(&["sweep", "--step", "250", "--format", "json"]);
     let doc = parse_report(&json, "sweep");

@@ -231,6 +231,51 @@ fn reorder_fields(value: &ja_hysteresis::json::JsonValue) -> ja_hysteresis::json
 }
 
 #[test]
+fn served_ndjson_stream_matches_the_offline_ndjson_file() {
+    let config = fixture("grid.conf");
+    let offline = ja_ok(&[
+        "batch",
+        "--config",
+        config.to_str().unwrap(),
+        "--format",
+        "ndjson",
+        "--workers",
+        "1",
+    ]);
+    // The fixture mirrors grid.conf; swapping the options in turns the
+    // buffered request into a streamed one.
+    let request_body = std::fs::read_to_string(fixture("serve_batch.json"))
+        .unwrap()
+        .replace("{\"cache_info\": true}", "{\"stream\": true}");
+    assert!(request_body.contains("\"stream\": true"), "{request_body}");
+
+    let server = Server::spawn("stream");
+    let response = request(server.addr, "POST", "/v1/eval", Some(&request_body));
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        response.header("Content-Type"),
+        Some("application/x-ndjson")
+    );
+    assert_eq!(
+        response.header("Content-Length"),
+        None,
+        "streamed bodies are EOF-delimited"
+    );
+    assert_eq!(
+        response.body, offline,
+        "streamed bytes must equal the offline `ja batch --format ndjson` file"
+    );
+
+    // Streaming bypasses the result cache: an identical repeat evaluates
+    // again and still produces the identical bytes.
+    let again = request(server.addr, "POST", "/v1/eval", Some(&request_body));
+    assert_eq!(again.header("X-Ja-Cache"), None);
+    assert_eq!(again.body, offline);
+
+    server.shutdown();
+}
+
+#[test]
 fn served_fit_report_is_byte_identical_to_offline_and_cached() {
     // serve_fit.json carries measured_loop.csv's h/b columns verbatim
     // (same number tokens → same f64s), so this offline invocation is

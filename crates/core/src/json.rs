@@ -258,6 +258,56 @@ impl JsonValue {
         }
     }
 
+    /// Serialises the document **compactly in insertion order**: no
+    /// whitespace, the same number and string formatting as the pretty
+    /// writer, object keys left exactly where the builder put them.
+    ///
+    /// This is the one-line form used for streaming NDJSON records
+    /// (`ja batch --format ndjson`): unlike [`to_pretty_string`]
+    /// (multi-line) it fits one record per line, and unlike
+    /// [`canonical_string`](Self::canonical_string) (key-sorted, for content
+    /// addressing) it preserves the schema's documented field order, so a
+    /// record is the compact rendering of exactly the document the stored
+    /// report would contain.
+    ///
+    /// [`to_pretty_string`]: Self::to_pretty_string
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null | JsonValue::Bool(_) | JsonValue::Int(_) | JsonValue::Number(_) => {
+                self.write_indented(out, 0);
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     ///
@@ -385,15 +435,72 @@ pub fn write_escaped(out: &mut String, s: &str) {
 /// population (the birthday bound at 2^64 entries), which matters because
 /// the result cache serves hits **without** re-checking the request.
 pub fn content_hash(value: &JsonValue) -> u128 {
-    // FNV-1a, 128-bit variant (offset basis and prime from the FNV spec).
+    let mut digest = StreamDigest::new();
+    digest.update(value.canonical_string().as_bytes());
+    digest.value()
+}
+
+/// An incremental 128-bit FNV-1a digest over a byte stream.
+///
+/// This is the same hash as [`content_hash`] (offset basis and prime from
+/// the FNV spec), exposed as a running accumulator so it can digest data
+/// that is produced piecewise — the streaming NDJSON writer hashes each
+/// record line as it is emitted and seals the result into the final
+/// manifest line.
+///
+/// The entire digest state is the current 128-bit value, so a digest can be
+/// **suspended and resumed across processes**: a batch checkpoint stores
+/// [`state`](Self::state) (as hex) and a resumed run continues from
+/// [`from_state`](Self::from_state), producing the same final value as an
+/// uninterrupted run over the same bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamDigest {
+    state: u128,
+}
+
+impl StreamDigest {
     const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
     const PRIME: u128 = 0x0000000001000000000000000000013b;
-    let mut hash = OFFSET_BASIS;
-    for byte in value.canonical_string().bytes() {
-        hash ^= u128::from(byte);
-        hash = hash.wrapping_mul(PRIME);
+
+    /// A fresh digest (FNV-1a offset basis).
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
     }
-    hash
+
+    /// Rehydrates a digest from a previously captured [`state`](Self::state).
+    pub fn from_state(state: u128) -> Self {
+        Self { state }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.state;
+        for &byte in bytes {
+            hash ^= u128::from(byte);
+            hash = hash.wrapping_mul(Self::PRIME);
+        }
+        self.state = hash;
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn value(&self) -> u128 {
+        self.state
+    }
+
+    /// The resumable internal state (identical to [`value`](Self::value)
+    /// for FNV-1a, but named separately so checkpoint code reads as what it
+    /// is: a suspension point, not a final digest).
+    pub fn state(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for StreamDigest {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A parse failure: what went wrong and where.
@@ -866,5 +973,70 @@ mod tests {
     fn display_matches_pretty_writer() {
         let doc = JsonValue::object().with("a", 1i64);
         assert_eq!(format!("{doc}"), doc.to_pretty_string().trim_end());
+    }
+
+    #[test]
+    fn compact_string_preserves_insertion_order() {
+        let doc = JsonValue::object()
+            .with("zeta", 1i64)
+            .with("alpha", JsonValue::Array(vec![1i64.into(), 0.5.into()]))
+            .with(
+                "nested",
+                JsonValue::object()
+                    .with("b", true)
+                    .with("a", JsonValue::Null),
+            );
+        assert_eq!(
+            doc.to_compact_string(),
+            r#"{"zeta":1,"alpha":[1,0.5],"nested":{"b":true,"a":null}}"#
+        );
+        // Same scalar formatting as the pretty writer (shortest round-trip
+        // floats, non-finite -> null), no trailing newline.
+        assert_eq!(JsonValue::Number(f64::NAN).to_compact_string(), "null");
+        assert_eq!(JsonValue::Number(0.1).to_compact_string(), "0.1");
+        // A compact document reparses to the same value.
+        let reparsed = JsonValue::parse(&doc.to_compact_string()).unwrap();
+        assert_eq!(reparsed.to_compact_string(), doc.to_compact_string());
+    }
+
+    #[test]
+    fn compact_string_matches_canonical_when_keys_are_sorted() {
+        // On documents whose keys are already in sorted order the two
+        // compact writers must agree byte-for-byte.
+        let doc = JsonValue::object()
+            .with("a", 1i64)
+            .with("b", "x")
+            .with("c", JsonValue::Array(vec![JsonValue::Null]));
+        assert_eq!(doc.to_compact_string(), doc.canonical_string());
+    }
+
+    #[test]
+    fn stream_digest_matches_content_hash() {
+        let doc = JsonValue::object().with("kind", "batch").with("n", 3i64);
+        let mut digest = StreamDigest::new();
+        digest.update(doc.canonical_string().as_bytes());
+        assert_eq!(digest.value(), content_hash(&doc));
+    }
+
+    #[test]
+    fn stream_digest_is_chunking_independent_and_resumable() {
+        let payload = b"{\"index\":0}\n{\"index\":1}\n";
+        let mut whole = StreamDigest::new();
+        whole.update(payload);
+        // Byte-at-a-time chunking lands on the same value.
+        let mut chunked = StreamDigest::new();
+        for byte in payload.iter() {
+            chunked.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(whole.value(), chunked.value());
+        // Suspending after the first line and resuming from the captured
+        // state (the checkpoint/resume round trip) also agrees.
+        let mut first = StreamDigest::new();
+        first.update(&payload[..12]);
+        let mut resumed = StreamDigest::from_state(first.state());
+        resumed.update(&payload[12..]);
+        assert_eq!(whole.value(), resumed.value());
+        // And an empty digest reports the FNV offset basis.
+        assert_eq!(StreamDigest::new().value(), StreamDigest::default().value());
     }
 }

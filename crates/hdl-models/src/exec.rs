@@ -33,8 +33,10 @@
 //! batches of [`crate::fit`] — any deterministic per-job workload with
 //! reusable worker scratch can ride the same pool.
 
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -234,6 +236,180 @@ impl BatchRunner {
             elapsed: started.elapsed(),
         }
     }
+
+    /// Runs `scenarios[skip..]` and hands each outcome to `emit` **in input
+    /// index order**, as soon as it and all its predecessors have finished —
+    /// the executor half of the streaming report path.
+    ///
+    /// Unlike [`run`](Self::run), no [`BatchReport`] is accumulated: an
+    /// outcome (and the `BhCurve` inside it) is dropped right after `emit`
+    /// returns, so peak memory is bounded by worker-completion skew (the
+    /// small reorder buffer holding finished-but-not-yet-contiguous
+    /// entries), not by grid size.  Workers deliver results over a channel
+    /// to an in-order collector on the calling thread; because each
+    /// scenario's computation is sequential and self-contained, the emitted
+    /// sequence is **bit-identical for any worker count** — the property the
+    /// NDJSON writer's byte-determinism rests on.
+    ///
+    /// `skip` supports checkpoint/resume: entries `0..skip` are neither run
+    /// nor emitted.  Skipping cannot change the remaining outcomes — every
+    /// scenario is independent, and SoA lockstep regrouping is
+    /// result-neutral by the lane/scalar bit-equality invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by `emit`; remaining outcomes are
+    /// still computed (workers drain) but no longer emitted.
+    pub fn run_streamed<E>(
+        &self,
+        scenarios: &[Scenario],
+        skip: usize,
+        mut emit: impl FnMut(usize, &Result<ScenarioOutcome, JaError>) -> Result<(), E>,
+    ) -> Result<StreamSummary, E> {
+        let skip = skip.min(scenarios.len());
+        let pending = &scenarios[skip..];
+        let workers = self.resolved_workers(pending.len());
+        let chunk = self.chunk_size.map_or(1, NonZeroUsize::get);
+        let jobs = route_jobs(pending, self.routing);
+        let abort = AtomicBool::new(false);
+
+        let run_job = |job: &Job,
+                       scratch: &mut RunScratch|
+         -> Vec<(usize, Result<ScenarioOutcome, JaError>)> {
+            let cancelled = self.policy == ErrorPolicy::FailFast && abort.load(Ordering::Relaxed);
+            match job {
+                Job::Scalar(index) => {
+                    let outcome = if cancelled {
+                        Err(JaError::Cancelled)
+                    } else {
+                        let outcome = pending[*index].run_with_scratch(scratch);
+                        if outcome.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        outcome
+                    };
+                    vec![(*index, outcome)]
+                }
+                Job::Lockstep(members) => {
+                    if cancelled {
+                        members
+                            .iter()
+                            .map(|&index| (index, Err(JaError::Cancelled)))
+                            .collect()
+                    } else {
+                        let results = run_lockstep_group(pending, members, scratch);
+                        if results.iter().any(|(outcome, _)| outcome.is_err()) {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        members
+                            .iter()
+                            .copied()
+                            .zip(results.into_iter().map(|(outcome, _)| outcome))
+                            .collect()
+                    }
+                }
+            }
+        };
+
+        // The in-order collector: finished entries park in `buffered` until
+        // every lower index has been emitted, then flush contiguously.
+        let mut buffered: BTreeMap<usize, Result<ScenarioOutcome, JaError>> = BTreeMap::new();
+        let mut next = 0_usize;
+        let mut succeeded = 0_usize;
+        let mut failed = 0_usize;
+        let mut emit_error: Option<E> = None;
+        let mut collect =
+            |index: usize, outcome: Result<ScenarioOutcome, JaError>, emit: EmitSink<'_, E>| {
+                buffered.insert(index, outcome);
+                while let Some(outcome) = buffered.remove(&next) {
+                    if outcome.is_ok() {
+                        succeeded += 1;
+                    } else {
+                        failed += 1;
+                    }
+                    if emit_error.is_none() {
+                        if let Err(error) = emit(skip + next, &outcome) {
+                            emit_error = Some(error);
+                        }
+                    }
+                    next += 1;
+                }
+            };
+
+        if workers <= 1 {
+            let mut scratch = RunScratch::new();
+            for job in &jobs {
+                for (index, outcome) in run_job(job, &mut scratch) {
+                    collect(index, outcome, &mut emit);
+                }
+            }
+        } else {
+            let (tx, rx) = mpsc::channel::<(usize, Result<ScenarioOutcome, JaError>)>();
+            let cursor = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let jobs = &jobs;
+                    let cursor = &cursor;
+                    let run_job = &run_job;
+                    scope.spawn(move || {
+                        let mut scratch = RunScratch::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= jobs.len() {
+                                break;
+                            }
+                            let end = start.saturating_add(chunk).min(jobs.len());
+                            for job in &jobs[start..end] {
+                                for item in run_job(job, &mut scratch) {
+                                    if tx.send(item).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for (index, outcome) in rx {
+                    collect(index, outcome, &mut emit);
+                }
+            });
+        }
+
+        if let Some(error) = emit_error {
+            return Err(error);
+        }
+        debug_assert_eq!(next, pending.len());
+        Ok(StreamSummary {
+            scenarios: scenarios.len(),
+            emitted: pending.len(),
+            succeeded,
+            failed,
+            workers,
+        })
+    }
+}
+
+/// The sink the streaming collector flushes contiguous outcomes into —
+/// named so the collector closure's signature stays readable.
+type EmitSink<'a, E> = &'a mut dyn FnMut(usize, &Result<ScenarioOutcome, JaError>) -> Result<(), E>;
+
+/// What a [`BatchRunner::run_streamed`] call did, counted over the entries
+/// it emitted (a resumed run reports only its own tail; the caller folds in
+/// the checkpointed counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total grid size, including entries skipped by resume.
+    pub scenarios: usize,
+    /// Entries emitted by this run (`scenarios - skip`).
+    pub emitted: usize,
+    /// Emitted entries whose outcome was `Ok`.
+    pub succeeded: usize,
+    /// Emitted entries whose outcome was an error or cancellation.
+    pub failed: usize,
+    /// Resolved worker count.
+    pub workers: usize,
 }
 
 /// One unit of parallel work: a single scenario on the scalar path, or a
@@ -831,5 +1007,112 @@ mod tests {
         assert_eq!(report.workers, 1);
         assert_eq!(report.serial_runtime(), Duration::ZERO);
         assert_eq!(report.speedup(), 0.0);
+    }
+
+    /// A streamed run's emissions: `(index, outcome)` pairs in emit order.
+    type Emitted = Vec<(usize, Result<ScenarioOutcome, JaError>)>;
+
+    /// Collects a streamed run into `(index, outcome)` pairs.
+    fn streamed(
+        runner: &BatchRunner,
+        scenarios: &[Scenario],
+        skip: usize,
+    ) -> (Emitted, StreamSummary) {
+        let mut collected = Vec::new();
+        let summary = runner
+            .run_streamed(scenarios, skip, |index, outcome| {
+                collected.push((index, outcome.clone()));
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .expect("infallible emit");
+        (collected, summary)
+    }
+
+    #[test]
+    fn streamed_run_emits_in_index_order_and_matches_run() {
+        let scenarios = multi_material_grid()
+            .backends(BackendKind::ALL)
+            .scenarios()
+            .expect("grid");
+        let stored = BatchRunner::new().workers(1).run(scenarios.clone());
+        for workers in [1, 2, 8] {
+            let (collected, summary) =
+                streamed(&BatchRunner::new().workers(workers), &scenarios, 0);
+            assert_eq!(summary.scenarios, scenarios.len());
+            assert_eq!(summary.emitted, scenarios.len());
+            assert_eq!(summary.succeeded, scenarios.len());
+            assert_eq!(summary.failed, 0);
+            let indices: Vec<usize> = collected.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, (0..scenarios.len()).collect::<Vec<_>>());
+            for ((_, outcome), entry) in collected.iter().zip(&stored.entries) {
+                let streamed = outcome.as_ref().expect("ok");
+                let stored = entry.outcome.as_ref().expect("ok");
+                assert_eq!(streamed.name, stored.name);
+                assert_eq!(streamed.stats, stored.stats);
+                assert_eq!(streamed.curve, stored.curve);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_run_skip_resumes_mid_grid_with_identical_outcomes() {
+        let scenarios = multi_material_grid().scenarios().expect("grid");
+        let (full, _) = streamed(&BatchRunner::new().workers(2), &scenarios, 0);
+        let skip = 1;
+        let (tail, summary) = streamed(&BatchRunner::new().workers(2), &scenarios, skip);
+        assert_eq!(summary.emitted, scenarios.len() - skip);
+        assert_eq!(tail.len(), full.len() - skip);
+        for ((index, outcome), (full_index, full_outcome)) in tail.iter().zip(&full[skip..]) {
+            assert_eq!(index, full_index);
+            let a = outcome.as_ref().expect("ok");
+            let b = full_outcome.as_ref().expect("ok");
+            assert_eq!(a.curve, b.curve);
+            assert_eq!(a.stats, b.stats);
+        }
+        // Skipping everything emits nothing.
+        let (none, summary) = streamed(&BatchRunner::new().workers(2), &scenarios, scenarios.len());
+        assert!(none.is_empty());
+        assert_eq!(summary.emitted, 0);
+    }
+
+    #[test]
+    fn streamed_run_propagates_the_first_emit_error() {
+        let scenarios = small_grid().scenarios().expect("grid");
+        for workers in [1, 4] {
+            let mut emitted = 0_usize;
+            let result =
+                BatchRunner::new()
+                    .workers(workers)
+                    .run_streamed(&scenarios, 0, |index, _| {
+                        if index >= 2 {
+                            return Err("sink full");
+                        }
+                        emitted += 1;
+                        Ok(())
+                    });
+            assert_eq!(result.unwrap_err(), "sink full");
+            assert_eq!(emitted, 2, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn streamed_run_records_failures_like_run() {
+        let bad = Scenario::new(
+            "bad",
+            JaParameters::date2006(),
+            JaConfig::default().with_dh_max(-1.0),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        );
+        let good = Scenario::fig1(BackendKind::DirectTimeless, 500.0).expect("scenario");
+        let (collected, summary) = streamed(
+            &BatchRunner::new().workers(2),
+            &[bad, good.clone(), good],
+            0,
+        );
+        assert_eq!(summary.succeeded, 2);
+        assert_eq!(summary.failed, 1);
+        assert!(collected[0].1.is_err());
+        assert!(collected[1].1.is_ok());
     }
 }

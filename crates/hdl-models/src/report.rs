@@ -20,7 +20,9 @@
 
 use std::time::Duration;
 
-use ja_hysteresis::json::{JsonValue, SCHEMA_VERSION, SCHEMA_VERSION_KEY};
+use ja_hysteresis::json::{
+    content_hash, JsonValue, StreamDigest, SCHEMA_VERSION, SCHEMA_VERSION_KEY,
+};
 use ja_hysteresis::model::JaStatistics;
 use magnetics::loop_analysis::LoopMetrics;
 use magnetics::material::JaParameters;
@@ -128,10 +130,27 @@ pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
 /// outcome fields.  With `timings`, adds `wall_clock_ns` (backend
 /// construction + sweep + metric extraction on the worker).
 pub fn entry_value(entry: &BatchEntry, timings: bool) -> JsonValue {
-    let mut obj = match &entry.outcome {
+    let mut obj = stream_entry_value(&entry.scenario.name, &entry.outcome, timings);
+    if timings {
+        obj.push("wall_clock_ns", duration_ns(entry.wall_clock));
+    }
+    obj
+}
+
+/// The entry-shaped document for a scenario outcome that is **not** stored
+/// in a [`BatchEntry`] — the form the streaming path serialises from, where
+/// the outcome is dropped right after rendering.  Identical to
+/// [`entry_value`] minus the wall-clock field (streamed records never carry
+/// timings).
+pub fn stream_entry_value(
+    name: &str,
+    outcome: &Result<ScenarioOutcome, ja_hysteresis::error::JaError>,
+    timings: bool,
+) -> JsonValue {
+    match outcome {
         Ok(outcome) => outcome_value(outcome, timings),
         Err(err) => JsonValue::object()
-            .with("scenario", entry.scenario.name.as_str())
+            .with("scenario", name)
             .with(
                 "status",
                 if matches!(err, ja_hysteresis::error::JaError::Cancelled) {
@@ -141,11 +160,245 @@ pub fn entry_value(entry: &BatchEntry, timings: bool) -> JsonValue {
                 },
             )
             .with("error", err.to_string()),
-    };
-    if timings {
-        obj.push("wall_clock_ns", duration_ns(entry.wall_clock));
     }
-    obj
+}
+
+/// One NDJSON record line (newline-terminated) for grid entry `index`.
+///
+/// The record is the compact, insertion-ordered rendering of exactly the
+/// entry object a stored `kind: "batch"` report would contain, prefixed
+/// with the entry's grid `index` — records are emitted in index order, so a
+/// streamed file is byte-identical across worker counts, and the index
+/// makes each line self-identifying for consumers (and for resume
+/// validation).  Timings are never included: streamed records are part of
+/// the byte-determinism contract.
+pub fn ndjson_record(
+    index: usize,
+    name: &str,
+    outcome: &Result<ScenarioOutcome, ja_hysteresis::error::JaError>,
+) -> String {
+    let mut obj = JsonValue::object().with("index", index);
+    if let JsonValue::Object(fields) = stream_entry_value(name, outcome, false) {
+        for (key, value) in fields {
+            obj.push(key, value);
+        }
+    }
+    let mut line = obj.to_compact_string();
+    line.push('\n');
+    line
+}
+
+/// The final NDJSON manifest line (newline-terminated): a
+/// `kind: "batch_manifest"` document sealing the stream with the grid
+/// size, the success/failure counts and `entries_digest` — the 128-bit
+/// FNV-1a digest (32 hex digits) of every preceding record line's bytes in
+/// index order.
+///
+/// Because records are emitted in index order, the digest doubles as a
+/// whole-stream integrity check: two streams with equal manifests are
+/// byte-identical, whatever worker count (or interrupt/resume history)
+/// produced them.  A missing manifest line marks a truncated stream.
+pub fn ndjson_manifest(
+    scenarios: usize,
+    succeeded: usize,
+    failed: usize,
+    digest: &StreamDigest,
+) -> String {
+    let mut line = report_envelope("batch_manifest")
+        .with("scenarios", scenarios)
+        .with("succeeded", succeeded)
+        .with("failed", failed)
+        .with("entries_digest", format!("{:032x}", digest.value()))
+        .to_compact_string();
+    line.push('\n');
+    line
+}
+
+/// A stable content address for a scenario grid: the [`content_hash`] of
+/// the JSON array of scenario names in grid order.  Scenario names encode
+/// excitation/backend/config/material, so a checkpoint stamped with this
+/// digest refuses to resume against a different grid (or the same grid in
+/// a different order — index-based resume depends on order).
+pub fn grid_digest(scenarios: &[crate::scenario::Scenario]) -> u128 {
+    content_hash(&JsonValue::Array(
+        scenarios
+            .iter()
+            .map(|scenario| scenario.name.as_str().into())
+            .collect(),
+    ))
+}
+
+/// The checkpoint document a streaming batch flushes periodically so an
+/// interrupted run can resume (`ja batch --resume <path>`) and still
+/// produce output byte-identical to an uninterrupted run.
+///
+/// Everything resume needs is here: which grid the output belongs to
+/// (`grid_digest`), how many records are durably in the output and how
+/// many bytes they span (`entries`, `byte_offset` — the output is
+/// truncated back to this offset, discarding any torn trailing record),
+/// the running success/failure counts, and the suspended
+/// [`StreamDigest`] state so the final manifest digest still covers every
+/// record from entry 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// [`grid_digest`] of the scenario list the output was produced from.
+    pub grid_digest: u128,
+    /// Number of complete record lines covered by this checkpoint.
+    pub entries: usize,
+    /// Output-file byte length covering exactly those records.
+    pub byte_offset: u64,
+    /// `status: "ok"` records so far.
+    pub succeeded: usize,
+    /// Error/cancelled records so far.
+    pub failed: usize,
+    /// Suspended record-digest state ([`StreamDigest::state`]).
+    pub digest_state: u128,
+}
+
+impl StreamCheckpoint {
+    /// Serialises the checkpoint as a `kind: "batch_checkpoint"` document
+    /// (pretty form — checkpoints are single small files, not stream
+    /// records).
+    pub fn to_json(&self) -> JsonValue {
+        report_envelope("batch_checkpoint")
+            .with("grid_digest", format!("{:032x}", self.grid_digest))
+            .with("entries", self.entries)
+            .with(
+                "byte_offset",
+                i64::try_from(self.byte_offset).unwrap_or(i64::MAX),
+            )
+            .with("succeeded", self.succeeded)
+            .with("failed", self.failed)
+            .with("digest_state", format!("{:032x}", self.digest_state))
+    }
+
+    /// Parses a checkpoint document, strictly: unknown kinds, missing
+    /// fields, malformed hex and negative counts are all errors (a
+    /// corrupted checkpoint must fail loudly, not resume wrongly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(text).map_err(|err| format!("malformed checkpoint: {err}"))?;
+        if doc.get(SCHEMA_VERSION_KEY).and_then(JsonValue::as_i64) != Some(SCHEMA_VERSION) {
+            return Err(format!(
+                "checkpoint {SCHEMA_VERSION_KEY} is not {SCHEMA_VERSION}"
+            ));
+        }
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("batch_checkpoint") {
+            return Err("checkpoint kind is not \"batch_checkpoint\"".to_owned());
+        }
+        let hex = |key: &str| -> Result<u128, String> {
+            let text = doc
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("checkpoint is missing `{key}`"))?;
+            if text.len() != 32 {
+                return Err(format!("checkpoint `{key}` is not 32 hex digits"));
+            }
+            u128::from_str_radix(text, 16)
+                .map_err(|_| format!("checkpoint `{key}` is not 32 hex digits"))
+        };
+        let count = |key: &str| -> Result<usize, String> {
+            let value = doc
+                .get(key)
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| format!("checkpoint is missing `{key}`"))?;
+            usize::try_from(value).map_err(|_| format!("checkpoint `{key}` is negative"))
+        };
+        Ok(Self {
+            grid_digest: hex("grid_digest")?,
+            entries: count("entries")?,
+            byte_offset: count("byte_offset")? as u64,
+            succeeded: count("succeeded")?,
+            failed: count("failed")?,
+            digest_state: hex("digest_state")?,
+        })
+    }
+}
+
+/// Streams a scenario grid into `out` as chunked NDJSON: one
+/// [`ndjson_record`] per entry in index order, emitted as workers finish,
+/// sealed by the [`ndjson_manifest`] line.  This is THE streaming batch
+/// writer — `ja batch --format ndjson` and the served streamed
+/// `batch_request` both call it, which is what makes a served stream
+/// byte-identical to the offline file.
+///
+/// `resume` continues an interrupted run: entries `0..resume.entries` are
+/// skipped (the caller has already positioned `out` — for a file, truncated
+/// to `resume.byte_offset` and seeked to its end) and the record digest
+/// resumes from the suspended state, so the completed output is
+/// byte-identical to an uninterrupted run.  A checkpoint stamped with a
+/// different [`grid_digest`] is rejected.
+///
+/// `after_record` runs after each record has been written, with the
+/// checkpoint state covering everything written so far and with `out` —
+/// the CLI's checkpoint cadence flushes `out` and persists the state from
+/// here.  The returned checkpoint is the final state (every entry
+/// recorded); the manifest's bytes are not part of `byte_offset`.
+///
+/// # Errors
+///
+/// Propagates write failures, `after_record` failures, and (as
+/// [`std::io::ErrorKind::InvalidData`]) a resume checkpoint that does not
+/// belong to `scenarios`.
+pub fn write_ndjson_batch<W>(
+    runner: &crate::exec::BatchRunner,
+    scenarios: &[crate::scenario::Scenario],
+    resume: Option<&StreamCheckpoint>,
+    out: &mut W,
+    mut after_record: impl FnMut(&StreamCheckpoint, &mut W) -> std::io::Result<()>,
+) -> std::io::Result<StreamCheckpoint>
+where
+    W: std::io::Write + ?Sized,
+{
+    use std::io::{Error, ErrorKind};
+    let grid = grid_digest(scenarios);
+    let mut state = match resume {
+        Some(checkpoint) => {
+            if checkpoint.grid_digest != grid {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    "checkpoint does not belong to this grid (grid digest mismatch)",
+                ));
+            }
+            if checkpoint.entries > scenarios.len() {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    "checkpoint records more entries than the grid holds",
+                ));
+            }
+            *checkpoint
+        }
+        None => StreamCheckpoint {
+            grid_digest: grid,
+            entries: 0,
+            byte_offset: 0,
+            succeeded: 0,
+            failed: 0,
+            digest_state: StreamDigest::new().state(),
+        },
+    };
+    let mut digest = StreamDigest::from_state(state.digest_state);
+    runner.run_streamed(scenarios, state.entries, |index, outcome| {
+        let record = ndjson_record(index, &scenarios[index].name, outcome);
+        digest.update(record.as_bytes());
+        out.write_all(record.as_bytes())?;
+        state.entries = index + 1;
+        state.byte_offset += record.len() as u64;
+        if outcome.is_ok() {
+            state.succeeded += 1;
+        } else {
+            state.failed += 1;
+        }
+        state.digest_state = digest.state();
+        after_record(&state, out)
+    })?;
+    let manifest = ndjson_manifest(scenarios.len(), state.succeeded, state.failed, &digest);
+    out.write_all(manifest.as_bytes())?;
+    out.flush()?;
+    Ok(state)
 }
 
 /// Serialises a whole batch run as a `kind: "batch"` report.
@@ -634,5 +887,195 @@ mod tests {
             JsonValue::Int(1500)
         );
         assert_eq!(duration_ns(Duration::MAX), JsonValue::Int(i64::MAX));
+    }
+
+    /// Streams `scenarios` to a buffer with `workers`, no resume.
+    fn stream_to_bytes(scenarios: &[Scenario], workers: usize) -> (Vec<u8>, StreamCheckpoint) {
+        let mut out = Vec::new();
+        let state = write_ndjson_batch(
+            &BatchRunner::new().workers(workers),
+            scenarios,
+            None,
+            &mut out,
+            |_, _| Ok(()),
+        )
+        .expect("in-memory stream");
+        (out, state)
+    }
+
+    #[test]
+    fn ndjson_records_mirror_the_stored_entries() {
+        let scenarios = grid().scenarios().expect("grid");
+        let (bytes, state) = stream_to_bytes(&scenarios, 1);
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), scenarios.len() + 1, "records + manifest");
+
+        let stored = BatchRunner::new().workers(1).run(scenarios.clone());
+        let stored_entries = batch_report_value(&stored, false);
+        let stored_entries = stored_entries.get("entries").unwrap().as_array().unwrap();
+        for (index, line) in lines[..scenarios.len()].iter().enumerate() {
+            let record = JsonValue::parse(line).expect("record parses");
+            assert_eq!(
+                record.get("index").and_then(JsonValue::as_i64),
+                Some(index as i64)
+            );
+            // Index aside, the record is exactly the stored entry object.
+            let mut expected = JsonValue::object().with("index", index);
+            if let JsonValue::Object(fields) = stored_entries[index].clone() {
+                for (key, value) in fields {
+                    expected.push(key, value);
+                }
+            }
+            assert_eq!(record, expected);
+        }
+
+        // The manifest seals counts and the running record digest.
+        let manifest = JsonValue::parse(lines[scenarios.len()]).expect("manifest parses");
+        assert_eq!(
+            manifest.get("kind").and_then(JsonValue::as_str),
+            Some("batch_manifest")
+        );
+        assert_eq!(
+            manifest.get("scenarios").and_then(JsonValue::as_i64),
+            Some(scenarios.len() as i64)
+        );
+        let mut digest = StreamDigest::new();
+        digest.update(&text.as_bytes()[..state.byte_offset as usize]);
+        assert_eq!(
+            manifest.get("entries_digest").and_then(JsonValue::as_str),
+            Some(format!("{:032x}", digest.value()).as_str())
+        );
+    }
+
+    #[test]
+    fn ndjson_stream_is_byte_identical_across_worker_counts() {
+        let scenarios = grid().scenarios().expect("grid");
+        let (reference, _) = stream_to_bytes(&scenarios, 1);
+        for workers in [2, 8] {
+            let (bytes, _) = stream_to_bytes(&scenarios, workers);
+            assert_eq!(
+                bytes, reference,
+                "{workers}-worker NDJSON diverged from single-worker"
+            );
+        }
+    }
+
+    #[test]
+    fn ndjson_resume_is_byte_identical_to_uninterrupted() {
+        let scenarios = grid().scenarios().expect("grid");
+        let (reference, _) = stream_to_bytes(&scenarios, 2);
+
+        // Interrupt after two records: capture the checkpoint state, keep
+        // the bytes written so far plus a torn half-record the truncation
+        // step must discard.
+        let mut out = Vec::new();
+        let mut checkpoint = None;
+        let interrupted = write_ndjson_batch(
+            &BatchRunner::new().workers(2),
+            &scenarios,
+            None,
+            &mut out,
+            |state, _| {
+                if state.entries == 2 {
+                    checkpoint = Some(*state);
+                    return Err(std::io::Error::other("interrupted"));
+                }
+                Ok(())
+            },
+        );
+        assert!(interrupted.is_err());
+        let checkpoint = checkpoint.expect("checkpointed before the interrupt");
+        out.truncate(checkpoint.byte_offset as usize);
+        out.extend_from_slice(b"{\"index\":2,\"scen"); // torn tail
+
+        // Resume: truncate to the checkpoint offset, continue.
+        out.truncate(checkpoint.byte_offset as usize);
+        let final_state = write_ndjson_batch(
+            &BatchRunner::new().workers(8),
+            &scenarios,
+            Some(&checkpoint),
+            &mut out,
+            |_, _| Ok(()),
+        )
+        .expect("resumed stream");
+        assert_eq!(out, reference);
+        assert_eq!(final_state.entries, scenarios.len());
+        assert_eq!(final_state.succeeded + final_state.failed, scenarios.len());
+    }
+
+    #[test]
+    fn ndjson_resume_rejects_a_foreign_grid() {
+        let scenarios = grid().scenarios().expect("grid");
+        let mut foreign = StreamCheckpoint {
+            grid_digest: 1,
+            entries: 0,
+            byte_offset: 0,
+            succeeded: 0,
+            failed: 0,
+            digest_state: StreamDigest::new().state(),
+        };
+        let mut out = Vec::new();
+        let err = write_ndjson_batch(
+            &BatchRunner::new(),
+            &scenarios,
+            Some(&foreign),
+            &mut out,
+            |_, _| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Matching digest but impossible entry count is rejected too.
+        foreign.grid_digest = grid_digest(&scenarios);
+        foreign.entries = scenarios.len() + 1;
+        let err = write_ndjson_batch(
+            &BatchRunner::new(),
+            &scenarios,
+            Some(&foreign),
+            &mut out,
+            |_, _| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checkpoint_document_round_trips_strictly() {
+        let checkpoint = StreamCheckpoint {
+            grid_digest: 0xfeed_beef_0123,
+            entries: 7,
+            byte_offset: 1234,
+            succeeded: 6,
+            failed: 1,
+            digest_state: u128::MAX,
+        };
+        let text = checkpoint.to_json().to_pretty_string();
+        assert_eq!(StreamCheckpoint::parse(&text), Ok(checkpoint));
+        // Corruptions fail loudly.
+        for (broken, what) in [
+            (text.replace("batch_checkpoint", "batch"), "kind"),
+            (
+                text.replace("\"entries\": 7", "\"entries\": -7"),
+                "negative",
+            ),
+            (
+                text.replace("\"schema_version\": 1", "\"schema_version\": 2"),
+                "version",
+            ),
+            (text.replace("ffffffff", "zzzzzzzz"), "hex"),
+            (text[..text.len() / 2].to_owned(), "truncated"),
+        ] {
+            assert!(StreamCheckpoint::parse(&broken).is_err(), "{what}");
+        }
+    }
+
+    #[test]
+    fn grid_digest_tracks_grid_identity_and_order() {
+        let scenarios = grid().scenarios().expect("grid");
+        let mut reordered = scenarios.clone();
+        reordered.swap(0, 1);
+        assert_eq!(grid_digest(&scenarios), grid_digest(&scenarios));
+        assert_ne!(grid_digest(&scenarios), grid_digest(&reordered));
+        assert_ne!(grid_digest(&scenarios), grid_digest(&scenarios[1..]));
     }
 }

@@ -112,13 +112,35 @@ impl HttpRequest {
     }
 }
 
-/// One HTTP/1.1 response, always written with `Content-Length` framing
-/// and `Connection: close`.
-#[derive(Debug, Clone)]
+/// A deferred response body: called once with the connection's writer
+/// after the headers have gone out. Used for NDJSON streams whose length
+/// is unknown up front (see [`HttpResponse::ndjson_stream`]).
+pub type StreamBody = Arc<dyn Fn(&mut dyn Write) -> io::Result<()> + Send + Sync>;
+
+/// One HTTP/1.1 response, always written with `Connection: close`.
+///
+/// Buffered responses ([`HttpResponse::json`]) are framed with
+/// `Content-Length`; streamed responses ([`HttpResponse::ndjson_stream`])
+/// have no length header and end when the connection closes — valid
+/// HTTP/1.1 framing precisely because every response closes the
+/// connection.
+#[derive(Clone)]
 pub struct HttpResponse {
     status: u16,
     headers: Vec<(String, String)>,
     body: Arc<String>,
+    stream: Option<StreamBody>,
+}
+
+impl std::fmt::Debug for HttpResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpResponse")
+            .field("status", &self.status)
+            .field("headers", &self.headers)
+            .field("body", &self.body)
+            .field("stream", &self.stream.as_ref().map(|_| "<producer>"))
+            .finish()
+    }
 }
 
 impl HttpResponse {
@@ -128,6 +150,7 @@ impl HttpResponse {
             status,
             headers: Vec::new(),
             body: Arc::new(body.into()),
+            stream: None,
         }
     }
 
@@ -138,6 +161,28 @@ impl HttpResponse {
             status,
             headers: Vec::new(),
             body,
+            stream: None,
+        }
+    }
+
+    /// A `200` response whose `application/x-ndjson` body is produced by
+    /// `producer` writing directly to the connection, one record at a
+    /// time, after the headers have gone out.
+    ///
+    /// There is no `Content-Length`: the stream ends when the connection
+    /// closes (`Connection: close` makes EOF-delimited bodies legal
+    /// HTTP/1.1). A producer error after the headers cannot be reported
+    /// as a status code any more; the connection is simply closed, and a
+    /// client detects the truncation by the missing final manifest line
+    /// (see `docs/PROTOCOL.md`).
+    pub fn ndjson_stream(
+        producer: impl Fn(&mut dyn Write) -> io::Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            status: 200,
+            headers: Vec::new(),
+            body: Arc::new(String::new()),
+            stream: Some(Arc::new(producer)),
         }
     }
 
@@ -153,9 +198,15 @@ impl HttpResponse {
         self.status
     }
 
-    /// The response body.
+    /// The response body (empty for streamed responses, whose bytes are
+    /// produced while writing).
     pub fn body(&self) -> &str {
         &self.body
+    }
+
+    /// Whether this response streams its body instead of buffering it.
+    pub fn is_streamed(&self) -> bool {
+        self.stream.is_some()
     }
 
     fn reason(status: u16) -> &'static str {
@@ -172,24 +223,38 @@ impl HttpResponse {
     }
 
     /// Serializes the response. Header order is fixed (status line,
-    /// `Content-Type`, extra headers, `Content-Length`,
-    /// `Connection: close`) so responses are byte-deterministic.
+    /// `Content-Type`, extra headers, `Content-Length` for buffered
+    /// bodies, `Connection: close`) so responses are byte-deterministic;
+    /// a streamed body is then produced record by record.
     pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        let content_type = if self.stream.is_some() {
+            "application/x-ndjson"
+        } else {
+            "application/json"
+        };
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\n",
             self.status,
             Self::reason(self.status)
         )?;
         for (name, value) in &self.headers {
             write!(out, "{name}: {value}\r\n")?;
         }
-        write!(
-            out,
-            "Content-Length: {}\r\nConnection: close\r\n\r\n",
-            self.body.len()
-        )?;
-        out.write_all(self.body.as_bytes())?;
+        match &self.stream {
+            Some(producer) => {
+                write!(out, "Connection: close\r\n\r\n")?;
+                producer(out)?;
+            }
+            None => {
+                write!(
+                    out,
+                    "Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    self.body.len()
+                )?;
+                out.write_all(self.body.as_bytes())?;
+            }
+        }
         out.flush()
     }
 }
@@ -696,6 +761,33 @@ mod tests {
                 rejected: 0
             }
         );
+    }
+
+    #[test]
+    fn streamed_responses_are_ndjson_without_content_length() {
+        let server = start_server(ServerOptions::default(), |_| {
+            HttpResponse::ndjson_stream(|out| {
+                writeln!(out, "{{\"index\":0}}")?;
+                writeln!(out, "{{\"kind\":\"batch_manifest\"}}")
+            })
+        });
+        let (status, headers, body) = post(server.addr, "/v1/eval", "{}");
+        assert_eq!(status, 200);
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(header("content-type"), Some("application/x-ndjson"));
+        assert_eq!(header("connection"), Some("close"));
+        assert_eq!(
+            header("content-length"),
+            None,
+            "streamed bodies are EOF-delimited"
+        );
+        assert_eq!(body, "{\"index\":0}\n{\"kind\":\"batch_manifest\"}\n");
+        server.stop();
     }
 
     #[test]

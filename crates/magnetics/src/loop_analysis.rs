@@ -79,6 +79,157 @@ pub fn loop_metrics(curve: &BhCurve) -> Result<LoopMetrics, MagneticsError> {
     })
 }
 
+/// Streaming accumulator computing [`LoopMetrics`] from samples as they are
+/// produced, without ever storing the curve.
+///
+/// This is the memory-decoupling half of the streaming execution path: a
+/// million-point sweep can be reduced to its six loop metrics in O(1) space
+/// by feeding each `(H, B)` sample to [`push`](Self::push) and calling
+/// [`finish`](Self::finish) at the end.
+///
+/// The accumulator is **bit-identical** to the stored-curve
+/// [`loop_metrics`] path: every running reduction (the |B|/|H| peak folds,
+/// the trapezoidal `∮ H dB` sum, the two zero-crossing means and the
+/// negative-slope count) performs exactly the floating-point operations of
+/// its batch counterpart, in the same order, on the same operands.  The
+/// equivalence — including the error cases — is asserted by unit tests and
+/// a property test over randomly generated traces.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalLoopMetrics {
+    samples: usize,
+    /// Running `fold(0.0, f64::max)` over |B| — mirrors
+    /// [`BhCurve::peak_flux_density`].
+    b_abs_max: f64,
+    /// Running `fold(0.0, f64::max)` over |H| — mirrors
+    /// [`BhCurve::peak_field`].
+    h_abs_max: f64,
+    /// Previous sample as `(H, B)`, shared by every windowed reduction.
+    prev: Option<(f64, f64)>,
+    /// Signed trapezoidal `∮ H dB`; `.abs()` applied at [`finish`](Self::finish).
+    area: f64,
+    coercivity_sum: f64,
+    coercivity_count: usize,
+    remanence_sum: f64,
+    remanence_count: usize,
+    negative_slope_samples: usize,
+}
+
+impl IncrementalLoopMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of samples pushed so far.
+    pub fn len(&self) -> usize {
+        self.samples
+    }
+
+    /// `true` when no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Feeds one `(H, B)` sample in SI units (A/m, T).
+    pub fn push(&mut self, h: f64, b: f64) {
+        self.samples += 1;
+        self.b_abs_max = self.b_abs_max.max(b.abs());
+        self.h_abs_max = self.h_abs_max.max(h.abs());
+        if let Some((ph, pb)) = self.prev {
+            // Trapezoidal ∮ H dB, one window at a time — the operand order
+            // of `loop_area`.
+            let h_mid = 0.5 * (ph + h);
+            let db = b - pb;
+            self.area += h_mid * db;
+            // Negative differential permeability, as counted by
+            // `BhCurve::negative_slope_samples`.
+            let dh = h - ph;
+            if dh != 0.0 && db / dh < 0.0 {
+                self.negative_slope_samples += 1;
+            }
+            // The two zero-crossing means of `mean_abs_level_crossings`:
+            // B = 0 crossings sampled in H (coercivity), H = 0 crossings
+            // sampled in B (remanence).
+            crossing_step(
+                (pb, ph),
+                (b, h),
+                &mut self.coercivity_sum,
+                &mut self.coercivity_count,
+            );
+            crossing_step(
+                (ph, pb),
+                (h, b),
+                &mut self.remanence_sum,
+                &mut self.remanence_count,
+            );
+        }
+        self.prev = Some((h, b));
+    }
+
+    /// Feeds one curve sample.
+    pub fn push_point(&mut self, point: &crate::bh::BhPoint) {
+        self.push(point.h.value(), point.b.as_tesla());
+    }
+
+    /// Closes the accumulation and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`loop_metrics`] on the same sample sequence:
+    /// [`MagneticsError::InsufficientSamples`] below 8 samples, and
+    /// [`MagneticsError::MissingCrossing`] when the trace never crossed
+    /// `B = 0` / `H = 0` away from the origin.
+    pub fn finish(&self) -> Result<LoopMetrics, MagneticsError> {
+        if self.samples < 8 {
+            return Err(MagneticsError::InsufficientSamples {
+                required: 8,
+                available: self.samples,
+            });
+        }
+        if self.coercivity_count == 0 {
+            return Err(MagneticsError::MissingCrossing {
+                what: "B = 0 away from the origin (coercivity)",
+            });
+        }
+        if self.remanence_count == 0 {
+            return Err(MagneticsError::MissingCrossing {
+                what: "H = 0 away from the origin (remanence)",
+            });
+        }
+        Ok(LoopMetrics {
+            b_max: FluxDensity::new(self.b_abs_max),
+            h_max: FieldStrength::new(self.h_abs_max),
+            coercivity: FieldStrength::new(self.coercivity_sum / self.coercivity_count as f64),
+            remanence: FluxDensity::new(self.remanence_sum / self.remanence_count as f64),
+            loop_area: self.area.abs(),
+            negative_slope_samples: self.negative_slope_samples,
+        })
+    }
+}
+
+/// One step of the `mean_abs_level_crossings` fold, expressed over a single
+/// `(previous, current)` window so [`IncrementalLoopMetrics`] can run it
+/// without an iterator.  `(x, y)` is (abscissa, ordinate); the keep-filter
+/// of the batch path (`|value| > f64::EPSILON`) is inlined — both call
+/// sites use it.
+fn crossing_step((px, py): (f64, f64), (x, y): (f64, f64), sum: &mut f64, count: &mut usize) {
+    if px == 0.0 && x == 0.0 {
+        return;
+    }
+    if (px <= 0.0 && x > 0.0) || (px >= 0.0 && x < 0.0) {
+        let t = if (x - px).abs() > f64::EPSILON {
+            -px / (x - px)
+        } else {
+            0.5
+        };
+        let value = py + t * (y - py);
+        if value.abs() > f64::EPSILON {
+            *sum += value.abs();
+            *count += 1;
+        }
+    }
+}
+
 /// Coercive field `H_c`: the average |H| of every `B = 0` crossing in the
 /// trace (excluding the initial-magnetisation start where both are zero).
 ///
@@ -216,6 +367,7 @@ where
 mod tests {
     use super::*;
     use crate::bh::BhCurve;
+    use proptest::prelude::*;
 
     /// Builds a synthetic rectangular-ish hysteresis loop:
     /// B = Bs * tanh((H ± Hc)/w), ascending branch shifted by -Hc,
@@ -437,5 +589,116 @@ mod tests {
         curve.push_raw(-10_002.0, -5.0, 0.0);
         let m = loop_metrics(&curve).unwrap();
         assert!(m.negative_slope_samples >= 1);
+    }
+
+    /// Streams a stored curve through the incremental accumulator.
+    fn incremental(curve: &BhCurve) -> Result<LoopMetrics, MagneticsError> {
+        let mut acc = IncrementalLoopMetrics::new();
+        for p in curve.iter() {
+            acc.push_point(p);
+        }
+        assert_eq!(acc.len(), curve.len());
+        acc.finish()
+    }
+
+    /// Asserts the streamed result reproduces the stored result bit-for-bit
+    /// (including which error is reported).
+    fn assert_bit_identical(
+        stored: &Result<LoopMetrics, MagneticsError>,
+        streamed: &Result<LoopMetrics, MagneticsError>,
+    ) {
+        match (stored, streamed) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.b_max.as_tesla().to_bits(), b.b_max.as_tesla().to_bits());
+                assert_eq!(a.h_max.value().to_bits(), b.h_max.value().to_bits());
+                assert_eq!(
+                    a.coercivity.value().to_bits(),
+                    b.coercivity.value().to_bits()
+                );
+                assert_eq!(
+                    a.remanence.as_tesla().to_bits(),
+                    b.remanence.as_tesla().to_bits()
+                );
+                assert_eq!(a.loop_area.to_bits(), b.loop_area.to_bits());
+                assert_eq!(a.negative_slope_samples, b.negative_slope_samples);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (stored, streamed) => {
+                panic!("stored {stored:?} and streamed {streamed:?} disagree")
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_stored_on_synthetic_loop() {
+        for n in [8, 37, 200, 2000] {
+            let curve = synthetic_loop(10_000.0, 1000.0, 1.8, n);
+            assert_bit_identical(&loop_metrics(&curve), &incremental(&curve));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_stored_on_lens_loop() {
+        let curve = lens_loop(LENS_H_PEAK, LENS_K, LENS_D0, 2000);
+        assert_bit_identical(&loop_metrics(&curve), &incremental(&curve));
+    }
+
+    #[test]
+    fn incremental_matches_stored_on_glitched_loop() {
+        let mut curve = synthetic_loop(10_000.0, 1000.0, 1.8, 200);
+        curve.push_raw(-10_001.0, 5.0, 0.0);
+        curve.push_raw(-10_002.0, -5.0, 0.0);
+        assert_bit_identical(&loop_metrics(&curve), &incremental(&curve));
+    }
+
+    #[test]
+    fn incremental_matches_stored_error_cases() {
+        // Too short.
+        let mut short = BhCurve::new();
+        short.push_raw(0.0, 0.0, 0.0);
+        assert_bit_identical(&loop_metrics(&short), &incremental(&short));
+        // Initial magnetisation curve: no B = 0 crossing away from the
+        // origin -> coercivity is the first reported failure.
+        let mut initial = BhCurve::new();
+        for i in 0..100 {
+            let h = i as f64 * 10.0;
+            initial.push_raw(h, (h / 5000.0).tanh(), 0.0);
+        }
+        assert_bit_identical(&loop_metrics(&initial), &incremental(&initial));
+        // B crosses zero but H never does: remanence is the failure.
+        let mut no_h_crossing = BhCurve::new();
+        for i in 0..20 {
+            no_h_crossing.push_raw(10.0 + i as f64, i as f64 - 10.5, 0.0);
+        }
+        assert_bit_identical(&loop_metrics(&no_h_crossing), &incremental(&no_h_crossing));
+    }
+
+    proptest! {
+        /// Random traces — including short, degenerate and non-loop shapes —
+        /// reduce to bit-identical metrics (or the identical error) whether
+        /// stored or streamed.
+        #[test]
+        fn incremental_matches_stored_on_random_traces(
+            raw in proptest::collection::vec((-1.0e4_f64..1.0e4, -2.5_f64..2.5), 0..64),
+        ) {
+            let mut curve = BhCurve::new();
+            for (h, b) in &raw {
+                curve.push_raw(*h, *b, 0.0);
+            }
+            assert_bit_identical(&loop_metrics(&curve), &incremental(&curve));
+        }
+
+        /// Random closed loops exercise the success path with crossings on
+        /// both axes.
+        #[test]
+        fn incremental_matches_stored_on_random_loops(
+            h_peak in 1.0e3_f64..2.0e4,
+            h_c_frac in 0.05_f64..0.4,
+            b_s in 0.2_f64..2.5,
+            n in 8_usize..300,
+        ) {
+            let curve = synthetic_loop(h_peak, h_c_frac * h_peak, b_s, n);
+            assert_bit_identical(&loop_metrics(&curve), &incremental(&curve));
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Determinism of the streaming NDJSON path: the byte stream written by
+//! `report::write_ndjson_batch` must be identical across 1/2/8 worker
+//! counts, and an interrupted run resumed from its checkpoint must
+//! reproduce the uninterrupted bytes exactly — including the final
+//! manifest line and its entries digest.
+
+use std::io::{self, Write};
+
+use ja_repro::hdl_models::exec::BatchRunner;
+use ja_repro::hdl_models::report::{write_ndjson_batch, StreamCheckpoint};
+use ja_repro::hdl_models::scenario::{BackendKind, Excitation, ScenarioGrid};
+use ja_repro::ja_hysteresis::config::JaConfig;
+use ja_repro::ja_hysteresis::json::JsonValue;
+
+fn grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .backends(BackendKind::ALL)
+        .config("dh10", JaConfig::default())
+        .config("dh25", JaConfig::default().with_dh_max(25.0))
+        .excitation("fig1", Excitation::fig1(500.0).expect("excitation"))
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        )
+}
+
+fn stream_with_workers(workers: usize) -> (Vec<u8>, StreamCheckpoint) {
+    let scenarios = grid().scenarios().expect("non-empty grid");
+    let runner = BatchRunner::new().workers(workers);
+    let mut bytes = Vec::new();
+    let state = write_ndjson_batch(&runner, &scenarios, None, &mut bytes, |_, _| Ok(()))
+        .expect("in-memory stream cannot fail");
+    (bytes, state)
+}
+
+#[test]
+fn ndjson_stream_is_byte_identical_across_worker_counts() {
+    let (reference, state) = stream_with_workers(1);
+    assert_eq!(state.entries, 16); // 4 backends x 2 configs x 2 excitations
+    assert_eq!(state.failed, 0);
+
+    let text = String::from_utf8(reference.clone()).expect("NDJSON is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 17, "16 records + 1 manifest line");
+    for (index, line) in lines[..16].iter().enumerate() {
+        let record = JsonValue::parse(line).expect("record parses");
+        assert_eq!(
+            record.get("index").and_then(JsonValue::as_i64),
+            Some(index as i64),
+            "records are emitted in grid order"
+        );
+    }
+    let manifest = JsonValue::parse(lines[16]).expect("manifest parses");
+    assert_eq!(
+        manifest.get("kind").and_then(JsonValue::as_str),
+        Some("batch_manifest")
+    );
+    assert_eq!(
+        manifest.get("scenarios").and_then(JsonValue::as_i64),
+        Some(16)
+    );
+    assert_eq!(
+        manifest
+            .get("entries_digest")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
+        Some(format!("{:032x}", state.digest_state))
+    );
+
+    for workers in [2, 8] {
+        let (bytes, _) = stream_with_workers(workers);
+        assert_eq!(
+            bytes, reference,
+            "{workers}-worker NDJSON stream diverged from the single-worker stream"
+        );
+    }
+}
+
+#[test]
+fn interrupted_and_resumed_stream_is_byte_identical_to_uninterrupted() {
+    let (reference, _) = stream_with_workers(2);
+    let scenarios = grid().scenarios().expect("non-empty grid");
+
+    // Interrupt after the fifth record, with the last durable checkpoint
+    // taken at the third — exactly the window a crash leaves behind.
+    let mut bytes = Vec::new();
+    let mut durable: Option<StreamCheckpoint> = None;
+    let runner = BatchRunner::new().workers(2);
+    let result = write_ndjson_batch(&runner, &scenarios, None, &mut bytes, |state, _| {
+        if state.entries == 3 {
+            durable = Some(*state);
+        }
+        if state.entries == 5 {
+            return Err(io::Error::other("simulated crash"));
+        }
+        Ok(())
+    });
+    assert!(result.is_err(), "the interrupt must surface");
+    let checkpoint = durable.expect("checkpoint was taken");
+    assert_eq!(checkpoint.entries, 3);
+
+    // The resume protocol: truncate to the checkpointed offset (the CLI's
+    // `set_len`), discarding the two records — and any torn tail — that
+    // landed after the checkpoint.
+    bytes.truncate(checkpoint.byte_offset as usize);
+    write!(bytes, "{{\"index\":99,\"scen").expect("vec write");
+    bytes.truncate(checkpoint.byte_offset as usize);
+
+    let resumed_state = write_ndjson_batch(
+        &runner,
+        &scenarios,
+        Some(&checkpoint),
+        &mut bytes,
+        |_, _| Ok(()),
+    )
+    .expect("resume succeeds");
+    assert_eq!(resumed_state.entries, scenarios.len());
+    assert_eq!(
+        bytes, reference,
+        "resumed stream diverged from the uninterrupted stream"
+    );
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_grid() {
+    let (_, finished) = stream_with_workers(1);
+    let other = ScenarioGrid::new()
+        .backend(BackendKind::DirectTimeless)
+        .config("dh10", JaConfig::default())
+        .excitation("fig1", Excitation::fig1(500.0).expect("excitation"))
+        .scenarios()
+        .expect("non-empty grid");
+    let runner = BatchRunner::new().workers(1);
+    let mut bytes = Vec::new();
+    let err = write_ndjson_batch(&runner, &other, Some(&finished), &mut bytes, |_, _| Ok(()))
+        .expect_err("grid mismatch must be rejected");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(bytes.is_empty(), "nothing may be written on a refusal");
+}
