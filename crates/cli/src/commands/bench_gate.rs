@@ -31,6 +31,12 @@ OPTIONS:
     --min-baseline-ns NS  skip the ratio check for benches whose baseline
                           median is below NS (sub-floor timings are noise)
                           [default: 0]
+    --ratio A/B<=R        additionally assert that bench A's median is at
+                          most R times bench B's median *within the
+                          --current report* (same machine, same run).
+                          A and B are bench ids or unambiguous id
+                          suffixes, e.g.
+                          \"systemc-event-kernel_sweep/direct-timeless_sweep<=2.6\"
     --summary PATH        append the markdown table to PATH (e.g.
                           \"$GITHUB_STEP_SUMMARY\")
     --out PATH            write the table to PATH instead of stdout
@@ -39,9 +45,15 @@ Both inputs must carry the shared envelope (schema_version 1, kind
 \"bench\") — a schema mismatch fails the gate, which is how drift between
 the criterion stand-in and the library constant is caught.
 
-EXIT STATUS: 0 when no bench regressed and none disappeared; 1 otherwise.
-Benches present only in --current are reported as `new` and do not fail
-the gate (update the baseline to start tracking them).";
+The --ratio assertion bounds a *relative* cost (e.g. the event-kernel
+backend against the direct model) instead of an absolute median, so it
+stays meaningful on runners whose absolute speed varies: a uniform
+slowdown cancels out of the quotient.
+
+EXIT STATUS: 0 when no bench regressed, none disappeared and every
+--ratio assertion holds; 1 otherwise.  Benches present only in --current
+are reported as `new` and do not fail the gate (update the baseline to
+start tracking them).";
 
 /// One row of the gate's verdict table.
 #[derive(Debug, PartialEq)]
@@ -136,6 +148,126 @@ pub fn render_markdown(rows: &[GateRow], max_ratio: f64) -> String {
     text
 }
 
+/// Outcome of one `--ratio A/B<=R` assertion, evaluated on the current
+/// report.
+#[derive(Debug, PartialEq)]
+pub struct RatioCheck {
+    /// Resolved numerator bench id.
+    pub numerator: String,
+    /// Resolved denominator bench id.
+    pub denominator: String,
+    /// Measured `numerator / denominator`.
+    pub ratio: f64,
+    /// The asserted upper bound.
+    pub limit: f64,
+}
+
+impl RatioCheck {
+    /// Whether the assertion fails.
+    pub fn fails(&self) -> bool {
+        self.ratio > self.limit
+    }
+}
+
+/// Resolves `name` against the report's bench ids: an exact id, or a
+/// unique `/`-delimited suffix (so `direct-timeless_sweep` finds
+/// `fig1_bh_curve/direct-timeless_sweep`).
+fn resolve_bench<'m>(ids: &'m BTreeMap<String, f64>, name: &str) -> Vec<&'m str> {
+    if ids.contains_key(name) {
+        return ids
+            .keys()
+            .filter(|id| *id == name)
+            .map(String::as_str)
+            .collect();
+    }
+    ids.keys()
+        .filter(|id| id.ends_with(name) && id[..id.len() - name.len()].ends_with('/'))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Parses and evaluates a `--ratio A/B<=R` assertion against the current
+/// report.  Bench ids contain `/` themselves, so every split point of the
+/// left-hand side is tried and exactly one must resolve both operands.
+///
+/// # Errors
+///
+/// Usage errors for a malformed spec; failures when the operands resolve
+/// to no bench (or ambiguously) or the denominator median is not positive.
+pub fn evaluate_ratio(spec: &str, current: &BTreeMap<String, f64>) -> Result<RatioCheck, CliError> {
+    let (lhs, bound) = spec
+        .rsplit_once("<=")
+        .ok_or_else(|| CliError::usage(format!("--ratio `{spec}`: expected the form A/B<=R")))?;
+    let limit: f64 = bound
+        .trim()
+        .parse()
+        .map_err(|_| CliError::usage(format!("--ratio `{spec}`: `{bound}` is not a number")))?;
+    if limit.is_nan() || limit <= 0.0 {
+        return Err(CliError::usage(format!(
+            "--ratio `{spec}`: the bound must be > 0"
+        )));
+    }
+    let mut matches: Vec<(&str, &str)> = Vec::new();
+    for (i, _) in lhs.match_indices('/') {
+        let (num, den) = (&lhs[..i], &lhs[i + 1..]);
+        if num.is_empty() || den.is_empty() {
+            continue;
+        }
+        let nums = resolve_bench(current, num);
+        let dens = resolve_bench(current, den);
+        if nums.len() == 1 && dens.len() == 1 {
+            matches.push((nums[0], dens[0]));
+        }
+    }
+    matches.dedup();
+    let (numerator, denominator) = match matches.as_slice() {
+        [] => {
+            return Err(CliError::failure(format!(
+                "--ratio `{spec}`: no split of `{lhs}` resolves both sides to benches in the current report"
+            )))
+        }
+        [one] => *one,
+        many => {
+            return Err(CliError::failure(format!(
+                "--ratio `{spec}`: ambiguous — candidate pairs: {}",
+                many.iter()
+                    .map(|(a, b)| format!("{a} / {b}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )))
+        }
+    };
+    let num_ns = current[numerator];
+    let den_ns = current[denominator];
+    if den_ns.is_nan() || den_ns <= 0.0 {
+        return Err(CliError::failure(format!(
+            "--ratio `{spec}`: denominator `{denominator}` median {den_ns} ns cannot anchor a ratio"
+        )));
+    }
+    Ok(RatioCheck {
+        numerator: numerator.to_owned(),
+        denominator: denominator.to_owned(),
+        ratio: num_ns / den_ns,
+        limit,
+    })
+}
+
+/// Renders a ratio assertion as a markdown line.
+pub fn render_ratio(check: &RatioCheck) -> String {
+    format!(
+        "\nratio `{}` / `{}` = {:.2} (limit {}): {}\n",
+        check.numerator,
+        check.denominator,
+        check.ratio,
+        check.limit,
+        if check.fails() {
+            "**RATIO EXCEEDED**"
+        } else {
+            "ok"
+        }
+    )
+}
+
 /// Loads a `kind: "bench"` report and returns its medians map.
 fn load_bench_report(path: &str) -> Result<BTreeMap<String, f64>, CliError> {
     let doc = JsonValue::parse(&read_input(path)?)
@@ -180,6 +312,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "current",
             "max-ratio",
             "min-baseline-ns",
+            "ratio",
             "summary",
             "out",
         ],
@@ -193,9 +326,16 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--max-ratio must be > 0".to_owned()));
     }
     let min_baseline_ns = parsed.f64_or("min-baseline-ns", 0.0)?;
+    let ratio_check = parsed
+        .value("ratio")
+        .map(|spec| evaluate_ratio(spec, &current))
+        .transpose()?;
 
     let rows = gate(&baseline, &current, max_ratio, min_baseline_ns);
-    let markdown = render_markdown(&rows, max_ratio);
+    let mut markdown = render_markdown(&rows, max_ratio);
+    if let Some(check) = &ratio_check {
+        markdown.push_str(&render_ratio(check));
+    }
     write_output(parsed.value("out"), &markdown)?;
     if let Some(path) = parsed.value("summary") {
         let mut file = std::fs::OpenOptions::new()
@@ -207,17 +347,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .map_err(|err| CliError::failure(format!("cannot append to `{path}`: {err}")))?;
     }
 
-    let failures: Vec<&GateRow> = rows.iter().filter(|row| row.fails()).collect();
+    let mut failures: Vec<String> = rows
+        .iter()
+        .filter(|row| row.fails())
+        .map(|row| format!("{} ({})", row.id, row.status))
+        .collect();
+    if let Some(check) = &ratio_check {
+        if check.fails() {
+            failures.push(format!(
+                "{} / {} = {:.2} > {}",
+                check.numerator, check.denominator, check.ratio, check.limit
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
         Err(CliError::failure(format!(
             "bench gate failed: {}",
-            failures
-                .iter()
-                .map(|row| format!("{} ({})", row.id, row.status))
-                .collect::<Vec<_>>()
-                .join(", ")
+            failures.join(", ")
         )))
     }
 }
@@ -268,6 +416,82 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn ratio_resolves_suffixes_and_checks_the_bound() {
+        let current = map(&[
+            ("fig1_bh_curve/systemc-event-kernel_sweep", 600.0),
+            ("fig1_bh_curve/direct-timeless_sweep", 300.0),
+            (
+                "fig1_bh_curve/direct-timeless_sweep_into_reused_buffer",
+                290.0,
+            ),
+        ]);
+        let check = evaluate_ratio(
+            "systemc-event-kernel_sweep/direct-timeless_sweep<=2.25",
+            &current,
+        )
+        .unwrap();
+        assert_eq!(check.numerator, "fig1_bh_curve/systemc-event-kernel_sweep");
+        assert_eq!(check.denominator, "fig1_bh_curve/direct-timeless_sweep");
+        assert!((check.ratio - 2.0).abs() < 1e-12);
+        assert!(!check.fails());
+
+        let tight = evaluate_ratio(
+            "systemc-event-kernel_sweep/direct-timeless_sweep<=1.5",
+            &current,
+        )
+        .unwrap();
+        assert!(tight.fails(), "2.0 > 1.5 must fail");
+
+        // Full ids work too, even though they contain `/` themselves.
+        let full = evaluate_ratio(
+            "fig1_bh_curve/systemc-event-kernel_sweep/fig1_bh_curve/direct-timeless_sweep<=3",
+            &current,
+        )
+        .unwrap();
+        assert_eq!(full.numerator, "fig1_bh_curve/systemc-event-kernel_sweep");
+        assert_eq!(full.denominator, "fig1_bh_curve/direct-timeless_sweep");
+    }
+
+    #[test]
+    fn ratio_rejects_malformed_unresolvable_and_ambiguous_specs() {
+        let current = map(&[
+            ("g/alpha_sweep", 100.0),
+            ("g/beta_sweep", 100.0),
+            ("h/alpha_sweep", 100.0),
+        ]);
+        assert!(evaluate_ratio("no-bound-here", &current).is_err());
+        assert!(evaluate_ratio("a/b<=zebra", &current).is_err());
+        assert!(evaluate_ratio("a/b<=-1", &current).is_err());
+        assert!(
+            evaluate_ratio("missing_sweep/beta_sweep<=2", &current).is_err(),
+            "unknown numerator"
+        );
+        assert!(
+            evaluate_ratio("alpha_sweep/beta_sweep<=2", &current).is_err(),
+            "alpha_sweep is an ambiguous suffix (g/ and h/)"
+        );
+        assert!(
+            evaluate_ratio("g/alpha_sweep/g/beta_sweep<=2", &current).is_ok(),
+            "full ids disambiguate"
+        );
+    }
+
+    #[test]
+    fn ratio_markdown_names_both_benches() {
+        let check = RatioCheck {
+            numerator: "a".to_owned(),
+            denominator: "b".to_owned(),
+            ratio: 1.75,
+            limit: 1.5,
+        };
+        let line = render_ratio(&check);
+        assert!(
+            line.contains("`a` / `b` = 1.75 (limit 1.5): **RATIO EXCEEDED**"),
+            "{line}"
+        );
     }
 
     #[test]

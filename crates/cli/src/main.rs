@@ -109,6 +109,13 @@ REPORT SCHEMA (schema_version 1)
                                circuit-driven scenarios.  Deterministic
                                step-control outcomes, NOT timings, so they
                                are never gated behind --timings.
+      kernel      object       ONLY with --timings, and only for the
+                               event-kernel backend: delta_cycles,
+                               events_scheduled, process_activations.
+                               Deterministic substrate-cost counters, but
+                               they describe the simulation machinery
+                               rather than the physics, so they ride with
+                               the timing fields.
     timing      object  ONLY with --timings: workers, elapsed_ns,
                         serial_ns, speedup (plus per-entry wall_clock_ns /
                         runtime_ns, and for entries executed as a
@@ -302,6 +309,9 @@ mod tests {
             "slope_evaluations",
             "rejected_updates",
             "wall_clock_ns",
+            "delta_cycles",
+            "events_scheduled",
+            "process_activations",
             "m_sat_a_per_m",
             "backend_routing",
             "lockstep_lanes",

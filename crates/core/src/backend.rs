@@ -25,6 +25,25 @@ use crate::error::JaError;
 use crate::model::{JaSample, JaStatistics, JilesAtherton};
 use crate::slope::{evaluate_total_slope, FieldDirection};
 
+/// Cost counters of an event-driven backend's simulation kernel.
+///
+/// Where [`JaStatistics`] counts *model* work (integration steps, slope
+/// evaluations), these counters expose the *substrate* work of a
+/// discrete-event backend: how many delta cycles the kernel ran, how many
+/// timed events it scheduled, and how many process activations it executed.
+/// They are deterministic outcomes of the stimulus — not timings — but
+/// reports still gate them behind the opt-in timings block because only
+/// event-driven backends produce them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStatistics {
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Timed events scheduled (testbench stimulus plus process wake-ups).
+    pub events_scheduled: u64,
+    /// Method-process activations executed.
+    pub process_activations: u64,
+}
+
 /// A hysteresis model that can be driven sample-by-sample with applied
 /// field values.
 ///
@@ -54,9 +73,19 @@ pub trait HysteresisBackend {
     ///
     /// # Errors
     ///
-    /// Returns [`JaError::Backend`] if the substrate cannot be rebuilt
-    /// (event-kernel backends reconstruct their process network).
+    /// Returns [`JaError::Backend`] if the substrate cannot be restored
+    /// (event-kernel backends rewind their kernel in place — signals back
+    /// to initial values, queues and counters cleared — keeping the process
+    /// network and its allocations alive for the next scenario).
     fn reset(&mut self) -> Result<(), JaError>;
+
+    /// Kernel cost counters since construction or the last
+    /// [`reset`](HysteresisBackend::reset) — `Some` only for event-driven
+    /// backends; equation-style backends have no kernel and return `None`
+    /// (the default).
+    fn kernel_statistics(&self) -> Option<KernelStatistics> {
+        None
+    }
 
     /// Drives the backend through an explicit sequence of field samples and
     /// collects the BH trace.

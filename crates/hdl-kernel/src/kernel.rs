@@ -1,7 +1,5 @@
 //! The discrete-event kernel: signals + processes + scheduler.
 
-use std::collections::BTreeSet;
-
 use crate::error::KernelError;
 use crate::process::{Process, ProcessContext, ProcessId};
 use crate::scheduler::{Event, EventQueue};
@@ -24,16 +22,39 @@ pub const DEFAULT_DELTA_LIMIT: usize = 10_000;
 ///    [`schedule_write`](Kernel::schedule_write);
 /// 4. run with [`settle`](Kernel::settle) (untimed, delta cycles only) or
 ///    [`run_until`](Kernel::run_until) (timed).
+///
+/// A warm delta cycle allocates nothing: the ready sets, the changed-signal
+/// buffer and the timed-event drain buffer are all kernel-owned scratch that
+/// is reused cycle to cycle.  [`reset`](Kernel::reset) returns the kernel to
+/// its construction-time state without dropping processes or sensitivity
+/// lists, so one instance can run many scenarios back to back.
 pub struct Kernel {
     signals: SignalStore,
     processes: Vec<Process>,
     sensitivity: Vec<Vec<ProcessId>>,
+    // CSR mirror of `sensitivity` (offsets + one flat id array), rebuilt on
+    // every registration: the per-cycle commit walk reads it without the
+    // nested-Vec indirection, and registration is construction-time only.
+    sens_offsets: Vec<u32>,
+    sens_flat: Vec<ProcessId>,
     queue: EventQueue,
     now: SimTime,
     delta_limit: usize,
     initialized: bool,
     delta_cycles_run: u64,
     activations: u64,
+    events_scheduled: u64,
+    // Reused scratch for the delta-cycle loop.  `next_ready` accumulates the
+    // processes triggered for the coming cycle, deduplicated by per-process
+    // epoch marks (`queued_epoch[p] == epoch` means "already queued for this
+    // cycle"); at the cycle boundary it is sorted and swapped into `ready`.
+    // The epoch counter only ever grows — across settles and resets — so a
+    // stale mark can never alias a future cycle.
+    ready: Vec<ProcessId>,
+    next_ready: Vec<ProcessId>,
+    queued_epoch: Vec<u64>,
+    epoch: u64,
+    timed_events: Vec<Event>,
 }
 
 impl Default for Kernel {
@@ -49,12 +70,20 @@ impl Kernel {
             signals: SignalStore::new(),
             processes: Vec::new(),
             sensitivity: Vec::new(),
+            sens_offsets: vec![0],
+            sens_flat: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             delta_limit: DEFAULT_DELTA_LIMIT,
             initialized: false,
             delta_cycles_run: 0,
             activations: 0,
+            events_scheduled: 0,
+            ready: Vec::new(),
+            next_ready: Vec::new(),
+            queued_epoch: Vec::new(),
+            epoch: 1,
+            timed_events: Vec::new(),
         }
     }
 
@@ -68,7 +97,19 @@ impl Kernel {
     pub fn add_signal(&mut self, name: impl Into<String>, initial: Value) -> SignalId {
         let id = self.signals.add(name, initial);
         self.sensitivity.push(Vec::new());
+        self.sens_offsets.push(self.sens_flat.len() as u32);
         id
+    }
+
+    /// Rebuilds the flat CSR view of the sensitivity lists.
+    fn rebuild_sensitivity_index(&mut self) {
+        self.sens_offsets.clear();
+        self.sens_flat.clear();
+        self.sens_offsets.push(0);
+        for list in &self.sensitivity {
+            self.sens_flat.extend_from_slice(list);
+            self.sens_offsets.push(self.sens_flat.len() as u32);
+        }
     }
 
     /// Registers a method process sensitive to the given signals.
@@ -90,9 +131,11 @@ impl Kernel {
         }
         let id = ProcessId(self.processes.len());
         self.processes.push(Process::new(name, body));
+        self.queued_epoch.push(0);
         for &sig in sensitive_to {
             self.sensitivity[sig.index()].push(id);
         }
+        self.rebuild_sensitivity_index();
         Ok(id)
     }
 
@@ -110,6 +153,12 @@ impl Kernel {
     /// cost metric reported by the runtime benches.
     pub fn activations(&self) -> u64 {
         self.activations
+    }
+
+    /// Number of timed events scheduled so far (testbench stimulus plus
+    /// process wake-ups).
+    pub fn events_scheduled(&self) -> u64 {
+        self.events_scheduled
     }
 
     /// Reads a signal's committed value.
@@ -152,12 +201,14 @@ impl Kernel {
 
     /// Schedules a timed write (testbench stimulus).
     pub fn schedule_write(&mut self, at: SimTime, id: SignalId, value: Value) {
+        self.events_scheduled += 1;
         self.queue
             .push(at, Event::SignalWrite { signal: id, value });
     }
 
     /// Schedules a timed wake-up of a process.
     pub fn schedule_wakeup(&mut self, at: SimTime, process: ProcessId) {
+        self.events_scheduled += 1;
         self.queue.push(at, Event::Wakeup { process });
     }
 
@@ -172,68 +223,127 @@ impl Kernel {
     /// Returns [`KernelError::DeltaCycleLimit`] if the system does not
     /// settle, or propagates the first process failure.
     pub fn settle(&mut self) -> Result<usize, KernelError> {
-        let ready: BTreeSet<ProcessId> = if self.initialized {
-            BTreeSet::new()
-        } else {
-            (0..self.processes.len()).map(ProcessId).collect()
-        };
-        self.initialized = true;
-        self.settle_with(ready)
-    }
-
-    fn settle_with(&mut self, mut ready: BTreeSet<ProcessId>) -> Result<usize, KernelError> {
-        // Commit anything written from outside (write_initial / timed writes)
-        // and add the processes sensitive to those changes.
-        let changed = self.signals.update();
-        for sig in changed {
-            for &p in &self.sensitivity[sig.index()] {
-                ready.insert(p);
+        if !self.initialized {
+            self.initialized = true;
+            for idx in 0..self.processes.len() {
+                self.mark_ready(ProcessId(idx));
             }
         }
+        self.settle_ready()
+    }
 
-        let mut cycles = 0usize;
-        while !ready.is_empty() {
-            if cycles >= self.delta_limit {
+    /// Queues a process for the coming delta cycle, deduplicated by its
+    /// epoch mark.
+    fn mark_ready(&mut self, pid: ProcessId) {
+        if self.queued_epoch[pid.index()] != self.epoch {
+            self.queued_epoch[pid.index()] = self.epoch;
+            self.next_ready.push(pid);
+        }
+    }
+
+    /// Commits pending signal writes and queues the processes sensitive to
+    /// the signals that actually changed — one pass over the written
+    /// signals, no intermediate changed-id buffer.
+    fn commit_and_mark(&mut self) {
+        let epoch = self.epoch;
+        let offsets = &self.sens_offsets;
+        let flat = &self.sens_flat;
+        let queued_epoch = &mut self.queued_epoch;
+        let next_ready = &mut self.next_ready;
+        self.signals.commit_dirty(|sig| {
+            let deps = &flat[offsets[sig.index()] as usize..offsets[sig.index() + 1] as usize];
+            for &pid in deps {
+                let mark = &mut queued_epoch[pid.index()];
+                if *mark != epoch {
+                    *mark = epoch;
+                    next_ready.push(pid);
+                }
+            }
+        });
+    }
+
+    /// Runs delta cycles until the queued ready set drains, starting from
+    /// whatever [`mark_ready`](Kernel::mark_ready) has accumulated.
+    fn settle_ready(&mut self) -> Result<usize, KernelError> {
+        let result = self.settle_ready_inner();
+        if result.is_err() {
+            // Leave the scratch state clean so the kernel stays usable: a
+            // later settle must not re-run processes queued by the failed
+            // phase (matching the previous implementation, which dropped
+            // its per-call ready set on error).
+            self.ready.clear();
+            self.next_ready.clear();
+            self.epoch += 1;
+        }
+        result
+    }
+
+    fn settle_ready_inner(&mut self) -> Result<usize, KernelError> {
+        // Commit anything written from outside (write_initial / timed
+        // writes) and add the processes sensitive to those changes.
+        self.commit_and_mark();
+
+        // One counter serves both the running total and this phase's cycle
+        // count, so the loop pays a single increment per cycle.
+        let start = self.delta_cycles_run;
+        while !self.next_ready.is_empty() {
+            if (self.delta_cycles_run - start) as usize >= self.delta_limit {
                 return Err(KernelError::DeltaCycleLimit {
                     limit: self.delta_limit,
                 });
             }
-            // Evaluate phase.
-            let to_run: Vec<ProcessId> = ready.iter().copied().collect();
-            ready.clear();
-            for pid in to_run {
+            // Evaluate phase.  Processes run in ascending id order — the
+            // determinism invariant the bit-identical BH curves rest on.
+            self.epoch += 1;
+            if self.next_ready.len() == 1 {
+                // Dominant shape in practice (a signal-feedback loop
+                // re-triggering one process per cycle): skip the sort and
+                // the double-buffer swap entirely.
+                let pid = self.next_ready[0];
+                self.next_ready.clear();
                 self.run_process(pid)?;
+            } else {
+                self.next_ready.sort_unstable();
+                std::mem::swap(&mut self.ready, &mut self.next_ready);
+                self.next_ready.clear();
+                // Move the ready list out to iterate it while running the
+                // processes (which borrow `self` mutably).  On the error
+                // path the moved list is dropped and `ready` re-grows on
+                // the next settle; the warm happy path keeps its capacity.
+                let ready = std::mem::take(&mut self.ready);
+                for &pid in &ready {
+                    self.run_process(pid)?;
+                }
+                self.ready = ready;
             }
             // Update phase.
-            let changed = self.signals.update();
-            for sig in changed {
-                for &p in &self.sensitivity[sig.index()] {
-                    ready.insert(p);
-                }
-            }
-            cycles += 1;
+            self.commit_and_mark();
             self.delta_cycles_run += 1;
         }
-        Ok(cycles)
+        Ok((self.delta_cycles_run - start) as usize)
     }
 
+    #[inline]
     fn run_process(&mut self, pid: ProcessId) -> Result<(), KernelError> {
         self.activations += 1;
         let now = self.now;
         let process = &mut self.processes[pid.index()];
         let mut ctx = ProcessContext::new(&mut self.signals, now);
-        let result = (process.body)(&mut ctx);
-        let wake = ctx.take_wake_request();
-        if let Err(err) = result {
-            return Err(KernelError::ProcessFailure {
+        match (process.body)(&mut ctx) {
+            Ok(()) => {
+                // A wake requested by a failing process is discarded with
+                // the rest of the settle phase, so only the Ok path looks.
+                if let Some(delay) = ctx.take_wake_request() {
+                    self.events_scheduled += 1;
+                    self.queue.push(now + delay, Event::Wakeup { process: pid });
+                }
+                Ok(())
+            }
+            Err(err) => Err(KernelError::ProcessFailure {
                 process: process.name.clone(),
                 message: err.to_string(),
-            });
+            }),
         }
-        if let Some(delay) = wake {
-            self.queue.push(now + delay, Event::Wakeup { process: pid });
-        }
-        Ok(())
     }
 
     /// Advances simulated time, processing every queued event up to and
@@ -260,20 +370,19 @@ impl Kernel {
                 break;
             }
             self.now = t;
-            let events = self.queue.pop_at(t);
-            let mut ready = BTreeSet::new();
-            for event in events {
-                processed += 1;
-                match event {
+            self.timed_events.clear();
+            processed += self.queue.pop_into(t, &mut self.timed_events);
+            for i in 0..self.timed_events.len() {
+                match self.timed_events[i] {
                     Event::SignalWrite { signal, value } => {
                         self.signals.write(signal, value)?;
                     }
                     Event::Wakeup { process } => {
-                        ready.insert(process);
+                        self.mark_ready(process);
                     }
                 }
             }
-            self.settle_with(ready)?;
+            self.settle_ready()?;
         }
         self.now = end;
         Ok(processed)
@@ -282,6 +391,28 @@ impl Kernel {
     /// `true` when no timed events remain in the queue.
     pub fn queue_is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Returns the kernel to its construction-time state — signals back at
+    /// their initial values, event queue empty, time zero, counters zeroed,
+    /// initialisation pending — while keeping every process and sensitivity
+    /// list.  The next [`settle`](Kernel::settle) re-runs all processes
+    /// once, exactly as on a fresh kernel, so a reset instance produces
+    /// bit-identical results to a newly built one without re-boxing process
+    /// closures or re-declaring signals.
+    pub fn reset(&mut self) {
+        self.signals.reset();
+        self.queue.clear();
+        self.now = SimTime::ZERO;
+        self.initialized = false;
+        self.delta_cycles_run = 0;
+        self.activations = 0;
+        self.events_scheduled = 0;
+        self.ready.clear();
+        self.next_ready.clear();
+        // Keep the epoch monotonic instead of clearing the per-process
+        // marks: bumping it invalidates every stale mark in O(1).
+        self.epoch += 1;
     }
 }
 
@@ -366,6 +497,7 @@ mod tests {
         for i in 1..=10 {
             k.schedule_write(SimTime::from_micros(i), h, Value::Real(i as f64));
         }
+        assert_eq!(k.events_scheduled(), 10);
         let events = k.run_until(SimTime::from_micros(5)).unwrap();
         assert_eq!(events, 5);
         assert_eq!(k.read_real(b).unwrap(), 2.5);
@@ -401,6 +533,7 @@ mod tests {
         // Initial run + one wake per microsecond.
         let n = k.read(tick).unwrap().as_int().unwrap();
         assert!((10..=11).contains(&n), "tick = {n}");
+        assert_eq!(k.events_scheduled(), n as u64);
     }
 
     #[test]
@@ -442,6 +575,61 @@ mod tests {
         k.settle().unwrap();
         assert_eq!(k.read(count).unwrap().as_int().unwrap(), baseline);
         assert_eq!(k.read_real(a).unwrap(), 5.0);
+    }
+
+    /// Builds the little combinational chain used by the reuse tests and
+    /// runs a short sweep, returning the observed outputs.
+    fn chain_outputs(k: &mut Kernel, a: SignalId, c: SignalId) -> Vec<f64> {
+        let mut outputs = Vec::new();
+        for i in 0..5 {
+            k.write_initial(a, Value::Real(f64::from(i))).unwrap();
+            k.settle().unwrap();
+            outputs.push(k.read_real(c).unwrap());
+        }
+        outputs
+    }
+
+    #[test]
+    fn reset_restores_construction_time_behaviour() {
+        let mut k = Kernel::new();
+        let a = k.add_signal("a", Value::Real(0.0));
+        let b = k.add_signal("b", Value::Real(0.0));
+        let c = k.add_signal("c", Value::Real(0.0));
+        k.add_process("double", &[a], move |ctx| {
+            let x = ctx.read_real(a)?;
+            ctx.write_real(b, 2.0 * x)
+        })
+        .unwrap();
+        k.add_process("add_one", &[b], move |ctx| {
+            let x = ctx.read_real(b)?;
+            ctx.write_real(c, x + 1.0)
+        })
+        .unwrap();
+
+        let first = chain_outputs(&mut k, a, c);
+        k.reset();
+        assert_eq!(k.now(), SimTime::ZERO);
+        assert_eq!(k.delta_cycles_run(), 0);
+        assert_eq!(k.activations(), 0);
+        assert_eq!(k.events_scheduled(), 0);
+        assert_eq!(k.read_real(a).unwrap(), 0.0, "signals back at initial");
+        let second = chain_outputs(&mut k, a, c);
+        assert_eq!(first, second, "reset kernel must replay bit-identically");
+    }
+
+    #[test]
+    fn reset_clears_the_timed_queue_and_time() {
+        let mut k = Kernel::new();
+        let h = k.add_signal("h", Value::Real(0.0));
+        k.add_process("idle", &[h], |_| Ok(())).unwrap();
+        k.schedule_write(SimTime::from_micros(50), h, Value::Real(1.0));
+        k.run_until(SimTime::from_micros(10)).unwrap();
+        assert!(!k.queue_is_empty());
+        k.reset();
+        assert!(k.queue_is_empty());
+        // Time travel back to zero is legal again after reset.
+        k.run_until(SimTime::from_micros(1)).unwrap();
+        assert_eq!(k.now(), SimTime::from_micros(1));
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl<'a> ProcessContext<'a> {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn read(&self, id: SignalId) -> Result<Value, KernelError> {
         self.signals.read(id)
     }
@@ -61,8 +62,9 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Returns [`KernelError::UnknownSignal`] or
     /// [`KernelError::TypeMismatch`].
+    #[inline]
     pub fn read_real(&self, id: SignalId) -> Result<f64, KernelError> {
-        self.signals.read(id)?.as_real()
+        self.signals.read_real(id)
     }
 
     /// Reads a bit-valued signal.
@@ -71,8 +73,9 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Returns [`KernelError::UnknownSignal`] or
     /// [`KernelError::TypeMismatch`].
+    #[inline]
     pub fn read_bit(&self, id: SignalId) -> Result<bool, KernelError> {
-        self.signals.read(id)?.as_bit()
+        self.signals.read_bit(id)
     }
 
     /// Reads an integer-valued signal.
@@ -81,8 +84,9 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Returns [`KernelError::UnknownSignal`] or
     /// [`KernelError::TypeMismatch`].
+    #[inline]
     pub fn read_int(&self, id: SignalId) -> Result<i64, KernelError> {
-        self.signals.read(id)?.as_int()
+        self.signals.read_int(id)
     }
 
     /// Writes a signal; the new value becomes visible after the next delta
@@ -91,6 +95,7 @@ impl<'a> ProcessContext<'a> {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn write(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
         self.signals.write(id, value)
     }
@@ -100,6 +105,7 @@ impl<'a> ProcessContext<'a> {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn write_real(&mut self, id: SignalId, value: f64) -> Result<(), KernelError> {
         self.signals.write(id, Value::Real(value))
     }
@@ -109,6 +115,7 @@ impl<'a> ProcessContext<'a> {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn write_bit(&mut self, id: SignalId, value: bool) -> Result<(), KernelError> {
         self.signals.write(id, Value::Bit(value))
     }
@@ -118,6 +125,7 @@ impl<'a> ProcessContext<'a> {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn write_int(&mut self, id: SignalId, value: i64) -> Result<(), KernelError> {
         self.signals.write(id, Value::Int(value))
     }
@@ -177,7 +185,7 @@ mod tests {
         ctx.write_real(a, 2.0).unwrap();
         // Still the old value inside the same evaluation.
         assert_eq!(ctx.read_real(a).unwrap(), 1.0);
-        store.update();
+        store.update_into(&mut Vec::new());
         assert_eq!(store.read(a).unwrap(), Value::Real(2.0));
     }
 

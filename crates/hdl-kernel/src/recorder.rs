@@ -12,23 +12,28 @@ use crate::value::Value;
 /// This plays the role of SystemC's `sc_trace`/VCD output: the testbench
 /// samples after each stimulus step and the recorded series become the BH
 /// curves compared in the experiments.
+///
+/// Storage is one flat column per channel (not one row `Vec` per sample),
+/// so a sample is a push per channel — no per-sample allocation once the
+/// columns have grown to the stimulus length.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     labels: Vec<String>,
     signals: Vec<SignalId>,
     times: Vec<SimTime>,
-    rows: Vec<Vec<Value>>,
+    columns: Vec<Vec<Value>>,
 }
 
 impl Recorder {
     /// Creates a recorder for the given `(label, signal)` pairs.
     pub fn new(channels: Vec<(String, SignalId)>) -> Self {
-        let (labels, signals) = channels.into_iter().unzip();
+        let (labels, signals): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
+        let columns = signals.iter().map(|_| Vec::new()).collect();
         Self {
             labels,
             signals,
             times: Vec::new(),
-            rows: Vec::new(),
+            columns,
         }
     }
 
@@ -48,7 +53,9 @@ impl Recorder {
                 .collect(),
         );
         recorder.times.reserve(samples);
-        recorder.rows.reserve(samples);
+        for column in &mut recorder.columns {
+            column.reserve(samples);
+        }
         recorder
     }
 
@@ -59,23 +66,26 @@ impl Recorder {
     /// Returns [`KernelError::UnknownSignal`] if a channel refers to a
     /// signal the kernel does not know.
     pub fn sample(&mut self, kernel: &Kernel) -> Result<(), KernelError> {
-        let mut row = Vec::with_capacity(self.signals.len());
+        // Validate every channel before touching the columns, so a failed
+        // sample leaves the recorder unchanged (no torn row).
         for &id in &self.signals {
-            row.push(kernel.read(id)?);
+            kernel.read(id)?;
+        }
+        for (column, &id) in self.columns.iter_mut().zip(&self.signals) {
+            column.push(kernel.read(id)?);
         }
         self.times.push(kernel.now());
-        self.rows.push(row);
         Ok(())
     }
 
     /// Number of samples taken.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.times.len()
     }
 
     /// `true` when nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.times.is_empty()
     }
 
     /// Channel labels.
@@ -103,7 +113,7 @@ impl Recorder {
                 .ok_or(KernelError::UnknownSignal {
                     id: SignalId(usize::MAX),
                 })?;
-        self.rows.iter().map(|row| row[idx].as_real()).collect()
+        self.columns[idx].iter().map(Value::as_real).collect()
     }
 }
 
@@ -152,6 +162,18 @@ mod tests {
     fn unknown_label_rejected() {
         let rec = Recorder::with_channels(&[]);
         assert!(rec.real_series("nope").is_err());
+    }
+
+    #[test]
+    fn foreign_signal_leaves_recorder_unchanged() {
+        let mut k = Kernel::new();
+        let h = k.add_signal("h", Value::Real(1.0));
+        let foreign = SignalId(42);
+        let mut rec = Recorder::new(vec![("H".to_owned(), h), ("X".to_owned(), foreign)]);
+        k.settle().unwrap();
+        assert!(rec.sample(&k).is_err());
+        assert!(rec.is_empty(), "failed sample must not leave a torn row");
+        assert!(rec.real_series("H").unwrap().is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::time::SimTime;
 use crate::value::Value;
 
 /// A timed event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// Write a value to a signal at the scheduled time.
     SignalWrite {
@@ -25,19 +25,24 @@ pub enum Event {
     },
 }
 
-#[derive(Debug)]
+/// One queued event with its ordering key.
+///
+/// Equality covers the full `(time, sequence, event)` tuple; ordering uses
+/// only `(time, sequence)`.  The two stay consistent because `sequence` is
+/// unique per queue — `cmp` can only return `Equal` for one and the same
+/// entry — while full-tuple equality keeps `assert_eq!`-style comparisons
+/// honest (two entries with equal keys but different payloads must not
+/// compare equal).
+#[derive(Debug, PartialEq)]
 struct QueueEntry {
     time: SimTime,
     sequence: u64,
     event: Event,
 }
 
-impl PartialEq for QueueEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.sequence == other.sequence
-    }
-}
-
+// `Event` carries `Value::Real(f64)`, so `Eq` cannot be derived; scheduled
+// values are finite simulation quantities (a NaN write is an upstream bug),
+// which makes the reflexivity promise sound in practice.
 impl Eq for QueueEntry {}
 
 impl PartialOrd for QueueEntry {
@@ -92,23 +97,42 @@ impl EventQueue {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
-    /// Pops every event scheduled exactly at `time`, in insertion order.
-    pub fn pop_at(&mut self, time: SimTime) -> Vec<Event> {
-        let mut events = Vec::new();
+    /// Drains every event scheduled exactly at `time` into `out`, in
+    /// insertion order, and returns how many were appended.
+    ///
+    /// The caller owns (and typically reuses) the scratch buffer, so a
+    /// simulation's hot loop performs no per-time-point allocation once the
+    /// buffer has grown to the high-water mark.
+    pub fn pop_into(&mut self, time: SimTime, out: &mut Vec<Event>) -> usize {
+        let mut appended = 0;
         while let Some(Reverse(entry)) = self.heap.peek() {
             if entry.time != time {
                 break;
             }
             let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
-            events.push(entry.event);
+            out.push(entry.event);
+            appended += 1;
         }
-        events
+        appended
+    }
+
+    /// Removes every queued event and resets the sequence counter, so a
+    /// reused queue orders same-time events exactly like a fresh one.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_sequence = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn drain_at(q: &mut EventQueue, time: SimTime) -> Vec<Event> {
+        let mut out = Vec::new();
+        q.pop_into(time, &mut out);
+        out
+    }
 
     #[test]
     fn events_pop_in_time_order() {
@@ -118,7 +142,7 @@ mod tests {
         q.push(SimTime::from_nanos(10), Event::Wakeup { process: p });
         assert_eq!(q.len(), 2);
         assert_eq!(q.next_time(), Some(SimTime::from_nanos(10)));
-        let first = q.pop_at(SimTime::from_nanos(10));
+        let first = drain_at(&mut q, SimTime::from_nanos(10));
         assert_eq!(first.len(), 1);
         assert_eq!(q.next_time(), Some(SimTime::from_nanos(20)));
     }
@@ -141,7 +165,7 @@ mod tests {
                 value: Value::Real(2.0),
             },
         );
-        let events = q.pop_at(SimTime::from_nanos(5));
+        let events = drain_at(&mut q, SimTime::from_nanos(5));
         assert_eq!(events.len(), 2);
         assert_eq!(
             events[0],
@@ -161,7 +185,19 @@ mod tests {
     }
 
     #[test]
-    fn pop_at_wrong_time_returns_nothing() {
+    fn pop_into_appends_without_clearing() {
+        let mut q = EventQueue::new();
+        let p = ProcessId(7);
+        q.push(SimTime::from_nanos(1), Event::Wakeup { process: p });
+        q.push(SimTime::from_nanos(2), Event::Wakeup { process: p });
+        let mut out = Vec::new();
+        assert_eq!(q.pop_into(SimTime::from_nanos(1), &mut out), 1);
+        assert_eq!(q.pop_into(SimTime::from_nanos(2), &mut out), 1);
+        assert_eq!(out.len(), 2, "pop_into appends; the caller clears");
+    }
+
+    #[test]
+    fn pop_into_at_wrong_time_returns_nothing() {
         let mut q = EventQueue::new();
         q.push(
             SimTime::from_nanos(5),
@@ -169,7 +205,9 @@ mod tests {
                 process: ProcessId(1),
             },
         );
-        assert!(q.pop_at(SimTime::from_nanos(4)).is_empty());
+        let mut out = Vec::new();
+        assert_eq!(q.pop_into(SimTime::from_nanos(4), &mut out), 0);
+        assert!(out.is_empty());
         assert_eq!(q.len(), 1);
     }
 
@@ -178,5 +216,85 @@ mod tests {
         let q = EventQueue::new();
         assert_eq!(q.next_time(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_the_sequence_counter() {
+        let mut q = EventQueue::new();
+        let s = SignalId(0);
+        q.push(
+            SimTime::from_nanos(1),
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(1.0),
+            },
+        );
+        q.clear();
+        assert!(q.is_empty());
+        // After clear, same-time insertion order starts from sequence 0
+        // again — a reused queue is indistinguishable from a fresh one.
+        q.push(
+            SimTime::from_nanos(2),
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(2.0),
+            },
+        );
+        q.push(
+            SimTime::from_nanos(2),
+            Event::SignalWrite {
+                signal: s,
+                value: Value::Real(3.0),
+            },
+        );
+        let events = drain_at(&mut q, SimTime::from_nanos(2));
+        assert_eq!(
+            events,
+            vec![
+                Event::SignalWrite {
+                    signal: s,
+                    value: Value::Real(2.0)
+                },
+                Event::SignalWrite {
+                    signal: s,
+                    value: Value::Real(3.0)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn entry_equality_covers_the_event_payload() {
+        // Regression test: the old hand-written `PartialEq` compared only
+        // `(time, sequence)`, so two entries with equal keys but different
+        // events compared equal.
+        let a = QueueEntry {
+            time: SimTime::from_nanos(5),
+            sequence: 0,
+            event: Event::Wakeup {
+                process: ProcessId(1),
+            },
+        };
+        let b = QueueEntry {
+            time: SimTime::from_nanos(5),
+            sequence: 0,
+            event: Event::Wakeup {
+                process: ProcessId(2),
+            },
+        };
+        assert_ne!(a, b, "equal keys but different payloads must differ");
+        assert_eq!(
+            a.cmp(&b),
+            std::cmp::Ordering::Equal,
+            "ordering still uses only (time, sequence)"
+        );
+        let c = QueueEntry {
+            time: SimTime::from_nanos(5),
+            sequence: 0,
+            event: Event::Wakeup {
+                process: ProcessId(1),
+            },
+        };
+        assert_eq!(a, c);
     }
 }

@@ -14,23 +14,32 @@ impl SignalId {
     }
 }
 
-#[derive(Debug, Clone)]
-struct SignalSlot {
-    name: String,
-    current: Value,
-    pending: Option<Value>,
-}
-
 /// Storage for all signals of a kernel.
 ///
 /// Writes performed during process evaluation are *pending* until
-/// [`SignalStore::update`] commits them — the core of the delta-cycle
+/// [`SignalStore::update_into`] commits them — the core of the delta-cycle
 /// semantics the SystemC model relies on: `JA::core()` can read `H` and
 /// write `hchanged` without the write being observed in the same
 /// evaluation.
+///
+/// The store keeps its fields as parallel arrays rather than an
+/// array-of-slots: the update phase touches only `currents` and
+/// `pendings`, which this layout packs densely, while the cold `names`
+/// and `initials` stay out of the hot cache lines.
 #[derive(Debug, Default, Clone)]
 pub struct SignalStore {
-    slots: Vec<SignalSlot>,
+    names: Vec<String>,
+    /// Construction-time values, kept so [`SignalStore::reset`] can
+    /// restore the store without re-declaring every signal.
+    initials: Vec<Value>,
+    currents: Vec<Value>,
+    pendings: Vec<Option<Value>>,
+    /// Ids with a pending write, in first-write order, so the update phase
+    /// only touches slots that were actually written instead of scanning the
+    /// whole store every delta cycle.  Deduplicated by the pending `Option`
+    /// itself: a second write to the same slot finds `pending` already set
+    /// and does not push again.
+    dirty: Vec<SignalId>,
 }
 
 impl SignalStore {
@@ -41,23 +50,22 @@ impl SignalStore {
 
     /// Adds a signal with a display name and an initial value.
     pub fn add(&mut self, name: impl Into<String>, initial: Value) -> SignalId {
-        let id = SignalId(self.slots.len());
-        self.slots.push(SignalSlot {
-            name: name.into(),
-            current: initial,
-            pending: None,
-        });
+        let id = SignalId(self.names.len());
+        self.names.push(name.into());
+        self.initials.push(initial);
+        self.currents.push(initial);
+        self.pendings.push(None);
         id
     }
 
     /// Number of signals.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.names.len()
     }
 
     /// `true` when the store holds no signals.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.names.is_empty()
     }
 
     /// Display name of a signal.
@@ -66,7 +74,10 @@ impl SignalStore {
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
     pub fn name(&self, id: SignalId) -> Result<&str, KernelError> {
-        self.slot(id).map(|s| s.name.as_str())
+        self.names
+            .get(id.0)
+            .map(String::as_str)
+            .ok_or(KernelError::UnknownSignal { id })
     }
 
     /// Current (committed) value of a signal.
@@ -74,8 +85,55 @@ impl SignalStore {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn read(&self, id: SignalId) -> Result<Value, KernelError> {
-        self.slot(id).map(|s| s.current)
+        self.currents
+            .get(id.0)
+            .copied()
+            .ok_or(KernelError::UnknownSignal { id })
+    }
+
+    /// Reads a real-valued signal in one bounds check and one match —
+    /// the hot path of every process evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    #[inline]
+    pub fn read_real(&self, id: SignalId) -> Result<f64, KernelError> {
+        self.currents
+            .get(id.0)
+            .ok_or(KernelError::UnknownSignal { id })?
+            .as_real()
+    }
+
+    /// Reads a bit-valued signal (see [`read_real`](Self::read_real)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    #[inline]
+    pub fn read_bit(&self, id: SignalId) -> Result<bool, KernelError> {
+        self.currents
+            .get(id.0)
+            .ok_or(KernelError::UnknownSignal { id })?
+            .as_bit()
+    }
+
+    /// Reads an integer-valued signal (see [`read_real`](Self::read_real)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownSignal`] or
+    /// [`KernelError::TypeMismatch`].
+    #[inline]
+    pub fn read_int(&self, id: SignalId) -> Result<i64, KernelError> {
+        self.currents
+            .get(id.0)
+            .ok_or(KernelError::UnknownSignal { id })?
+            .as_int()
     }
 
     /// Schedules a new value for the next update phase.
@@ -83,8 +141,16 @@ impl SignalStore {
     /// # Errors
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
+    #[inline]
     pub fn write(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
-        self.slot_mut(id)?.pending = Some(value);
+        let pending = self
+            .pendings
+            .get_mut(id.0)
+            .ok_or(KernelError::UnknownSignal { id })?;
+        if pending.is_none() {
+            self.dirty.push(id);
+        }
+        *pending = Some(value);
         Ok(())
     }
 
@@ -95,49 +161,82 @@ impl SignalStore {
     ///
     /// Returns [`KernelError::UnknownSignal`] for a foreign id.
     pub fn force(&mut self, id: SignalId, value: Value) -> Result<(), KernelError> {
-        let slot = self.slot_mut(id)?;
-        slot.current = value;
-        slot.pending = None;
+        let current = self
+            .currents
+            .get_mut(id.0)
+            .ok_or(KernelError::UnknownSignal { id })?;
+        *current = value;
+        self.pendings[id.0] = None;
         Ok(())
     }
 
-    /// Commits every pending write and returns the ids of the signals whose
-    /// committed value actually changed (writes of an identical value do not
-    /// generate events).
-    pub fn update(&mut self) -> Vec<SignalId> {
-        let mut changed = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(next) = slot.pending.take() {
-                if next.differs_from(&slot.current) {
-                    slot.current = next;
-                    changed.push(SignalId(i));
+    /// Commits every pending write, collecting into `changed` the ids of the
+    /// signals whose committed value actually changed (writes of an
+    /// identical value do not generate events).
+    ///
+    /// `changed` is cleared first; the caller keeps and reuses the buffer,
+    /// so the per-delta-cycle update phase allocates nothing once the
+    /// buffer has grown to the store's size.
+    ///
+    /// `changed` lists the signals in first-write order, not id order; the
+    /// kernel sorts its ready set before every evaluate phase, so this order
+    /// never reaches process execution.
+    pub fn update_into(&mut self, changed: &mut Vec<SignalId>) {
+        changed.clear();
+        self.commit_dirty(|id| changed.push(id));
+    }
+
+    /// Commits every pending write, invoking `on_changed` for each signal
+    /// whose committed value actually changed — the zero-buffer core of
+    /// [`update_into`](Self::update_into) the kernel's delta-cycle loop
+    /// drives directly, reacting to each change in place instead of
+    /// collecting ids first.
+    #[inline]
+    pub fn commit_dirty(&mut self, mut on_changed: impl FnMut(SignalId)) {
+        // Indexed loop, not an iterator: the dirty list and the value
+        // arrays live in the same struct, and indexing keeps the borrows
+        // disjoint without moving the list out and back.
+        for i in 0..self.dirty.len() {
+            let id = self.dirty[i];
+            // `force` discards a pending write without touching the dirty
+            // list, so a stale entry can carry no pending value here.
+            if let Some(next) = self.pendings[id.0].take() {
+                let current = &mut self.currents[id.0];
+                if next.differs_from(current) {
+                    *current = next;
+                    on_changed(id);
                 }
             }
         }
-        changed
+        self.dirty.clear();
     }
 
     /// `true` when at least one write is waiting to be committed.
     pub fn has_pending(&self) -> bool {
-        self.slots.iter().any(|s| s.pending.is_some())
+        self.pendings.iter().any(Option::is_some)
     }
 
-    fn slot(&self, id: SignalId) -> Result<&SignalSlot, KernelError> {
-        self.slots
-            .get(id.0)
-            .ok_or(KernelError::UnknownSignal { id })
-    }
-
-    fn slot_mut(&mut self, id: SignalId) -> Result<&mut SignalSlot, KernelError> {
-        self.slots
-            .get_mut(id.0)
-            .ok_or(KernelError::UnknownSignal { id })
+    /// Restores every signal to its construction-time initial value and
+    /// discards pending writes, keeping the signals themselves (names and
+    /// ids stay valid).
+    pub fn reset(&mut self) {
+        self.currents.copy_from_slice(&self.initials);
+        for pending in &mut self.pendings {
+            *pending = None;
+        }
+        self.dirty.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn update(store: &mut SignalStore) -> Vec<SignalId> {
+        let mut changed = Vec::new();
+        store.update_into(&mut changed);
+        changed
+    }
 
     #[test]
     fn add_read_write_update_cycle() {
@@ -152,10 +251,22 @@ mod tests {
         assert_eq!(store.read(a).unwrap(), Value::Real(0.0));
         assert!(store.has_pending());
 
-        let changed = store.update();
+        let changed = update(&mut store);
         assert_eq!(changed, vec![a]);
         assert_eq!(store.read(a).unwrap(), Value::Real(5.0));
         assert!(!store.has_pending());
+    }
+
+    #[test]
+    fn update_into_reuses_and_clears_the_buffer() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Int(0));
+        let mut changed = vec![SignalId(99)]; // stale content from a previous cycle
+        store.write(a, Value::Int(1)).unwrap();
+        store.update_into(&mut changed);
+        assert_eq!(changed, vec![a]);
+        store.update_into(&mut changed);
+        assert!(changed.is_empty(), "no pending writes -> cleared buffer");
     }
 
     #[test]
@@ -163,7 +274,7 @@ mod tests {
         let mut store = SignalStore::new();
         let a = store.add("a", Value::Bit(false));
         store.write(a, Value::Bit(false)).unwrap();
-        assert!(store.update().is_empty());
+        assert!(update(&mut store).is_empty());
     }
 
     #[test]
@@ -172,7 +283,7 @@ mod tests {
         let a = store.add("a", Value::Int(0));
         store.write(a, Value::Int(1)).unwrap();
         store.write(a, Value::Int(2)).unwrap();
-        let changed = store.update();
+        let changed = update(&mut store);
         assert_eq!(changed.len(), 1);
         assert_eq!(store.read(a).unwrap(), Value::Int(2));
     }
@@ -185,7 +296,22 @@ mod tests {
         store.force(a, Value::Real(1.0)).unwrap();
         assert_eq!(store.read(a).unwrap(), Value::Real(1.0));
         // The pending write was discarded by force().
-        assert!(store.update().is_empty());
+        assert!(update(&mut store).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_values_and_drops_pending() {
+        let mut store = SignalStore::new();
+        let a = store.add("a", Value::Real(1.5));
+        let b = store.add("b", Value::Bit(true));
+        store.write(a, Value::Real(9.0)).unwrap();
+        update(&mut store);
+        store.write(b, Value::Bit(false)).unwrap(); // still pending
+        store.reset();
+        assert_eq!(store.read(a).unwrap(), Value::Real(1.5));
+        assert_eq!(store.read(b).unwrap(), Value::Bit(true));
+        assert!(!store.has_pending());
+        assert_eq!(store.name(a).unwrap(), "a", "signals survive reset");
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns [`KernelError::TypeMismatch`] if the value is not real.
+    #[inline]
     pub fn as_real(&self) -> Result<f64, KernelError> {
         match self {
             Value::Real(v) => Ok(*v),
@@ -49,6 +50,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns [`KernelError::TypeMismatch`] if the value is not a bit.
+    #[inline]
     pub fn as_bit(&self) -> Result<bool, KernelError> {
         match self {
             Value::Bit(v) => Ok(*v),
@@ -64,6 +66,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns [`KernelError::TypeMismatch`] if the value is not an integer.
+    #[inline]
     pub fn as_int(&self) -> Result<i64, KernelError> {
         match self {
             Value::Int(v) => Ok(*v),
@@ -77,6 +80,7 @@ impl Value {
     /// Whether two values differ for the purpose of change detection.
     /// Reals compare exactly (a delta-cycle write of an identical value does
     /// not constitute an event, matching SystemC's `sc_signal` semantics).
+    #[inline]
     pub fn differs_from(&self, other: &Value) -> bool {
         self != other
     }

@@ -537,6 +537,9 @@ fn run_lockstep_group(
                     curve,
                     metrics,
                     stats: batch.lane_statistics(lane),
+                    // Lockstep groups run on the direct backend only, which
+                    // has no simulation kernel.
+                    kernel: None,
                     transient: None,
                     runtime: share,
                     lockstep_lanes: Some(members.len()),

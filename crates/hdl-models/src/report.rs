@@ -91,8 +91,10 @@ pub fn duration_ns(duration: Duration) -> JsonValue {
 /// `metrics` (object or `null` for traces that do not form a closable
 /// loop) and `stats`.  Circuit-driven outcomes add a `transient` object
 /// (see [`transient_value`]).  With `timings`, adds `runtime_ns` (sweep
-/// only) and, for outcomes produced by a structure-of-arrays lockstep
-/// group, `backend_routing: "soa"` plus `lockstep_lanes`.
+/// only); for outcomes produced by a structure-of-arrays lockstep group,
+/// `backend_routing: "soa"` plus `lockstep_lanes`; and for event-driven
+/// backends, a `kernel` object with the simulation kernel's cost counters
+/// (`delta_cycles`, `events_scheduled`, `process_activations`).
 pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
     let mut obj = JsonValue::object()
         .with("scenario", outcome.name.as_str())
@@ -118,6 +120,18 @@ pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
         if let Some(lanes) = outcome.lockstep_lanes {
             obj.push("backend_routing", "soa");
             obj.push("lockstep_lanes", lanes);
+        }
+        // Kernel counters are deterministic outcomes, but they describe the
+        // simulation substrate's cost, not the physics, so they ride with
+        // the opt-in timing fields to keep default reports byte-stable.
+        if let Some(kernel) = &outcome.kernel {
+            obj.push(
+                "kernel",
+                JsonValue::object()
+                    .with("delta_cycles", kernel.delta_cycles)
+                    .with("events_scheduled", kernel.events_scheduled)
+                    .with("process_activations", kernel.process_activations),
+            );
         }
     }
     obj

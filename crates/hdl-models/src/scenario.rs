@@ -669,6 +669,7 @@ impl Scenario {
             curve,
             metrics,
             stats: backend.statistics(),
+            kernel: backend.kernel_statistics(),
             transient,
             runtime,
             lockstep_lanes: None,
@@ -691,6 +692,12 @@ pub struct ScenarioOutcome {
     pub metrics: Option<LoopMetrics>,
     /// The backend's cost counters for this run.
     pub stats: JaStatistics,
+    /// The simulation kernel's cost counters (delta cycles, events
+    /// scheduled, process activations) — `Some` only for event-driven
+    /// backends.  Deterministic outcomes, but reported only in the opt-in
+    /// timing block because they describe substrate work, not model
+    /// results.
+    pub kernel: Option<ja_hysteresis::backend::KernelStatistics>,
     /// The transient engine's step/Newton counters — present only for
     /// circuit-driven excitations.  Deterministic (pure float-arithmetic
     /// step control), so reports carry them unconditionally.

@@ -16,10 +16,13 @@
 //!   clamp and the opposing-update rejection.
 //!
 //! Module-internal variables (`mirr`, `mtotal`, `man`, `lasth`, `deltah`)
-//! are shared between the processes through an `Rc<RefCell<…>>`, mirroring
-//! SystemC member variables.
+//! are shared between the processes through an `Rc` of `Cell` fields,
+//! mirroring SystemC member variables.  `Cell` rather than `RefCell`
+//! because the accesses are plain loads and stores: the process bodies run
+//! on the order of ten times per field sample (the magnetisation feedback
+//! fixpoint), so a per-activation borrow-flag check is measurable.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::rc::Rc;
 
 use hdl_kernel::kernel::Kernel;
@@ -35,21 +38,23 @@ use magnetics::units::{FieldStrength, FluxDensity, Magnetisation};
 use waveform::schedule::FieldSchedule;
 
 /// Internal module variables shared by the three processes — the SystemC
-/// member variables of the paper's `JA` module.
-#[derive(Debug, Clone, Copy)]
+/// member variables of the paper's `JA` module.  `params` and `dhmax` are
+/// construction-time constants; everything else is mutable simulation
+/// state behind `Cell`s.
+#[derive(Debug, Clone)]
 struct CoreVars {
     params: JaParameters,
     dhmax: f64,
-    man: f64,
-    mirr: f64,
-    mtotal: f64,
-    lasth: f64,
-    deltah: f64,
+    man: Cell<f64>,
+    mirr: Cell<f64>,
+    mtotal: Cell<f64>,
+    lasth: Cell<f64>,
+    deltah: Cell<f64>,
     // Cost counters of the Integral process, mirroring the library model's
     // `JaStatistics` so the module can stand behind `HysteresisBackend`.
-    integral_steps: u64,
-    negative_slope_events: u64,
-    rejected_updates: u64,
+    integral_steps: Cell<u64>,
+    negative_slope_events: Cell<u64>,
+    rejected_updates: Cell<u64>,
 }
 
 impl CoreVars {
@@ -57,15 +62,28 @@ impl CoreVars {
         Self {
             params,
             dhmax,
-            man: 0.0,
-            mirr: 0.0,
-            mtotal: 0.0,
-            lasth: 0.0,
-            deltah: 0.0,
-            integral_steps: 0,
-            negative_slope_events: 0,
-            rejected_updates: 0,
+            man: Cell::new(0.0),
+            mirr: Cell::new(0.0),
+            mtotal: Cell::new(0.0),
+            lasth: Cell::new(0.0),
+            deltah: Cell::new(0.0),
+            integral_steps: Cell::new(0),
+            negative_slope_events: Cell::new(0),
+            rejected_updates: Cell::new(0),
         }
+    }
+
+    /// Rewinds the mutable state to its construction-time values, keeping
+    /// the material parameters.
+    fn clear(&self) {
+        self.man.set(0.0);
+        self.mirr.set(0.0);
+        self.mtotal.set(0.0);
+        self.lasth.set(0.0);
+        self.deltah.set(0.0);
+        self.integral_steps.set(0);
+        self.negative_slope_events.set(0);
+        self.rejected_updates.set(0);
     }
 
     /// The paper's `Lang_mod`: the modified Langevin `(2/π)·atan(x)`.
@@ -77,7 +95,7 @@ impl CoreVars {
 /// The SystemC-style Jiles–Atherton core model.
 pub struct SystemCJaCore {
     kernel: Kernel,
-    vars: Rc<RefCell<CoreVars>>,
+    vars: Rc<CoreVars>,
     h: SignalId,
     m_sig: SignalId,
     b_sig: SignalId,
@@ -94,7 +112,7 @@ impl SystemCJaCore {
     /// with the signals created here) and panics never.
     pub fn new(params: JaParameters, dhmax: f64) -> Result<Self, KernelError> {
         let mut kernel = Kernel::new();
-        let vars = Rc::new(RefCell::new(CoreVars::new(params, dhmax)));
+        let vars = Rc::new(CoreVars::new(params, dhmax));
 
         // Signals of the original module.
         let h = kernel.add_signal("H", Value::Real(0.0));
@@ -114,18 +132,20 @@ impl SystemCJaCore {
         // original SystemC module.
         let core_vars = Rc::clone(&vars);
         kernel.add_process("core", &[h, idone, m_sig], move |ctx| {
-            let mut v = core_vars.borrow_mut();
+            let v = &*core_vars;
             let h_now = ctx.read_real(h)?;
-            if (h_now - v.lasth).abs() > v.dhmax {
+            if (h_now - v.lasth.get()).abs() > v.dhmax {
                 ctx.write_bit(hchanged, true)?;
             }
             let ms = v.params.m_sat.value();
-            let he = h_now + v.params.alpha * ms * v.mtotal; // effective field
-            v.man = CoreVars::lang_mod(he / v.params.a); // anhysteretic
-            let mrev = v.params.c * v.man / (1.0 + v.params.c);
-            v.mtotal = mrev + v.mirr; // total magnetisation
-            let b = MU0 * (ms * v.mtotal + h_now); // flux density
-            ctx.write_real(m_sig, v.mtotal)?;
+            let he = h_now + v.params.alpha * ms * v.mtotal.get(); // effective field
+            let man = CoreVars::lang_mod(he / v.params.a); // anhysteretic
+            v.man.set(man);
+            let mrev = v.params.c * man / (1.0 + v.params.c);
+            let mtotal = mrev + v.mirr.get(); // total magnetisation
+            v.mtotal.set(mtotal);
+            let b = MU0 * (ms * mtotal + h_now); // flux density
+            ctx.write_real(m_sig, mtotal)?;
             ctx.write_real(b_sig, b)?;
             Ok(())
         })?;
@@ -136,12 +156,12 @@ impl SystemCJaCore {
             if !ctx.read_bit(hchanged)? {
                 return Ok(());
             }
-            let mut v = monitor_vars.borrow_mut();
+            let v = &*monitor_vars;
             let h_now = ctx.read_real(h)?;
-            let dh = h_now - v.lasth;
+            let dh = h_now - v.lasth.get();
             if dh.abs() > v.dhmax {
-                v.deltah = dh;
-                v.lasth = h_now;
+                v.deltah.set(dh);
+                v.lasth.set(h_now);
                 ctx.write_bit(trig, true)?;
                 ctx.write_bit(hchanged, false)?;
             }
@@ -154,29 +174,30 @@ impl SystemCJaCore {
             if !ctx.read_bit(trig)? {
                 return Ok(());
             }
-            let mut v = integral_vars.borrow_mut();
+            let v = &*integral_vars;
             let ms = v.params.m_sat.value();
             // Get the field direction.
-            let dk = if v.deltah > 0.0 {
+            let dk = if v.deltah.get() > 0.0 {
                 v.params.k
             } else {
                 -v.params.k
             };
             // Forward Euler integration method.
-            let dh = v.deltah;
-            let deltam = v.man - v.mtotal;
+            let dh = v.deltah.get();
+            let deltam = v.man.get() - v.mtotal.get();
             let dmdh1 = deltam / ((1.0 + v.params.c) * (dk - v.params.alpha * ms * deltam));
             let dmdh = if dmdh1 > 0.0 { dmdh1 } else { 0.0 }; // positive slopes only
             let mut dm = dh * dmdh;
             if dm * dh < 0.0 {
                 dm = 0.0;
-                v.rejected_updates += 1;
+                v.rejected_updates.set(v.rejected_updates.get() + 1);
             }
-            v.integral_steps += 1;
+            v.integral_steps.set(v.integral_steps.get() + 1);
             if dmdh1 < 0.0 {
-                v.negative_slope_events += 1;
+                v.negative_slope_events
+                    .set(v.negative_slope_events.get() + 1);
             }
-            v.mirr += dm;
+            v.mirr.set(v.mirr.get() + dm);
             ctx.write_bit(trig, false)?;
             // Let core() re-evaluate the magnetisation with the new mirr.
             let done = ctx.read_bit(idone)?;
@@ -227,7 +248,7 @@ impl SystemCJaCore {
     /// Propagates kernel errors.
     pub fn run_schedule(&mut self, schedule: &FieldSchedule) -> Result<BhCurve, KernelError> {
         let mut curve = BhCurve::with_capacity(schedule.len());
-        let m_sat = self.vars.borrow().params.m_sat.value();
+        let m_sat = self.vars.params.m_sat.value();
         for h in schedule.iter() {
             let (b, m_norm) = self.apply_field(h)?;
             curve.push_raw(h, b, m_norm * m_sat);
@@ -250,7 +271,7 @@ impl SystemCJaCore {
     ) -> Result<(BhCurve, Recorder), KernelError> {
         let mut recorder =
             Recorder::with_channel_capacity(&[("H", self.h), ("B", self.b_sig)], samples.len());
-        let m_sat = self.vars.borrow().params.m_sat.value();
+        let m_sat = self.vars.params.m_sat.value();
         let mut curve = BhCurve::with_capacity(samples.len());
         for (i, &h) in samples.iter().enumerate() {
             let at = hdl_kernel::SimTime::from_seconds((i + 1) as f64 * dt_seconds);
@@ -278,20 +299,26 @@ impl SystemCJaCore {
         self.kernel.delta_cycles_run()
     }
 
+    /// Number of timed events scheduled so far (testbench stimulus plus
+    /// process wake-ups; zero for pure DC sweeps).
+    pub fn events_scheduled(&self) -> u64 {
+        self.kernel.events_scheduled()
+    }
+
     /// The material parameters the module was built with.
     pub fn params(&self) -> JaParameters {
-        self.vars.borrow().params
+        self.vars.params
     }
 
     /// The update threshold `dhmax` the module was built with (A/m).
     pub fn dhmax(&self) -> f64 {
-        self.vars.borrow().dhmax
+        self.vars.dhmax
     }
 
     /// The current normalised anhysteretic magnetisation (the module's
     /// `man` member variable).
     pub fn anhysteretic_magnetisation(&self) -> f64 {
-        self.vars.borrow().man
+        self.vars.man.get()
     }
 }
 
@@ -308,7 +335,7 @@ impl ja_hysteresis::backend::HysteresisBackend for SystemCJaCore {
             backend: "systemc-event-kernel",
             reason: err.to_string(),
         })?;
-        let v = self.vars.borrow();
+        let v = &*self.vars;
         let m = m_norm * v.params.m_sat.value();
         if !(b.is_finite() && m.is_finite()) {
             return Err(JaError::StateDiverged { at_field: h });
@@ -317,37 +344,47 @@ impl ja_hysteresis::backend::HysteresisBackend for SystemCJaCore {
             h: FieldStrength::new(h),
             b: FluxDensity::new(b),
             m: Magnetisation::new(m),
-            m_an: v.man,
+            m_an: v.man.get(),
         })
     }
 
     fn statistics(&self) -> ja_hysteresis::model::JaStatistics {
-        let v = self.vars.borrow();
+        let v = &*self.vars;
         ja_hysteresis::model::JaStatistics {
             samples: self.samples,
-            updates: v.integral_steps,
+            updates: v.integral_steps.get(),
             // The paper's Integral process is forward Euler: exactly one
             // slope evaluation per integration step.
-            slope_evaluations: v.integral_steps,
-            negative_slope_events: v.negative_slope_events,
+            slope_evaluations: v.integral_steps.get(),
+            negative_slope_events: v.negative_slope_events.get(),
             // In the paper's listing the slope clamp precedes the sign
             // check, so `dm·dh < 0` is unreachable and this stays 0 — the
             // module genuinely never rejects an update, unlike the library
             // model whose guards are independently switchable.
-            rejected_updates: v.rejected_updates,
+            rejected_updates: v.rejected_updates.get(),
         }
     }
 
     fn reset(&mut self) -> Result<(), JaError> {
-        let (params, dhmax) = {
-            let v = self.vars.borrow();
-            (v.params, v.dhmax)
-        };
-        *self = SystemCJaCore::new(params, dhmax).map_err(|err| JaError::Backend {
-            backend: "systemc-event-kernel",
-            reason: err.to_string(),
-        })?;
+        // Rewind the kernel in place instead of rebuilding the module:
+        // signals return to their initial values, the queue and counters
+        // clear, and the next settle re-initialises every process exactly
+        // as on a fresh kernel — so the process network (three boxed
+        // closures, six signals, the shared `Rc<CoreVars>`) is
+        // constructed once and reused across scenarios, the way
+        // `RunScratch` already reuses the equation-style backends.
+        self.kernel.reset();
+        self.vars.clear();
+        self.samples = 0;
         Ok(())
+    }
+
+    fn kernel_statistics(&self) -> Option<ja_hysteresis::backend::KernelStatistics> {
+        Some(ja_hysteresis::backend::KernelStatistics {
+            delta_cycles: self.kernel.delta_cycles_run(),
+            events_scheduled: self.kernel.events_scheduled(),
+            process_activations: self.kernel.activations(),
+        })
     }
 }
 
@@ -436,6 +473,39 @@ mod tests {
             .fold(0.0, f64::max);
         assert!(max_diff < 1e-9, "timed vs DC sweep differ by {max_diff}");
         assert_eq!(recorder.len(), samples.len());
+    }
+
+    #[test]
+    fn reset_reuses_the_kernel_bit_identically() {
+        use ja_hysteresis::backend::HysteresisBackend;
+        let schedule =
+            FieldSchedule::nested_minor_loops(10_000.0, &[7_500.0, 5_000.0, 2_500.0], 50.0)
+                .unwrap();
+
+        let mut fresh = SystemCJaCore::date2006().unwrap();
+        let fresh_curve = fresh.run_schedule(&schedule).unwrap();
+
+        // Dirty a second module with an unrelated sweep, then reset: the
+        // reused kernel must replay the fig1 stimulus bit-identically to
+        // the fresh one, with identical kernel counters.
+        let mut reused = SystemCJaCore::date2006().unwrap();
+        reused
+            .run_schedule(&FieldSchedule::major_loop(8_000.0, 100.0, 1).unwrap())
+            .unwrap();
+        HysteresisBackend::reset(&mut reused).unwrap();
+        assert_eq!(reused.delta_cycles(), 0);
+        assert_eq!(reused.activations(), 0);
+        assert_eq!(reused.events_scheduled(), 0);
+
+        let reused_curve = reused.run_schedule(&schedule).unwrap();
+        assert_eq!(fresh_curve, reused_curve);
+        assert_eq!(fresh.delta_cycles(), reused.delta_cycles());
+        assert_eq!(fresh.activations(), reused.activations());
+        assert_eq!(
+            fresh.kernel_statistics(),
+            reused.kernel_statistics(),
+            "kernel counters must match a fresh module after reset"
+        );
     }
 
     #[test]

@@ -106,6 +106,35 @@ fn reset_through_the_trait_restores_every_backend() {
 }
 
 #[test]
+fn reused_kernel_reproduces_the_systemc_curve_byte_for_byte() {
+    // The kernel-reuse contract: running the Fig. 1 sweep on a freshly
+    // built module and re-running it on the *same* module after
+    // `reset()` must produce byte-identical curves — the reused kernel
+    // instance is indistinguishable from a new one.
+    let schedule = FieldSchedule::nested_minor_loops(10_000.0, &[7_500.0, 5_000.0, 2_500.0], 10.0)
+        .expect("schedule");
+    let mut module = SystemCJaCore::date2006().expect("module");
+    let fresh = module.run_schedule(&schedule).expect("first sweep");
+    for round in 0..2 {
+        HysteresisBackend::reset(&mut module).expect("reset");
+        let reused = module.run_schedule(&schedule).expect("reused sweep");
+        assert_eq!(fresh.len(), reused.len());
+        for (i, (a, b)) in fresh.points().iter().zip(reused.points()).enumerate() {
+            assert_eq!(
+                a.b.as_tesla().to_bits(),
+                b.b.as_tesla().to_bits(),
+                "B diverges at sample {i} on reuse round {round}"
+            );
+            assert_eq!(
+                a.m.as_amperes_per_meter().to_bits(),
+                b.m.as_amperes_per_meter().to_bits(),
+                "M diverges at sample {i} on reuse round {round}"
+            );
+        }
+    }
+}
+
+#[test]
 fn timed_and_untimed_execution_of_the_same_module_agree() {
     let schedule = FieldSchedule::major_loop(10_000.0, 100.0, 1).expect("schedule");
     let samples = schedule.to_samples();
