@@ -74,8 +74,27 @@ to that axis, the grid is the cartesian product of all axes):
     excitation = major  peak=10000 step=100 cycles=1
     excitation = fig1   step=50
     excitation = biased bias=1000 amplitude=500 cycles=1 step=10
+    excitation = degauss h_start=10000 h_stop=100 decay=0.5 step=10
+    excitation = circuit source=sine|triangular|pwm amplitude=30
+                 frequency=50 duty=0.5 r=1 turns=200 area=1e-4 path=0.1
+                 t_end=0.04 dt=5e-5 control=fixed|adaptive
+                 (duty applies to source=pwm only)
+    temperature = -40:25:125    operating-point axis (degC, colon-separated
+                                list, repeatable); material parameters are
+                                resolved through each material's thermal
+                                coefficients before simulation, and every
+                                scenario key gains a fifth `/t<degC>`
+                                segment
+    geometry   = area=1e-4 path=0.1 frequency=50 lamination=silicon-steel
+                                one core geometry shared by every operating
+                                point; with a frequency the report entries
+                                carry a `loss` object (lamination adds the
+                                eddy-current term).  Without a temperature
+                                axis it contributes a single `geom` point.
 Omitted axes default to date2006 / the direct backend / ΔH_max = 10 A/m;
-at least one excitation is required.
+at least one excitation is required.  Without `temperature`/`geometry`
+lines the report is byte-identical to one produced before those axes
+existed.
 
 EXIT STATUS: 0 when every scenario succeeded, 1 otherwise (the report is
 written either way).";

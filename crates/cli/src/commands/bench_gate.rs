@@ -36,7 +36,9 @@ OPTIONS:
                           --current report* (same machine, same run).
                           A and B are bench ids or unambiguous id
                           suffixes, e.g.
-                          \"systemc-event-kernel_sweep/direct-timeless_sweep<=2.6\"
+                          \"systemc-event-kernel_sweep/direct-timeless_sweep<=2.6\";
+                          several assertions are comma-separated:
+                          \"A/B<=R,C/D<=S\"
     --summary PATH        append the markdown table to PATH (e.g.
                           \"$GITHUB_STEP_SUMMARY\")
     --out PATH            write the table to PATH instead of stdout
@@ -186,6 +188,24 @@ fn resolve_bench<'m>(ids: &'m BTreeMap<String, f64>, name: &str) -> Vec<&'m str>
         .collect()
 }
 
+/// Parses and evaluates a comma-separated list of `--ratio A/B<=R`
+/// assertions against the current report.
+///
+/// # Errors
+///
+/// Whatever [`evaluate_ratio`] reports for the first offending entry.
+pub fn evaluate_ratios(
+    specs: &str,
+    current: &BTreeMap<String, f64>,
+) -> Result<Vec<RatioCheck>, CliError> {
+    specs
+        .split(',')
+        .map(str::trim)
+        .filter(|spec| !spec.is_empty())
+        .map(|spec| evaluate_ratio(spec, current))
+        .collect()
+}
+
 /// Parses and evaluates a `--ratio A/B<=R` assertion against the current
 /// report.  Bench ids contain `/` themselves, so every split point of the
 /// left-hand side is tried and exactly one must resolve both operands.
@@ -326,14 +346,14 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--max-ratio must be > 0".to_owned()));
     }
     let min_baseline_ns = parsed.f64_or("min-baseline-ns", 0.0)?;
-    let ratio_check = parsed
-        .value("ratio")
-        .map(|spec| evaluate_ratio(spec, &current))
-        .transpose()?;
+    let ratio_checks = match parsed.value("ratio") {
+        None => Vec::new(),
+        Some(specs) => evaluate_ratios(specs, &current)?,
+    };
 
     let rows = gate(&baseline, &current, max_ratio, min_baseline_ns);
     let mut markdown = render_markdown(&rows, max_ratio);
-    if let Some(check) = &ratio_check {
+    for check in &ratio_checks {
         markdown.push_str(&render_ratio(check));
     }
     write_output(parsed.value("out"), &markdown)?;
@@ -352,13 +372,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         .filter(|row| row.fails())
         .map(|row| format!("{} ({})", row.id, row.status))
         .collect();
-    if let Some(check) = &ratio_check {
-        if check.fails() {
-            failures.push(format!(
-                "{} / {} = {:.2} > {}",
-                check.numerator, check.denominator, check.ratio, check.limit
-            ));
-        }
+    for check in ratio_checks.iter().filter(|check| check.fails()) {
+        failures.push(format!(
+            "{} / {} = {:.2} > {}",
+            check.numerator, check.denominator, check.ratio, check.limit
+        ));
     }
     if failures.is_empty() {
         Ok(())
@@ -477,6 +495,31 @@ mod tests {
             evaluate_ratio("g/alpha_sweep/g/beta_sweep<=2", &current).is_ok(),
             "full ids disambiguate"
         );
+    }
+
+    #[test]
+    fn ratio_lists_evaluate_every_comma_separated_assertion() {
+        let current = map(&[
+            ("loss_map/scalar_route", 400.0),
+            ("loss_map/soa_route", 300.0),
+            ("fig1_bh_curve/direct-timeless_sweep", 100.0),
+            ("fig1_bh_curve/systemc-event-kernel_sweep", 190.0),
+        ]);
+        let checks = evaluate_ratios(
+            "soa_route/scalar_route<=1.0, systemc-event-kernel_sweep/direct-timeless_sweep<=2.6",
+            &current,
+        )
+        .unwrap();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].numerator, "loss_map/soa_route");
+        assert!(!checks[0].fails(), "0.75 <= 1.0");
+        assert_eq!(
+            checks[1].numerator,
+            "fig1_bh_curve/systemc-event-kernel_sweep"
+        );
+        assert!(!checks[1].fails(), "1.9 <= 2.6");
+        // One bad entry fails the whole list.
+        assert!(evaluate_ratios("soa_route/scalar_route<=1.0,nope", &current).is_err());
     }
 
     #[test]

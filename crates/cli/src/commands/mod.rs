@@ -6,6 +6,7 @@ pub mod bench_serve;
 pub mod compare;
 pub mod fit;
 pub mod inverse;
+pub mod lossmap;
 pub mod serve;
 pub mod sweep;
 pub mod transient;

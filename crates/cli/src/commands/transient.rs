@@ -21,9 +21,10 @@ USAGE:
     ja transient [OPTIONS]
 
 CIRCUIT (defaults reproduce the magnetising-inrush setup):
-    --source KIND      sine | triangular                       [default: sine]
+    --source KIND      sine | triangular | pwm                 [default: sine]
     --amplitude V      source peak voltage                     [default: 30]
     --frequency HZ     source frequency                        [default: 50]
+    --duty X           pwm duty cycle in (0, 1); pwm only      [default: 0.5]
     --resistance OHMS  series resistance                       [default: 1]
     --turns N          winding turns                           [default: 200]
     --area M2          core cross-section                      [default: 1e-4]
@@ -77,6 +78,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "source",
             "amplitude",
             "frequency",
+            "duty",
             "resistance",
             "turns",
             "area",
@@ -113,6 +115,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         source: parsed.value("source"),
         amplitude: optional_f64(&parsed, "amplitude")?,
         frequency: optional_f64(&parsed, "frequency")?,
+        duty: optional_f64(&parsed, "duty")?,
         resistance: optional_f64(&parsed, "resistance")?,
         turns: optional_f64(&parsed, "turns")?,
         area: optional_f64(&parsed, "area")?,

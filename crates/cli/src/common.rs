@@ -8,6 +8,7 @@ use hdl_models::scenario::{
 };
 use ja_hysteresis::json::JsonValue;
 use magnetics::material::JaParameters;
+use magnetics::thermal::ThermalCoefficients;
 
 use crate::CliError;
 
@@ -25,6 +26,26 @@ pub fn material_by_name(name: &str) -> Result<JaParameters, CliError> {
         "ja1984" => Ok(JaParameters::jiles_atherton_1984()),
         "soft-ferrite" => Ok(JaParameters::soft_ferrite()),
         "hard-steel" => Ok(JaParameters::hard_steel()),
+        other => Err(CliError::usage(format!(
+            "unknown material `{other}` (expected one of: {})",
+            MATERIALS.join(", ")
+        ))),
+    }
+}
+
+/// Looks a material preset's thermal coefficients up by the same name as
+/// [`material_by_name`], so temperature-axis grids always pair a preset
+/// with its matching Curie point and drift constants.
+///
+/// # Errors
+///
+/// Usage error for an unknown name.
+pub fn thermal_by_name(name: &str) -> Result<ThermalCoefficients, CliError> {
+    match name {
+        "date2006" => Ok(ThermalCoefficients::date2006()),
+        "ja1984" => Ok(ThermalCoefficients::jiles_atherton_1984()),
+        "soft-ferrite" => Ok(ThermalCoefficients::soft_ferrite()),
+        "hard-steel" => Ok(ThermalCoefficients::hard_steel()),
         other => Err(CliError::usage(format!(
             "unknown material `{other}` (expected one of: {})",
             MATERIALS.join(", ")
@@ -128,6 +149,20 @@ impl NamedExcitation {
                 .map_err(CliError::from)?,
         })
     }
+
+    /// A degaussing schedule: triangular cycles decaying geometrically
+    /// from `h_start` towards `h_stop`, finishing at `H = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Failure when the parameters are invalid for the schedule.
+    pub fn degauss(h_start: f64, h_stop: f64, decay: f64, step: f64) -> Result<Self, CliError> {
+        Ok(Self {
+            name: format!("degauss(h_start={h_start},h_stop={h_stop},decay={decay},step={step})"),
+            excitation: Excitation::demagnetisation(h_start, h_stop, decay, step)
+                .map_err(CliError::from)?,
+        })
+    }
 }
 
 /// Raw circuit-excitation parameters as they arrive from the command line
@@ -137,12 +172,14 @@ impl NamedExcitation {
 /// library preset can never diverge.
 #[derive(Default)]
 pub struct CircuitSpecArgs<'a> {
-    /// Source waveform kind: `sine` or `triangular`.
+    /// Source waveform kind: `sine`, `triangular` or `pwm`.
     pub source: Option<&'a str>,
     /// Source peak voltage (V).
     pub amplitude: Option<f64>,
     /// Source frequency (Hz).
     pub frequency: Option<f64>,
+    /// PWM duty cycle in (0, 1); only meaningful for `source=pwm`.
+    pub duty: Option<f64>,
     /// Series resistance (Ω).
     pub resistance: Option<f64>,
     /// Winding turns.
@@ -194,7 +231,13 @@ pub fn circuit_excitation(
     let frequency = args
         .frequency
         .unwrap_or_else(|| defaults.source.frequency());
-    let source = match args.source.unwrap_or_else(|| defaults.source.label()) {
+    let source_kind = args.source.unwrap_or_else(|| defaults.source.label());
+    if args.duty.is_some() && source_kind != "pwm" {
+        return Err(CliError::usage(format!(
+            "duty only applies to source=pwm, not `{source_kind}`"
+        )));
+    }
+    let source = match source_kind {
         "sine" => SourceWaveform::Sine {
             amplitude,
             frequency,
@@ -203,9 +246,14 @@ pub fn circuit_excitation(
             amplitude,
             frequency,
         },
+        "pwm" => SourceWaveform::Pwm {
+            amplitude,
+            frequency,
+            duty: args.duty.unwrap_or(0.5),
+        },
         other => {
             return Err(CliError::usage(format!(
-                "unknown source `{other}` (expected sine | triangular)"
+                "unknown source `{other}` (expected sine | triangular | pwm)"
             )))
         }
     };
@@ -246,11 +294,17 @@ pub fn circuit_excitation(
     } else {
         format!("fixed(dt={dt})")
     };
+    let source_name = match source.duty() {
+        Some(duty) => format!("pwm(amplitude={amplitude},frequency={frequency},duty={duty})"),
+        None => format!(
+            "{}(amplitude={amplitude},frequency={frequency})",
+            source.label()
+        ),
+    };
     Ok(NamedExcitation {
         name: format!(
-            "circuit({}(amplitude={amplitude},frequency={frequency}),r={resistance},\
-             turns={turns},area={area},path={path},t_end={t_end},{control_name})",
-            source.label(),
+            "circuit({source_name},r={resistance},\
+             turns={turns},area={area},path={path},t_end={t_end},{control_name})"
         ),
         excitation: Excitation::Circuit(spec),
     })
@@ -383,5 +437,62 @@ mod tests {
     fn invalid_excitations_are_reported() {
         assert!(NamedExcitation::major(10_000.0, -1.0, 1).is_err());
         assert!(NamedExcitation::fig1(0.0).is_err());
+        assert!(NamedExcitation::degauss(10_000.0, 20_000.0, 0.5, 10.0).is_err());
+    }
+
+    #[test]
+    fn degauss_names_are_stable() {
+        assert_eq!(
+            NamedExcitation::degauss(10_000.0, 100.0, 0.5, 10.0)
+                .unwrap()
+                .name,
+            "degauss(h_start=10000,h_stop=100,decay=0.5,step=10)"
+        );
+    }
+
+    #[test]
+    fn pwm_circuit_names_carry_the_duty_cycle() {
+        let named = circuit_excitation(
+            &CircuitSpecArgs {
+                source: Some("pwm"),
+                amplitude: Some(30.0),
+                frequency: Some(50.0),
+                duty: Some(0.25),
+                ..CircuitSpecArgs::default()
+            },
+            "pass --adaptive",
+        )
+        .unwrap();
+        assert!(
+            named
+                .name
+                .starts_with("circuit(pwm(amplitude=30,frequency=50,duty=0.25),"),
+            "{}",
+            named.name
+        );
+    }
+
+    #[test]
+    fn duty_is_rejected_for_non_pwm_sources() {
+        let err = match circuit_excitation(
+            &CircuitSpecArgs {
+                source: Some("sine"),
+                duty: Some(0.5),
+                ..CircuitSpecArgs::default()
+            },
+            "pass --adaptive",
+        ) {
+            Err(err) => err,
+            Ok(named) => panic!("expected a usage error, got `{}`", named.name),
+        };
+        assert!(err.message.contains("duty only applies"), "{}", err.message);
+    }
+
+    #[test]
+    fn thermal_presets_pair_with_materials() {
+        for name in MATERIALS {
+            assert!(thermal_by_name(name).is_ok(), "{name}");
+        }
+        assert!(thermal_by_name("mu-metal").is_err());
     }
 }

@@ -12,10 +12,20 @@
 //! excitation = biased bias=1000 amplitude=500 cycles=1 step=10
 //! excitation = circuit source=sine amplitude=30 frequency=50 r=1 \
 //!              turns=200 area=1e-4 path=0.1 t_end=0.04 dt=5e-5 control=fixed
+//! excitation = circuit source=pwm amplitude=30 frequency=50 duty=0.25
+//! excitation = degauss h_start=10000 h_stop=100 decay=0.5 step=10
+//! temperature = -40:25:125                         # operating-point axis (°C)
+//! geometry = area=1e-4 path=0.1 frequency=50 lamination=silicon-steel
 //! ```
 //!
 //! (`excitation = circuit` takes its parameters on one line; the backslash
 //! continuation above is for readability only.)
+//!
+//! `temperature` adds operating points (colon-separated list, repeatable);
+//! each one resolves the material parameters through its thermal
+//! coefficients before simulation.  `geometry` attaches a core geometry —
+//! and optionally an electrical frequency and lamination preset — to every
+//! operating point so reports carry a `loss` breakdown.
 //!
 //! `#` starts a comment, blank lines are ignored.  Only axes live in the
 //! file; execution knobs (`--workers`, `--fail-fast`) stay on the command
@@ -23,14 +33,139 @@
 
 use std::collections::BTreeMap;
 
-use hdl_models::scenario::ScenarioGrid;
+use hdl_models::scenario::{OperatingPoint, ScenarioGrid};
 use ja_hysteresis::config::JaConfig;
+use magnetics::geometry::CoreGeometry;
+use magnetics::losses::LaminationSpec;
 
 use crate::common::{
-    backend_set_by_name, circuit_excitation, config_name, material_by_name, CircuitSpecArgs,
-    NamedExcitation,
+    backend_set_by_name, circuit_excitation, config_name, material_by_name, thermal_by_name,
+    CircuitSpecArgs, NamedExcitation,
 };
 use crate::CliError;
+
+/// A parsed `geometry = …` line: the core shape plus the optional loss
+/// inputs that ride along with it on every operating point.
+#[derive(Clone, Copy)]
+pub(crate) struct GeometrySpec {
+    /// Core cross-section and magnetic path.
+    pub geometry: CoreGeometry,
+    /// Electrical frequency for loss-power scaling (Hz).
+    pub frequency: Option<f64>,
+    /// Lamination preset enabling the eddy-current term.
+    pub lamination: Option<LaminationSpec>,
+}
+
+/// Parses a colon-separated temperature list (`-40:25:125`) into Celsius
+/// values.
+///
+/// # Errors
+///
+/// Usage error when any entry is not a number.
+pub(crate) fn parse_temperatures(value: &str) -> Result<Vec<f64>, CliError> {
+    value
+        .split(':')
+        .map(|token| {
+            let token = token.trim();
+            token
+                .parse::<f64>()
+                .map_err(|_| CliError::usage(format!("temperature `{token}` is not a number")))
+        })
+        .collect()
+}
+
+/// Parses a `geometry = area=… path=… [frequency=…] [lamination=…]` value.
+///
+/// # Errors
+///
+/// Usage error for missing/malformed parameters or unknown lamination
+/// presets.
+pub(crate) fn parse_geometry(value: &str) -> Result<GeometrySpec, CliError> {
+    let mut params: BTreeMap<&str, &str> = BTreeMap::new();
+    for token in value.split_whitespace() {
+        let (key, value) = token.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("geometry parameter `{token}` is not `key=value`"))
+        })?;
+        if params.insert(key, value).is_some() {
+            return Err(CliError::usage(format!(
+                "geometry parameter `{key}` given twice"
+            )));
+        }
+    }
+    fn required_f64(params: &mut BTreeMap<&str, &str>, name: &str) -> Result<f64, CliError> {
+        let text = params
+            .remove(name)
+            .ok_or_else(|| CliError::usage(format!("geometry needs `{name}=`")))?;
+        text.parse::<f64>().map_err(|_| {
+            CliError::usage(format!(
+                "geometry parameter `{name}={text}` is not a number"
+            ))
+        })
+    }
+    let area = required_f64(&mut params, "area")?;
+    let path = required_f64(&mut params, "path")?;
+    let frequency = match params.remove("frequency") {
+        None => None,
+        Some(text) => Some(text.parse::<f64>().map_err(|_| {
+            CliError::usage(format!(
+                "geometry parameter `frequency={text}` is not a number"
+            ))
+        })?),
+    };
+    let lamination = match params.remove("lamination") {
+        None => None,
+        Some("silicon-steel") => Some(LaminationSpec::silicon_steel_0p35mm()),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown lamination `{other}` (expected silicon-steel)"
+            )))
+        }
+    };
+    if let Some((stray, _)) = params.iter().next() {
+        return Err(CliError::usage(format!(
+            "geometry does not take parameter `{stray}`"
+        )));
+    }
+    let geometry = CoreGeometry::new(area, path).map_err(|err| CliError::usage(err.to_string()))?;
+    Ok(GeometrySpec {
+        geometry,
+        frequency,
+        lamination,
+    })
+}
+
+/// Expands the `temperature` and `geometry` axes into named operating
+/// points.  Temperatures name the points (`t-40`, `t125`, …); a geometry
+/// with no temperature axis yields a single `geom` point so losses can be
+/// reported without thermal scaling.  Shared with the serve API so the two
+/// surfaces can never drift on operating-point naming.
+pub(crate) fn operating_points(
+    temperatures: &[f64],
+    geometry: Option<&GeometrySpec>,
+) -> Vec<(String, OperatingPoint)> {
+    let mut base = OperatingPoint::new();
+    if let Some(spec) = geometry {
+        base = base.with_geometry(spec.geometry);
+        if let Some(frequency) = spec.frequency {
+            base = base.with_frequency(frequency);
+        }
+        if let Some(lamination) = spec.lamination {
+            base = base.with_lamination(lamination);
+        }
+    }
+    if temperatures.is_empty() {
+        if geometry.is_some() {
+            vec![("geom".to_owned(), base)]
+        } else {
+            Vec::new()
+        }
+    } else {
+        temperatures
+            .iter()
+            .map(|&t_c| (format!("t{t_c}"), base.with_temperature(t_c)))
+            .collect()
+    }
+}
 
 /// Parses grid-config text into a [`ScenarioGrid`].
 ///
@@ -40,6 +175,8 @@ use crate::CliError;
 /// values, unknown excitation kinds/parameters or invalid `dh_max`.
 pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
     let mut grid = ScenarioGrid::new();
+    let mut temperatures: Vec<f64> = Vec::new();
+    let mut geometry: Option<GeometrySpec> = None;
     for (lineno, line) in crate::common::config_lines(text) {
         let at = |message: String| CliError::usage(format!("grid config line {lineno}: {message}"));
         let (key, value) = line
@@ -49,7 +186,8 @@ pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
         match key {
             "material" => {
                 let params = material_by_name(value).map_err(|err| at(err.message))?;
-                grid = grid.material(value, params);
+                let thermal = thermal_by_name(value).map_err(|err| at(err.message))?;
+                grid = grid.material_with_thermal(value, params, thermal);
             }
             "backend" => {
                 let backends = backend_set_by_name(value).map_err(|err| at(err.message))?;
@@ -67,12 +205,27 @@ pub fn parse_grid(text: &str) -> Result<ScenarioGrid, CliError> {
                 let named = parse_excitation(value).map_err(|err| at(err.message))?;
                 grid = grid.excitation(named.name, named.excitation);
             }
+            "temperature" => {
+                temperatures.extend(parse_temperatures(value).map_err(|err| at(err.message))?);
+            }
+            "geometry" => {
+                if geometry.is_some() {
+                    return Err(at("geometry given twice".to_owned()));
+                }
+                geometry = Some(parse_geometry(value).map_err(|err| at(err.message))?);
+            }
             other => {
                 return Err(at(format!(
-                    "unknown key `{other}` (expected material | backend | dh_max | excitation)"
+                    "unknown key `{other}` (expected material | backend | dh_max | excitation \
+                     | temperature | geometry)"
                 )))
             }
         }
+    }
+    for (name, op) in operating_points(&temperatures, geometry.as_ref()) {
+        op.validate()
+            .map_err(|err| CliError::usage(format!("grid config: {err}")))?;
+        grid = grid.operating_point(name, op);
     }
     Ok(grid)
 }
@@ -156,6 +309,13 @@ pub(crate) fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> 
             let step = f64_param(&mut params, "step", 10.0)?;
             NamedExcitation::biased(bias, amplitude, cycles, step)?
         }
+        "degauss" => {
+            let h_start = f64_param(&mut params, "h_start", 10_000.0)?;
+            let h_stop = f64_param(&mut params, "h_stop", 100.0)?;
+            let decay = f64_param(&mut params, "decay", 0.5)?;
+            let step = f64_param(&mut params, "step", 10.0)?;
+            NamedExcitation::degauss(h_start, h_stop, decay, step)?
+        }
         "circuit" => {
             let source = params.remove("source");
             let control = params.remove("control").unwrap_or("fixed");
@@ -175,6 +335,7 @@ pub(crate) fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> 
                 source,
                 amplitude: optional_f64_param(&mut params, "amplitude")?,
                 frequency: optional_f64_param(&mut params, "frequency")?,
+                duty: optional_f64_param(&mut params, "duty")?,
                 resistance: optional_f64_param(&mut params, "r")?,
                 turns: optional_f64_param(&mut params, "turns")?,
                 area: optional_f64_param(&mut params, "area")?,
@@ -190,7 +351,8 @@ pub(crate) fn parse_excitation(spec: &str) -> Result<NamedExcitation, CliError> 
         }
         other => {
             return Err(CliError::usage(format!(
-                "unknown excitation kind `{other}` (expected major | fig1 | biased | circuit)"
+                "unknown excitation kind `{other}` \
+                 (expected major | fig1 | biased | degauss | circuit)"
             )))
         }
     };
@@ -300,5 +462,106 @@ mod tests {
     fn comments_and_blank_lines_are_ignored() {
         let grid = parse_grid("\n  # only a comment\nexcitation = fig1 step=250 # tail\n").unwrap();
         assert_eq!(grid.len(), 1);
+    }
+
+    #[test]
+    fn temperature_axis_expands_into_named_operating_points() {
+        let grid = parse_grid(
+            "excitation = fig1 step=100\n\
+             temperature = -40:25:125\n",
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 3);
+        let scenarios = grid.scenarios().unwrap();
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "fig1(step=100)/direct-timeless/default/date2006/t-40",
+                "fig1(step=100)/direct-timeless/default/date2006/t25",
+                "fig1(step=100)/direct-timeless/default/date2006/t125",
+            ]
+        );
+        assert_eq!(
+            scenarios[0].operating_point.unwrap().temperature_c,
+            Some(-40.0)
+        );
+    }
+
+    #[test]
+    fn geometry_attaches_loss_inputs_to_every_operating_point() {
+        let grid = parse_grid(
+            "excitation = fig1 step=100\n\
+             temperature = 25\n\
+             geometry = area=1e-4 path=0.1 frequency=50 lamination=silicon-steel\n",
+        )
+        .unwrap();
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let op = scenarios[0].operating_point.unwrap();
+        assert_eq!(op.temperature_c, Some(25.0));
+        assert_eq!(op.frequency_hz, Some(50.0));
+        assert!(op.geometry.is_some());
+        assert!(op.lamination.is_some());
+
+        // Geometry without a temperature axis still yields one `geom` point.
+        let grid = parse_grid(
+            "excitation = fig1 step=100\n\
+             geometry = area=1e-4 path=0.1 frequency=50\n",
+        )
+        .unwrap();
+        let scenarios = grid.scenarios().unwrap();
+        assert!(scenarios[0].name.ends_with("/geom"));
+        assert!(scenarios[0]
+            .operating_point
+            .unwrap()
+            .temperature_c
+            .is_none());
+    }
+
+    #[test]
+    fn degauss_and_pwm_lines_parse() {
+        let grid = parse_grid(
+            "excitation = degauss h_start=10000 h_stop=100 decay=0.5 step=10\n\
+             excitation = circuit source=pwm amplitude=30 frequency=50 duty=0.25\n",
+        )
+        .unwrap();
+        let scenarios = grid.scenarios().unwrap();
+        assert!(scenarios[0]
+            .name
+            .starts_with("degauss(h_start=10000,h_stop=100,decay=0.5,step=10)/"));
+        assert!(scenarios[1]
+            .name
+            .starts_with("circuit(pwm(amplitude=30,frequency=50,duty=0.25),"));
+    }
+
+    #[test]
+    fn malformed_operating_point_lines_are_rejected() {
+        for (text, needle) in [
+            ("temperature = hot\n", "not a number"),
+            ("temperature = nan\n", "temperature"),
+            ("geometry = path=0.1\n", "needs `area=`"),
+            (
+                "geometry = area=1e-4 path=0.1 lamination=mu\n",
+                "unknown lamination",
+            ),
+            (
+                "geometry = area=1e-4 path=0.1\ngeometry = area=2e-4 path=0.2\n",
+                "given twice",
+            ),
+            (
+                "geometry = area=1e-4 path=0.1 turns=5\n",
+                "does not take parameter",
+            ),
+            (
+                "excitation = circuit source=sine duty=0.5\n",
+                "duty only applies",
+            ),
+            ("excitation = circuit source=pwm duty=1.5\n", "duty"),
+            ("excitation = degauss h_stop=20000\n", "h_stop"),
+        ] {
+            let err = parse_grid(text).expect_err(text);
+            assert!(err.message.contains(needle), "`{text}` -> {}", err.message);
+        }
     }
 }

@@ -67,6 +67,8 @@ SUBCOMMANDS:
     sweep       Run one scenario and export the BH trace (ascii | csv | json)
     transient   Run one circuit-driven scenario through the transient engine
     batch       Run a scenario grid in parallel, emit a batch report (JSON)
+    lossmap     Frequency x amplitude x temperature loss map with a fitted
+                Steinmetz law per material (JSON)
     fit         Fit JA parameters to a measured BH loop (CSV in, JSON out)
     inverse     Flux-driven solve: target B trace in, required H trace out
     compare     Backend-agreement table across implementation styles
@@ -83,10 +85,10 @@ REPORT SCHEMA (schema_version 1)
   Every JSON report opens with the shared envelope:
     schema_version  int     1; bumped on any breaking schema change
     kind            string  batch | sweep | transient | fit | inverse |
-                            compare | bench, the streaming documents
-                            batch_manifest | batch_checkpoint, plus the
-                            serve-only documents error | health | shutdown
-                            and the request kinds batch_request |
+                            compare | bench | loss_map, the streaming
+                            documents batch_manifest | batch_checkpoint,
+                            plus the serve-only documents error | health |
+                            shutdown and the request kinds batch_request |
                             fit_request | sweep_request |
                             transient_request (docs/PROTOCOL.md has the
                             serve side; docs/SCHEMA.md consolidates all of
@@ -109,6 +111,20 @@ REPORT SCHEMA (schema_version 1)
                                circuit-driven scenarios.  Deterministic
                                step-control outcomes, NOT timings, so they
                                are never gated behind --timings.
+      temperature_c float      the scenario's operating temperature; only
+                               for scenarios pinned to an operating point
+                               that sets one (grid `temperature = ...`).
+                               Material parameters were resolved through
+                               the material's thermal coefficients before
+                               simulation (see docs/ARCHITECTURE.md).
+      frequency_hz  float      the operating point's electrical frequency
+                               (grid `geometry = ... frequency=...`)
+      loss        object       core-loss breakdown; present when the
+                               operating point carries a geometry and a
+                               frequency: hysteresis_w, eddy_w, total_w,
+                               energy_per_cycle_j.  Deterministic (derived
+                               from the BH trace), never gated behind
+                               --timings.
       kernel      object       ONLY with --timings, and only for the
                                event-kernel backend: delta_cycles,
                                events_scheduled, process_activations.
@@ -177,6 +193,14 @@ REPORT SCHEMA (schema_version 1)
     byte-identical for any --workers value and any --routing mode.
   kind=inverse (ja inverse --format json): samples, h_peak_a_per_m,
     b_peak_t, metrics (object|null).
+  kind=loss_map (ja lossmap): points, succeeded, failed, entries (array,
+    one per frequency x amplitude x temperature x material point, in grid
+    order: scenario, status, material, peak_h_a_per_m, frequency_hz,
+    temperature_c, b_pk_t, loss object), fits (array, one per material:
+    material, points, then the two-exponent Steinmetz fit
+    P = k * f^alpha * B_pk^beta as k, alpha, beta — or error when the map
+    does not constrain the fit).  Byte-identical for any --workers /
+    --routing value.
   kind=compare (ja compare --format json): max_abs_diff_b_t,
     relative_diff, worst_pair (array of 2 labels | null), outcomes (array
     of entries).
@@ -219,6 +243,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 Some("sweep") => commands::sweep::HELP,
                 Some("transient") => commands::transient::HELP,
                 Some("batch") => commands::batch::HELP,
+                Some("lossmap") => commands::lossmap::HELP,
                 Some("fit") => commands::fit::HELP,
                 Some("inverse") => commands::inverse::HELP,
                 Some("compare") => commands::compare::HELP,
@@ -237,6 +262,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 "sweep" => commands::sweep::HELP,
                 "transient" => commands::transient::HELP,
                 "batch" => commands::batch::HELP,
+                "lossmap" => commands::lossmap::HELP,
                 "fit" => commands::fit::HELP,
                 "inverse" => commands::inverse::HELP,
                 "compare" => commands::compare::HELP,
@@ -251,6 +277,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "sweep" => commands::sweep::run(rest),
         "transient" => commands::transient::run(rest),
         "batch" => commands::batch::run(rest),
+        "lossmap" => commands::lossmap::run(rest),
         "fit" => commands::fit::run(rest),
         "inverse" => commands::inverse::run(rest),
         "compare" => commands::compare::run(rest),
@@ -320,6 +347,15 @@ mod tests {
             "batch_checkpoint",
             "grid_digest",
             "digest_state",
+            "loss_map",
+            "temperature_c",
+            "frequency_hz",
+            "hysteresis_w",
+            "eddy_w",
+            "total_w",
+            "energy_per_cycle_j",
+            "b_pk_t",
+            "alpha, beta",
         ] {
             assert!(GLOBAL_HELP.contains(needle), "missing `{needle}`");
         }

@@ -37,7 +37,7 @@ use magnetics::bh::BhCurve;
 
 use crate::common::{
     backend_by_name, backend_set_by_name, config_name, enveloped_outcome, material_by_name,
-    routing_by_name,
+    routing_by_name, thermal_by_name,
 };
 use crate::grid_config;
 
@@ -434,22 +434,51 @@ fn excitation_spec(value: &JsonValue) -> Result<String, ApiError> {
         if key == "kind" {
             continue;
         }
-        let text = match value {
-            JsonValue::Int(v) => v.to_string(),
-            JsonValue::Number(v) if v.is_finite() => format!("{v}"),
-            JsonValue::String(s) => s.clone(),
-            _ => {
-                return Err(ApiError::bad(format!(
-                    "excitation parameter `{key}` must be a finite number or a string"
-                )))
-            }
-        };
-        if text.is_empty() || text.contains(char::is_whitespace) || text.contains('=') {
-            return Err(ApiError::bad(format!(
-                "excitation parameter `{key}` has an unusable value `{text}`"
-            )));
-        }
+        let text = scalar_token(key, value, "excitation")?;
         spec.push(' ');
+        spec.push_str(key);
+        spec.push('=');
+        spec.push_str(&text);
+    }
+    Ok(spec)
+}
+
+/// Renders one `key: value` pair of a spec object to its `key=value`
+/// text form (the same `Display` round-trip argument as
+/// [`excitation_spec`]).
+fn scalar_token(key: &str, value: &JsonValue, what: &str) -> Result<String, ApiError> {
+    let text = match value {
+        JsonValue::Int(v) => v.to_string(),
+        JsonValue::Number(v) if v.is_finite() => format!("{v}"),
+        JsonValue::String(s) => s.clone(),
+        _ => {
+            return Err(ApiError::bad(format!(
+                "{what} parameter `{key}` must be a finite number or a string"
+            )))
+        }
+    };
+    if text.is_empty() || text.contains(char::is_whitespace) || text.contains('=') {
+        return Err(ApiError::bad(format!(
+            "{what} parameter `{key}` has an unusable value `{text}`"
+        )));
+    }
+    Ok(text)
+}
+
+/// Renders a `grid.geometry` object to the grid config's
+/// `area=… path=… [frequency=…] [lamination=…]` value format;
+/// [`grid_config::parse_geometry`] then does the real parsing, exactly
+/// like excitation objects.
+fn geometry_spec(value: &JsonValue) -> Result<String, ApiError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| ApiError::bad("`grid.geometry` must be a JSON object"))?;
+    let mut spec = String::new();
+    for (key, value) in fields {
+        let text = scalar_token(key, value, "geometry")?;
+        if !spec.is_empty() {
+            spec.push(' ');
+        }
         spec.push_str(key);
         spec.push('=');
         spec.push_str(&text);
@@ -495,13 +524,21 @@ fn batch_scenarios(doc: &JsonValue) -> Result<Vec<Scenario>, ApiError> {
         .ok_or_else(|| ApiError::bad("`batch_request` requires a `grid` object"))?;
     check_keys(
         grid_doc,
-        &["material", "backend", "dh_max", "excitation"],
+        &[
+            "material",
+            "backend",
+            "dh_max",
+            "excitation",
+            "temperature",
+            "geometry",
+        ],
         "grid",
     )?;
     let mut grid = ScenarioGrid::new();
     for name in str_axis(grid_doc, "material")? {
         let params = material_by_name(name).map_err(|err| ApiError::bad(err.message))?;
-        grid = grid.material(name, params);
+        let thermal = thermal_by_name(name).map_err(|err| ApiError::bad(err.message))?;
+        grid = grid.material_with_thermal(name, params, thermal);
     }
     for name in str_axis(grid_doc, "backend")? {
         let backends = backend_set_by_name(name).map_err(|err| ApiError::bad(err.message))?;
@@ -522,6 +559,22 @@ fn batch_scenarios(doc: &JsonValue) -> Result<Vec<Scenario>, ApiError> {
         let named = grid_config::parse_excitation(&excitation_spec(value)?)
             .map_err(|err| ApiError::bad(err.message))?;
         grid = grid.excitation(named.name, named.excitation);
+    }
+    // The operating-point axis goes through the same expansion as the
+    // offline grid config (`grid_config::operating_points`), so point
+    // names — and therefore scenario keys and report bytes — match.
+    let temperatures = f64_axis(grid_doc, "temperature")?;
+    let geometry = match grid_doc.get("geometry") {
+        None => None,
+        Some(value) => Some(
+            grid_config::parse_geometry(&geometry_spec(value)?)
+                .map_err(|err| ApiError::bad(err.message))?,
+        ),
+    };
+    for (name, op) in grid_config::operating_points(&temperatures, geometry.as_ref()) {
+        op.validate()
+            .map_err(|err| ApiError::bad(err.to_string()))?;
+        grid = grid.operating_point(name, op);
     }
     grid.scenarios()
         .map_err(|err| ApiError::bad(err.to_string()))
@@ -963,6 +1016,74 @@ mod tests {
                 r#"{"schema_version": 1, "kind": "sweep_request",
                    "excitation": {"kind": "circuit"}}"#,
                 "field-driven stimuli",
+            ),
+        ] {
+            let response = post_eval(&state, body);
+            assert_eq!(response.status(), 400, "{body} -> {}", response.body());
+            assert!(
+                response.body().contains(fragment),
+                "{body}: response {} should mention {fragment:?}",
+                response.body()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_request_operating_points_match_the_offline_grid_config() {
+        let (_, state) = state(0);
+        let response = post_eval(
+            &state,
+            r#"{"schema_version": 1, "kind": "batch_request",
+               "grid": {
+                   "excitation": [{"kind": "fig1", "step": 500}],
+                   "temperature": [-40, 125],
+                   "geometry": {"area": 1e-4, "path": 0.1, "frequency": 50}
+               }}"#,
+        );
+        assert_eq!(response.status(), 200, "{}", response.body());
+        assert!(response
+            .body()
+            .contains("fig1(step=500)/direct-timeless/default/date2006/t-40"));
+        assert!(response
+            .body()
+            .contains("fig1(step=500)/direct-timeless/default/date2006/t125"));
+        assert!(response.body().contains("\"temperature_c\": -40"));
+        assert!(response.body().contains("\"loss\""));
+
+        // The response bytes equal the offline report for the equivalent
+        // grid config — same grid builder, same report writer.
+        let grid = grid_config::parse_grid(
+            "excitation = fig1 step=500\n\
+             temperature = -40:125\n\
+             geometry = area=0.0001 path=0.1 frequency=50\n",
+        )
+        .unwrap();
+        let report = BatchRunner::new().workers(1).run(grid.scenarios().unwrap());
+        assert_eq!(
+            response.body(),
+            batch_report_value(&report, false).to_pretty_string()
+        );
+    }
+
+    #[test]
+    fn malformed_operating_point_requests_are_400s() {
+        let (_, state) = state(0);
+        for (body, fragment) in [
+            (
+                r#"{"schema_version": 1, "kind": "batch_request",
+                   "grid": {"excitation": [{"kind": "fig1"}], "temperature": ["hot"]}}"#,
+                "`grid.temperature` must be a finite number",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request",
+                   "grid": {"excitation": [{"kind": "fig1"}], "geometry": {"area": 1e-4}}}"#,
+                "needs `path=`",
+            ),
+            (
+                r#"{"schema_version": 1, "kind": "batch_request",
+                   "grid": {"excitation": [{"kind": "fig1"}],
+                            "geometry": {"area": 1e-4, "path": 0.1, "lamination": "mu"}}}"#,
+                "unknown lamination",
             ),
         ] {
             let response = post_eval(&state, body);

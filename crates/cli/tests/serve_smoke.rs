@@ -213,6 +213,38 @@ fn served_batch_report_is_byte_identical_to_offline_and_cached() {
     server.shutdown();
 }
 
+#[test]
+fn served_thermal_pwm_batch_matches_the_offline_grid_config() {
+    // serve_thermal.json mirrors grid_thermal.conf axis by axis — the PWM
+    // circuit drive, the degauss sweep, the temperature axis and the
+    // laminated core geometry — so the served report must be
+    // byte-identical to the offline run of the same four operating-point
+    // scenarios (and the repeat must be a cache hit with the same bytes).
+    let config = fixture("grid_thermal.conf");
+    let offline = ja_ok(&[
+        "batch",
+        "--config",
+        config.to_str().unwrap(),
+        "--workers",
+        "1",
+    ]);
+    for needle in [
+        "pwm(amplitude=30,frequency=50,duty=0.25)",
+        "degauss(h_start=10000,h_stop=500,decay=0.5,step=100)",
+        "/t-40\"",
+        "/t125\"",
+        "\"temperature_c\": -40",
+        "\"eddy_w\":",
+    ] {
+        assert!(offline.contains(needle), "offline report lacks {needle:?}");
+    }
+    let request_body = std::fs::read_to_string(fixture("serve_thermal.json")).unwrap();
+
+    let server = Server::spawn("thermal");
+    assert_served_matches_offline(&server, &request_body, &offline);
+    server.shutdown();
+}
+
 /// Recursively reverses every object's field order — different bytes,
 /// same content address.
 fn reorder_fields(value: &ja_hysteresis::json::JsonValue) -> ja_hysteresis::json::JsonValue {

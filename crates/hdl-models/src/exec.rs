@@ -19,13 +19,15 @@
 //! identity, so the parallel win is not eaten by per-scenario construction
 //! and allocator traffic.
 //!
-//! Direct-timeless scenarios that share a (configuration, excitation) pair
-//! are additionally routed — per [`SoaRouting`], default on — through the
-//! structure-of-arrays lockstep batch ([`SoaBatch`]): the whole group runs
-//! as one SoA sweep, one lane per scenario, and the per-lane results fan
-//! back into ordinary per-entry report slots.  SoA `f64` lanes are
-//! bit-identical to the scalar model, so routing never changes report
-//! content, only throughput.
+//! Direct-timeless scenarios that share a (configuration, excitation,
+//! operating point) triple are additionally routed — per [`SoaRouting`],
+//! default on — through the structure-of-arrays lockstep batch
+//! ([`SoaBatch`]): the whole group runs as one SoA sweep, one lane per
+//! scenario, and the per-lane results fan back into ordinary per-entry
+//! report slots.  Lane parameters are the scenarios' **resolved**
+//! (thermally derived) parameters, the same values the scalar path runs,
+//! so SoA `f64` lanes stay bit-identical to the scalar model and routing
+//! never changes report content, only throughput.
 //!
 //! The distribution machinery itself (chunked claims over an atomic
 //! cursor, worker-local state, index-ordered results) is exposed as the
@@ -70,9 +72,9 @@ pub enum ErrorPolicy {
 /// structure-of-arrays lockstep batch ([`SoaBatch`]).
 ///
 /// Scenarios are **groupable** when they share a (configuration,
-/// excitation) pair, use the direct-timeless backend and have a prescribed
-/// (non-circuit) stimulus; a group runs as one SoA sweep with one lane per
-/// scenario.  In `f64` column mode every lane is bit-identical to the
+/// excitation, operating point) triple, use the direct-timeless backend
+/// and have a prescribed (non-circuit) stimulus; a group runs as one SoA
+/// sweep with one lane per scenario.  In `f64` column mode every lane is bit-identical to the
 /// scalar run of the same scenario, so the routing decision never changes
 /// report content — only the timing fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -440,7 +442,9 @@ fn route_jobs(scenarios: &[Scenario], routing: SoaRouting) -> Vec<Job> {
         }
         match groups.iter_mut().find(|(representative, _)| {
             let other = &scenarios[*representative];
-            other.config == scenario.config && other.excitation == scenario.excitation
+            other.config == scenario.config
+                && other.excitation == scenario.excitation
+                && other.operating_point == scenario.operating_point
         }) {
             Some((_, members)) => members.push(index),
             None => groups.push((index, vec![index])),
@@ -498,6 +502,28 @@ fn run_lockstep_group(
         }
     }
 
+    // Thermal derivation happens here through the same `resolved_params`
+    // the scalar path runs — the lanes and the scalar model must consume
+    // bit-identical parameters.  A member whose operating point is out of
+    // range sends the whole group down the scalar path, which reports the
+    // exact per-scenario error (and still succeeds the valid members).
+    scratch.lane_params.clear();
+    for &index in members {
+        match scenarios[index].resolved_params() {
+            Ok(params) => scratch.lane_params.push(params),
+            Err(_) => {
+                return members
+                    .iter()
+                    .map(|&index| {
+                        let t0 = Instant::now();
+                        let outcome = scenarios[index].run_with_scratch(scratch);
+                        (outcome, t0.elapsed())
+                    })
+                    .collect();
+            }
+        }
+    }
+
     let t0 = Instant::now();
     let RunScratch {
         samples,
@@ -515,8 +541,6 @@ fn run_lockstep_group(
     let samples = &samples.as_ref().expect("cached above").1;
     let batch = soa.as_mut().expect("constructed above");
 
-    lane_params.clear();
-    lane_params.extend(members.iter().map(|&index| scenarios[index].params));
     batch.assign(lane_params);
     lane_curves.resize_with(members.len(), BhCurve::new);
     lane_curves.truncate(members.len());
@@ -531,11 +555,14 @@ fn run_lockstep_group(
             None => {
                 let curve = std::mem::take(&mut lane_curves[lane]);
                 let metrics = loop_analysis::loop_metrics(&curve).ok();
+                let loss = scenarios[index].loss_breakdown(&curve);
                 let outcome = ScenarioOutcome {
                     name: scenarios[index].name.clone(),
                     backend: scenarios[index].backend,
                     curve,
                     metrics,
+                    loss,
+                    operating_point: scenarios[index].operating_point,
                     stats: batch.lane_statistics(lane),
                     // Lockstep groups run on the direct backend only, which
                     // has no simulation kernel.
@@ -673,9 +700,13 @@ fn cached_backend_for<'s>(
     cached: &'s mut Option<CachedBackend>,
     scenario: &Scenario,
 ) -> Result<&'s mut dyn HysteresisBackend, JaError> {
+    // The cache is keyed on the *resolved* (thermally derived) parameters:
+    // two scenarios at different operating temperatures run different
+    // materials even when their reference parameter sets match.
+    let params = scenario.resolved_params()?;
     let reusable = cached.as_ref().is_some_and(|cached| {
         cached.kind == scenario.backend
-            && cached.params == scenario.params
+            && cached.params == params
             && cached.config == scenario.config
     });
     let cached = if reusable {
@@ -683,10 +714,10 @@ fn cached_backend_for<'s>(
         cached.backend.reset()?;
         cached
     } else {
-        let backend = scenario.backend.build(scenario.params, scenario.config)?;
+        let backend = scenario.backend.build(params, scenario.config)?;
         cached.insert(CachedBackend {
             kind: scenario.backend,
-            params: scenario.params,
+            params,
             config: scenario.config,
             backend,
         })
@@ -956,6 +987,40 @@ mod tests {
         for entry in &scalar.entries {
             assert_eq!(entry.outcome.as_ref().expect("ok").lockstep_lanes, None);
         }
+    }
+
+    #[test]
+    fn thermal_operating_points_route_soa_and_stay_bit_identical() {
+        use crate::scenario::OperatingPoint;
+        // Two temperatures over three materials: each operating point is
+        // its own lockstep group (the routing key includes the operating
+        // point), each lane runs the thermally derived parameters, and
+        // the results stay bit-identical to the scalar path.
+        let grid = multi_material_grid()
+            .operating_point("t-40", OperatingPoint::at_temperature(-40.0))
+            .operating_point("t125", OperatingPoint::at_temperature(125.0));
+        let scenarios = grid.scenarios().expect("grid");
+        assert_eq!(scenarios.len(), 6);
+        let scalar = BatchRunner::new()
+            .workers(1)
+            .soa_routing(SoaRouting::ForceScalar)
+            .run(scenarios.clone());
+        let auto = BatchRunner::new().workers(2).run(scenarios);
+        assert_outcomes_bitwise_equal(&scalar, &auto);
+        for entry in &auto.entries {
+            let outcome = entry.outcome.as_ref().expect("ok");
+            assert_eq!(
+                outcome.lockstep_lanes,
+                Some(3),
+                "one group per operating point: {}",
+                entry.scenario.name
+            );
+        }
+        // The derived parameters genuinely differ across the temperature
+        // axis: cold and hot runs of the same material disagree.
+        let cold = &auto.entries[0].outcome.as_ref().expect("ok").curve;
+        let hot = &auto.entries[1].outcome.as_ref().expect("ok").curve;
+        assert_ne!(cold, hot, "temperature must change the trace");
     }
 
     #[test]

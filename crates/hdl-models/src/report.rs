@@ -25,6 +25,7 @@ use ja_hysteresis::json::{
 };
 use ja_hysteresis::model::JaStatistics;
 use magnetics::loop_analysis::LoopMetrics;
+use magnetics::losses::CoreLoss;
 use magnetics::material::JaParameters;
 
 use crate::fit::{FitReport, LoopFit, StartFit};
@@ -85,12 +86,28 @@ pub fn duration_ns(duration: Duration) -> JsonValue {
     JsonValue::Int(i64::try_from(duration.as_nanos()).unwrap_or(i64::MAX))
 }
 
+/// Serialises a core-loss breakdown (keys mirror the [`CoreLoss`] field
+/// names).  Present only on entries whose scenario ran at an operating
+/// point carrying a geometry and a frequency; the values are pure float
+/// arithmetic over the trace — deterministic across worker counts and
+/// routing — so the object is NOT gated behind the opt-in timing fields.
+pub fn loss_value(loss: &CoreLoss) -> JsonValue {
+    JsonValue::object()
+        .with("hysteresis_w", loss.hysteresis_w)
+        .with("eddy_w", loss.eddy_w)
+        .with("total_w", loss.total_w)
+        .with("energy_per_cycle_j", loss.energy_per_cycle_j)
+}
+
 /// Serialises one successful scenario outcome.
 ///
 /// Always present: `scenario`, `status: "ok"`, `backend`, `samples`,
 /// `metrics` (object or `null` for traces that do not form a closable
 /// loop) and `stats`.  Circuit-driven outcomes add a `transient` object
-/// (see [`transient_value`]).  With `timings`, adds `runtime_ns` (sweep
+/// (see [`transient_value`]).  Outcomes carrying an operating point add
+/// `temperature_c` and/or `frequency_hz` (whichever the point sets), and a
+/// `loss` object (see [`loss_value`]) when the loss breakdown was
+/// computed.  With `timings`, adds `runtime_ns` (sweep
 /// only); for outcomes produced by a structure-of-arrays lockstep group,
 /// `backend_routing: "soa"` plus `lockstep_lanes`; and for event-driven
 /// backends, a `kernel` object with the simulation kernel's cost counters
@@ -111,6 +128,17 @@ pub fn outcome_value(outcome: &ScenarioOutcome, timings: bool) -> JsonValue {
         .with("stats", stats_value(&outcome.stats));
     if let Some(transient) = &outcome.transient {
         obj.push("transient", transient_value(transient));
+    }
+    if let Some(op) = &outcome.operating_point {
+        if let Some(t_c) = op.temperature_c {
+            obj.push("temperature_c", t_c);
+        }
+        if let Some(frequency) = op.frequency_hz {
+            obj.push("frequency_hz", frequency);
+        }
+    }
+    if let Some(loss) = &outcome.loss {
+        obj.push("loss", loss_value(loss));
     }
     if timings {
         obj.push("runtime_ns", duration_ns(outcome.runtime));
@@ -853,6 +881,68 @@ mod tests {
         assert!(value.get("timing").is_some(), "--timings adds the block");
         let entry = &loops[0].get("entries").unwrap().as_array().unwrap()[0];
         assert!(entry.get("wall_clock_ns").is_some());
+    }
+
+    #[test]
+    fn operating_point_entries_carry_loss_and_stay_deterministic() {
+        use crate::scenario::OperatingPoint;
+        use magnetics::geometry::CoreGeometry;
+        use magnetics::losses::LaminationSpec;
+        let op = OperatingPoint::at_temperature(85.0)
+            .with_frequency(50.0)
+            .with_geometry(CoreGeometry::demo())
+            .with_lamination(LaminationSpec::silicon_steel_0p35mm());
+        let op_grid = grid()
+            .material("date2006", JaParameters::date2006())
+            .material("hard-steel", JaParameters::hard_steel())
+            .operating_point("t85", op);
+        let scenarios = op_grid.scenarios().expect("grid");
+        let serial = BatchRunner::new().workers(1).run(scenarios.clone());
+        let parallel = BatchRunner::new().workers(4).run(scenarios);
+        let a = batch_report_value(&serial, false).to_pretty_string();
+        let b = batch_report_value(&parallel, false).to_pretty_string();
+        assert_eq!(a, b, "loss reports must not depend on workers");
+
+        let value = batch_report_value(&serial, false);
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        for entry in entries {
+            assert_eq!(
+                entry.get("temperature_c").and_then(JsonValue::as_f64),
+                Some(85.0)
+            );
+            assert_eq!(
+                entry.get("frequency_hz").and_then(JsonValue::as_f64),
+                Some(50.0)
+            );
+            let loss = entry.get("loss").unwrap().as_object().unwrap();
+            let keys: Vec<&str> = loss.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                ["hysteresis_w", "eddy_w", "total_w", "energy_per_cycle_j"]
+            );
+            for (key, value) in loss {
+                assert!(value.as_f64().unwrap() > 0.0, "{key}");
+            }
+            assert_eq!(
+                entry
+                    .get("scenario")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .split('/')
+                    .count(),
+                5,
+                "operating-point entries carry the fifth name segment"
+            );
+        }
+        // Entries without an operating point stay byte-identical to the
+        // historical shape: no loss, no temperature, no frequency keys.
+        let plain = BatchRunner::new()
+            .workers(1)
+            .run(grid().scenarios().unwrap());
+        let plain = batch_report_value(&plain, false).to_pretty_string();
+        assert!(!plain.contains("\"loss\""));
+        assert!(!plain.contains("temperature_c"));
+        assert!(!plain.contains("frequency_hz"));
     }
 
     #[test]

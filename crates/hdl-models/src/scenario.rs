@@ -23,8 +23,11 @@ use ja_hysteresis::config::JaConfig;
 use ja_hysteresis::error::JaError;
 use ja_hysteresis::model::{JaStatistics, JilesAtherton};
 use magnetics::bh::BhCurve;
+use magnetics::geometry::CoreGeometry;
 use magnetics::loop_analysis::{self, LoopMetrics};
+use magnetics::losses::{self, CoreLoss, LaminationSpec};
 use magnetics::material::JaParameters;
+use magnetics::thermal::ThermalCoefficients;
 use waveform::schedule::FieldSchedule;
 use waveform::Waveform;
 
@@ -167,6 +170,17 @@ pub enum SourceWaveform {
         /// Frequency (Hz).
         frequency: f64,
     },
+    /// A bipolar PWM voltage: `+amplitude` for the first `duty` fraction
+    /// of every switching period, `−amplitude` for the remainder — the
+    /// drive an H-bridge converter applies to a magnetic component.
+    Pwm {
+        /// Rail voltage (V).
+        amplitude: f64,
+        /// Switching frequency (Hz).
+        frequency: f64,
+        /// Duty cycle in the open interval `(0, 1)`.
+        duty: f64,
+    },
 }
 
 impl SourceWaveform {
@@ -175,6 +189,7 @@ impl SourceWaveform {
         match self {
             SourceWaveform::Sine { .. } => "sine",
             SourceWaveform::Triangular { .. } => "triangular",
+            SourceWaveform::Pwm { .. } => "pwm",
         }
     }
 
@@ -182,7 +197,8 @@ impl SourceWaveform {
     pub fn amplitude(self) -> f64 {
         match self {
             SourceWaveform::Sine { amplitude, .. }
-            | SourceWaveform::Triangular { amplitude, .. } => amplitude,
+            | SourceWaveform::Triangular { amplitude, .. }
+            | SourceWaveform::Pwm { amplitude, .. } => amplitude,
         }
     }
 
@@ -190,7 +206,16 @@ impl SourceWaveform {
     pub fn frequency(self) -> f64 {
         match self {
             SourceWaveform::Sine { frequency, .. }
-            | SourceWaveform::Triangular { frequency, .. } => frequency,
+            | SourceWaveform::Triangular { frequency, .. }
+            | SourceWaveform::Pwm { frequency, .. } => frequency,
+        }
+    }
+
+    /// Duty cycle — `Some` only for the PWM waveform.
+    pub fn duty(self) -> Option<f64> {
+        match self {
+            SourceWaveform::Pwm { duty, .. } => Some(duty),
+            _ => None,
         }
     }
 }
@@ -291,6 +316,17 @@ impl CircuitExcitation {
                 value: frequency,
                 requirement: "finite and > 0",
             });
+        }
+        if let SourceWaveform::Pwm { duty, .. } = source {
+            // A duty of exactly 0 or 1 is a DC rail, not a switching
+            // waveform.
+            if !duty.is_finite() || duty <= 0.0 || duty >= 1.0 {
+                return Err(JaError::InvalidConfig {
+                    name: "duty",
+                    value: duty,
+                    requirement: "in (0, 1)",
+                });
+            }
         }
         Ok(Self {
             source,
@@ -434,6 +470,18 @@ impl CircuitExcitation {
                     waveform::triangular::Triangular::new(amplitude, 1.0 / frequency)?,
                 ),
             )?,
+            SourceWaveform::Pwm {
+                amplitude,
+                frequency,
+                duty,
+            } => circuit.add(
+                "V1",
+                VoltageSource::new(
+                    v_in,
+                    Node::GROUND,
+                    waveform::pwm::Pwm::new(amplitude, frequency, duty)?,
+                ),
+            )?,
         };
         circuit.add("R1", Resistor::new(v_in, v_core, self.series_resistance)?)?;
         let core_index = circuit.add(
@@ -507,6 +555,28 @@ impl Excitation {
         )?))
     }
 
+    /// A degaussing schedule: triangular cycles whose amplitude decays
+    /// geometrically from `h_start` by the factor `decay` per cycle until
+    /// it falls below `h_stop`, finishing at `H = 0` — the classic
+    /// demagnetisation procedure, driving the remanent state towards zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Waveform`] for invalid schedule parameters
+    /// (`h_start`/`h_stop` must be finite and positive with
+    /// `h_stop < h_start`, `decay` in `(0, 1)`, `step` finite and
+    /// positive).
+    pub fn demagnetisation(
+        h_start: f64,
+        h_stop: f64,
+        decay: f64,
+        step: f64,
+    ) -> Result<Self, JaError> {
+        Ok(Excitation::Schedule(FieldSchedule::demagnetisation(
+            h_start, h_stop, decay, step,
+        )?))
+    }
+
     /// A time-domain waveform sampled every `dt` seconds over `[0, t_end]`
     /// — the transient stimulus reduced to the field samples every backend
     /// can consume.
@@ -567,13 +637,118 @@ impl Excitation {
     }
 }
 
+/// The environment a scenario runs in: operating temperature, excitation
+/// frequency and core geometry.
+///
+/// Every field is optional, and an all-`None` operating point is exactly
+/// today's behaviour — the scenario runs the material's reference
+/// parameters and reports no loss figures.  A temperature derives the
+/// material parameters through [`JaParameters::at_temperature`] (see
+/// [`Scenario::resolved_params`]); a geometry plus a frequency enables the
+/// per-scenario core-loss breakdown ([`ScenarioOutcome::loss`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatingPoint {
+    /// Operating temperature (°C); `None` runs the material's reference
+    /// parameters unchanged.
+    pub temperature_c: Option<f64>,
+    /// Excitation frequency (Hz) used to convert per-cycle loop energy
+    /// into dissipated power.
+    pub frequency_hz: Option<f64>,
+    /// Core geometry converting field-axis loop area into volumetric
+    /// loss.
+    pub geometry: Option<CoreGeometry>,
+    /// Lamination stack enabling the classical eddy-current estimate on
+    /// top of the hysteresis loss.
+    pub lamination: Option<LaminationSpec>,
+}
+
+impl OperatingPoint {
+    /// An empty operating point (reference temperature, no loss
+    /// reporting).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An operating point at temperature `t_c` (°C).
+    #[must_use]
+    pub fn at_temperature(t_c: f64) -> Self {
+        Self::new().with_temperature(t_c)
+    }
+
+    /// Sets the operating temperature (°C).
+    #[must_use]
+    pub fn with_temperature(mut self, t_c: f64) -> Self {
+        self.temperature_c = Some(t_c);
+        self
+    }
+
+    /// Sets the excitation frequency (Hz).
+    #[must_use]
+    pub fn with_frequency(mut self, frequency_hz: f64) -> Self {
+        self.frequency_hz = Some(frequency_hz);
+        self
+    }
+
+    /// Sets the core geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: CoreGeometry) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
+    /// Sets the lamination stack.
+    #[must_use]
+    pub fn with_lamination(mut self, lamination: LaminationSpec) -> Self {
+        self.lamination = Some(lamination);
+        self
+    }
+
+    /// Whether every field is `None` — an empty operating point behaves
+    /// exactly like no operating point at all.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Validates the point's scalar fields.
+    ///
+    /// The temperature is only range-checked against a material's thermal
+    /// coefficients at resolution time ([`Scenario::resolved_params`]);
+    /// this checks what can be checked without a material: finite
+    /// temperature, finite positive frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), JaError> {
+        if let Some(t_c) = self.temperature_c {
+            if !t_c.is_finite() {
+                return Err(JaError::InvalidConfig {
+                    name: "temperature_c",
+                    value: t_c,
+                    requirement: "finite",
+                });
+            }
+        }
+        if let Some(frequency) = self.frequency_hz {
+            if !frequency.is_finite() || frequency <= 0.0 {
+                return Err(JaError::InvalidConfig {
+                    name: "frequency_hz",
+                    value: frequency,
+                    requirement: "finite and > 0",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One experiment: a named (material, configuration, backend, excitation)
-/// tuple.
+/// tuple, optionally pinned to an [`OperatingPoint`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Display name (used in batch reports).
     pub name: String,
-    /// Material parameters.
+    /// Material parameters, quoted at the 20 °C reference temperature.
     pub params: JaParameters,
     /// Model configuration.
     pub config: JaConfig,
@@ -581,10 +756,18 @@ pub struct Scenario {
     pub backend: BackendKind,
     /// Stimulus.
     pub excitation: Excitation,
+    /// Operating point; `None` (the default) runs the reference
+    /// parameters and reports no loss figures.
+    pub operating_point: Option<OperatingPoint>,
+    /// Thermal coefficients used to derive the material parameters when
+    /// the operating point carries a temperature.  Defaults to
+    /// [`ThermalCoefficients::generic`]; irrelevant (but carried) when no
+    /// temperature is set.
+    pub thermal: ThermalCoefficients,
 }
 
 impl Scenario {
-    /// Creates a scenario.
+    /// Creates a scenario at the reference operating point.
     pub fn new(
         name: impl Into<String>,
         params: JaParameters,
@@ -598,7 +781,59 @@ impl Scenario {
             config,
             backend,
             excitation,
+            operating_point: None,
+            thermal: ThermalCoefficients::generic(),
         }
+    }
+
+    /// Pins the scenario to an operating point.
+    #[must_use]
+    pub fn with_operating_point(mut self, operating_point: OperatingPoint) -> Self {
+        self.operating_point = Some(operating_point);
+        self
+    }
+
+    /// Overrides the thermal coefficients (material-specific Curie point
+    /// and drift constants).
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ThermalCoefficients) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// The material parameters the backends actually run: the reference
+    /// parameters when no operating temperature is set, otherwise the
+    /// thermally derived set of [`JaParameters::at_temperature`].
+    ///
+    /// This is the **only** place thermal scaling is applied — every
+    /// backend, the circuit transient engine and the SoA lockstep path
+    /// all consume the value returned here, so scalar and lockstep
+    /// execution see bit-identical derived parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JaError::Material`] when the temperature or the derived
+    /// parameter set is out of range.
+    pub fn resolved_params(&self) -> Result<JaParameters, JaError> {
+        match self
+            .operating_point
+            .as_ref()
+            .and_then(|op| op.temperature_c)
+        {
+            Some(t_c) => Ok(self.params.at_temperature(t_c, &self.thermal)?),
+            None => Ok(self.params),
+        }
+    }
+
+    /// The loss breakdown of a finished trace, when the operating point
+    /// carries both a geometry and a frequency.  Mirrors the loop-metrics
+    /// policy: a trace the loss analysis cannot handle (too few points,
+    /// open loop) yields `None`, not a scenario failure.
+    pub(crate) fn loss_breakdown(&self, curve: &BhCurve) -> Option<CoreLoss> {
+        let op = self.operating_point.as_ref()?;
+        let geometry = op.geometry.as_ref()?;
+        let frequency = op.frequency_hz?;
+        losses::core_loss(curve, geometry, frequency, op.lamination).ok()
     }
 
     /// The paper's Fig. 1 experiment on the given backend: paper material,
@@ -651,10 +886,11 @@ impl Scenario {
             Excitation::Circuit(spec) => {
                 // The transient engine solves the drive circuit around the
                 // in-circuit core (built from this scenario's material and
-                // configuration); the solver-chosen H trajectory then
+                // configuration, thermally derived when an operating
+                // temperature is set); the solver-chosen H trajectory then
                 // drives the scenario's backend like any prescribed
                 // sample sequence.
-                let run = spec.simulate(self.params, self.config)?;
+                let run = spec.simulate(self.resolved_params()?, self.config)?;
                 (backend.run_samples(&run.field_samples)?, Some(run.stats))
             }
         };
@@ -663,11 +899,14 @@ impl Scenario {
         // never crosses B = 0, so coercivity is undefined): metric
         // extraction failure is not a scenario failure.
         let metrics = loop_analysis::loop_metrics(&curve).ok();
+        let loss = self.loss_breakdown(&curve);
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             backend: self.backend,
             curve,
             metrics,
+            loss,
+            operating_point: self.operating_point,
             stats: backend.statistics(),
             kernel: backend.kernel_statistics(),
             transient,
@@ -690,6 +929,14 @@ pub struct ScenarioOutcome {
     /// not form a closable loop (e.g. a biased minor loop that never
     /// crosses `B = 0`, leaving coercivity undefined).
     pub metrics: Option<LoopMetrics>,
+    /// Core-loss breakdown; `Some` only when the scenario's operating
+    /// point carries both a geometry and a frequency and the trace
+    /// supports the loss analysis.  Deterministic (pure float
+    /// arithmetic over the trace).
+    pub loss: Option<CoreLoss>,
+    /// The operating point the scenario ran at, carried through so
+    /// reports can echo temperature and frequency next to the loss.
+    pub operating_point: Option<OperatingPoint>,
     /// The backend's cost counters for this run.
     pub stats: JaStatistics,
     /// The simulation kernel's cost counters (delta cycles, events
@@ -733,13 +980,17 @@ impl ScenarioOutcome {
 ///
 /// Dimensions left empty fall back to a single default: the paper's
 /// material, the default configuration, the [`BackendKind::DirectTimeless`]
-/// backend.  At least one excitation must be supplied.
+/// backend.  The operating-point axis is special: left empty it
+/// contributes no name segment and no derived parameters, so grids that
+/// never mention it expand **byte-identically** to the four-axis grids of
+/// earlier versions.  At least one excitation must be supplied.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioGrid {
-    materials: Vec<(String, JaParameters)>,
+    materials: Vec<(String, JaParameters, ThermalCoefficients)>,
     configs: Vec<(String, JaConfig)>,
     backends: Vec<BackendKind>,
     excitations: Vec<(String, Excitation)>,
+    operating_points: Vec<(String, OperatingPoint)>,
 }
 
 impl ScenarioGrid {
@@ -748,10 +999,37 @@ impl ScenarioGrid {
         Self::default()
     }
 
-    /// Adds a material.
+    /// Adds a material with the generic thermal coefficients.
     #[must_use]
     pub fn material(mut self, name: impl Into<String>, params: JaParameters) -> Self {
-        self.materials.push((name.into(), params));
+        self.materials
+            .push((name.into(), params, ThermalCoefficients::generic()));
+        self
+    }
+
+    /// Adds a material together with its thermal coefficients, used to
+    /// derive the parameters when a scenario's operating point carries a
+    /// temperature.
+    #[must_use]
+    pub fn material_with_thermal(
+        mut self,
+        name: impl Into<String>,
+        params: JaParameters,
+        thermal: ThermalCoefficients,
+    ) -> Self {
+        self.materials.push((name.into(), params, thermal));
+        self
+    }
+
+    /// Adds an operating point.  A non-empty operating-point axis appends
+    /// a fifth `/`-separated segment to every scenario name.
+    #[must_use]
+    pub fn operating_point(
+        mut self,
+        name: impl Into<String>,
+        operating_point: OperatingPoint,
+    ) -> Self {
+        self.operating_points.push((name.into(), operating_point));
         self
     }
 
@@ -784,7 +1062,8 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid into concrete scenarios
-    /// (excitation-major, then backend, config, material).
+    /// (excitation-major, then backend, config, material, operating
+    /// point).
     ///
     /// # Errors
     ///
@@ -799,11 +1078,16 @@ impl ScenarioGrid {
                 axis: "excitations",
             });
         }
-        let materials: Vec<(String, JaParameters)> = if self.materials.is_empty() {
-            vec![("date2006".to_owned(), JaParameters::date2006())]
-        } else {
-            self.materials.clone()
-        };
+        let materials: Vec<(String, JaParameters, ThermalCoefficients)> =
+            if self.materials.is_empty() {
+                vec![(
+                    "date2006".to_owned(),
+                    JaParameters::date2006(),
+                    ThermalCoefficients::date2006(),
+                )]
+            } else {
+                self.materials.clone()
+            };
         let configs: Vec<(String, JaConfig)> = if self.configs.is_empty() {
             vec![("default".to_owned(), JaConfig::default())]
         } else {
@@ -814,24 +1098,48 @@ impl ScenarioGrid {
         } else {
             self.backends.clone()
         };
+        // An empty axis means "no operating point at all" — not a default
+        // point — so names and derived parameters stay byte-identical to
+        // the four-axis expansion.
+        let operating_points: Vec<Option<&(String, OperatingPoint)>> =
+            if self.operating_points.is_empty() {
+                vec![None]
+            } else {
+                self.operating_points.iter().map(Some).collect()
+            };
 
         let mut scenarios = Vec::with_capacity(
-            materials.len() * configs.len() * backends.len() * self.excitations.len(),
+            materials.len()
+                * configs.len()
+                * backends.len()
+                * self.excitations.len()
+                * operating_points.len(),
         );
         for (excitation_name, excitation) in &self.excitations {
             for &backend in &backends {
                 for (config_name, config) in &configs {
-                    for (material_name, params) in &materials {
-                        scenarios.push(Scenario::new(
-                            format!(
+                    for (material_name, params, thermal) in &materials {
+                        for op_entry in &operating_points {
+                            let base = format!(
                                 "{excitation_name}/{}/{config_name}/{material_name}",
                                 backend.label()
-                            ),
-                            *params,
-                            *config,
-                            backend,
-                            excitation.clone(),
-                        ));
+                            );
+                            let mut scenario = Scenario::new(
+                                match op_entry {
+                                    Some((op_name, _)) => format!("{base}/{op_name}"),
+                                    None => base,
+                                },
+                                *params,
+                                *config,
+                                backend,
+                                excitation.clone(),
+                            )
+                            .with_thermal(*thermal);
+                            if let Some((_, op)) = op_entry {
+                                scenario = scenario.with_operating_point(*op);
+                            }
+                            scenarios.push(scenario);
+                        }
                     }
                 }
             }
@@ -846,6 +1154,7 @@ impl ScenarioGrid {
             * self.backends.len().max(1)
             * self.configs.len().max(1)
             * self.materials.len().max(1)
+            * self.operating_points.len().max(1)
     }
 
     /// Whether the grid expands to no scenarios.
@@ -1350,6 +1659,177 @@ mod tests {
             .find(|o| o.name.contains("major"))
             .unwrap();
         assert!(major.transient.is_none());
+    }
+
+    #[test]
+    fn pwm_circuit_excitation_validates_and_runs() {
+        let pwm = |duty| SourceWaveform::Pwm {
+            amplitude: 30.0,
+            frequency: 50.0,
+            duty,
+        };
+        assert_eq!(pwm(0.5).label(), "pwm");
+        assert_eq!(pwm(0.5).duty(), Some(0.5));
+        assert_eq!(
+            SourceWaveform::Sine {
+                amplitude: 1.0,
+                frequency: 1.0
+            }
+            .duty(),
+            None
+        );
+        for bad in [0.0, 1.0, -0.2, f64::NAN] {
+            let err = CircuitExcitation::new(pwm(bad), 1.0, 200.0, 1e-4, 0.1, 0.04, 5e-5)
+                .expect_err("duty outside (0, 1) must be rejected");
+            assert!(
+                matches!(err, JaError::InvalidConfig { name: "duty", .. }),
+                "{err}"
+            );
+        }
+        let spec = CircuitExcitation::new(pwm(0.5), 1.0, 200.0, 1e-4, 0.1, 0.04, 5e-5).unwrap();
+        let outcome = Scenario::new(
+            "pwm",
+            JaParameters::date2006(),
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            Excitation::Circuit(spec),
+        )
+        .run()
+        .unwrap();
+        assert!(!outcome.curve.is_empty());
+        assert!(outcome.transient.is_some());
+        // A symmetric 50% PWM drives the field both ways.
+        let (min_h, max_h) = outcome
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.h.value())
+            .fold((f64::MAX, f64::MIN), |(lo, hi), h| (lo.min(h), hi.max(h)));
+        assert!(min_h < 0.0 && max_h > 0.0, "H range [{min_h}, {max_h}]");
+    }
+
+    #[test]
+    fn degauss_excitation_walks_the_remanence_towards_zero() {
+        let params = JaParameters::date2006();
+        let config = JaConfig::default();
+        let major = Scenario::new(
+            "major",
+            params,
+            config,
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 50.0, 1).unwrap(),
+        )
+        .run()
+        .unwrap();
+        let remanence = major.full_metrics().unwrap().remanence.as_tesla().abs();
+        let degauss = Scenario::new(
+            "degauss",
+            params,
+            config,
+            BackendKind::DirectTimeless,
+            Excitation::demagnetisation(10_000.0, 50.0, 0.8, 50.0).unwrap(),
+        )
+        .run()
+        .unwrap();
+        let final_b = degauss.curve.points().last().unwrap().b.as_tesla().abs();
+        assert!(
+            final_b < 0.2 * remanence,
+            "degauss left {final_b} T against remanence {remanence} T"
+        );
+        assert!(Excitation::demagnetisation(10_000.0, 50.0, 1.5, 50.0).is_err());
+    }
+
+    #[test]
+    fn operating_point_axis_appends_a_fifth_name_segment() {
+        let base = ScenarioGrid::new()
+            .backends(BackendKind::TIMELESS)
+            .excitation("major", Excitation::major_loop(10_000.0, 100.0, 1).unwrap());
+        // Without the axis: four segments, no operating point — identical
+        // to the historical expansion.
+        for scenario in base.scenarios().unwrap() {
+            assert_eq!(scenario.name.split('/').count(), 4);
+            assert!(scenario.operating_point.is_none());
+        }
+        let grid = base
+            .operating_point("t-40", OperatingPoint::at_temperature(-40.0))
+            .operating_point("t125", OperatingPoint::at_temperature(125.0));
+        assert_eq!(grid.len(), 6);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 6);
+        for scenario in &scenarios {
+            assert_eq!(scenario.name.split('/').count(), 5, "{}", scenario.name);
+            assert!(scenario.operating_point.is_some());
+        }
+        assert!(scenarios[0].name.ends_with("/t-40"));
+        assert!(scenarios[1].name.ends_with("/t125"));
+    }
+
+    #[test]
+    fn resolved_params_applies_thermal_scaling_in_one_place() {
+        let params = JaParameters::date2006();
+        let thermal = ThermalCoefficients::date2006();
+        let scenario = Scenario::new(
+            "hot",
+            params,
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 100.0, 1).unwrap(),
+        )
+        .with_thermal(thermal)
+        .with_operating_point(OperatingPoint::at_temperature(125.0));
+        let resolved = scenario.resolved_params().unwrap();
+        assert_eq!(resolved, params.at_temperature(125.0, &thermal).unwrap());
+        assert!(resolved.m_sat.value() < params.m_sat.value());
+        // No temperature: the reference parameters pass through untouched.
+        let reference = Scenario::new(
+            "ref",
+            params,
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            Excitation::major_loop(10_000.0, 100.0, 1).unwrap(),
+        );
+        assert_eq!(reference.resolved_params().unwrap(), params);
+        // An unphysical temperature fails the scenario, loudly.
+        let bad = reference.with_operating_point(OperatingPoint::at_temperature(2_000.0));
+        assert!(matches!(
+            bad.resolved_params().unwrap_err(),
+            JaError::Material(_)
+        ));
+        assert!(matches!(bad.run().unwrap_err(), JaError::Material(_)));
+    }
+
+    #[test]
+    fn loss_is_reported_when_geometry_and_frequency_are_set() {
+        let excitation = Excitation::major_loop(10_000.0, 100.0, 1).unwrap();
+        let plain = Scenario::new(
+            "plain",
+            JaParameters::date2006(),
+            JaConfig::default(),
+            BackendKind::DirectTimeless,
+            excitation.clone(),
+        );
+        assert!(plain.run().unwrap().loss.is_none());
+        let op = OperatingPoint::new()
+            .with_geometry(CoreGeometry::demo())
+            .with_frequency(50.0)
+            .with_lamination(LaminationSpec::silicon_steel_0p35mm());
+        assert!(!op.is_empty());
+        assert!(op.validate().is_ok());
+        assert!(OperatingPoint::new()
+            .with_frequency(0.0)
+            .validate()
+            .is_err());
+        assert!(OperatingPoint::at_temperature(f64::NAN).validate().is_err());
+        let outcome = plain.clone().with_operating_point(op).run().unwrap();
+        let loss = outcome.loss.expect("geometry + frequency enables loss");
+        assert!(loss.hysteresis_w > 0.0);
+        assert!(loss.eddy_w > 0.0);
+        assert!((loss.total_w - loss.hysteresis_w - loss.eddy_w).abs() < 1e-12);
+        assert_eq!(outcome.operating_point, Some(op));
+        // Geometry without frequency (or vice versa) stays silent.
+        let partial =
+            plain.with_operating_point(OperatingPoint::new().with_geometry(CoreGeometry::demo()));
+        assert!(partial.run().unwrap().loss.is_none());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   arctangent the arctangent laws evaluate, shared by the scalar and
 //!   lockstep (SoA) execution paths so both stay bit-identical;
 //! * Jiles–Atherton material parameter sets ([`material`]) with validation
-//!   and presets, including the exact parameter set of the paper;
+//!   and presets, including the exact parameter set of the paper, and
+//!   their temperature dependence ([`thermal`]): Curie-law saturation
+//!   scaling plus linear `k`/`a` drift for operating-point studies;
 //! * BH-curve containers ([`bh`]) and loop analysis ([`loop_analysis`]):
 //!   coercivity, remanence, saturation, loop area / hysteresis loss,
 //!   branch splitting and loop-closure checks;
@@ -48,6 +50,7 @@ pub mod geometry;
 pub mod loop_analysis;
 pub mod losses;
 pub mod material;
+pub mod thermal;
 pub mod units;
 
 pub use error::MagneticsError;

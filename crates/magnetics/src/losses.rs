@@ -100,9 +100,27 @@ pub fn core_loss(
     })
 }
 
-/// Fits a Steinmetz power law `P = k_h · f · B_pk^β` (hysteresis-only form)
-/// to a set of `(frequency, peak flux density, measured loss)` points,
-/// returning `(k_h, β)`.
+/// Rejects points whose components are not all finite and strictly
+/// positive (the log-space fits need every coordinate's logarithm).
+fn check_points_positive(points: &[(f64, f64, f64)]) -> Result<(), MagneticsError> {
+    for &(f, b, p) in points {
+        for value in [f, b, p] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(MagneticsError::InvalidParameter {
+                    name: "points",
+                    value,
+                    requirement: "finite and > 0",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fits a Steinmetz power law `P = k_h · f · B_pk^β` (hysteresis-only form,
+/// the `α = 1` special case of [`fit_steinmetz_full`]) to a set of
+/// `(frequency, peak flux density, measured loss)` points, returning
+/// `(k_h, β)`.
 ///
 /// The fit is a linear least-squares in log space; at least two points with
 /// distinct peak flux densities are required.
@@ -110,8 +128,8 @@ pub fn core_loss(
 /// # Errors
 ///
 /// Returns [`MagneticsError::InsufficientSamples`] for fewer than two
-/// points, and [`MagneticsError::NonFiniteInput`] when any point is not
-/// strictly positive.
+/// points, and [`MagneticsError::InvalidParameter`] when any point is not
+/// finite and strictly positive or the peak flux densities are degenerate.
 pub fn fit_steinmetz(points: &[(f64, f64, f64)]) -> Result<(f64, f64), MagneticsError> {
     if points.len() < 2 {
         return Err(MagneticsError::InsufficientSamples {
@@ -119,12 +137,7 @@ pub fn fit_steinmetz(points: &[(f64, f64, f64)]) -> Result<(f64, f64), Magnetics
             available: points.len(),
         });
     }
-    if points
-        .iter()
-        .any(|&(f, b, p)| !(f > 0.0 && b > 0.0 && p > 0.0))
-    {
-        return Err(MagneticsError::NonFiniteInput { name: "points" });
-    }
+    check_points_positive(points)?;
     // log(P/f) = log(k_h) + beta * log(B)
     let xs: Vec<f64> = points.iter().map(|&(_, b, _)| b.ln()).collect();
     let ys: Vec<f64> = points.iter().map(|&(f, _, p)| (p / f).ln()).collect();
@@ -147,6 +160,72 @@ pub fn fit_steinmetz(points: &[(f64, f64, f64)]) -> Result<(f64, f64), Magnetics
     let beta = sxy / sxx;
     let k_h = (mean_y - beta * mean_x).exp();
     Ok((k_h, beta))
+}
+
+/// Fits the full two-exponent Steinmetz law `P = k · f^α · B_pk^β` to a
+/// set of `(frequency, peak flux density, measured loss)` points,
+/// returning `(k, α, β)`.
+///
+/// This is a two-regressor linear least-squares in log space
+/// (`ln P = ln k + α·ln f + β·ln B`), solved through its 2×2 normal
+/// equations on the centred regressors.  Recovering both exponents needs
+/// points that vary frequency and flux density *independently* — a grid
+/// with at least two frequencies and two peak flux densities that are not
+/// perfectly collinear in log space.  For loss data known to scale
+/// linearly with frequency, prefer [`fit_steinmetz`], the documented
+/// `α = 1` special case.
+///
+/// # Errors
+///
+/// Returns [`MagneticsError::InsufficientSamples`] for fewer than three
+/// points, and [`MagneticsError::InvalidParameter`] when any point is not
+/// finite and strictly positive or the regressors are (near-)collinear.
+pub fn fit_steinmetz_full(points: &[(f64, f64, f64)]) -> Result<(f64, f64, f64), MagneticsError> {
+    if points.len() < 3 {
+        return Err(MagneticsError::InsufficientSamples {
+            required: 3,
+            available: points.len(),
+        });
+    }
+    check_points_positive(points)?;
+    let n = points.len() as f64;
+    let xf: Vec<f64> = points.iter().map(|&(f, _, _)| f.ln()).collect();
+    let xb: Vec<f64> = points.iter().map(|&(_, b, _)| b.ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, _, p)| p.ln()).collect();
+    let mean_f = xf.iter().sum::<f64>() / n;
+    let mean_b = xb.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sff = 0.0;
+    let mut sbb = 0.0;
+    let mut sfb = 0.0;
+    let mut sfy = 0.0;
+    let mut sby = 0.0;
+    for i in 0..points.len() {
+        let df = xf[i] - mean_f;
+        let db = xb[i] - mean_b;
+        let dy = ys[i] - mean_y;
+        sff += df * df;
+        sbb += db * db;
+        sfb += df * db;
+        sfy += df * dy;
+        sby += db * dy;
+    }
+    // The normal equations [sff sfb; sfb sbb]·[α; β] = [sfy; sby] are
+    // singular exactly when the centred regressors are collinear (all one
+    // frequency, all one flux density, or f and B locked to a power law
+    // of each other).
+    let det = sff * sbb - sfb * sfb;
+    if det <= 1e-12 * (1.0 + sff * sbb) {
+        return Err(MagneticsError::InvalidParameter {
+            name: "points",
+            value: det,
+            requirement: "frequencies and peak flux densities varying independently",
+        });
+    }
+    let alpha = (sfy * sbb - sby * sfb) / det;
+    let beta = (sby * sff - sfy * sfb) / det;
+    let k = (mean_y - alpha * mean_f - beta * mean_b).exp();
+    Ok((k, alpha, beta))
 }
 
 #[cfg(test)]
@@ -223,5 +302,92 @@ mod tests {
         assert!(fit_steinmetz(&[(50.0, 1.0, 10.0)]).is_err());
         assert!(fit_steinmetz(&[(50.0, 1.0, 10.0), (60.0, 1.0, 12.0)]).is_err());
         assert!(fit_steinmetz(&[(50.0, -1.0, 10.0), (60.0, 1.0, 12.0)]).is_err());
+    }
+
+    #[test]
+    fn steinmetz_fit_reports_non_positive_points_as_invalid_parameters() {
+        // Regression: a negative loss is a range violation, not a NaN;
+        // it must be reported as an InvalidParameter naming the actual
+        // requirement rather than as NonFiniteInput.
+        let err = fit_steinmetz(&[(50.0, 1.0, -10.0), (60.0, 2.0, 12.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            MagneticsError::InvalidParameter {
+                name: "points",
+                value: -10.0,
+                requirement: "finite and > 0",
+            }
+        );
+        let err = fit_steinmetz_full(&[(50.0, 1.0, 10.0), (60.0, -2.0, 12.0), (100.0, 1.5, 30.0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MagneticsError::InvalidParameter {
+                name: "points",
+                value: -2.0,
+                requirement: "finite and > 0",
+            }
+        );
+        // NaN still lands on the same variant with the same requirement.
+        assert!(matches!(
+            fit_steinmetz(&[(f64::NAN, 1.0, 10.0), (60.0, 2.0, 12.0)]).unwrap_err(),
+            MagneticsError::InvalidParameter {
+                name: "points",
+                requirement: "finite and > 0",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn full_steinmetz_fit_recovers_both_exponents() {
+        // Synthesise P = 0.7 * f^1.3 * B^2.1 over an independent f x B grid.
+        let mut points = Vec::new();
+        for &f in &[50.0_f64, 100.0, 200.0, 400.0] {
+            for &b in &[0.4_f64, 0.8, 1.2, 1.6] {
+                points.push((f, b, 0.7 * f.powf(1.3) * b.powf(2.1)));
+            }
+        }
+        let (k, alpha, beta) = fit_steinmetz_full(&points).unwrap();
+        assert!((k - 0.7).abs() < 1e-9, "k = {k}");
+        assert!((alpha - 1.3).abs() < 1e-9, "alpha = {alpha}");
+        assert!((beta - 2.1).abs() < 1e-9, "beta = {beta}");
+    }
+
+    #[test]
+    fn full_steinmetz_fit_agrees_with_the_hysteresis_special_case() {
+        // Data that really is P = k_h * f * B^beta: the full fit must find
+        // alpha ~= 1 and the same k/beta the two-parameter form reports.
+        let points: Vec<(f64, f64, f64)> = [(50.0, 0.5), (100.0, 1.0), (200.0, 1.5), (400.0, 0.8)]
+            .iter()
+            .map(|&(f, b): &(f64, f64)| (f, b, 2.5 * f * b.powf(1.8)))
+            .collect();
+        let (k_h, beta_h) = fit_steinmetz(&points).unwrap();
+        let (k, alpha, beta) = fit_steinmetz_full(&points).unwrap();
+        assert!((alpha - 1.0).abs() < 1e-9, "alpha = {alpha}");
+        assert!((k - k_h).abs() < 1e-6);
+        assert!((beta - beta_h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_steinmetz_fit_rejects_collinear_regressors() {
+        // Fewer than three points.
+        assert!(fit_steinmetz_full(&[(50.0, 1.0, 10.0), (100.0, 2.0, 40.0)]).is_err());
+        // Single frequency: alpha is unidentifiable.
+        assert!(
+            fit_steinmetz_full(&[(50.0, 0.5, 5.0), (50.0, 1.0, 20.0), (50.0, 1.5, 45.0)]).is_err()
+        );
+        // Single flux density: beta is unidentifiable.
+        assert!(
+            fit_steinmetz_full(&[(50.0, 1.0, 5.0), (100.0, 1.0, 10.0), (200.0, 1.0, 20.0)])
+                .is_err()
+        );
+        // B locked to a power of f: log-space collinear.
+        assert!(fit_steinmetz_full(&[
+            (50.0, 50.0, 5.0),
+            (100.0, 100.0, 10.0),
+            (200.0, 200.0, 20.0)
+        ])
+        .is_err());
     }
 }

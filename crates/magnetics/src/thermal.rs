@@ -1,0 +1,317 @@
+//! Temperature dependence of Jiles–Atherton parameters.
+//!
+//! The parameter presets in [`crate::material`] are quoted at the
+//! reference temperature ([`REFERENCE_TEMPERATURE_C`], 20 °C).  Real
+//! cores drift: the saturation magnetisation collapses towards the Curie
+//! point following the mean-field critical law `Ms(T) ∝ (1 − T/Tc)^β`,
+//! and the pinning (`k`) and anhysteretic shape (`a`, `a2`) parameters
+//! drift roughly linearly over the operating range of a power magnetic.
+//!
+//! [`ThermalCoefficients`] carries the material-specific constants of
+//! both effects; [`JaParameters::at_temperature`] applies them, returning
+//! a fresh **validated** parameter set.  The mapping is pure and
+//! deterministic — the same `(params, coefficients, temperature)` triple
+//! always produces the bit-identical derived set — so thermally derived
+//! parameters can feed the scalar and SoA lockstep execution paths
+//! interchangeably without disturbing their bit-equality contract.
+
+use crate::error::MagneticsError;
+use crate::material::JaParameters;
+use crate::units::Magnetisation;
+
+/// The temperature (°C) at which the material presets are quoted.
+pub const REFERENCE_TEMPERATURE_C: f64 = 20.0;
+
+/// Absolute zero in °C; no physical operating point sits below it.
+pub const ABSOLUTE_ZERO_C: f64 = -273.15;
+
+/// Material-specific constants of the thermal model.
+///
+/// Saturation scaling is the Curie-law `Ms(T) = Ms·(1 − T/Tc)^β`
+/// normalised to the reference temperature, i.e. the applied factor is
+/// `((Tc − T)/(Tc − T_ref))^β` (Celsius differences equal Kelvin
+/// differences, so the quotient form is exact).  `k`, `a` and `a2` drift
+/// linearly: `k(T) = k·(1 + k_drift·(T − T_ref))` and likewise for the
+/// shape parameters with `a_drift`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCoefficients {
+    /// Curie temperature `Tc` (°C); saturation vanishes there.
+    pub curie_temperature_c: f64,
+    /// Critical exponent `β` of the saturation law (mean-field ≈ 0.36
+    /// for iron-like materials, ≈ 0.5 for soft ferrites).
+    pub ms_exponent: f64,
+    /// Relative drift of the pinning parameter `k` per °C (usually
+    /// negative: coercivity shrinks as thermal agitation helps walls
+    /// depin).
+    pub k_drift_per_c: f64,
+    /// Relative drift of the anhysteretic shape parameters `a`/`a2`
+    /// per °C (usually positive: the anhysteretic flattens with
+    /// temperature).
+    pub a_drift_per_c: f64,
+}
+
+impl ThermalCoefficients {
+    /// Validates and constructs a coefficient set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidParameter`] when the Curie
+    /// temperature does not sit above the reference temperature, the
+    /// exponent is outside `(0, 1]`, or a drift coefficient is not
+    /// finite.
+    pub fn new(
+        curie_temperature_c: f64,
+        ms_exponent: f64,
+        k_drift_per_c: f64,
+        a_drift_per_c: f64,
+    ) -> Result<Self, MagneticsError> {
+        let candidate = Self {
+            curie_temperature_c,
+            ms_exponent,
+            k_drift_per_c,
+            a_drift_per_c,
+        };
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
+    /// Iron-like coefficients for the paper's material: silicon-steel
+    /// Curie point, mean-field exponent, mild pinning softening.
+    pub fn date2006() -> Self {
+        Self {
+            curie_temperature_c: 745.0,
+            ms_exponent: 0.36,
+            k_drift_per_c: -8.0e-4,
+            a_drift_per_c: 5.0e-4,
+        }
+    }
+
+    /// Annealed iron (the Jiles–Atherton 1984 parameter set).
+    pub fn jiles_atherton_1984() -> Self {
+        Self {
+            curie_temperature_c: 770.0,
+            ms_exponent: 0.36,
+            k_drift_per_c: -6.0e-4,
+            a_drift_per_c: 4.0e-4,
+        }
+    }
+
+    /// MnZn-ferrite-like coefficients: low Curie point, near-mean-field
+    /// exponent, strong drift — ferrite losses move fast with
+    /// temperature.
+    pub fn soft_ferrite() -> Self {
+        Self {
+            curie_temperature_c: 220.0,
+            ms_exponent: 0.5,
+            k_drift_per_c: -2.0e-3,
+            a_drift_per_c: 1.0e-3,
+        }
+    }
+
+    /// Hard-steel-like coefficients: high Curie point and a loop shape
+    /// that barely moves over the industrial temperature range.
+    pub fn hard_steel() -> Self {
+        Self {
+            curie_temperature_c: 750.0,
+            ms_exponent: 0.36,
+            k_drift_per_c: -4.0e-4,
+            a_drift_per_c: 3.0e-4,
+        }
+    }
+
+    /// A generic iron-like fallback (the paper material's coefficients)
+    /// for parameter sets without a dedicated preset.
+    pub fn generic() -> Self {
+        Self::date2006()
+    }
+
+    /// Re-validates the coefficient set (useful after manual edits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThermalCoefficients::new`].
+    pub fn validate(&self) -> Result<(), MagneticsError> {
+        if !self.curie_temperature_c.is_finite()
+            || self.curie_temperature_c <= REFERENCE_TEMPERATURE_C
+        {
+            return Err(MagneticsError::InvalidParameter {
+                name: "curie_temperature_c",
+                value: self.curie_temperature_c,
+                requirement: "finite and > the 20 C reference temperature",
+            });
+        }
+        if !self.ms_exponent.is_finite() || self.ms_exponent <= 0.0 || self.ms_exponent > 1.0 {
+            return Err(MagneticsError::InvalidParameter {
+                name: "ms_exponent",
+                value: self.ms_exponent,
+                requirement: "in (0, 1]",
+            });
+        }
+        if !self.k_drift_per_c.is_finite() {
+            return Err(MagneticsError::InvalidParameter {
+                name: "k_drift_per_c",
+                value: self.k_drift_per_c,
+                requirement: "finite",
+            });
+        }
+        if !self.a_drift_per_c.is_finite() {
+            return Err(MagneticsError::InvalidParameter {
+                name: "a_drift_per_c",
+                value: self.a_drift_per_c,
+                requirement: "finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ThermalCoefficients {
+    fn default() -> Self {
+        Self::generic()
+    }
+}
+
+impl JaParameters {
+    /// Derives the parameter set at operating temperature `t_c` (°C).
+    ///
+    /// Applies the Curie-law saturation scaling and the linear `k`/`a`
+    /// drifts of `thermal` relative to the 20 °C reference, then
+    /// re-validates — a temperature that drives any parameter out of its
+    /// physical range is rejected rather than silently clamped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagneticsError::InvalidParameter`] when `t_c` is not a
+    /// finite temperature in `(−273.15 °C, Tc)`, when `thermal` is
+    /// invalid, or when the derived parameter set fails validation.
+    pub fn at_temperature(
+        &self,
+        t_c: f64,
+        thermal: &ThermalCoefficients,
+    ) -> Result<JaParameters, MagneticsError> {
+        thermal.validate()?;
+        if !t_c.is_finite() || t_c <= ABSOLUTE_ZERO_C || t_c >= thermal.curie_temperature_c {
+            return Err(MagneticsError::InvalidParameter {
+                name: "t_c",
+                value: t_c,
+                requirement: "finite, above absolute zero and below the Curie temperature",
+            });
+        }
+        let dt = t_c - REFERENCE_TEMPERATURE_C;
+        let reduced = (thermal.curie_temperature_c - t_c)
+            / (thermal.curie_temperature_c - REFERENCE_TEMPERATURE_C);
+        let ms_scale = reduced.powf(thermal.ms_exponent);
+        let k_scale = 1.0 + thermal.k_drift_per_c * dt;
+        let a_scale = 1.0 + thermal.a_drift_per_c * dt;
+        let derived = JaParameters {
+            m_sat: Magnetisation::new(self.m_sat.value() * ms_scale),
+            a: self.a * a_scale,
+            a2: self.a2 * a_scale,
+            k: self.k * k_scale,
+            alpha: self.alpha,
+            c: self.c,
+        };
+        derived.validate()?;
+        Ok(derived)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_validate() {
+        for coeffs in [
+            ThermalCoefficients::date2006(),
+            ThermalCoefficients::jiles_atherton_1984(),
+            ThermalCoefficients::soft_ferrite(),
+            ThermalCoefficients::hard_steel(),
+            ThermalCoefficients::generic(),
+        ] {
+            assert!(coeffs.validate().is_ok(), "{coeffs:?}");
+        }
+        assert_eq!(
+            ThermalCoefficients::default(),
+            ThermalCoefficients::generic()
+        );
+    }
+
+    #[test]
+    fn reference_temperature_is_the_identity() {
+        let base = JaParameters::date2006();
+        let derived = base
+            .at_temperature(REFERENCE_TEMPERATURE_C, &ThermalCoefficients::date2006())
+            .unwrap();
+        assert_eq!(derived, base, "20 C must reproduce the preset exactly");
+    }
+
+    #[test]
+    fn saturation_collapses_towards_the_curie_point() {
+        let base = JaParameters::date2006();
+        let coeffs = ThermalCoefficients::date2006();
+        let cold = base.at_temperature(-40.0, &coeffs).unwrap();
+        let warm = base.at_temperature(125.0, &coeffs).unwrap();
+        let hot = base.at_temperature(500.0, &coeffs).unwrap();
+        assert!(cold.m_sat.value() > base.m_sat.value());
+        assert!(warm.m_sat.value() < base.m_sat.value());
+        assert!(hot.m_sat.value() < warm.m_sat.value());
+        // Monotone drift of the loop-shape parameters too.
+        assert!(warm.k < base.k, "pinning softens with temperature");
+        assert!(warm.a > base.a, "anhysteretic flattens with temperature");
+        // Untouched parameters pass through bit-exactly.
+        assert_eq!(warm.alpha, base.alpha);
+        assert_eq!(warm.c, base.c);
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let base = JaParameters::hard_steel();
+        let coeffs = ThermalCoefficients::hard_steel();
+        let first = base.at_temperature(85.0, &coeffs).unwrap();
+        let second = base.at_temperature(85.0, &coeffs).unwrap();
+        assert_eq!(
+            first.m_sat.value().to_bits(),
+            second.m_sat.value().to_bits()
+        );
+        assert_eq!(first.k.to_bits(), second.k.to_bits());
+        assert_eq!(first.a.to_bits(), second.a.to_bits());
+        assert_eq!(first.a2.to_bits(), second.a2.to_bits());
+    }
+
+    #[test]
+    fn rejects_unphysical_temperatures() {
+        let base = JaParameters::date2006();
+        let coeffs = ThermalCoefficients::date2006();
+        for t in [f64::NAN, f64::INFINITY, -300.0, 745.0, 1000.0] {
+            let err = base.at_temperature(t, &coeffs).unwrap_err();
+            assert!(
+                matches!(err, MagneticsError::InvalidParameter { name: "t_c", .. }),
+                "{t}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_coefficients() {
+        assert!(ThermalCoefficients::new(10.0, 0.36, 0.0, 0.0).is_err());
+        assert!(ThermalCoefficients::new(745.0, 0.0, 0.0, 0.0).is_err());
+        assert!(ThermalCoefficients::new(745.0, 1.5, 0.0, 0.0).is_err());
+        assert!(ThermalCoefficients::new(745.0, 0.36, f64::NAN, 0.0).is_err());
+        assert!(ThermalCoefficients::new(745.0, 0.36, 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn drift_that_kills_a_parameter_is_rejected() {
+        // A drift large enough to drive k negative at 125 C must fail
+        // derived-set validation, not return an unphysical material.
+        let coeffs = ThermalCoefficients::new(745.0, 0.36, -0.02, 0.0).unwrap();
+        let err = JaParameters::date2006()
+            .at_temperature(125.0, &coeffs)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MagneticsError::InvalidParameter { name: "k", .. }
+        ));
+    }
+}

@@ -5,8 +5,8 @@
 //! top of the major loop.  This crate provides both views of an excitation:
 //!
 //! * **time-domain waveforms** ([`generator`], [`triangular`], [`sine`],
-//!   [`pwl`], [`composite`]) — `h(t)` functions used by the analogue-solver
-//!   baseline, which genuinely integrates over time;
+//!   [`pwm`], [`pwl`], [`composite`]) — `h(t)` functions used by the
+//!   analogue-solver baseline, which genuinely integrates over time;
 //! * **field schedules** ([`schedule`]) — ordered sequences of `H` samples
 //!   with explicit reversal points, used by the timeless models where time
 //!   plays no role at all;
@@ -38,6 +38,7 @@ pub mod error;
 pub mod export;
 pub mod generator;
 pub mod pwl;
+pub mod pwm;
 pub mod sampler;
 pub mod schedule;
 pub mod sine;

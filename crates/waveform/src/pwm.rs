@@ -1,0 +1,144 @@
+//! Bipolar pulse-width-modulated (PWM) waveform.
+//!
+//! The drive a switching converter's H-bridge applies to a magnetic
+//! component: `+A` for the first `duty` fraction of every switching
+//! period, `−A` for the remainder.  Driving the circuit scenarios with
+//! this waveform exercises the hysteresis models under the paper's
+//! power-electronics application conditions rather than a lab sine.
+
+use crate::error::WaveformError;
+use crate::generator::Waveform;
+
+/// Bipolar PWM: `x(t) = +A` while `frac(t·f) < duty`, else `−A`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pwm {
+    amplitude: f64,
+    frequency: f64,
+    duty: f64,
+}
+
+impl Pwm {
+    /// Creates a bipolar PWM waveform from amplitude, switching frequency
+    /// (Hz) and duty cycle (fraction of the period spent at `+A`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] when the amplitude is
+    /// not finite and non-negative, the frequency is not finite and
+    /// positive, or the duty cycle is outside the open interval `(0, 1)`
+    /// (a duty of exactly 0 or 1 is a DC rail, not a switching waveform).
+    pub fn new(amplitude: f64, frequency: f64, duty: f64) -> Result<Self, WaveformError> {
+        if !amplitude.is_finite() || amplitude < 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "amplitude",
+                value: amplitude,
+                requirement: "finite and >= 0",
+            });
+        }
+        if !frequency.is_finite() || frequency <= 0.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "frequency",
+                value: frequency,
+                requirement: "finite and > 0",
+            });
+        }
+        if !duty.is_finite() || duty <= 0.0 || duty >= 1.0 {
+            return Err(WaveformError::InvalidParameter {
+                name: "duty",
+                value: duty,
+                requirement: "in (0, 1)",
+            });
+        }
+        Ok(Self {
+            amplitude,
+            frequency,
+            duty,
+        })
+    }
+
+    /// Peak amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Switching frequency in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Duty cycle (fraction of the period at `+A`).
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+}
+
+impl Waveform for Pwm {
+    fn value(&self, t: f64) -> f64 {
+        let phase = (t * self.frequency).rem_euclid(1.0);
+        if phase < self.duty {
+            self.amplitude
+        } else {
+            -self.amplitude
+        }
+    }
+
+    fn period(&self) -> Option<f64> {
+        Some(1.0 / self.frequency)
+    }
+
+    /// Zero almost everywhere; the switching edges are ideal
+    /// discontinuities the transient solver resolves by stepping, not by
+    /// slope information.
+    fn derivative(&self, _t: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pwm::new(-1.0, 50.0, 0.5).is_err());
+        assert!(Pwm::new(1.0, 0.0, 0.5).is_err());
+        assert!(Pwm::new(1.0, 50.0, 0.0).is_err());
+        assert!(Pwm::new(1.0, 50.0, 1.0).is_err());
+        assert!(Pwm::new(1.0, 50.0, f64::NAN).is_err());
+        assert!(Pwm::new(1.0, 50.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn switches_at_the_duty_fraction() {
+        let w = Pwm::new(2.0, 100.0, 0.25).unwrap(); // 10 ms period, 2.5 ms high
+        assert_eq!(w.value(0.0), 2.0);
+        assert_eq!(w.value(0.002), 2.0);
+        assert_eq!(w.value(0.003), -2.0);
+        assert_eq!(w.value(0.009), -2.0);
+        // Periodicity.
+        assert_eq!(w.value(0.012), 2.0);
+        assert_eq!(w.value(0.013), -2.0);
+        assert_eq!(w.period(), Some(0.01));
+        assert_eq!(w.derivative(0.004), 0.0);
+    }
+
+    #[test]
+    fn mean_value_follows_the_duty_cycle() {
+        let w = Pwm::new(1.0, 50.0, 0.7).unwrap();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| w.value(i as f64 * 0.02 / n as f64))
+            .sum::<f64>()
+            / n as f64;
+        // Bipolar PWM mean = A * (2*duty - 1).
+        assert!((mean - 0.4).abs() < 1e-2, "mean = {mean}");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let w = Pwm::new(30.0, 400.0, 0.35).unwrap();
+        assert_eq!(w.amplitude(), 30.0);
+        assert_eq!(w.frequency(), 400.0);
+        assert_eq!(w.duty(), 0.35);
+    }
+}

@@ -6,10 +6,13 @@
 
 use ja_repro::hdl_models::exec::{BatchRunner, SoaRouting};
 use ja_repro::hdl_models::scenario::{
-    BackendKind, BatchReport, CircuitExcitation, Excitation, ScenarioGrid, StepControl,
+    BackendKind, BatchReport, CircuitExcitation, Excitation, OperatingPoint, ScenarioGrid,
+    StepControl,
 };
 use ja_repro::ja_hysteresis::config::JaConfig;
+use ja_repro::magnetics::geometry::CoreGeometry;
 use ja_repro::magnetics::material::JaParameters;
+use ja_repro::magnetics::thermal::ThermalCoefficients;
 
 fn grid() -> ScenarioGrid {
     ScenarioGrid::new()
@@ -60,6 +63,8 @@ struct OutcomeBits {
     curve_bits: Vec<(u64, u64, u64)>,
     metric_bits: Option<(u64, u64, u64, u64)>,
     transient: Option<(u64, u64, u64)>,
+    loss_bits: Option<(u64, u64, u64, u64)>,
+    temperature_bits: Option<u64>,
 }
 
 fn fingerprint(report: &BatchReport) -> Vec<Fingerprint> {
@@ -101,6 +106,18 @@ fn fingerprint(report: &BatchReport) -> Vec<Fingerprint> {
                             t.newton_iterations as u64,
                         )
                     }),
+                    loss_bits: outcome.loss.map(|loss| {
+                        (
+                            loss.hysteresis_w.to_bits(),
+                            loss.eddy_w.to_bits(),
+                            loss.total_w.to_bits(),
+                            loss.energy_per_cycle_j.to_bits(),
+                        )
+                    }),
+                    temperature_bits: outcome
+                        .operating_point
+                        .and_then(|op| op.temperature_c)
+                        .map(f64::to_bits),
                 }),
                 Err(err) => Err(err.to_string()),
             },
@@ -178,6 +195,107 @@ fn batch_report_is_bit_identical_across_soa_routing_and_worker_counts() {
             for entry in &routed.entries {
                 let outcome = entry.outcome.as_ref().expect("ok");
                 assert_eq!(outcome.lockstep_lanes, Some(4), "{}", entry.scenario.name);
+            }
+        }
+    }
+}
+
+/// A temperature-axis loss-map grid: two materials resolved through their
+/// thermal coefficients at three operating points, each carrying geometry
+/// and frequency so every outcome reports a loss breakdown.
+fn thermal_loss_grid() -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new()
+        .material_with_thermal(
+            "date2006",
+            JaParameters::date2006(),
+            ThermalCoefficients::date2006(),
+        )
+        .material_with_thermal(
+            "hard-steel",
+            JaParameters::hard_steel(),
+            ThermalCoefficients::hard_steel(),
+        )
+        .backend(BackendKind::DirectTimeless)
+        .config("dh10", JaConfig::default())
+        .excitation(
+            "major",
+            Excitation::major_loop(10_000.0, 250.0, 1).expect("excitation"),
+        );
+    for t_c in [-40.0, 25.0, 125.0] {
+        grid = grid.operating_point(
+            format!("t{t_c}"),
+            OperatingPoint::at_temperature(t_c)
+                .with_frequency(50.0)
+                .with_geometry(CoreGeometry::demo()),
+        );
+    }
+    grid
+}
+
+#[test]
+fn thermal_loss_grid_is_bit_identical_across_workers_and_routing() {
+    // Thermal parameter resolution happens once per scenario
+    // (`Scenario::resolved_params`) and feeds the scalar backends and the
+    // SoA lanes identically, so a temperature-axis grid must reproduce
+    // bit-for-bit across worker counts AND routing modes.
+    let scenarios = thermal_loss_grid().scenarios().expect("non-empty grid");
+    assert_eq!(scenarios.len(), 6); // 2 materials x 3 operating points
+
+    let scalar = BatchRunner::new()
+        .workers(1)
+        .soa_routing(SoaRouting::ForceScalar)
+        .run(scenarios.clone());
+    assert_eq!(scalar.failures().count(), 0);
+    let reference = fingerprint(&scalar);
+
+    // Every outcome carries a loss breakdown and its temperature, and the
+    // thermal scaling really happened: the cold and hot runs of the same
+    // material trace different curves.
+    for f in &reference {
+        let bits = f.payload.as_ref().expect("ok");
+        assert!(bits.loss_bits.is_some(), "{}: no loss", f.name);
+        assert!(
+            bits.temperature_bits.is_some(),
+            "{}: no temperature",
+            f.name
+        );
+    }
+    let curve_of = |needle: &str| {
+        let f = reference
+            .iter()
+            .find(|f| f.name.ends_with(needle))
+            .unwrap_or_else(|| panic!("no scenario ends with {needle}"));
+        &f.payload.as_ref().expect("ok").curve_bits
+    };
+    assert_ne!(
+        curve_of("date2006/t-40"),
+        curve_of("date2006/t125"),
+        "thermal scaling must change the traced loop"
+    );
+
+    for routing in [
+        SoaRouting::ForceScalar,
+        SoaRouting::Auto,
+        SoaRouting::ForceSoa,
+    ] {
+        for workers in [1, 2, 8] {
+            let routed = BatchRunner::new()
+                .workers(workers)
+                .soa_routing(routing)
+                .run(scenarios.clone());
+            assert_eq!(
+                fingerprint(&routed),
+                reference,
+                "{routing:?} thermal report at {workers} workers diverged from the scalar report"
+            );
+            if !matches!(routing, SoaRouting::ForceScalar) {
+                // Grouping keys include the operating point: the two
+                // materials of each (config, excitation, point) cell run
+                // as one two-lane lockstep group.
+                for entry in &routed.entries {
+                    let outcome = entry.outcome.as_ref().expect("ok");
+                    assert_eq!(outcome.lockstep_lanes, Some(2), "{}", entry.scenario.name);
+                }
             }
         }
     }

@@ -155,6 +155,54 @@ fn f32_state_mode_stays_within_documented_tolerance() {
 }
 
 #[test]
+fn thermally_derived_parameters_stay_bit_identical_in_lockstep() {
+    // The operating-point pipeline derives per-temperature parameters with
+    // `JaParameters::at_temperature` and hands them to the SoA kernel like
+    // any other material: the lanes must stay bitwise equal to a scalar
+    // model constructed from the same derived parameters.
+    use ja_repro::magnetics::thermal::ThermalCoefficients;
+
+    let thermal = ThermalCoefficients::date2006();
+    let materials: Vec<JaParameters> = [-40.0, 25.0, 125.0]
+        .iter()
+        .map(|&t_c| {
+            JaParameters::date2006()
+                .at_temperature(t_c, &thermal)
+                .expect("temperature is below the Curie point")
+        })
+        .collect();
+    let samples = FieldSchedule::major_loop(10_000.0, 100.0, 2)
+        .expect("schedule")
+        .to_samples();
+    let config = JaConfig::default();
+
+    let mut batch = SoaBatch::new(config, SoaPrecision::F64).expect("config");
+    batch.assign(&materials);
+    let mut curves = vec![BhCurve::new(); materials.len()];
+    batch.run_samples_into_curves(&samples, &mut curves);
+
+    for (lane, (params, curve)) in materials.iter().zip(&curves).enumerate() {
+        assert!(batch.lane_error(lane).is_none());
+        let scalar = scalar_curve(*params, config, &samples);
+        assert_curves_bit_identical(curve, &scalar, &format!("thermal lane {lane}"));
+    }
+    // And the derivation is not a no-op: the hot lane's loop differs from
+    // the cold lane's.
+    assert_ne!(
+        curves[0]
+            .points()
+            .iter()
+            .map(|p| p.b.as_tesla().to_bits())
+            .collect::<Vec<_>>(),
+        curves[2]
+            .points()
+            .iter()
+            .map(|p| p.b.as_tesla().to_bits())
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[test]
 fn a_failing_lane_does_not_disturb_its_neighbours() {
     let mut bad = JaParameters::date2006();
     bad.k = -1.0;
